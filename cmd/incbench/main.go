@@ -1,0 +1,51 @@
+// Command incbench runs the reproduction experiments E1–E12 (see DESIGN.md
+// and EXPERIMENTS.md) and prints one text table per experiment.
+//
+// Usage:
+//
+//	incbench            # quick configuration (seconds)
+//	incbench -full      # larger sweeps (minutes)
+//	incbench -only E1,E8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"incdata/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the larger sweeps")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E8)")
+	flag.Parse()
+
+	cfg := experiments.QuickConfig()
+	if *full {
+		cfg = experiments.FullConfig()
+	}
+	filter := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			filter[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, res := range experiments.All(cfg) {
+		if len(filter) > 0 && !filter[res.ID] {
+			continue
+		}
+		fmt.Println(res.String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "incbench: no experiment matched the -only filter")
+		os.Exit(1)
+	}
+	fmt.Printf("ran %d experiments in %s\n", ran, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeData(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	order := "o_id,product\noid1,pr1\noid2,pr2\n"
+	pay := "p_id,order,amount\npid1,⊥1,100\n"
+	if err := os.WriteFile(filepath.Join(dir, "Order.csv"), []byte(order), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "Pay.csv"), []byte(pay), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunModes(t *testing.T) {
+	dir := writeData(t)
+	query := "diff(project(Order; o_id), project(Pay; order))"
+	for _, mode := range []string{"naive", "certain", "certain-cwa"} {
+		if err := run([]string{"-data", dir, "-mode", mode, query}); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := writeData(t)
+	cases := [][]string{
+		{},                              // missing query
+		{"-data", dir, "a", "b"},        // too many args
+		{"-data", "/nope", "Order"},     // bad data dir
+		{"-data", dir, "project(Order"}, // parse error
+		{"-data", dir, "-mode", "bogus", "Order"},      // bad mode
+		{"-data", dir, "Nope"},                         // unknown relation (naive default mode)
+		{"-data", dir, "-mode", "naive", "Nope"},       // unknown relation
+		{"-data", dir, "-mode", "certain-cwa", "Nope"}, // unknown relation under enumeration
+		{"-badflag"}, // flag parse error
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

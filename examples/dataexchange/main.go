@@ -1,0 +1,73 @@
+// Data exchange: the schema-mapping scenario of the paper's introduction.
+// The rule Order(i,p) → ∃x Cust(x) ∧ Pref(x,p) is chased over a source
+// database, inventing marked nulls for the unknown customers, and certain
+// answers are computed over the exchanged (incomplete) target instance.
+package main
+
+import (
+	"fmt"
+
+	"incdata/internal/cq"
+	"incdata/internal/exchange"
+	"incdata/internal/schema"
+	"incdata/internal/table"
+)
+
+func main() {
+	source := schema.MustNew(schema.NewRelation("Order", "o_id", "product"))
+	target := schema.MustNew(
+		schema.NewRelation("Cust", "cust"),
+		schema.NewRelation("Pref", "cust", "product"),
+	)
+	mapping := exchange.Mapping{
+		Source: source,
+		Target: target,
+		Dependencies: []exchange.Dependency{{
+			Name: "order-to-cust",
+			Body: []cq.Atom{cq.NewAtom("Order", cq.V("i"), cq.V("p"))},
+			Head: []cq.Atom{
+				cq.NewAtom("Cust", cq.V("x")),
+				cq.NewAtom("Pref", cq.V("x"), cq.V("p")),
+			},
+			Existential: []string{"x"},
+		}},
+	}
+	fmt.Println("mapping:", mapping.Dependencies[0])
+
+	src := table.NewDatabase(source)
+	src.MustAddRow("Order", "oid1", "pr1")
+	src.MustAddRow("Order", "oid2", "pr2")
+	fmt.Println("\nsource:")
+	fmt.Println(src)
+
+	solution, err := mapping.Chase(src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\ncanonical universal solution (note the shared marked nulls):")
+	fmt.Println(solution)
+
+	// Certain answers over the exchanged data.
+	prefs := cq.Single(cq.Query{
+		Name: "prefs",
+		Head: []string{"p"},
+		Body: []cq.Atom{cq.NewAtom("Pref", cq.V("x"), cq.V("p"))},
+	})
+	ans, err := mapping.CertainAnswers(prefs, src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\ncertain answers to prefs(p) :- Pref(x,p):")
+	fmt.Println(ans)
+
+	customers := cq.Single(cq.Query{
+		Name: "customers",
+		Head: []string{"x"},
+		Body: []cq.Atom{cq.NewAtom("Cust", cq.V("x"))},
+	})
+	ans2, err := mapping.CertainAnswers(customers, src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("certain answers to customers(x) :- Cust(x):", ans2, "(no customer id is known)")
+}

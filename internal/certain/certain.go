@@ -1,0 +1,330 @@
+// Package certain computes certain answers to relational-algebra queries
+// over incomplete databases, in the three ways the paper discusses:
+//
+//  1. Intersection-based certain answers (equation (1)): ⋂ { Q(D') | D' ∈
+//     [[D]] }, computed here as ground truth by enumerating worlds over a
+//     finite constant domain (adom plus fresh constants), which is exact for
+//     generic queries.
+//  2. Naïve evaluation followed by null stripping (equation (4)): the cheap
+//     route that the results of Section 6 prove correct for positive queries
+//     under OWA/CWA and for RAcwa queries under CWA.
+//  3. Ordering-based certainty (Section 5.3): certainO as the greatest lower
+//     bound of the answer set in the information ordering, computed through
+//     the direct-product construction of package order.
+//
+// Cross-checking these three against each other — where they must agree and
+// where they provably differ — is the substance of experiments E1–E9.
+package certain
+
+import (
+	"fmt"
+
+	"incdata/internal/order"
+	"incdata/internal/ra"
+	"incdata/internal/semantics"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// Options controls world enumeration.
+type Options struct {
+	// ExtraFresh is the number of fresh constants (outside adom and the
+	// query constants) added to the enumeration domain.  Genericity of RA
+	// queries makes #nulls fresh constants sufficient; 1 is enough for
+	// tuple-level certainty of most queries and is the default when the
+	// value is 0 and the database has nulls.
+	ExtraFresh int
+	// MaxExtraTuples bounds the additional tuples considered in OWA world
+	// enumeration (0 enumerates only minimal worlds, which is exact for
+	// monotone queries).
+	MaxExtraTuples int
+	// ExtraConstants are added to the enumeration domain (e.g. constants
+	// mentioned by the query).
+	ExtraConstants []value.Value
+	// Workers enables parallel evaluation of worlds when > 1.
+	Workers int
+	// MaxWorlds aborts enumeration when the number of valuations would
+	// exceed the bound (0 means no bound); this keeps experiment sweeps from
+	// running forever on instances with many nulls.
+	MaxWorlds int
+}
+
+func (o Options) withDefaults(d *table.Database) Options {
+	if o.ExtraFresh == 0 && len(d.Nulls()) > 0 {
+		o.ExtraFresh = 1
+	}
+	return o
+}
+
+// domain builds the enumeration domain for a database under the options.
+func (o Options) domain(d *table.Database) semantics.Domain {
+	return semantics.DomainOf(d, o.ExtraFresh, o.ExtraConstants...)
+}
+
+// queryConstants collects the constants mentioned by a query's selection
+// predicates so they can be added to the enumeration domain.  It walks the
+// expression structurally.
+func queryConstants(e ra.Expr) []value.Value {
+	var out []value.Value
+	var walkPred func(p ra.Predicate)
+	walkPred = func(p ra.Predicate) {
+		switch pp := p.(type) {
+		case ra.Cmp:
+			if !pp.Left.IsAttr {
+				out = append(out, pp.Left.Const)
+			}
+			if !pp.Right.IsAttr {
+				out = append(out, pp.Right.Const)
+			}
+		case ra.And:
+			for _, q := range pp.Preds {
+				walkPred(q)
+			}
+		case ra.Or:
+			for _, q := range pp.Preds {
+				walkPred(q)
+			}
+		case ra.Not:
+			walkPred(pp.Pred)
+		}
+	}
+	var walk func(e ra.Expr)
+	walk = func(e ra.Expr) {
+		switch ex := e.(type) {
+		case ra.Select:
+			walkPred(ex.Pred)
+			walk(ex.Input)
+		case ra.Project:
+			walk(ex.Input)
+		case ra.Rename:
+			walk(ex.Input)
+		case ra.Product:
+			walk(ex.Left)
+			walk(ex.Right)
+		case ra.Join:
+			walk(ex.Left)
+			walk(ex.Right)
+		case ra.Union:
+			walk(ex.Left)
+			walk(ex.Right)
+		case ra.Diff:
+			walk(ex.Left)
+			walk(ex.Right)
+		case ra.Intersect:
+			walk(ex.Left)
+			walk(ex.Right)
+		case ra.Division:
+			walk(ex.Left)
+			walk(ex.Right)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// NaiveRaw evaluates the query naïvely (nulls as values) without stripping
+// nulls from the answer.  It is the certainO representation of the answer
+// for monotone generic queries (equation (9)), and the input to the
+// null-stripping step.
+func NaiveRaw(q ra.Expr, d *table.Database) (*table.Relation, error) {
+	return ra.Eval(q, d)
+}
+
+// Naive computes certain answers by naïve evaluation followed by dropping
+// tuples with nulls (equation (4)): Q(D)_cmpl.  The paper's Section 6
+// results guarantee this equals the intersection-based certain answers for
+// positive queries (under OWA and CWA) and for RAcwa queries (under CWA).
+func Naive(q ra.Expr, d *table.Database) (*table.Relation, error) {
+	r, err := ra.Eval(q, d)
+	if err != nil {
+		return nil, err
+	}
+	return ra.StripNulls(r), nil
+}
+
+// ErrTooManyWorlds is returned when world enumeration would exceed
+// Options.MaxWorlds.
+var ErrTooManyWorlds = fmt.Errorf("certain: world enumeration exceeds the configured bound")
+
+// collectWorldsCWA enumerates the CWA worlds of d over the options' domain.
+func collectWorldsCWA(d *table.Database, opts Options) ([]*table.Database, error) {
+	dom := opts.domain(d)
+	if opts.MaxWorlds > 0 && semantics.WorldCount(d, dom) > opts.MaxWorlds {
+		return nil, ErrTooManyWorlds
+	}
+	var worlds []*table.Database
+	semantics.EnumerateCWA(d, dom, func(w *table.Database) bool {
+		worlds = append(worlds, w)
+		return true
+	})
+	return worlds, nil
+}
+
+// collectWorldsOWA enumerates OWA worlds (valuation images plus up to
+// MaxExtraTuples additional tuples over the domain).
+func collectWorldsOWA(d *table.Database, opts Options) ([]*table.Database, error) {
+	dom := opts.domain(d)
+	if opts.MaxWorlds > 0 && semantics.WorldCount(d, dom) > opts.MaxWorlds {
+		return nil, ErrTooManyWorlds
+	}
+	var worlds []*table.Database
+	semantics.EnumerateOWA(d, dom, opts.MaxExtraTuples, func(w *table.Database) bool {
+		worlds = append(worlds, w)
+		return true
+	})
+	return worlds, nil
+}
+
+// answersOnWorlds evaluates the query on every world (possibly in
+// parallel).
+func answersOnWorlds(q ra.Expr, worlds []*table.Database, workers int) ([]*table.Relation, error) {
+	if workers > 1 {
+		return parallelAnswers(q, worlds, workers)
+	}
+	out := make([]*table.Relation, len(worlds))
+	for i, w := range worlds {
+		r, err := ra.Eval(q, w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// ByWorldsCWA computes the intersection-based certain answers under CWA by
+// explicit world enumeration:  ⋂ { Q(v(D)) | v valuation into the finite
+// domain }.  For generic queries with enough fresh constants in the domain
+// this equals certain(Q,D) under [[·]]cwa.
+func ByWorldsCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
+	opts = opts.withDefaults(d)
+	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
+	worlds, err := collectWorldsCWA(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	answers, err := answersOnWorlds(q, worlds, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return order.IntersectionRelations(answers)
+}
+
+// ByWorldsOWA computes intersection-based certain answers under OWA over
+// the enumerated (bounded) world set.  With MaxExtraTuples = 0 the minimal
+// worlds are used, which gives the exact certain answers for monotone
+// queries; for non-monotone queries the result is an over-approximation of
+// the true OWA certain answers (which are undecidable in general), and
+// increasing MaxExtraTuples tightens it.
+func ByWorldsOWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
+	opts = opts.withDefaults(d)
+	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
+	worlds, err := collectWorldsOWA(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	answers, err := answersOnWorlds(q, worlds, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return order.IntersectionRelations(answers)
+}
+
+// CertainObjectCWA computes certainO(Q,D) under CWA: the greatest lower
+// bound, in the ⪯owa ordering on answers, of { Q(D') | D' ∈ [[D]]cwa } over
+// the enumerated worlds.  For monotone generic queries the theorem of
+// Section 6.1 says this equals Q(D) itself (naïve evaluation, nulls kept);
+// experiment E8/E11 verify the equality.
+func CertainObjectCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
+	opts = opts.withDefaults(d)
+	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
+	worlds, err := collectWorldsCWA(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	answers, err := answersOnWorlds(q, worlds, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return order.GLBRelationsOWA(answers)
+}
+
+// BoolCertainCWA computes the certain answer of a Boolean query under CWA
+// by world enumeration: true iff the query is nonempty in every world.
+func BoolCertainCWA(q ra.Expr, d *table.Database, opts Options) (bool, error) {
+	opts = opts.withDefaults(d)
+	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
+	dom := opts.domain(d)
+	if opts.MaxWorlds > 0 && semantics.WorldCount(d, dom) > opts.MaxWorlds {
+		return false, ErrTooManyWorlds
+	}
+	certain := true
+	var evalErr error
+	semantics.EnumerateCWA(d, dom, func(w *table.Database) bool {
+		ok, err := ra.EvalBool(q, w)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if !ok {
+			certain = false
+			return false
+		}
+		return true
+	})
+	if evalErr != nil {
+		return false, evalErr
+	}
+	return certain, nil
+}
+
+// Comparison is the outcome of comparing naïve-evaluation certain answers
+// against world-enumeration ground truth.
+type Comparison struct {
+	// Agree reports whether the two answer sets are identical.
+	Agree bool
+	// MissingFromNaive are certain tuples that naïve evaluation failed to
+	// return (false negatives; cannot happen for the sound fragments).
+	MissingFromNaive []table.Tuple
+	// SpuriousInNaive are tuples naïve evaluation returned that are not
+	// certain (false positives; the π(R−S) example produces one).
+	SpuriousInNaive []table.Tuple
+}
+
+// Compare checks naïve-evaluation certain answers against the
+// world-enumeration ground truth under CWA.
+func Compare(q ra.Expr, d *table.Database, opts Options) (Comparison, error) {
+	naive, err := Naive(q, d)
+	if err != nil {
+		return Comparison{}, err
+	}
+	truth, err := ByWorldsCWA(q, d, opts)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return diffRelations(naive, truth), nil
+}
+
+func diffRelations(naive, truth *table.Relation) Comparison {
+	cmp := Comparison{Agree: naive.Equal(truth)}
+	truth.Each(func(t table.Tuple) bool {
+		if !naive.Contains(t) {
+			cmp.MissingFromNaive = append(cmp.MissingFromNaive, t.Clone())
+		}
+		return true
+	})
+	naive.Each(func(t table.Tuple) bool {
+		if !truth.Contains(t) {
+			cmp.SpuriousInNaive = append(cmp.SpuriousInNaive, t.Clone())
+		}
+		return true
+	})
+	return cmp
+}
+
+// EvaluationReport compares an arbitrary answer relation (for example the
+// output of the SQL baseline) against the certain answers: which certain
+// tuples it missed and which uncertain tuples it reported.
+func EvaluationReport(answer, certainAnswers *table.Relation) Comparison {
+	return diffRelations(answer, certainAnswers)
+}

@@ -1,0 +1,49 @@
+package certain
+
+import (
+	"runtime"
+	"sync"
+
+	"incdata/internal/ra"
+	"incdata/internal/table"
+)
+
+// parallelAnswers evaluates the query on every world using a bounded worker
+// pool.  World evaluation is embarrassingly parallel; only the final
+// intersection / GLB is sequential.
+func parallelAnswers(q ra.Expr, worlds []*table.Database, workers int) ([]*table.Relation, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(worlds) {
+		workers = len(worlds)
+	}
+	if workers <= 1 {
+		return answersOnWorlds(q, worlds, 1)
+	}
+
+	answers := make([]*table.Relation, len(worlds))
+	errs := make([]error, len(worlds))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				answers[i], errs[i] = ra.Eval(q, worlds[i])
+			}
+		}()
+	}
+	for i := range worlds {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return answers, nil
+}

@@ -1,0 +1,212 @@
+// Package constraints implements integrity constraints over incomplete
+// relations — functional dependencies and unary inclusion dependencies —
+// under the three satisfaction notions the literature on incomplete data
+// distinguishes (the "handling constraints" direction of Section 7 of the
+// paper):
+//
+//   - naïve satisfaction: nulls are treated as ordinary values (marked-null
+//     identity), i.e. the constraint is checked on the naïve table as-is;
+//   - possible (weak) satisfaction: some valuation of the nulls yields a
+//     complete relation satisfying the constraint;
+//   - certain (strong) satisfaction: every valuation does.
+//
+// Possible/certain satisfaction are checked by valuation enumeration over a
+// finite domain (adom plus fresh constants), mirroring the certain-answer
+// machinery; constraints are, after all, Boolean queries.
+package constraints
+
+import (
+	"fmt"
+	"strings"
+
+	"incdata/internal/semantics"
+	"incdata/internal/table"
+)
+
+// FD is a functional dependency X → Y over attribute positions of a single
+// relation.
+type FD struct {
+	Rel string
+	Lhs []int
+	Rhs []int
+}
+
+// String renders the FD.
+func (fd FD) String() string {
+	return fmt.Sprintf("%s: %s → %s", fd.Rel, joinInts(fd.Lhs), joinInts(fd.Rhs))
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("#%d", x+1)
+	}
+	return strings.Join(parts, ",")
+}
+
+// validate checks the positions against the relation's arity.
+func (fd FD) validate(r *table.Relation) error {
+	if r == nil {
+		return fmt.Errorf("constraints: unknown relation %q", fd.Rel)
+	}
+	for _, p := range append(append([]int{}, fd.Lhs...), fd.Rhs...) {
+		if p < 0 || p >= r.Arity() {
+			return fmt.Errorf("constraints: position %d out of range for %s", p, fd.Rel)
+		}
+	}
+	if len(fd.Lhs) == 0 || len(fd.Rhs) == 0 {
+		return fmt.Errorf("constraints: FD with empty side")
+	}
+	return nil
+}
+
+// holdsOn checks the FD on a relation with marked-null identity: any two
+// tuples agreeing on Lhs must agree on Rhs.
+func (fd FD) holdsOn(r *table.Relation) bool {
+	seen := map[string]table.Tuple{}
+	ok := true
+	r.Each(func(t table.Tuple) bool {
+		key := t.Project(fd.Lhs...).Key()
+		if prev, dup := seen[key]; dup {
+			if prev.Project(fd.Rhs...).Key() != t.Project(fd.Rhs...).Key() {
+				ok = false
+				return false
+			}
+		} else {
+			seen[key] = t
+		}
+		return true
+	})
+	return ok
+}
+
+// SatisfiesNaive checks the FD on the naïve table directly.
+func (fd FD) SatisfiesNaive(d *table.Database) (bool, error) {
+	r := d.Relation(fd.Rel)
+	if err := fd.validate(r); err != nil {
+		return false, err
+	}
+	return fd.holdsOn(r), nil
+}
+
+// SatisfiesPossibly reports whether some valuation of the nulls (over adom
+// plus extraFresh fresh constants) yields a relation satisfying the FD.
+func (fd FD) SatisfiesPossibly(d *table.Database, extraFresh int) (bool, error) {
+	r := d.Relation(fd.Rel)
+	if err := fd.validate(r); err != nil {
+		return false, err
+	}
+	dom := semantics.DomainOf(d, extraFresh)
+	possible := false
+	semantics.EnumerateCWA(d, dom, func(w *table.Database) bool {
+		if fd.holdsOn(w.Relation(fd.Rel)) {
+			possible = true
+			return false
+		}
+		return true
+	})
+	return possible, nil
+}
+
+// SatisfiesCertainly reports whether every valuation yields a relation
+// satisfying the FD.
+func (fd FD) SatisfiesCertainly(d *table.Database, extraFresh int) (bool, error) {
+	r := d.Relation(fd.Rel)
+	if err := fd.validate(r); err != nil {
+		return false, err
+	}
+	dom := semantics.DomainOf(d, extraFresh)
+	certain := true
+	semantics.EnumerateCWA(d, dom, func(w *table.Database) bool {
+		if !fd.holdsOn(w.Relation(fd.Rel)) {
+			certain = false
+			return false
+		}
+		return true
+	})
+	return certain, nil
+}
+
+// IND is a unary inclusion dependency R[pos] ⊆ S[pos'].
+type IND struct {
+	FromRel string
+	FromPos int
+	ToRel   string
+	ToPos   int
+}
+
+// String renders the IND.
+func (ind IND) String() string {
+	return fmt.Sprintf("%s[#%d] ⊆ %s[#%d]", ind.FromRel, ind.FromPos+1, ind.ToRel, ind.ToPos+1)
+}
+
+func (ind IND) validate(d *table.Database) error {
+	from := d.Relation(ind.FromRel)
+	to := d.Relation(ind.ToRel)
+	if from == nil || to == nil {
+		return fmt.Errorf("constraints: unknown relation in %s", ind)
+	}
+	if ind.FromPos < 0 || ind.FromPos >= from.Arity() || ind.ToPos < 0 || ind.ToPos >= to.Arity() {
+		return fmt.Errorf("constraints: position out of range in %s", ind)
+	}
+	return nil
+}
+
+func (ind IND) holdsOn(d *table.Database) bool {
+	to := map[string]bool{}
+	d.Relation(ind.ToRel).Each(func(t table.Tuple) bool {
+		to[t.Project(ind.ToPos).Key()] = true
+		return true
+	})
+	ok := true
+	d.Relation(ind.FromRel).Each(func(t table.Tuple) bool {
+		if !to[t.Project(ind.FromPos).Key()] {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// SatisfiesNaive checks the IND with marked-null identity.
+func (ind IND) SatisfiesNaive(d *table.Database) (bool, error) {
+	if err := ind.validate(d); err != nil {
+		return false, err
+	}
+	return ind.holdsOn(d), nil
+}
+
+// SatisfiesPossibly reports whether some valuation satisfies the IND.
+func (ind IND) SatisfiesPossibly(d *table.Database, extraFresh int) (bool, error) {
+	if err := ind.validate(d); err != nil {
+		return false, err
+	}
+	dom := semantics.DomainOf(d, extraFresh)
+	possible := false
+	semantics.EnumerateCWA(d, dom, func(w *table.Database) bool {
+		if ind.holdsOn(w) {
+			possible = true
+			return false
+		}
+		return true
+	})
+	return possible, nil
+}
+
+// SatisfiesCertainly reports whether every valuation satisfies the IND.
+func (ind IND) SatisfiesCertainly(d *table.Database, extraFresh int) (bool, error) {
+	if err := ind.validate(d); err != nil {
+		return false, err
+	}
+	dom := semantics.DomainOf(d, extraFresh)
+	certain := true
+	semantics.EnumerateCWA(d, dom, func(w *table.Database) bool {
+		if !ind.holdsOn(w) {
+			certain = false
+			return false
+		}
+		return true
+	})
+	return certain, nil
+}

@@ -1,0 +1,129 @@
+package constraints
+
+import (
+	"strings"
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+)
+
+func db(t *testing.T, rRows, sRows [][]string) *table.Database {
+	t.Helper()
+	s := schema.MustNew(schema.WithArity("R", 2), schema.WithArity("S", 1))
+	d := table.NewDatabase(s)
+	for _, r := range rRows {
+		d.MustAddRow("R", r...)
+	}
+	for _, r := range sRows {
+		d.MustAddRow("S", r...)
+	}
+	return d
+}
+
+func TestFDThreeNotions(t *testing.T) {
+	fd := FD{Rel: "R", Lhs: []int{0}, Rhs: []int{1}}
+	// R = {(1,2),(1,⊥1)}: naïvely violated (2 ≠ ⊥1), possibly satisfied
+	// (⊥1↦2), not certainly satisfied (⊥1↦3 violates).
+	d := db(t, [][]string{{"1", "2"}, {"1", "⊥1"}}, nil)
+	if ok, err := fd.SatisfiesNaive(d); err != nil || ok {
+		t.Errorf("naive = %v %v, want violated", ok, err)
+	}
+	if ok, err := fd.SatisfiesPossibly(d, 1); err != nil || !ok {
+		t.Errorf("possibly = %v %v, want satisfied", ok, err)
+	}
+	if ok, err := fd.SatisfiesCertainly(d, 1); err != nil || ok {
+		t.Errorf("certainly = %v %v, want violated", ok, err)
+	}
+
+	// A complete relation satisfying the FD satisfies it in all senses.
+	d2 := db(t, [][]string{{"1", "2"}, {"3", "4"}}, nil)
+	for name, f := range map[string]func() (bool, error){
+		"naive":     func() (bool, error) { return fd.SatisfiesNaive(d2) },
+		"possibly":  func() (bool, error) { return fd.SatisfiesPossibly(d2, 1) },
+		"certainly": func() (bool, error) { return fd.SatisfiesCertainly(d2, 1) },
+	} {
+		if ok, err := f(); err != nil || !ok {
+			t.Errorf("%s on clean relation = %v %v", name, ok, err)
+		}
+	}
+
+	// A hard violation on constants is a violation in every sense.
+	d3 := db(t, [][]string{{"1", "2"}, {"1", "3"}}, nil)
+	if ok, _ := fd.SatisfiesPossibly(d3, 1); ok {
+		t.Error("constant violation cannot be repaired by valuations")
+	}
+	if ok, _ := fd.SatisfiesCertainly(d3, 1); ok {
+		t.Error("certain satisfaction must fail too")
+	}
+
+	// Naïve satisfaction can hold while certain satisfaction fails: two
+	// tuples with distinct-null keys collide under some valuation.
+	d4 := db(t, [][]string{{"⊥1", "1"}, {"⊥2", "2"}}, nil)
+	if ok, _ := fd.SatisfiesNaive(d4); !ok {
+		t.Error("naively the keys ⊥1 and ⊥2 are distinct")
+	}
+	if ok, _ := fd.SatisfiesCertainly(d4, 1); ok {
+		t.Error("⊥1 = ⊥2 under some valuation breaks the FD")
+	}
+}
+
+func TestFDErrorsAndString(t *testing.T) {
+	d := db(t, [][]string{{"1", "2"}}, nil)
+	if _, err := (FD{Rel: "Nope", Lhs: []int{0}, Rhs: []int{1}}).SatisfiesNaive(d); err == nil {
+		t.Error("unknown relation should error")
+	}
+	if _, err := (FD{Rel: "R", Lhs: []int{0}, Rhs: []int{7}}).SatisfiesNaive(d); err == nil {
+		t.Error("out-of-range position should error")
+	}
+	if _, err := (FD{Rel: "R", Lhs: nil, Rhs: []int{1}}).SatisfiesCertainly(d, 1); err == nil {
+		t.Error("empty LHS should error")
+	}
+	if _, err := (FD{Rel: "Nope", Lhs: []int{0}, Rhs: []int{1}}).SatisfiesPossibly(d, 1); err == nil {
+		t.Error("unknown relation should error in possible satisfaction")
+	}
+	fd := FD{Rel: "R", Lhs: []int{0}, Rhs: []int{1}}
+	if !strings.Contains(fd.String(), "R: #1 → #2") {
+		t.Errorf("String = %q", fd.String())
+	}
+}
+
+func TestIND(t *testing.T) {
+	ind := IND{FromRel: "S", FromPos: 0, ToRel: "R", ToPos: 0}
+	// S = {⊥1}, R = {(1,2)}: naïvely violated, possibly satisfied (⊥1↦1),
+	// not certainly satisfied.
+	d := db(t, [][]string{{"1", "2"}}, [][]string{{"⊥1"}})
+	if ok, err := ind.SatisfiesNaive(d); err != nil || ok {
+		t.Errorf("naive = %v %v", ok, err)
+	}
+	if ok, err := ind.SatisfiesPossibly(d, 1); err != nil || !ok {
+		t.Errorf("possibly = %v %v", ok, err)
+	}
+	if ok, err := ind.SatisfiesCertainly(d, 1); err != nil || ok {
+		t.Errorf("certainly = %v %v", ok, err)
+	}
+	// Satisfied in all senses when the value is present.
+	d2 := db(t, [][]string{{"1", "2"}}, [][]string{{"1"}})
+	if ok, _ := ind.SatisfiesNaive(d2); !ok {
+		t.Error("naive should hold")
+	}
+	if ok, _ := ind.SatisfiesCertainly(d2, 1); !ok {
+		t.Error("certain should hold")
+	}
+	if ok, _ := ind.SatisfiesPossibly(d2, 1); !ok {
+		t.Error("possible should hold")
+	}
+	// Errors and String.
+	if _, err := (IND{FromRel: "Nope", ToRel: "R"}).SatisfiesNaive(d); err == nil {
+		t.Error("unknown relation should error")
+	}
+	if _, err := (IND{FromRel: "S", FromPos: 5, ToRel: "R"}).SatisfiesPossibly(d, 1); err == nil {
+		t.Error("out-of-range position should error")
+	}
+	if _, err := (IND{FromRel: "S", FromPos: 0, ToRel: "R", ToPos: 9}).SatisfiesCertainly(d, 1); err == nil {
+		t.Error("out-of-range target position should error")
+	}
+	if !strings.Contains(ind.String(), "S[#1] ⊆ R[#1]") {
+		t.Errorf("String = %q", ind.String())
+	}
+}

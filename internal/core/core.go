@@ -1,0 +1,250 @@
+// Package core implements the paper's primary contribution (Sections 5 and
+// 6): a minimalist, data-model-independent framework of representation
+// systems in which certainty has two faces —
+//
+//	certainO X = ⋀ X          (an object: the greatest lower bound of X in
+//	                           the information ordering), and
+//	certainK X = ⋀ Th(X)      (knowledge: the most specific formula implied
+//	                           by every object of X),
+//
+// and the central theorem holds: for monotone generic queries, naïve
+// evaluation computes both, i.e. certainO(Q,x) = Q(x) and
+// certainK(Q,x) = δ_{Q(x)} (equations (9) and (10)).
+//
+// The framework is expressed with Go generics over an abstract object type;
+// the package also provides the two relational instantiations the paper
+// uses as its testbed (OWA and CWA over naïve databases) and a finite
+// verification harness for monotonicity, genericity and the theorem, used
+// by experiment E11.
+package core
+
+import (
+	"fmt"
+
+	"incdata/internal/hom"
+	"incdata/internal/logic"
+	"incdata/internal/order"
+	"incdata/internal/semantics"
+	"incdata/internal/table"
+)
+
+// Domain abstracts the triple ⟨D, C, [[·]]⟩ of Section 5.1: a set of
+// objects, the complete objects among them, and the semantics function,
+// together with the induced information ordering x ⪯ y ⇔ [[y]] ⊆ [[x]].
+//
+// Implementations must guarantee the two axioms of the paper:
+//
+//  1. every complete object denotes at least itself (c ∈ [[c]]), and
+//  2. a complete object is more informative than any object representing it
+//     (c ∈ [[x]] ⇒ x ⪯ c).
+type Domain[O any] interface {
+	// IsComplete reports whether the object belongs to C.
+	IsComplete(x O) bool
+	// Represents reports whether the complete object c belongs to [[x]].
+	Represents(x, c O) bool
+	// Leq is the information ordering: x ⪯ y.
+	Leq(x, y O) bool
+	// Equivalent reports that x and y carry the same information
+	// (x ⪯ y and y ⪯ x).
+	Equivalent(x, y O) bool
+}
+
+// Lattice extends a Domain with greatest lower bounds of finite sets, the
+// ingredient needed to build certainO.
+type Lattice[O any] interface {
+	Domain[O]
+	// GLB returns the greatest lower bound of a nonempty finite set.
+	GLB(xs []O) (O, error)
+}
+
+// Query is a mapping between two domains (the paper's Q : D → D').
+type Query[I, O any] func(I) (O, error)
+
+// CertainO computes the object-level certainty of a finite set of objects:
+// its greatest lower bound in the information ordering.
+func CertainO[O any](l Lattice[O], xs []O) (O, error) {
+	var zero O
+	if len(xs) == 0 {
+		return zero, fmt.Errorf("core: certainO of an empty set is undefined")
+	}
+	return l.GLB(xs)
+}
+
+// CertainOQuery computes certainO(Q, x) over an explicitly given finite
+// sample of [[x]]: it applies Q to every world in the sample and takes the
+// greatest lower bound of the answers.  With a sample that is sufficient
+// for the query (for generic relational queries: all valuations into adom
+// plus enough fresh constants), this is exactly certainO(Q,x).
+func CertainOQuery[I, O any](l Lattice[O], q Query[I, O], worlds []I) (O, error) {
+	var zero O
+	if len(worlds) == 0 {
+		return zero, fmt.Errorf("core: empty world sample")
+	}
+	answers := make([]O, len(worlds))
+	for i, w := range worlds {
+		a, err := q(w)
+		if err != nil {
+			return zero, err
+		}
+		answers[i] = a
+	}
+	return l.GLB(answers)
+}
+
+// IsMonotone checks monotonicity of a query on an explicit finite sample of
+// ordered pairs: whenever x ⪯ y in the input domain, Q(x) ⪯' Q(y) must hold
+// in the output domain.  It returns the first counterexample found.
+func IsMonotone[I, O any](din Domain[I], dout Domain[O], q Query[I, O], sample []I) (bool, *MonotonicityWitness[I], error) {
+	for i := range sample {
+		for j := range sample {
+			if i == j || !din.Leq(sample[i], sample[j]) {
+				continue
+			}
+			qi, err := q(sample[i])
+			if err != nil {
+				return false, nil, err
+			}
+			qj, err := q(sample[j])
+			if err != nil {
+				return false, nil, err
+			}
+			if !dout.Leq(qi, qj) {
+				return false, &MonotonicityWitness[I]{Less: sample[i], More: sample[j]}, nil
+			}
+		}
+	}
+	return true, nil, nil
+}
+
+// MonotonicityWitness is a counterexample to monotonicity: Less ⪯ More in
+// the input ordering but Q(Less) ⋠ Q(More) in the output ordering.
+type MonotonicityWitness[I any] struct {
+	Less, More I
+}
+
+// NaiveEvaluationHolds verifies equation (9) on one object: it computes
+// certainO(Q, x) from the given world sample and checks that it is
+// equivalent (in the output ordering) to Q(x), the naïvely evaluated
+// answer.  For monotone generic queries and sufficient samples the theorem
+// guarantees this returns true.
+func NaiveEvaluationHolds[I, O any](lout Lattice[O], q Query[I, O], x I, worlds []I) (bool, error) {
+	glb, err := CertainOQuery(lout, q, worlds)
+	if err != nil {
+		return false, err
+	}
+	qx, err := q(x)
+	if err != nil {
+		return false, err
+	}
+	return lout.Equivalent(glb, qx), nil
+}
+
+// ---------------------------------------------------------------------------
+// Relational instantiations.
+// ---------------------------------------------------------------------------
+
+// RelationalDomain is the relational instantiation of Domain: objects are
+// naïve databases, complete objects are null-free databases, the semantics
+// is [[·]]owa / [[·]]cwa / [[·]]wcwa, and the ordering is the corresponding
+// homomorphism preorder of Section 5.2.
+type RelationalDomain struct {
+	Assumption semantics.Assumption
+}
+
+// OWADomain is the relational OWA domain.
+func OWADomain() RelationalDomain { return RelationalDomain{Assumption: semantics.OWA} }
+
+// CWADomain is the relational CWA domain.
+func CWADomain() RelationalDomain { return RelationalDomain{Assumption: semantics.CWA} }
+
+// IsComplete implements Domain.
+func (rd RelationalDomain) IsComplete(x *table.Database) bool { return x.IsComplete() }
+
+// Represents implements Domain.
+func (rd RelationalDomain) Represents(x, c *table.Database) bool {
+	return semantics.Represents(rd.Assumption, x, c)
+}
+
+// Leq implements Domain.
+func (rd RelationalDomain) Leq(x, y *table.Database) bool {
+	switch rd.Assumption {
+	case semantics.OWA:
+		return hom.LeqOWA(x, y)
+	case semantics.CWA:
+		return hom.LeqCWA(x, y)
+	case semantics.WCWA:
+		return hom.LeqWCWA(x, y)
+	default:
+		return false
+	}
+}
+
+// Equivalent implements Domain.
+func (rd RelationalDomain) Equivalent(x, y *table.Database) bool {
+	return rd.Leq(x, y) && rd.Leq(y, x)
+}
+
+// CheckAxioms verifies the two domain axioms of Section 5.1 on a finite
+// sample of objects and worlds; it is used by tests and experiment E11.
+func (rd RelationalDomain) CheckAxioms(objects, completes []*table.Database) error {
+	for _, c := range completes {
+		if !rd.IsComplete(c) {
+			return fmt.Errorf("core: %v is not complete", c)
+		}
+		if !rd.Represents(c, c) {
+			return fmt.Errorf("core: axiom 1 fails: %v ∉ [[itself]]", c)
+		}
+	}
+	for _, x := range objects {
+		for _, c := range completes {
+			if rd.Represents(x, c) && !rd.Leq(x, c) {
+				return fmt.Errorf("core: axiom 2 fails: %v ∈ [[%v]] but not above it", c, x)
+			}
+		}
+	}
+	return nil
+}
+
+// RelationalOWALattice adds greatest lower bounds (direct product reduced
+// to the core) to the relational OWA domain, giving the Lattice needed for
+// certainO.  GLBs in the CWA ordering do not exist in general, which is why
+// the paper computes certainO of query answers in the OWA ordering on
+// answers even when the inputs are interpreted under CWA.
+type RelationalOWALattice struct {
+	RelationalDomain
+}
+
+// OWALattice builds the OWA lattice.
+func OWALattice() RelationalOWALattice {
+	return RelationalOWALattice{RelationalDomain: OWADomain()}
+}
+
+// GLB implements Lattice via the direct-product construction of package
+// order, reduced to its core for a small canonical representative.
+func (RelationalOWALattice) GLB(xs []*table.Database) (*table.Database, error) {
+	glb, err := order.GLBOWA(xs)
+	if err != nil {
+		return nil, err
+	}
+	return hom.Core(glb), nil
+}
+
+// CertainK computes the knowledge-level certainty of an incomplete
+// database: the formula δ_x describing [[x]] in the representation system's
+// logic — existential positive for OWA (equation (5)), Pos∀G for CWA.  By
+// the theorem of Section 6.1, for monotone generic queries
+// certainK(Q, x) = δ_{Q(x)}, so the certain knowledge about the answer is
+// obtained by naïvely evaluating the query and taking the diagram of the
+// result.
+func (rd RelationalDomain) CertainK(x *table.Database) logic.Formula {
+	if rd.Assumption == semantics.CWA {
+		return logic.CWADiagram(x)
+	}
+	return logic.OWADiagram(x)
+}
+
+// Interface conformance checks.
+var (
+	_ Domain[*table.Database]  = RelationalDomain{}
+	_ Lattice[*table.Database] = RelationalOWALattice{}
+)

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"testing"
+
+	"incdata/internal/logic"
+	"incdata/internal/ra"
+	"incdata/internal/schema"
+	"incdata/internal/semantics"
+	"incdata/internal/table"
+)
+
+func db(t *testing.T, rows ...[]string) *table.Database {
+	t.Helper()
+	s := schema.MustNew(schema.WithArity("R", 2))
+	d := table.NewDatabase(s)
+	for _, r := range rows {
+		d.MustAddRow("R", r...)
+	}
+	return d
+}
+
+// raQuery lifts a relational-algebra expression into a core.Query whose
+// output objects are single-relation databases (so that the relational
+// lattice can order them).
+func raQuery(t *testing.T, e ra.Expr) Query[*table.Database, *table.Database] {
+	t.Helper()
+	return func(d *table.Database) (*table.Database, error) {
+		rel, err := ra.Eval(e, d)
+		if err != nil {
+			return nil, err
+		}
+		out := table.NewDatabase(schema.MustNew(schema.WithArity("Ans", rel.Arity())))
+		for _, tp := range rel.Tuples() {
+			out.MustAdd("Ans", tp)
+		}
+		return out, nil
+	}
+}
+
+// worldsOf enumerates the CWA worlds of d over its adom plus two fresh
+// constants, as a finite sample of [[d]]cwa.  Two fresh constants are
+// needed so that the greatest lower bound of the answers can "see" that a
+// null is not forced to any particular constant.
+func worldsOf(d *table.Database) []*table.Database {
+	var out []*table.Database
+	dom := semantics.DomainOf(d, 2)
+	semantics.EnumerateCWA(d, dom, func(w *table.Database) bool {
+		out = append(out, w)
+		return true
+	})
+	return out
+}
+
+func TestDomainAxioms(t *testing.T) {
+	x := db(t, []string{"1", "⊥1"}, []string{"⊥1", "2"})
+	completes := worldsOf(x)
+	objects := append([]*table.Database{x}, completes...)
+	for _, rd := range []RelationalDomain{OWADomain(), CWADomain(), {Assumption: semantics.WCWA}} {
+		if err := rd.CheckAxioms(objects, completes); err != nil {
+			t.Errorf("%v: %v", rd.Assumption, err)
+		}
+	}
+	// Axiom violations are reported.
+	rd := OWADomain()
+	if err := rd.CheckAxioms(nil, []*table.Database{x}); err == nil {
+		t.Error("an incomplete database must not pass as a complete object")
+	}
+}
+
+func TestDomainOrderingAndEquivalence(t *testing.T) {
+	less := db(t, []string{"1", "⊥1"})
+	more := db(t, []string{"1", "2"})
+	owa := OWADomain()
+	cwa := CWADomain()
+	if !owa.Leq(less, more) || !cwa.Leq(less, more) {
+		t.Error("valuation image should be above the incomplete database")
+	}
+	if owa.Leq(more, less) {
+		t.Error("complete database should not be below the incomplete one under OWA")
+	}
+	if !owa.IsComplete(more) || owa.IsComplete(less) {
+		t.Error("IsComplete wrong")
+	}
+	if !owa.Represents(less, more) || !cwa.Represents(less, more) {
+		t.Error("Represents should hold for the valuation image")
+	}
+	other := db(t, []string{"1", "⊥2"})
+	if !owa.Equivalent(less, other) {
+		t.Error("renaming a null is an information equivalence under OWA")
+	}
+	wcwa := RelationalDomain{Assumption: semantics.WCWA}
+	if !wcwa.Leq(less, more) {
+		t.Error("WCWA ordering should relate the pair")
+	}
+	bad := RelationalDomain{Assumption: semantics.Assumption(99)}
+	if bad.Leq(less, more) {
+		t.Error("unknown assumption should order nothing")
+	}
+}
+
+func TestCertainOAndLattice(t *testing.T) {
+	l := OWALattice()
+	worlds := []*table.Database{
+		db(t, []string{"1", "2"}, []string{"2", "5"}),
+		db(t, []string{"1", "2"}, []string{"2", "6"}),
+	}
+	glb, err := CertainO[*table.Database](l, worlds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The GLB keeps the common tuple and a partially known one.
+	if !glb.Relation("R").Contains(table.MustParseTuple("1", "2")) {
+		t.Errorf("GLB should keep (1,2): %v", glb)
+	}
+	if !l.Leq(glb, worlds[0]) || !l.Leq(glb, worlds[1]) {
+		t.Error("GLB must be a lower bound")
+	}
+	if _, err := CertainO[*table.Database](l, nil); err == nil {
+		t.Error("certainO of empty set should error")
+	}
+	if _, err := l.GLB(nil); err == nil {
+		t.Error("GLB of empty set should error")
+	}
+}
+
+// The naïve-evaluation theorem (equation (9)) verified on small instances:
+// for the monotone generic query π_#1(R), certainO(Q, D) over the CWA world
+// sample is equivalent to Q(D).
+func TestNaiveEvaluationTheoremForMonotoneQuery(t *testing.T) {
+	q := raQuery(t, ra.Project{Input: ra.Base("R"), Attrs: []string{"#1"}})
+	instances := []*table.Database{
+		db(t, []string{"1", "⊥1"}, []string{"⊥1", "2"}),
+		db(t, []string{"1", "2"}, []string{"2", "⊥1"}),
+		db(t, []string{"⊥1", "⊥2"}),
+	}
+	l := OWALattice()
+	for _, x := range instances {
+		holds, err := NaiveEvaluationHolds[*table.Database, *table.Database](l, q, x, worldsOf(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !holds {
+			t.Errorf("theorem should hold on %v", x)
+		}
+	}
+}
+
+// A non-monotone query (difference) violates both monotonicity and the
+// naïve-evaluation theorem; the framework detects both.
+func TestTheoremFailsForNonMonotoneQuery(t *testing.T) {
+	s := schema.MustNew(schema.WithArity("R", 2), schema.WithArity("S", 2))
+	mk := func(rRows, sRows [][]string) *table.Database {
+		d := table.NewDatabase(s)
+		for _, r := range rRows {
+			d.MustAddRow("R", r...)
+		}
+		for _, r := range sRows {
+			d.MustAddRow("S", r...)
+		}
+		return d
+	}
+	qDiff := raQuery(t, ra.Diff{Left: ra.Base("R"), Right: ra.Base("S")})
+	din := OWADomain()
+	l := OWALattice()
+
+	// Sample: x ⪯ y where y adds a tuple to S, shrinking the difference.
+	x := mk([][]string{{"1", "2"}}, nil)
+	y := mk([][]string{{"1", "2"}}, [][]string{{"1", "2"}})
+	mono, witness, err := IsMonotone[*table.Database, *table.Database](din, l, qDiff, []*table.Database{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono || witness == nil {
+		t.Error("difference should be detected as non-monotone")
+	}
+
+	// And the theorem fails on the π_A(R−S) instance of the paper.
+	inst := mk([][]string{{"1", "⊥1"}}, [][]string{{"1", "⊥2"}})
+	qProjDiff := raQuery(t, ra.Project{Input: ra.Diff{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"#1"}})
+	holds, err := NaiveEvaluationHolds[*table.Database, *table.Database](l, qProjDiff, inst, worldsOf(inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("theorem must fail for π_A(R−S)")
+	}
+}
+
+func TestIsMonotoneHoldsForPositive(t *testing.T) {
+	q := raQuery(t, ra.Base("R"))
+	din := OWADomain()
+	l := OWALattice()
+	sample := []*table.Database{
+		db(t, []string{"1", "⊥1"}),
+		db(t, []string{"1", "2"}),
+		db(t, []string{"1", "2"}, []string{"3", "4"}),
+	}
+	mono, witness, err := IsMonotone[*table.Database, *table.Database](din, l, q, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mono || witness != nil {
+		t.Errorf("identity query should be monotone, witness = %v", witness)
+	}
+}
+
+func TestQueryErrorsPropagate(t *testing.T) {
+	bad := raQuery(t, ra.Base("Nope"))
+	l := OWALattice()
+	x := db(t, []string{"1", "2"})
+	if _, err := CertainOQuery[*table.Database, *table.Database](l, bad, []*table.Database{x}); err == nil {
+		t.Error("CertainOQuery should propagate query errors")
+	}
+	if _, err := CertainOQuery[*table.Database, *table.Database](l, bad, nil); err == nil {
+		t.Error("CertainOQuery with empty sample should error")
+	}
+	if _, _, err := IsMonotone[*table.Database, *table.Database](OWADomain(), l, bad, []*table.Database{x, x.Clone()}); err == nil {
+		t.Error("IsMonotone should propagate query errors")
+	}
+	if _, err := NaiveEvaluationHolds[*table.Database, *table.Database](l, bad, x, []*table.Database{x}); err == nil {
+		t.Error("NaiveEvaluationHolds should propagate query errors")
+	}
+	// Error on the naive-evaluation side (worlds fine, x bad).
+	good := raQuery(t, ra.Base("R"))
+	otherSchema := table.NewDatabase(schema.MustNew(schema.WithArity("S", 1)))
+	if _, err := NaiveEvaluationHolds[*table.Database, *table.Database](l, good, otherSchema, []*table.Database{x}); err == nil {
+		t.Error("NaiveEvaluationHolds should propagate errors from Q(x)")
+	}
+	// IsMonotone: error on the second query evaluation.
+	mixed := func(d *table.Database) (*table.Database, error) {
+		if d.Relation("R").Len() > 1 {
+			return nil, errFake
+		}
+		return d, nil
+	}
+	big := db(t, []string{"1", "2"}, []string{"3", "4"})
+	small := db(t, []string{"1", "2"})
+	if _, _, err := IsMonotone[*table.Database, *table.Database](OWADomain(), l, mixed, []*table.Database{small, big}); err == nil {
+		t.Error("IsMonotone should propagate errors from Q on the larger object")
+	}
+}
+
+var errFake = schemaErr{}
+
+type schemaErr struct{}
+
+func (schemaErr) Error() string { return "fake error" }
+
+// certainK: the certain knowledge about [[x]] is δ_x, and for monotone
+// queries the certain knowledge about the answers is the diagram of the
+// naïve answer (equation (10)).
+func TestCertainK(t *testing.T) {
+	x := db(t, []string{"1", "⊥1"})
+	owa := OWADomain()
+	cwa := CWADomain()
+	kOWA := owa.CertainK(x)
+	kCWA := cwa.CertainK(x)
+	if !logic.IsExistentialPositive(kOWA) {
+		t.Error("OWA certainK should be existential positive")
+	}
+	if !logic.IsPosForallG(kCWA) || logic.IsExistentialPositive(kCWA) {
+		t.Error("CWA certainK should be Pos∀G and not existential positive")
+	}
+	// Every world of x models certainK(x); a non-world does not model the
+	// CWA knowledge.
+	for _, w := range worldsOf(x) {
+		if ok, err := logic.EvalSentence(kOWA, w); err != nil || !ok {
+			t.Errorf("world %v should model OWA certainK: %v %v", w, ok, err)
+		}
+		if ok, err := logic.EvalSentence(kCWA, w); err != nil || !ok {
+			t.Errorf("world %v should model CWA certainK: %v %v", w, ok, err)
+		}
+	}
+	nonWorld := db(t, []string{"1", "2"}, []string{"3", "4"})
+	if ok, _ := logic.EvalSentence(kCWA, nonWorld); ok {
+		t.Error("a database with an extra tuple is not a CWA world and must not model δ^cwa")
+	}
+	if ok, _ := logic.EvalSentence(kOWA, nonWorld); !ok {
+		t.Error("the same database is an OWA world and must model δ^owa")
+	}
+}

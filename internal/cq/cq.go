@@ -1,0 +1,384 @@
+// Package cq implements conjunctive queries (select-project-join queries,
+// the ∃,∧ fragment of FO), unions of conjunctive queries, their evaluation
+// by naïve evaluation, and query containment via the Chandra–Merlin
+// homomorphism criterion.
+//
+// The package realises the duality of Section 4 of the paper: an incomplete
+// database D is the tableau of a Boolean conjunctive query Q_D with
+// ModC(Q_D) = [[D]]owa, certain answers of Boolean CQs under OWA reduce to
+// containment, and containment in turn reduces to evaluating the containing
+// query on the tableau of the contained one.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incdata/internal/hom"
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// Term is a variable or constant in a conjunctive query.
+type Term struct {
+	Var   string
+	Const value.Value
+	IsVar bool
+}
+
+// V builds a variable term.
+func V(name string) Term { return Term{Var: name, IsVar: true} }
+
+// C builds a constant term.
+func C(v value.Value) Term { return Term{Const: v} }
+
+// CInt builds an integer-constant term.
+func CInt(i int64) Term { return C(value.Int(i)) }
+
+// CString builds a string-constant term.
+func CString(s string) Term { return C(value.String(s)) }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Var
+	}
+	return t.Const.String()
+}
+
+// Atom is a relational atom R(t1,...,tk) in the query body.
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(rel string, args ...Term) Atom { return Atom{Rel: rel, Args: args} }
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Query is a conjunctive query with head variables Head (the empty head
+// makes it a Boolean query) and body atoms Body.  Every head variable must
+// occur in the body (safety).
+type Query struct {
+	Name string
+	Head []string
+	Body []Atom
+}
+
+// Boolean reports whether the query has an empty head.
+func (q Query) Boolean() bool { return len(q.Head) == 0 }
+
+// Validate checks safety (head variables occur in the body) and that the
+// body is nonempty.
+func (q Query) Validate() error {
+	if len(q.Body) == 0 {
+		return fmt.Errorf("cq: query %q has an empty body", q.Name)
+	}
+	bodyVars := map[string]bool{}
+	for _, a := range q.Body {
+		for _, t := range a.Args {
+			if t.IsVar {
+				bodyVars[t.Var] = true
+			}
+		}
+	}
+	for _, h := range q.Head {
+		if !bodyVars[h] {
+			return fmt.Errorf("cq: head variable %q of %q does not occur in the body", h, q.Name)
+		}
+	}
+	return nil
+}
+
+// Variables returns all variables of the query, sorted.
+func (q Query) Variables() []string {
+	set := map[string]bool{}
+	for _, a := range q.Body {
+		for _, t := range a.Args {
+			if t.IsVar {
+				set[t.Var] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the query in rule form: Name(x,y) :- R(x,z), S(z,y).
+func (q Query) String() string {
+	name := q.Name
+	if name == "" {
+		name = "Q"
+	}
+	parts := make([]string, len(q.Body))
+	for i, a := range q.Body {
+		parts[i] = a.String()
+	}
+	return name + "(" + strings.Join(q.Head, ",") + ") :- " + strings.Join(parts, ", ")
+}
+
+// OutSchema is the schema of the query's answer relation.
+func (q Query) OutSchema() schema.Relation {
+	name := q.Name
+	if name == "" {
+		name = "Q"
+	}
+	return schema.NewRelation(name, q.Head...)
+}
+
+// Eval evaluates the query on a database by naïve evaluation: variables
+// range over values (constants and nulls alike), atoms are matched with
+// marked-null identity.  The result may contain nulls.
+func (q Query) Eval(d *table.Database) (*table.Relation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	out := table.NewRelation(q.OutSchema())
+	err := q.matches(d, func(env map[string]value.Value) bool {
+		t := make(table.Tuple, len(q.Head))
+		for i, h := range q.Head {
+			t[i] = env[h]
+		}
+		out.MustAdd(t)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EvalBool evaluates a Boolean query: true iff the body has at least one
+// match.
+func (q Query) EvalBool(d *table.Database) (bool, error) {
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	found := false
+	err := q.matches(d, func(map[string]value.Value) bool {
+		found = true
+		return false
+	})
+	return found, err
+}
+
+// matches enumerates homomorphic matches of the body into d, calling fn
+// with each satisfying assignment; fn returns false to stop.
+func (q Query) matches(d *table.Database, fn func(map[string]value.Value) bool) error {
+	// Order atoms as given; simple backtracking with early unification.
+	for _, a := range q.Body {
+		rel := d.Relation(a.Rel)
+		if rel == nil {
+			return fmt.Errorf("cq: unknown relation %q", a.Rel)
+		}
+		if rel.Arity() != len(a.Args) {
+			return fmt.Errorf("cq: atom %s has %d arguments, relation has arity %d", a.Rel, len(a.Args), rel.Arity())
+		}
+	}
+	env := map[string]value.Value{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(q.Body) {
+			return fn(env)
+		}
+		a := q.Body[i]
+		rel := d.Relation(a.Rel)
+		cont := true
+		rel.Each(func(t table.Tuple) bool {
+			// Try to unify the atom with the tuple.
+			var newlyBound []string
+			ok := true
+			for j, arg := range a.Args {
+				if arg.IsVar {
+					if bound, exists := env[arg.Var]; exists {
+						if bound != t[j] {
+							ok = false
+							break
+						}
+					} else {
+						env[arg.Var] = t[j]
+						newlyBound = append(newlyBound, arg.Var)
+					}
+				} else if arg.Const != t[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if !rec(i + 1) {
+					cont = false
+				}
+			}
+			for _, v := range newlyBound {
+				delete(env, v)
+			}
+			return cont
+		})
+		return cont
+	}
+	rec(0)
+	return nil
+}
+
+// freezeCounter gives fresh null ids for canonical databases deterministic
+// within a single call.
+//
+// CanonicalDatabase returns the canonical database (tableau) of the query
+// over the given schema: each variable becomes a distinct marked null, each
+// atom becomes a tuple.  Head variables are additionally reported so that
+// containment checks can find the frozen head.
+func (q Query) CanonicalDatabase(s *schema.Schema) (*table.Database, map[string]value.Value, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	d := table.NewDatabase(s)
+	frozen := map[string]value.Value{}
+	next := uint64(1)
+	// Deterministic variable order.
+	for _, v := range q.Variables() {
+		frozen[v] = value.Null(next)
+		next++
+	}
+	for _, a := range q.Body {
+		rs, ok := s.Relation(a.Rel)
+		if !ok {
+			return nil, nil, fmt.Errorf("cq: unknown relation %q", a.Rel)
+		}
+		if rs.Arity() != len(a.Args) {
+			return nil, nil, fmt.Errorf("cq: atom %s arity mismatch", a.Rel)
+		}
+		t := make(table.Tuple, len(a.Args))
+		for i, arg := range a.Args {
+			if arg.IsVar {
+				t[i] = frozen[arg.Var]
+			} else {
+				t[i] = arg.Const
+			}
+		}
+		if err := d.Add(a.Rel, t); err != nil {
+			return nil, nil, err
+		}
+	}
+	return d, frozen, nil
+}
+
+// FromDatabase is the other direction of the duality of Section 4: it views
+// an incomplete database D as the Boolean conjunctive query Q_D whose
+// tableau is D (nulls become variables).  ModC(Q_D) = [[D]]owa.
+func FromDatabase(d *table.Database) Query {
+	var body []Atom
+	varOf := func(v value.Value) Term {
+		if v.IsNull() {
+			return V(fmt.Sprintf("x%d", v.NullID()))
+		}
+		return C(v)
+	}
+	for _, relName := range d.RelationNames() {
+		for _, t := range d.Relation(relName).Tuples() {
+			args := make([]Term, len(t))
+			for i, v := range t {
+				args[i] = varOf(v)
+			}
+			body = append(body, NewAtom(relName, args...))
+		}
+	}
+	return Query{Name: "Q_D", Body: body}
+}
+
+// Contained reports whether q1 ⊆ q2 over the given schema, using the
+// Chandra–Merlin theorem: q1 ⊆ q2 iff q2 has a match on the canonical
+// database of q1 that maps q2's head to q1's frozen head.
+func Contained(q1, q2 Query, s *schema.Schema) (bool, error) {
+	if len(q1.Head) != len(q2.Head) {
+		return false, fmt.Errorf("cq: containment of queries with different head arities")
+	}
+	canon, frozen, err := q1.CanonicalDatabase(s)
+	if err != nil {
+		return false, err
+	}
+	if err := q2.Validate(); err != nil {
+		return false, err
+	}
+	// Find a match of q2 on canon whose head equals the frozen head of q1.
+	want := make(table.Tuple, len(q1.Head))
+	for i, h := range q1.Head {
+		fv, ok := frozen[h]
+		if !ok {
+			return false, fmt.Errorf("cq: head variable %q not frozen", h)
+		}
+		want[i] = fv
+	}
+	found := false
+	err = q2.matches(canon, func(env map[string]value.Value) bool {
+		for i, h := range q2.Head {
+			if env[h] != want[i] {
+				return true // keep searching
+			}
+		}
+		found = true
+		return false
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
+// Equivalent reports whether q1 and q2 are equivalent (mutually contained).
+func Equivalent(q1, q2 Query, s *schema.Schema) (bool, error) {
+	c12, err := Contained(q1, q2, s)
+	if err != nil {
+		return false, err
+	}
+	if !c12 {
+		return false, nil
+	}
+	return Contained(q2, q1, s)
+}
+
+// CertainBoolOWA computes the certain answer of a Boolean conjunctive query
+// under OWA using the duality of Section 4: certain(Q,D) is true iff Q_D ⊆ Q
+// iff D ⊨ Q (naïve evaluation).  The function evaluates D ⊨ Q directly.
+func CertainBoolOWA(q Query, d *table.Database) (bool, error) {
+	return q.EvalBool(d)
+}
+
+// TableauOf exposes the canonical-database construction for the hom-based
+// route: q1 ⊆ q2 iff there is a homomorphism from the tableau of q2 to the
+// tableau of q1 preserving the head.  It is used by tests to cross-check
+// Contained against package hom.
+func TableauOf(q Query, s *schema.Schema) (*table.Database, map[string]value.Value, error) {
+	return q.CanonicalDatabase(s)
+}
+
+// HomContained is an alternative containment check that goes through
+// package hom directly on Boolean queries: q1 ⊆ q2 iff there is a
+// homomorphism tableau(q2) → tableau(q1).  Only valid for Boolean queries.
+func HomContained(q1, q2 Query, s *schema.Schema) (bool, error) {
+	if !q1.Boolean() || !q2.Boolean() {
+		return false, fmt.Errorf("cq: HomContained requires Boolean queries")
+	}
+	t1, _, err := q1.CanonicalDatabase(s)
+	if err != nil {
+		return false, err
+	}
+	t2, _, err := q2.CanonicalDatabase(s)
+	if err != nil {
+		return false, err
+	}
+	return hom.Exists(t2, t1), nil
+}

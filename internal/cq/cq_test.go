@@ -1,0 +1,389 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+)
+
+func binSchema() *schema.Schema {
+	return schema.MustNew(schema.WithArity("R", 2), schema.WithArity("S", 2))
+}
+
+func binDB(t *testing.T, rows ...[]string) *table.Database {
+	t.Helper()
+	d := table.NewDatabase(binSchema())
+	for _, r := range rows {
+		d.MustAddRow("R", r...)
+	}
+	return d
+}
+
+func TestValidateAndVariables(t *testing.T) {
+	q := Query{Name: "q", Head: []string{"x"}, Body: []Atom{NewAtom("R", V("x"), V("y"))}}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	vars := q.Variables()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("Variables = %v", vars)
+	}
+	if err := (Query{Head: []string{"x"}}).Validate(); err == nil {
+		t.Error("empty body should be invalid")
+	}
+	if err := (Query{Head: []string{"z"}, Body: []Atom{NewAtom("R", V("x"), V("y"))}}).Validate(); err == nil {
+		t.Error("unsafe head variable should be invalid")
+	}
+	if !(Query{Body: []Atom{NewAtom("R", V("x"), V("x"))}}).Boolean() {
+		t.Error("empty head should be Boolean")
+	}
+	if (Query{Head: []string{"x"}, Body: []Atom{NewAtom("R", V("x"), V("x"))}}).Boolean() {
+		t.Error("nonempty head should not be Boolean")
+	}
+}
+
+func TestEval(t *testing.T) {
+	d := binDB(t, []string{"1", "2"}, []string{"2", "3"}, []string{"3", "⊥1"})
+	// q(x,z) :- R(x,y), R(y,z)  — the length-2 path query.
+	q := Query{Name: "path2", Head: []string{"x", "z"}, Body: []Atom{
+		NewAtom("R", V("x"), V("y")),
+		NewAtom("R", V("y"), V("z")),
+	}}
+	res, err := q.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"1", "3"}, {"2", "⊥1"}}
+	if res.Len() != len(want) {
+		t.Fatalf("got %v", res)
+	}
+	for _, w := range want {
+		if !res.Contains(table.MustParseTuple(w...)) {
+			t.Errorf("missing %v in %v", w, res)
+		}
+	}
+	// Constants in atoms restrict matches.
+	q2 := Query{Name: "from1", Head: []string{"y"}, Body: []Atom{NewAtom("R", CInt(1), V("y"))}}
+	res2, _ := q2.Eval(d)
+	if res2.Len() != 1 || !res2.Contains(table.MustParseTuple("2")) {
+		t.Errorf("got %v", res2)
+	}
+	// Repeated variable forces equality (naïve identity on nulls too).
+	q3 := Query{Name: "loop", Head: []string{"x"}, Body: []Atom{NewAtom("R", V("x"), V("x"))}}
+	res3, _ := q3.Eval(d)
+	if res3.Len() != 0 {
+		t.Errorf("no loops expected, got %v", res3)
+	}
+	d.MustAddRow("R", "⊥2", "⊥2")
+	res3b, _ := q3.Eval(d)
+	if res3b.Len() != 1 || !res3b.Contains(table.MustParseTuple("⊥2")) {
+		t.Errorf("loop on ⊥2 expected, got %v", res3b)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	d := binDB(t, []string{"1", "2"})
+	if _, err := (Query{Head: []string{"x"}, Body: []Atom{NewAtom("Nope", V("x"))}}).Eval(d); err == nil {
+		t.Error("unknown relation should error")
+	}
+	if _, err := (Query{Head: []string{"x"}, Body: []Atom{NewAtom("R", V("x"))}}).Eval(d); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	if _, err := (Query{Head: []string{"x"}}).Eval(d); err == nil {
+		t.Error("invalid query should error")
+	}
+	if _, err := (Query{Head: []string{"x"}}).EvalBool(d); err == nil {
+		t.Error("invalid query should error in EvalBool")
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	d := binDB(t, []string{"1", "⊥1"}, []string{"⊥1", "2"})
+	// ∃x R(1,x) ∧ R(x,2): the Section 4 example; true on the tableau itself
+	// by naïve evaluation (x = ⊥1).
+	q := Query{Name: "qr", Body: []Atom{NewAtom("R", CInt(1), V("x")), NewAtom("R", V("x"), CInt(2))}}
+	b, err := q.EvalBool(d)
+	if err != nil || !b {
+		t.Errorf("EvalBool = %v, %v", b, err)
+	}
+	certain, err := CertainBoolOWA(q, d)
+	if err != nil || !certain {
+		t.Error("certain answer under OWA should be true (duality)")
+	}
+	q2 := Query{Name: "no", Body: []Atom{NewAtom("R", CInt(7), V("x"))}}
+	if b, _ := q2.EvalBool(d); b {
+		t.Error("no match expected")
+	}
+}
+
+func TestCanonicalDatabaseAndFromDatabase(t *testing.T) {
+	s := binSchema()
+	q := Query{Name: "q", Head: []string{"x"}, Body: []Atom{
+		NewAtom("R", V("x"), V("y")),
+		NewAtom("R", V("y"), CInt(2)),
+	}}
+	canon, frozen, err := q.CanonicalDatabase(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Relation("R").Len() != 2 {
+		t.Errorf("canonical db = %v", canon)
+	}
+	if len(frozen) != 2 || !frozen["x"].IsNull() || !frozen["y"].IsNull() || frozen["x"] == frozen["y"] {
+		t.Errorf("frozen = %v", frozen)
+	}
+	// Errors.
+	if _, _, err := (Query{Body: []Atom{NewAtom("Nope", V("x"))}}).CanonicalDatabase(s); err == nil {
+		t.Error("unknown relation in canonical database should error")
+	}
+	if _, _, err := (Query{Body: []Atom{NewAtom("R", V("x"))}}).CanonicalDatabase(s); err == nil {
+		t.Error("arity mismatch in canonical database should error")
+	}
+	if _, _, err := (Query{Head: []string{"z"}, Body: []Atom{NewAtom("R", V("x"), V("y"))}}).CanonicalDatabase(s); err == nil {
+		t.Error("invalid query should error")
+	}
+
+	// FromDatabase on the paper's example produces QR = ∃x R(1,x) ∧ R(x,2).
+	d := binDB(t, []string{"1", "⊥1"}, []string{"⊥1", "2"})
+	qd := FromDatabase(d)
+	if !qd.Boolean() || len(qd.Body) != 2 {
+		t.Errorf("FromDatabase = %v", qd)
+	}
+	if b, err := qd.EvalBool(d); err != nil || !b {
+		t.Error("Q_D must hold on D itself (identity homomorphism)")
+	}
+	// Q_D holds exactly on databases admitting a homomorphism from D.
+	w := binDB(t, []string{"1", "5"}, []string{"5", "2"})
+	if b, _ := qd.EvalBool(w); !b {
+		t.Error("Q_D should hold on a homomorphic image")
+	}
+	w2 := binDB(t, []string{"1", "5"})
+	if b, _ := qd.EvalBool(w2); b {
+		t.Error("Q_D should fail when no homomorphism exists")
+	}
+}
+
+func TestContainment(t *testing.T) {
+	s := binSchema()
+	// path3 ⊆ path2 (a path of length 3 contains one of length 2 ... careful:
+	// actually q1 ⊆ q2 where q1 asks for MORE structure).  Boolean versions:
+	// q1 = ∃x,y,z,w R(x,y),R(y,z),R(z,w)  and  q2 = ∃x,y,z R(x,y),R(y,z).
+	q1 := Query{Body: []Atom{NewAtom("R", V("x"), V("y")), NewAtom("R", V("y"), V("z")), NewAtom("R", V("z"), V("w"))}}
+	q2 := Query{Body: []Atom{NewAtom("R", V("x"), V("y")), NewAtom("R", V("y"), V("z"))}}
+	c, err := Contained(q1, q2, s)
+	if err != nil || !c {
+		t.Errorf("path3 ⊆ path2 expected, got %v %v", c, err)
+	}
+	c, err = Contained(q2, q1, s)
+	if err != nil || c {
+		t.Errorf("path2 ⊄ path3 expected, got %v %v", c, err)
+	}
+	// Same via the direct homomorphism route.
+	hc, err := HomContained(q1, q2, s)
+	if err != nil || !hc {
+		t.Errorf("HomContained(path3,path2) = %v %v", hc, err)
+	}
+	hc, err = HomContained(q2, q1, s)
+	if err != nil || hc {
+		t.Errorf("HomContained(path2,path3) = %v %v", hc, err)
+	}
+	if _, err := HomContained(Query{Head: []string{"x"}, Body: q1.Body}, q2, s); err == nil {
+		t.Error("HomContained requires Boolean queries")
+	}
+
+	// Non-Boolean containment: q(x) :- R(x,1) is contained in q(x) :- R(x,y).
+	qa := Query{Head: []string{"x"}, Body: []Atom{NewAtom("R", V("x"), CInt(1))}}
+	qb := Query{Head: []string{"x"}, Body: []Atom{NewAtom("R", V("x"), V("y"))}}
+	if c, _ := Contained(qa, qb, s); !c {
+		t.Error("qa ⊆ qb expected")
+	}
+	if c, _ := Contained(qb, qa, s); c {
+		t.Error("qb ⊄ qa expected")
+	}
+	// Equivalence: renaming of variables.
+	qc := Query{Head: []string{"u"}, Body: []Atom{NewAtom("R", V("u"), V("v"))}}
+	if eq, _ := Equivalent(qb, qc, s); !eq {
+		t.Error("variable renaming should be an equivalence")
+	}
+	if eq, _ := Equivalent(qa, qb, s); eq {
+		t.Error("qa and qb are not equivalent")
+	}
+	// Head arity mismatch.
+	if _, err := Contained(qa, q1, s); err == nil {
+		t.Error("head arity mismatch should error")
+	}
+	// Error propagation.
+	bad := Query{Head: []string{"x"}, Body: []Atom{NewAtom("Nope", V("x"))}}
+	if _, err := Contained(bad, qb, s); err == nil {
+		t.Error("bad q1 should error")
+	}
+	if _, err := Contained(qb, Query{Head: []string{"x"}}, s); err == nil {
+		t.Error("bad q2 should error")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	q := Query{Name: "ans", Head: []string{"x"}, Body: []Atom{NewAtom("R", V("x"), CInt(2)), NewAtom("S", CString("a"), V("x"))}}
+	if q.String() != "ans(x) :- R(x,2), S(a,x)" {
+		t.Errorf("String = %q", q.String())
+	}
+	if (Query{Body: []Atom{NewAtom("R", V("x"), V("x"))}}).String() != "Q() :- R(x,x)" {
+		t.Error("default name wrong")
+	}
+	u := UCQ{Disjuncts: []Query{q, q}}
+	if !strings.Contains(u.String(), " ∪ ") {
+		t.Error("UCQ string should join disjuncts")
+	}
+	if V("x").String() != "x" || CInt(3).String() != "3" || CString("a").String() != "a" {
+		t.Error("term strings wrong")
+	}
+}
+
+func TestUCQ(t *testing.T) {
+	s := binSchema()
+	d := table.NewDatabase(s)
+	d.MustAddRow("R", "1", "2")
+	d.MustAddRow("S", "3", "4")
+	// u(x) :- R(x,y)  ∪  u(x) :- S(x,y)
+	u := UCQ{Name: "u", Disjuncts: []Query{
+		{Head: []string{"x"}, Body: []Atom{NewAtom("R", V("x"), V("y"))}},
+		{Head: []string{"x"}, Body: []Atom{NewAtom("S", V("x"), V("y"))}},
+	}}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if u.Boolean() {
+		t.Error("u is not Boolean")
+	}
+	res, err := u.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || !res.Contains(table.MustParseTuple("1")) || !res.Contains(table.MustParseTuple("3")) {
+		t.Errorf("UCQ eval = %v", res)
+	}
+	b, err := u.EvalBool(d)
+	if err == nil && !b {
+		t.Error("Boolean eval of nonempty answer should be true")
+	}
+	// Boolean UCQ.
+	ub := UCQ{Disjuncts: []Query{
+		{Body: []Atom{NewAtom("R", CInt(9), V("y"))}},
+		{Body: []Atom{NewAtom("S", CInt(3), V("y"))}},
+	}}
+	if !ub.Boolean() {
+		t.Error("ub should be Boolean")
+	}
+	if b, _ := ub.EvalBool(d); !b {
+		t.Error("second disjunct matches")
+	}
+	ubFalse := UCQ{Disjuncts: []Query{{Body: []Atom{NewAtom("R", CInt(9), V("y"))}}}}
+	if b, _ := ubFalse.EvalBool(d); b {
+		t.Error("no disjunct matches")
+	}
+	// Validation errors.
+	if err := (UCQ{}).Validate(); err == nil {
+		t.Error("empty UCQ should be invalid")
+	}
+	mixed := UCQ{Disjuncts: []Query{
+		{Head: []string{"x"}, Body: []Atom{NewAtom("R", V("x"), V("y"))}},
+		{Body: []Atom{NewAtom("R", V("x"), V("y"))}},
+	}}
+	if err := mixed.Validate(); err == nil {
+		t.Error("mixed head arities should be invalid")
+	}
+	if _, err := (UCQ{Disjuncts: []Query{{Head: []string{"x"}}}}).Eval(d); err == nil {
+		t.Error("invalid disjunct should error in Eval")
+	}
+	if _, err := (UCQ{Disjuncts: []Query{{Head: []string{"x"}}}}).EvalBool(d); err == nil {
+		t.Error("invalid disjunct should error in EvalBool")
+	}
+	if _, err := (UCQ{Disjuncts: []Query{{Head: []string{"x"}, Body: []Atom{NewAtom("Nope", V("x"))}}}}).Eval(d); err == nil {
+		t.Error("unknown relation should error in UCQ eval")
+	}
+	// Single.
+	if len(Single(u.Disjuncts[0]).Disjuncts) != 1 {
+		t.Error("Single wrong")
+	}
+}
+
+func TestContainedUCQ(t *testing.T) {
+	s := binSchema()
+	rOnly := UCQ{Disjuncts: []Query{{Head: []string{"x"}, Body: []Atom{NewAtom("R", V("x"), V("y"))}}}}
+	rOrS := UCQ{Disjuncts: []Query{
+		{Head: []string{"x"}, Body: []Atom{NewAtom("R", V("x"), V("y"))}},
+		{Head: []string{"x"}, Body: []Atom{NewAtom("S", V("x"), V("y"))}},
+	}}
+	if c, err := ContainedUCQ(rOnly, rOrS, s); err != nil || !c {
+		t.Errorf("R ⊆ R∪S expected: %v %v", c, err)
+	}
+	if c, _ := ContainedUCQ(rOrS, rOnly, s); c {
+		t.Error("R∪S ⊄ R expected")
+	}
+	if _, err := ContainedUCQ(UCQ{}, rOnly, s); err == nil {
+		t.Error("invalid UCQ should error")
+	}
+	if _, err := ContainedUCQ(rOnly, UCQ{}, s); err == nil {
+		t.Error("invalid UCQ should error")
+	}
+	bad := UCQ{Disjuncts: []Query{{Head: []string{"x"}, Body: []Atom{NewAtom("Nope", V("x"))}}}}
+	if _, err := ContainedUCQ(bad, rOnly, s); err == nil {
+		t.Error("bad relation should error")
+	}
+}
+
+// Cross-check of the duality: certain(Q,D) under OWA computed (a) by naïve
+// evaluation, (b) by containment Q_D ⊆ Q, coincide on a family of instances.
+func TestDualityCrossCheck(t *testing.T) {
+	s := binSchema()
+	queries := []Query{
+		{Body: []Atom{NewAtom("R", V("x"), V("y")), NewAtom("R", V("y"), V("z"))}},
+		{Body: []Atom{NewAtom("R", V("x"), V("x"))}},
+		{Body: []Atom{NewAtom("R", CInt(1), V("y"))}},
+	}
+	dbs := []*table.Database{
+		binDB(t, []string{"1", "⊥1"}, []string{"⊥1", "2"}),
+		binDB(t, []string{"1", "2"}),
+		binDB(t, []string{"⊥1", "⊥1"}),
+		binDB(t, []string{"⊥1", "⊥2"}),
+	}
+	for _, q := range queries {
+		for _, d := range dbs {
+			naive, err := q.EvalBool(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qd := FromDatabase(d)
+			viaContainment, err := Contained(qd, q, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if naive != viaContainment {
+				t.Errorf("duality mismatch for %s on %v: naive=%v containment=%v", q, d, naive, viaContainment)
+			}
+		}
+	}
+}
+
+func TestTableauOf(t *testing.T) {
+	s := binSchema()
+	q := Query{Body: []Atom{NewAtom("R", V("x"), V("y"))}}
+	d, frozen, err := TableauOf(q, s)
+	if err != nil || d.Relation("R").Len() != 1 || len(frozen) != 2 {
+		t.Errorf("TableauOf = %v %v %v", d, frozen, err)
+	}
+}
+
+func TestOutSchema(t *testing.T) {
+	q := Query{Name: "ans", Head: []string{"a", "b"}, Body: []Atom{NewAtom("R", V("a"), V("b"))}}
+	rs := q.OutSchema()
+	if rs.Name != "ans" || rs.Arity() != 2 {
+		t.Errorf("OutSchema = %v", rs)
+	}
+	anon := Query{Body: []Atom{NewAtom("R", V("a"), V("b"))}}
+	if anon.OutSchema().Name != "Q" {
+		t.Error("anonymous query should get default name")
+	}
+}

@@ -1,0 +1,125 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+)
+
+// UCQ is a union of conjunctive queries: all disjuncts must have the same
+// head arity.  UCQs are exactly the positive relational algebra / the
+// existential positive fragment; naïve evaluation computes their certain
+// answers under both OWA and CWA (equation (4) of the paper).
+type UCQ struct {
+	Name      string
+	Disjuncts []Query
+}
+
+// Validate checks that the UCQ is nonempty and that all disjuncts are safe
+// and share the head arity.
+func (u UCQ) Validate() error {
+	if len(u.Disjuncts) == 0 {
+		return fmt.Errorf("cq: empty UCQ %q", u.Name)
+	}
+	arity := len(u.Disjuncts[0].Head)
+	for _, q := range u.Disjuncts {
+		if err := q.Validate(); err != nil {
+			return err
+		}
+		if len(q.Head) != arity {
+			return fmt.Errorf("cq: UCQ %q mixes head arities %d and %d", u.Name, arity, len(q.Head))
+		}
+	}
+	return nil
+}
+
+// Boolean reports whether the UCQ is Boolean (head arity zero).
+func (u UCQ) Boolean() bool {
+	return len(u.Disjuncts) > 0 && u.Disjuncts[0].Boolean()
+}
+
+// String renders the UCQ as the disjuncts joined by " ∪ ".
+func (u UCQ) String() string {
+	parts := make([]string, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
+		parts[i] = q.String()
+	}
+	return strings.Join(parts, "  ∪  ")
+}
+
+// Eval evaluates the UCQ by naïve evaluation (union of the disjuncts'
+// answers).
+func (u UCQ) Eval(d *table.Database) (*table.Relation, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	name := u.Name
+	if name == "" {
+		name = "Q"
+	}
+	var out *table.Relation
+	for _, q := range u.Disjuncts {
+		r, err := q.Eval(d)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = table.NewRelation(schema.NewRelation(name, r.Schema().Attrs...))
+		}
+		if err := out.AddAll(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EvalBool evaluates a Boolean UCQ.
+func (u UCQ) EvalBool(d *table.Database) (bool, error) {
+	if err := u.Validate(); err != nil {
+		return false, err
+	}
+	for _, q := range u.Disjuncts {
+		b, err := q.EvalBool(d)
+		if err != nil {
+			return false, err
+		}
+		if b {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ContainedUCQ reports whether u1 ⊆ u2: every disjunct of u1 must be
+// contained in some disjunct of u2 (the Sagiv–Yannakakis criterion, sound
+// and complete for UCQs).
+func ContainedUCQ(u1, u2 UCQ, s *schema.Schema) (bool, error) {
+	if err := u1.Validate(); err != nil {
+		return false, err
+	}
+	if err := u2.Validate(); err != nil {
+		return false, err
+	}
+	for _, q1 := range u1.Disjuncts {
+		contained := false
+		for _, q2 := range u2.Disjuncts {
+			c, err := Contained(q1, q2, s)
+			if err != nil {
+				return false, err
+			}
+			if c {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Single wraps a conjunctive query as a one-disjunct UCQ.
+func Single(q Query) UCQ { return UCQ{Name: q.Name, Disjuncts: []Query{q}} }

@@ -1,0 +1,136 @@
+// Package csvio reads and writes relations as CSV files with a header row
+// of attribute names.  Null markers follow the textual conventions of
+// package value: "⊥7" or "_:7" for the marked null with id 7, and "NULL"
+// for a fresh null.  This is the on-disk format used by the incq CLI.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+)
+
+// ReadRelation reads a relation from CSV: the first record is the header of
+// attribute names, every following record is a tuple.
+func ReadRelation(r io.Reader, name string) (*table.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("csvio: relation %q has no header row", name)
+	}
+	header := records[0]
+	if len(header) == 0 {
+		return nil, fmt.Errorf("csvio: relation %q has an empty header", name)
+	}
+	rel := table.NewRelation(schema.NewRelation(name, header...))
+	for i, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("csvio: relation %q row %d has %d fields, want %d", name, i+2, len(rec), len(header))
+		}
+		t, err := table.ParseTuple(rec...)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: relation %q row %d: %w", name, i+2, err)
+		}
+		if err := rel.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// WriteRelation writes the relation as CSV (header plus tuples in canonical
+// order).
+func WriteRelation(w io.Writer, rel *table.Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rel.Schema().Attrs); err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	for _, t := range rel.Tuples() {
+		rec := make([]string, len(t))
+		for i, v := range t {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("csvio: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadDatabaseDir loads every *.csv file of a directory as a relation named
+// after the file (without extension) and assembles a database.
+func ReadDatabaseDir(dir string) (*table.Database, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("csvio: no .csv files in %q", dir)
+	}
+	var rels []*table.Relation
+	var schemas []schema.Relation
+	for _, fn := range names {
+		f, err := os.Open(dir + string(os.PathSeparator) + fn)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: %w", err)
+		}
+		rel, err := ReadRelation(f, strings.TrimSuffix(fn, ".csv"))
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, rel)
+		schemas = append(schemas, rel.Schema())
+	}
+	s, err := schema.New(schemas...)
+	if err != nil {
+		return nil, err
+	}
+	d := table.NewDatabase(s)
+	for _, rel := range rels {
+		if err := d.SetRelation(rel.Name(), rel); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// WriteDatabaseDir writes every relation of the database as dir/<name>.csv.
+func WriteDatabaseDir(dir string, d *table.Database) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	for _, name := range d.RelationNames() {
+		f, err := os.Create(dir + string(os.PathSeparator) + name + ".csv")
+		if err != nil {
+			return fmt.Errorf("csvio: %w", err)
+		}
+		if err := WriteRelation(f, d.Relation(name)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("csvio: %w", err)
+		}
+	}
+	return nil
+}

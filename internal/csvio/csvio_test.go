@@ -1,0 +1,121 @@
+package csvio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/workload"
+)
+
+func TestReadWriteRelationRoundTrip(t *testing.T) {
+	rel := table.NewRelation(schema.NewRelation("Pay", "p_id", "order", "amount"))
+	rel.MustAdd(table.MustParseTuple("pid1", "⊥1", "100"))
+	rel.MustAdd(table.MustParseTuple("pid2", "oid2", "250"))
+
+	var buf bytes.Buffer
+	if err := WriteRelation(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "p_id,order,amount\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	got, err := ReadRelation(strings.NewReader(out), "Pay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(rel) {
+		t.Errorf("round trip mismatch: %v vs %v", got, rel)
+	}
+	if got.Schema().Attrs[1] != "order" {
+		t.Error("attribute names lost")
+	}
+}
+
+func TestReadRelationErrors(t *testing.T) {
+	if _, err := ReadRelation(strings.NewReader(""), "R"); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadRelation(strings.NewReader("a,b\n1\n"), "R"); err == nil {
+		t.Error("row with wrong field count should error")
+	}
+	if _, err := ReadRelation(strings.NewReader("a\n\"unterminated\n"), "R"); err == nil {
+		t.Error("bad CSV should error")
+	}
+	// A parseable file with a bad value literal.
+	if _, err := ReadRelation(strings.NewReader("a\n⊥x\n"), "R"); err == nil {
+		t.Error("bad null literal should error")
+	}
+}
+
+func TestDatabaseDirRoundTrip(t *testing.T) {
+	d, _ := workload.Orders(workload.OrdersConfig{Orders: 25, PaidFraction: 0.6, NullRate: 0.4, Seed: 3})
+	dir := t.TempDir()
+	if err := WriteDatabaseDir(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatabaseDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(d) {
+		t.Error("database round trip mismatch")
+	}
+	if got.Schema().MustRelation("Pay").Attrs[1] != "order" {
+		t.Error("schema attribute names lost")
+	}
+}
+
+func TestReadDatabaseDirErrors(t *testing.T) {
+	if _, err := ReadDatabaseDir("/nonexistent/dir"); err == nil {
+		t.Error("missing dir should error")
+	}
+	empty := t.TempDir()
+	if _, err := ReadDatabaseDir(empty); err == nil {
+		t.Error("dir without csv files should error")
+	}
+	// A directory with a malformed CSV.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "R.csv"), []byte("a,b\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDatabaseDir(bad); err == nil {
+		t.Error("malformed relation should error")
+	}
+	// Non-csv files and subdirectories are ignored.
+	mixed := t.TempDir()
+	if err := os.WriteFile(filepath.Join(mixed, "notes.txt"), []byte("ignore"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(mixed, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mixed, "R.csv"), []byte("a\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDatabaseDir(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema().Len() != 1 || d.Relation("R").Len() != 1 {
+		t.Errorf("unexpected database: %v", d)
+	}
+}
+
+func TestWriteDatabaseDirError(t *testing.T) {
+	d, _ := workload.Orders(workload.OrdersConfig{Orders: 2, PaidFraction: 1, NullRate: 0, Seed: 1})
+	// Writing into a path that is a file should fail.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDatabaseDir(blocker, d); err == nil {
+		t.Error("writing into a file path should error")
+	}
+}

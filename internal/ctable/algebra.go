@@ -1,0 +1,176 @@
+package ctable
+
+import (
+	"fmt"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// The Imieliński–Lipski algebra on conditional tables.  Each operator takes
+// c-tables and produces a c-table A such that the worlds of A are exactly
+// the results of applying the operator to the worlds of the inputs — this
+// is what makes c-tables a strong representation system for full relational
+// algebra under CWA.
+//
+// All binary operators require their operands to share the global
+// condition semantics; we conjoin the global conditions of the inputs.
+
+// eqTuples builds the condition stating that two tuples of equal arity are
+// field-wise equal (used by difference and intersection).
+func eqTuples(a, b table.Tuple) Condition {
+	conds := make([]Condition, 0, len(a))
+	for i := range a {
+		if a[i].IsConst() && b[i].IsConst() {
+			if a[i] != b[i] {
+				return FalseCond{}
+			}
+			continue
+		}
+		conds = append(conds, Eq(a[i], b[i]))
+	}
+	return And(conds...)
+}
+
+// Select keeps rows satisfying a symbolic predicate on attributes: the
+// predicate becomes part of each row's condition rather than being decided
+// now.  pred maps a tuple to the Condition it must satisfy.
+func Select(c *CTable, pred func(t table.Tuple) Condition) *CTable {
+	out := New(c.Schema.Rename("σ(" + c.Schema.Name + ")"))
+	out.Global = c.Global
+	for _, r := range c.Rows {
+		p := pred(r.Tuple)
+		cond := And(r.Cond, p)
+		if _, isFalse := cond.(FalseCond); isFalse {
+			continue
+		}
+		out.Rows = append(out.Rows, Row{Tuple: r.Tuple.Clone(), Cond: cond})
+	}
+	return out
+}
+
+// SelectEqAttr builds the predicate "attribute i = attribute j" for Select.
+func SelectEqAttr(i, j int) func(table.Tuple) Condition {
+	return func(t table.Tuple) Condition { return eqValues(t[i], t[j]) }
+}
+
+// SelectEqConst builds the predicate "attribute i = constant" for Select.
+func SelectEqConst(i int, c value.Value) func(table.Tuple) Condition {
+	return func(t table.Tuple) Condition { return eqValues(t[i], c) }
+}
+
+// SelectNeqConst builds the predicate "attribute i ≠ constant" for Select.
+func SelectNeqConst(i int, c value.Value) func(table.Tuple) Condition {
+	return func(t table.Tuple) Condition { return Not(eqValues(t[i], c)) }
+}
+
+// eqValues simplifies an equality between two values into a condition.
+func eqValues(a, b value.Value) Condition {
+	if a.IsConst() && b.IsConst() {
+		if a == b {
+			return TrueCond{}
+		}
+		return FalseCond{}
+	}
+	if a == b {
+		return TrueCond{}
+	}
+	return Eq(a, b)
+}
+
+// Project projects the c-table onto the given positions.
+func Project(c *CTable, positions []int, attrs []string) (*CTable, error) {
+	if len(positions) == 0 || len(positions) != len(attrs) {
+		return nil, fmt.Errorf("ctable: bad projection")
+	}
+	for _, p := range positions {
+		if p < 0 || p >= c.Schema.Arity() {
+			return nil, fmt.Errorf("ctable: projection position %d out of range", p)
+		}
+	}
+	out := New(schema.NewRelation("π("+c.Schema.Name+")", attrs...))
+	out.Global = c.Global
+	for _, r := range c.Rows {
+		out.Rows = append(out.Rows, Row{Tuple: r.Tuple.Project(positions...), Cond: r.Cond})
+	}
+	return out, nil
+}
+
+// Product is the cartesian product of two c-tables: tuples are concatenated
+// and conditions conjoined.
+func Product(a, b *CTable, attrs []string) (*CTable, error) {
+	if len(attrs) != a.Schema.Arity()+b.Schema.Arity() {
+		return nil, fmt.Errorf("ctable: product needs %d attribute names", a.Schema.Arity()+b.Schema.Arity())
+	}
+	out := New(schema.NewRelation("("+a.Schema.Name+"×"+b.Schema.Name+")", attrs...))
+	out.Global = And(a.Global, b.Global)
+	for _, ra := range a.Rows {
+		for _, rb := range b.Rows {
+			out.Rows = append(out.Rows, Row{
+				Tuple: ra.Tuple.Concat(rb.Tuple),
+				Cond:  And(ra.Cond, rb.Cond),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Union is the union of two c-tables of the same arity.
+func Union(a, b *CTable) (*CTable, error) {
+	if a.Schema.Arity() != b.Schema.Arity() {
+		return nil, fmt.Errorf("ctable: union of arities %d and %d", a.Schema.Arity(), b.Schema.Arity())
+	}
+	out := New(schema.NewRelation("("+a.Schema.Name+"∪"+b.Schema.Name+")", a.Schema.Attrs...))
+	out.Global = And(a.Global, b.Global)
+	for _, r := range a.Rows {
+		out.Rows = append(out.Rows, Row{Tuple: r.Tuple.Clone(), Cond: r.Cond})
+	}
+	for _, r := range b.Rows {
+		out.Rows = append(out.Rows, Row{Tuple: r.Tuple.Clone(), Cond: r.Cond})
+	}
+	return out, nil
+}
+
+// Intersect is the intersection of two c-tables of the same arity: a tuple
+// of a survives when some tuple of b is present and equal to it.
+func Intersect(a, b *CTable) (*CTable, error) {
+	if a.Schema.Arity() != b.Schema.Arity() {
+		return nil, fmt.Errorf("ctable: intersection of arities %d and %d", a.Schema.Arity(), b.Schema.Arity())
+	}
+	out := New(schema.NewRelation("("+a.Schema.Name+"∩"+b.Schema.Name+")", a.Schema.Attrs...))
+	out.Global = And(a.Global, b.Global)
+	for _, ra := range a.Rows {
+		var anyMatch []Condition
+		for _, rb := range b.Rows {
+			anyMatch = append(anyMatch, And(rb.Cond, eqTuples(ra.Tuple, rb.Tuple)))
+		}
+		cond := And(ra.Cond, Or(anyMatch...))
+		if _, isFalse := cond.(FalseCond); isFalse {
+			continue
+		}
+		out.Rows = append(out.Rows, Row{Tuple: ra.Tuple.Clone(), Cond: cond})
+	}
+	return out, nil
+}
+
+// Diff is the difference a − b: a tuple of a survives when no tuple of b is
+// simultaneously present and equal to it.  This is the operator that takes
+// c-tables outside the reach of naïve tables and is the classic example of
+// why a strong representation system for full RA needs conditions.
+func Diff(a, b *CTable) (*CTable, error) {
+	if a.Schema.Arity() != b.Schema.Arity() {
+		return nil, fmt.Errorf("ctable: difference of arities %d and %d", a.Schema.Arity(), b.Schema.Arity())
+	}
+	out := New(schema.NewRelation("("+a.Schema.Name+"−"+b.Schema.Name+")", a.Schema.Attrs...))
+	out.Global = And(a.Global, b.Global)
+	for _, ra := range a.Rows {
+		cond := ra.Cond
+		for _, rb := range b.Rows {
+			clash := And(rb.Cond, eqTuples(ra.Tuple, rb.Tuple))
+			cond = And(cond, Not(clash))
+		}
+		out.Rows = append(out.Rows, Row{Tuple: ra.Tuple.Clone(), Cond: cond})
+	}
+	return out, nil
+}

@@ -1,0 +1,349 @@
+// Package ctable implements conditional tables (c-tables) and the
+// Imieliński–Lipski algebra on them.  A conditional table is a relation
+// whose tuples carry local conditions (Boolean combinations of equalities
+// over constants and nulls) plus a global condition; under the closed-world
+// semantics it represents the databases
+//
+//	[[T]]cwa = { { v(t_i) | v(c_i) = true } | v a valuation with v(c) = true }.
+//
+// C-tables are a strong representation system for full relational algebra
+// under CWA (Section 2 of the paper): for every query Q and c-table T there
+// is a c-table A with [[A]] = Q([[T]]), and the algebra implemented here
+// computes it.
+package ctable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/valuation"
+	"incdata/internal/value"
+)
+
+// Condition is a Boolean combination of equalities between values
+// (constants and nulls).
+type Condition interface {
+	// Eval evaluates the condition under a valuation of nulls; unbound
+	// nulls compare by identity.
+	Eval(v valuation.Valuation) bool
+	// Nulls adds the nulls mentioned by the condition to the set.
+	Nulls(set map[value.Value]bool)
+	// String renders the condition.
+	String() string
+}
+
+// TrueCond is the always-true condition.
+type TrueCond struct{}
+
+// Eval implements Condition.
+func (TrueCond) Eval(valuation.Valuation) bool { return true }
+
+// Nulls implements Condition.
+func (TrueCond) Nulls(map[value.Value]bool) {}
+
+// String implements Condition.
+func (TrueCond) String() string { return "true" }
+
+// FalseCond is the always-false condition.
+type FalseCond struct{}
+
+// Eval implements Condition.
+func (FalseCond) Eval(valuation.Valuation) bool { return false }
+
+// Nulls implements Condition.
+func (FalseCond) Nulls(map[value.Value]bool) {}
+
+// String implements Condition.
+func (FalseCond) String() string { return "false" }
+
+// EqCond is the condition x = y over constants and nulls.
+type EqCond struct {
+	Left, Right value.Value
+}
+
+// Eq builds an equality condition.
+func Eq(l, r value.Value) EqCond { return EqCond{Left: l, Right: r} }
+
+// Eval implements Condition.
+func (c EqCond) Eval(v valuation.Valuation) bool {
+	return v.ApplyValue(c.Left) == v.ApplyValue(c.Right)
+}
+
+// Nulls implements Condition.
+func (c EqCond) Nulls(set map[value.Value]bool) {
+	if c.Left.IsNull() {
+		set[c.Left] = true
+	}
+	if c.Right.IsNull() {
+		set[c.Right] = true
+	}
+}
+
+// String implements Condition.
+func (c EqCond) String() string { return c.Left.String() + "=" + c.Right.String() }
+
+// NotCond is negation.
+type NotCond struct{ Body Condition }
+
+// Not negates a condition.
+func Not(c Condition) Condition { return NotCond{Body: c} }
+
+// Eval implements Condition.
+func (c NotCond) Eval(v valuation.Valuation) bool { return !c.Body.Eval(v) }
+
+// Nulls implements Condition.
+func (c NotCond) Nulls(set map[value.Value]bool) { c.Body.Nulls(set) }
+
+// String implements Condition.
+func (c NotCond) String() string { return "¬(" + c.Body.String() + ")" }
+
+// AndCond is conjunction.
+type AndCond struct{ Conds []Condition }
+
+// And conjoins conditions, flattening trivial cases.
+func And(cs ...Condition) Condition {
+	var keep []Condition
+	for _, c := range cs {
+		switch c.(type) {
+		case TrueCond:
+			continue
+		case FalseCond:
+			return FalseCond{}
+		}
+		keep = append(keep, c)
+	}
+	if len(keep) == 0 {
+		return TrueCond{}
+	}
+	if len(keep) == 1 {
+		return keep[0]
+	}
+	return AndCond{Conds: keep}
+}
+
+// Eval implements Condition.
+func (c AndCond) Eval(v valuation.Valuation) bool {
+	for _, cc := range c.Conds {
+		if !cc.Eval(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Nulls implements Condition.
+func (c AndCond) Nulls(set map[value.Value]bool) {
+	for _, cc := range c.Conds {
+		cc.Nulls(set)
+	}
+}
+
+// String implements Condition.
+func (c AndCond) String() string { return joinConds(c.Conds, " ∧ ") }
+
+// OrCond is disjunction.
+type OrCond struct{ Conds []Condition }
+
+// Or disjoins conditions, flattening trivial cases.
+func Or(cs ...Condition) Condition {
+	var keep []Condition
+	for _, c := range cs {
+		switch c.(type) {
+		case FalseCond:
+			continue
+		case TrueCond:
+			return TrueCond{}
+		}
+		keep = append(keep, c)
+	}
+	if len(keep) == 0 {
+		return FalseCond{}
+	}
+	if len(keep) == 1 {
+		return keep[0]
+	}
+	return OrCond{Conds: keep}
+}
+
+// Eval implements Condition.
+func (c OrCond) Eval(v valuation.Valuation) bool {
+	for _, cc := range c.Conds {
+		if cc.Eval(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Nulls implements Condition.
+func (c OrCond) Nulls(set map[value.Value]bool) {
+	for _, cc := range c.Conds {
+		cc.Nulls(set)
+	}
+}
+
+// String implements Condition.
+func (c OrCond) String() string { return joinConds(c.Conds, " ∨ ") }
+
+func joinConds(cs []Condition, sep string) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Row is a conditional tuple: the tuple is present in a world exactly when
+// its condition holds under the world's valuation.
+type Row struct {
+	Tuple table.Tuple
+	Cond  Condition
+}
+
+// CTable is a conditional table: a schema, conditional rows, and a global
+// condition restricting the admissible valuations.
+type CTable struct {
+	Schema schema.Relation
+	Rows   []Row
+	Global Condition
+}
+
+// New creates an empty c-table with an always-true global condition.
+func New(rs schema.Relation) *CTable {
+	return &CTable{Schema: rs, Global: TrueCond{}}
+}
+
+// FromRelation lifts an ordinary naïve table to a c-table (all conditions
+// true): naïve tables are the special case of c-tables without conditions.
+func FromRelation(r *table.Relation) *CTable {
+	ct := New(r.Schema())
+	for _, t := range r.Tuples() {
+		ct.Rows = append(ct.Rows, Row{Tuple: t, Cond: TrueCond{}})
+	}
+	return ct
+}
+
+// Add appends a conditional row.
+func (c *CTable) Add(t table.Tuple, cond Condition) error {
+	if len(t) != c.Schema.Arity() {
+		return fmt.Errorf("ctable: tuple %v has arity %d, table has arity %d", t, len(t), c.Schema.Arity())
+	}
+	if cond == nil {
+		cond = TrueCond{}
+	}
+	c.Rows = append(c.Rows, Row{Tuple: t.Clone(), Cond: cond})
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (c *CTable) MustAdd(t table.Tuple, cond Condition) {
+	if err := c.Add(t, cond); err != nil {
+		panic(err)
+	}
+}
+
+// Nulls returns all nulls mentioned in tuples, row conditions, or the
+// global condition.
+func (c *CTable) Nulls() map[value.Value]bool {
+	out := map[value.Value]bool{}
+	for _, r := range c.Rows {
+		for _, v := range r.Tuple {
+			if v.IsNull() {
+				out[v] = true
+			}
+		}
+		r.Cond.Nulls(out)
+	}
+	if c.Global != nil {
+		c.Global.Nulls(out)
+	}
+	return out
+}
+
+// Consts returns all constants mentioned in tuples.
+func (c *CTable) Consts() map[value.Value]bool {
+	out := map[value.Value]bool{}
+	for _, r := range c.Rows {
+		for _, v := range r.Tuple {
+			if v.IsConst() {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// World materialises the relation represented by the c-table under a total
+// valuation: rows whose condition holds, with nulls substituted.  The
+// second return value is false when the global condition fails (no world).
+func (c *CTable) World(v valuation.Valuation) (*table.Relation, bool) {
+	if c.Global != nil && !c.Global.Eval(v) {
+		return nil, false
+	}
+	out := table.NewRelation(c.Schema)
+	for _, r := range c.Rows {
+		if r.Cond.Eval(v) {
+			out.MustAdd(v.ApplyTuple(r.Tuple))
+		}
+	}
+	return out, true
+}
+
+// Worlds enumerates the distinct relations represented by the c-table when
+// nulls range over the given constant domain, calling fn for each; fn
+// returns false to stop early.  The return value reports completion.
+func (c *CTable) Worlds(dom []value.Value, fn func(*table.Relation) bool) bool {
+	nulls := table.SortedValues(c.Nulls())
+	seen := map[string]bool{}
+	return valuation.Enumerate(nulls, dom, func(v valuation.Valuation) bool {
+		w, ok := c.World(v)
+		if !ok {
+			return true
+		}
+		key := w.String()
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		return fn(w)
+	})
+}
+
+// WorldSet collects all distinct worlds over the domain, keyed by their
+// canonical string rendering.
+func (c *CTable) WorldSet(dom []value.Value) map[string]*table.Relation {
+	out := map[string]*table.Relation{}
+	c.Worlds(dom, func(r *table.Relation) bool {
+		out[r.String()] = r
+		return true
+	})
+	return out
+}
+
+// String renders the c-table with its conditions.
+func (c *CTable) String() string {
+	var b strings.Builder
+	b.WriteString(c.Schema.String())
+	b.WriteString(" where ")
+	if c.Global != nil {
+		b.WriteString(c.Global.String())
+	} else {
+		b.WriteString("true")
+	}
+	b.WriteString(" {")
+	rows := append([]Row(nil), c.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Tuple.Less(rows[j].Tuple) })
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.Tuple.String())
+		b.WriteString(" if ")
+		b.WriteString(r.Cond.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,353 @@
+package ctable
+
+import (
+	"strings"
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/valuation"
+	"incdata/internal/value"
+)
+
+func unary(name string, vals ...string) *table.Relation {
+	r := table.NewRelation(schema.NewRelation(name, "A"))
+	for _, v := range vals {
+		r.MustAdd(table.MustParseTuple(v))
+	}
+	return r
+}
+
+func TestConditionEval(t *testing.T) {
+	v := valuation.New()
+	v.MustSet(value.Null(1), value.Int(1))
+
+	if !(TrueCond{}).Eval(v) || (FalseCond{}).Eval(v) {
+		t.Error("constants wrong")
+	}
+	if !Eq(value.Null(1), value.Int(1)).Eval(v) {
+		t.Error("⊥1=1 under ⊥1↦1 should hold")
+	}
+	if Eq(value.Null(1), value.Int(2)).Eval(v) {
+		t.Error("⊥1=2 under ⊥1↦1 should fail")
+	}
+	// Unbound nulls compare by identity.
+	if !Eq(value.Null(9), value.Null(9)).Eval(v) || Eq(value.Null(9), value.Null(8)).Eval(v) {
+		t.Error("identity semantics for unbound nulls wrong")
+	}
+	if !Not(FalseCond{}).Eval(v) || Not(TrueCond{}).Eval(v) {
+		t.Error("negation wrong")
+	}
+	c := And(Eq(value.Null(1), value.Int(1)), Or(FalseCond{}, TrueCond{}))
+	if !c.Eval(v) {
+		t.Error("composite condition should hold")
+	}
+	// And/Or simplification.
+	if _, ok := And().(TrueCond); !ok {
+		t.Error("empty And should be true")
+	}
+	if _, ok := Or().(FalseCond); !ok {
+		t.Error("empty Or should be false")
+	}
+	if _, ok := And(TrueCond{}, FalseCond{}).(FalseCond); !ok {
+		t.Error("And with false should simplify to false")
+	}
+	if _, ok := Or(TrueCond{}, FalseCond{}).(TrueCond); !ok {
+		t.Error("Or with true should simplify to true")
+	}
+	if c := And(Eq(value.Null(1), value.Int(1))); c.String() != "⊥1=1" {
+		t.Errorf("single-conjunct And should unwrap, got %s", c.String())
+	}
+	// Nulls collection.
+	set := map[value.Value]bool{}
+	And(Eq(value.Null(1), value.Int(1)), Not(Or(Eq(value.Null(2), value.Null(3))))).Nulls(set)
+	if len(set) != 3 {
+		t.Errorf("Nulls = %v", set)
+	}
+	// Or/And eval over multiple conjuncts, Or eval false case.
+	if Or(Eq(value.Null(1), value.Int(5)), Eq(value.Null(1), value.Int(7))).Eval(v) {
+		t.Error("neither disjunct holds")
+	}
+	if And(Eq(value.Null(1), value.Int(1)), Eq(value.Null(1), value.Int(2))).Eval(v) {
+		t.Error("conjunction with a false conjunct should fail")
+	}
+}
+
+func TestConditionStrings(t *testing.T) {
+	c := And(Eq(value.Null(1), value.Int(0)), Or(Eq(value.Null(1), value.Int(0)), Eq(value.Null(1), value.Int(1))))
+	s := c.String()
+	if !strings.Contains(s, "∧") || !strings.Contains(s, "∨") || !strings.Contains(s, "⊥1=0") {
+		t.Errorf("condition string = %q", s)
+	}
+	if (TrueCond{}).String() != "true" || (FalseCond{}).String() != "false" {
+		t.Error("constant strings wrong")
+	}
+	if Not(TrueCond{}).String() != "¬(true)" {
+		t.Error("not string wrong")
+	}
+}
+
+// The paper's disjunction example: a c-table whose worlds are {{0},{1}}.
+func TestDisjunctionEncoding(t *testing.T) {
+	ct := New(schema.NewRelation("D", "A"))
+	n := value.Null(1)
+	ct.MustAdd(table.NewTuple(value.Int(1)), Eq(n, value.Int(1)))
+	ct.MustAdd(table.NewTuple(value.Int(0)), Eq(n, value.Int(0)))
+	ct.Global = Or(Eq(n, value.Int(0)), Eq(n, value.Int(1)))
+
+	dom := []value.Value{value.Int(0), value.Int(1), value.Int(7)}
+	worlds := ct.WorldSet(dom)
+	if len(worlds) != 2 {
+		t.Fatalf("expected 2 worlds, got %d: %v", len(worlds), worlds)
+	}
+	want0 := unary("D", "0")
+	want1 := unary("D", "1")
+	found0, found1 := false, false
+	for _, w := range worlds {
+		if w.Equal(want0) {
+			found0 = true
+		}
+		if w.Equal(want1) {
+			found1 = true
+		}
+	}
+	if !found0 || !found1 {
+		t.Errorf("worlds = %v", worlds)
+	}
+	// Valuations violating the global condition are rejected by World.
+	v := valuation.New()
+	v.MustSet(n, value.Int(7))
+	if _, ok := ct.World(v); ok {
+		t.Error("global condition should reject ⊥1↦7")
+	}
+}
+
+func TestCTableBasics(t *testing.T) {
+	rel := unary("R", "1", "⊥1")
+	ct := FromRelation(rel)
+	if len(ct.Rows) != 2 {
+		t.Fatalf("FromRelation rows = %d", len(ct.Rows))
+	}
+	if err := ct.Add(table.MustParseTuple("1", "2"), nil); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	ct.MustAdd(table.MustParseTuple("3"), nil)
+	if len(ct.Rows) != 3 {
+		t.Error("MustAdd failed")
+	}
+	nulls := ct.Nulls()
+	if len(nulls) != 1 || !nulls[value.Null(1)] {
+		t.Errorf("Nulls = %v", nulls)
+	}
+	consts := ct.Consts()
+	if len(consts) != 2 {
+		t.Errorf("Consts = %v", consts)
+	}
+	s := ct.String()
+	if !strings.Contains(s, "if true") || !strings.Contains(s, "where true") {
+		t.Errorf("String = %q", s)
+	}
+	// nil global renders as true and accepts all valuations.
+	ct.Global = nil
+	if !strings.Contains(ct.String(), "where true") {
+		t.Error("nil global should render as true")
+	}
+	if _, ok := ct.World(valuation.New()); !ok {
+		t.Error("nil global should accept valuations")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd should panic on arity mismatch")
+		}
+	}()
+	ct.MustAdd(table.MustParseTuple("1", "2"), nil)
+}
+
+// The central example from Section 2: R = {1,2}, S = {⊥}; the c-table for
+// R − S must represent exactly Q([[D]]cwa) = {{1,2},{1},{2}}.
+func TestDiffStrongRepresentation(t *testing.T) {
+	r := FromRelation(unary("R", "1", "2"))
+	s := FromRelation(unary("S", "⊥1"))
+	diff, err := Diff(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := []value.Value{value.Int(1), value.Int(2), value.Int(3)}
+	worlds := diff.WorldSet(dom)
+	if len(worlds) != 3 {
+		t.Fatalf("expected 3 worlds, got %d: %v", len(worlds), worlds)
+	}
+	expect := []*table.Relation{unary("X", "1", "2"), unary("X", "1"), unary("X", "2")}
+	for _, want := range expect {
+		found := false
+		for _, w := range worlds {
+			if w.Equal(want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing world %v", want)
+		}
+	}
+
+	// Cross-check against direct evaluation world by world: for every
+	// valuation of ⊥1 over the domain, v(R) − v(S) must be a world of diff.
+	for _, c := range dom {
+		v := valuation.New()
+		v.MustSet(value.Null(1), c)
+		want := table.NewRelation(schema.NewRelation("W", "A"))
+		want.MustAdd(table.MustParseTuple("1"))
+		want.MustAdd(table.MustParseTuple("2"))
+		want.Remove(table.NewTuple(c))
+		got, ok := diff.World(v)
+		if !ok {
+			t.Fatalf("world for %v rejected", v)
+		}
+		if !got.Equal(want) {
+			t.Errorf("world for ⊥1↦%v = %v, want %v", c, got, want)
+		}
+	}
+	if _, err := Diff(r, FromRelation(table.NewRelation(schema.WithArity("T", 2)))); err == nil {
+		t.Error("difference with arity mismatch should fail")
+	}
+}
+
+func TestUnionIntersectProduct(t *testing.T) {
+	a := FromRelation(unary("A", "1", "⊥1"))
+	b := FromRelation(unary("B", "2", "⊥2"))
+
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := []value.Value{value.Int(1), value.Int(2)}
+	// Union worlds: {v(⊥1), v(⊥2), 1, 2} for all valuations — always {1,2} or {1,2}∪...
+	u.Worlds(dom, func(w *table.Relation) bool {
+		if !w.Contains(table.MustParseTuple("1")) || !w.Contains(table.MustParseTuple("2")) {
+			t.Errorf("union world %v missing base constants", w)
+		}
+		return true
+	})
+	if _, err := Union(a, FromRelation(table.NewRelation(schema.WithArity("T", 2)))); err == nil {
+		t.Error("union arity mismatch should fail")
+	}
+
+	i, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worlds of a ∩ b: depends on ⊥1,⊥2; e.g. ⊥1↦2,⊥2↦1 gives {1,2}∩{2,1} = {1,2}.
+	foundBoth := false
+	i.Worlds(dom, func(w *table.Relation) bool {
+		if w.Len() == 2 {
+			foundBoth = true
+		}
+		return true
+	})
+	if !foundBoth {
+		t.Error("intersection should have a world of size 2")
+	}
+	if _, err := Intersect(a, FromRelation(table.NewRelation(schema.WithArity("T", 2)))); err == nil {
+		t.Error("intersect arity mismatch should fail")
+	}
+
+	p, err := Product(a, b, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 4 || p.Schema.Arity() != 2 {
+		t.Errorf("product rows = %d arity = %d", len(p.Rows), p.Schema.Arity())
+	}
+	if _, err := Product(a, b, []string{"x"}); err == nil {
+		t.Error("product with wrong attribute count should fail")
+	}
+}
+
+func TestSelectAndProject(t *testing.T) {
+	rel := table.NewRelation(schema.NewRelation("R", "a", "b"))
+	rel.MustAdd(table.MustParseTuple("1", "⊥1"))
+	rel.MustAdd(table.MustParseTuple("2", "3"))
+	rel.MustAdd(table.MustParseTuple("4", "5"))
+	ct := FromRelation(rel)
+
+	// σ[b = 3]: the (2,3) row stays unconditionally, the (1,⊥1) row stays
+	// under condition ⊥1=3, the (4,5) row disappears.
+	sel := Select(ct, SelectEqConst(1, value.Int(3)))
+	if len(sel.Rows) != 2 {
+		t.Fatalf("selected rows = %d: %v", len(sel.Rows), sel)
+	}
+	dom := []value.Value{value.Int(3), value.Int(9)}
+	worlds := sel.WorldSet(dom)
+	// ⊥1↦3: {(1,3),(2,3)}; ⊥1↦9: {(2,3)}.
+	if len(worlds) != 2 {
+		t.Fatalf("selection worlds = %d", len(worlds))
+	}
+
+	// σ[a = b] on a table with a null: condition ⊥1=1 retained.
+	sel2 := Select(ct, SelectEqAttr(0, 1))
+	if len(sel2.Rows) != 1 {
+		t.Errorf("σ[a=b] rows = %d", len(sel2.Rows))
+	}
+	// σ[b ≠ 3].
+	sel3 := Select(ct, SelectNeqConst(1, value.Int(3)))
+	found := false
+	sel3.Worlds(dom, func(w *table.Relation) bool {
+		if w.Contains(table.MustParseTuple("4", "5")) {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("σ[b≠3] should keep (4,5) in all worlds")
+	}
+
+	// Projection.
+	pr, err := Project(ct, []int{0}, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Schema.Arity() != 1 || len(pr.Rows) != 3 {
+		t.Errorf("projection wrong: %v", pr)
+	}
+	if _, err := Project(ct, []int{5}, []string{"x"}); err == nil {
+		t.Error("projection out of range should fail")
+	}
+	if _, err := Project(ct, nil, nil); err == nil {
+		t.Error("empty projection should fail")
+	}
+	if _, err := Project(ct, []int{0}, []string{"a", "b"}); err == nil {
+		t.Error("mismatched attrs should fail")
+	}
+}
+
+func TestEqTuplesShortcut(t *testing.T) {
+	// Constant clash yields FalseCond and the row is dropped entirely in Intersect.
+	a := FromRelation(unary("A", "1"))
+	b := FromRelation(unary("B", "2"))
+	i, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(i.Rows) != 0 {
+		t.Errorf("intersection of disjoint constants should have no rows, got %v", i.Rows)
+	}
+	// eqTuples on identical constants is true (no condition).
+	c := eqTuples(table.MustParseTuple("1", "⊥1"), table.MustParseTuple("1", "⊥2"))
+	if c.String() != "⊥1=⊥2" {
+		t.Errorf("eqTuples = %s", c.String())
+	}
+}
+
+func TestWorldsEarlyStopAndCount(t *testing.T) {
+	ct := FromRelation(unary("R", "⊥1", "⊥2"))
+	dom := []value.Value{value.Int(1), value.Int(2)}
+	count := 0
+	completed := ct.Worlds(dom, func(*table.Relation) bool {
+		count++
+		return false
+	})
+	if completed || count != 1 {
+		t.Errorf("early stop failed: %v %d", completed, count)
+	}
+}

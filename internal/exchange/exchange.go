@@ -1,0 +1,208 @@
+// Package exchange implements schema mappings and data exchange: the
+// source-to-target tuple-generating dependencies (st-tgds) of the paper's
+// introduction, such as
+//
+//	Order(i,p) → ∃x Cust(x) ∧ Pref(x,p),
+//
+// and the chase procedure that materialises a canonical universal solution
+// populated with marked (naïve) nulls — the scenario that motivates the
+// marked-null data model and in which certain answers are the standard
+// query-answering semantics.
+//
+// The paper uses tools like Clio/++Spicy as the source of such instances;
+// this package is the in-repo substitute producing exactly the same shape
+// of output (naïve databases with invented marked nulls).
+package exchange
+
+import (
+	"fmt"
+
+	"incdata/internal/cq"
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// Dependency is a source-to-target tgd: Body (over the source schema)
+// implies ∃ Existential. Head (over the target schema).  Variables shared
+// between Body and Head are universally quantified; Existential lists the
+// head variables that are existentially quantified and therefore become
+// fresh marked nulls for every match of the body.
+type Dependency struct {
+	Name        string
+	Body        []cq.Atom
+	Head        []cq.Atom
+	Existential []string
+}
+
+// Validate checks that every non-existential head variable occurs in the
+// body and that the existential variables do not occur in the body.
+func (d Dependency) Validate() error {
+	if len(d.Body) == 0 || len(d.Head) == 0 {
+		return fmt.Errorf("exchange: dependency %q needs a nonempty body and head", d.Name)
+	}
+	bodyVars := map[string]bool{}
+	for _, a := range d.Body {
+		for _, t := range a.Args {
+			if t.IsVar {
+				bodyVars[t.Var] = true
+			}
+		}
+	}
+	exist := map[string]bool{}
+	for _, v := range d.Existential {
+		if bodyVars[v] {
+			return fmt.Errorf("exchange: existential variable %q of %q occurs in the body", v, d.Name)
+		}
+		exist[v] = true
+	}
+	for _, a := range d.Head {
+		for _, t := range a.Args {
+			if t.IsVar && !bodyVars[t.Var] && !exist[t.Var] {
+				return fmt.Errorf("exchange: head variable %q of %q is neither universal nor existential", t.Var, d.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the dependency.
+func (d Dependency) String() string {
+	body := cq.Query{Body: d.Body}.String()
+	head := cq.Query{Body: d.Head}.String()
+	// Strip the "Q() :- " prefixes for readability.
+	return body[len("Q() :- "):] + " → " + head[len("Q() :- "):]
+}
+
+// Mapping is a schema mapping: a source schema, a target schema, and a set
+// of st-tgds.
+type Mapping struct {
+	Source       *schema.Schema
+	Target       *schema.Schema
+	Dependencies []Dependency
+}
+
+// Validate checks all dependencies and that their atoms refer to the right
+// schemas with the right arities.
+func (m Mapping) Validate() error {
+	for _, dep := range m.Dependencies {
+		if err := dep.Validate(); err != nil {
+			return err
+		}
+		for _, a := range dep.Body {
+			rs, ok := m.Source.Relation(a.Rel)
+			if !ok {
+				return fmt.Errorf("exchange: body atom %s of %q is not in the source schema", a.Rel, dep.Name)
+			}
+			if rs.Arity() != len(a.Args) {
+				return fmt.Errorf("exchange: body atom %s of %q has wrong arity", a.Rel, dep.Name)
+			}
+		}
+		for _, a := range dep.Head {
+			rs, ok := m.Target.Relation(a.Rel)
+			if !ok {
+				return fmt.Errorf("exchange: head atom %s of %q is not in the target schema", a.Rel, dep.Name)
+			}
+			if rs.Arity() != len(a.Args) {
+				return fmt.Errorf("exchange: head atom %s of %q has wrong arity", a.Rel, dep.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Chase materialises the canonical universal solution: for every dependency
+// and every match of its body in the source, the head atoms are added to
+// the target with fresh marked nulls for the existential variables (one
+// fresh null per existential variable per match).  Source values (including
+// source nulls) are copied as-is.
+func (m Mapping) Chase(source *table.Database) (*table.Database, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	target := table.NewDatabase(m.Target)
+	// Fresh nulls must not clash with nulls already present in the source.
+	nextNull := uint64(1)
+	for n := range source.Nulls() {
+		if n.NullID() >= nextNull {
+			nextNull = n.NullID() + 1
+		}
+	}
+	for _, dep := range m.Dependencies {
+		bodyQuery := cq.Query{Name: dep.Name, Body: dep.Body}
+		var matches []map[string]value.Value
+		// Collect matches first so that null invention is deterministic in
+		// the canonical tuple order of the source.
+		err := forEachMatch(bodyQuery, source, func(env map[string]value.Value) {
+			cp := make(map[string]value.Value, len(env))
+			for k, v := range env {
+				cp[k] = v
+			}
+			matches = append(matches, cp)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, env := range matches {
+			// Invent fresh nulls for the existential variables of this match.
+			for _, ev := range dep.Existential {
+				env[ev] = value.Null(nextNull)
+				nextNull++
+			}
+			for _, a := range dep.Head {
+				t := make(table.Tuple, len(a.Args))
+				for i, arg := range a.Args {
+					if arg.IsVar {
+						v, ok := env[arg.Var]
+						if !ok {
+							return nil, fmt.Errorf("exchange: unbound head variable %q in %q", arg.Var, dep.Name)
+						}
+						t[i] = v
+					} else {
+						t[i] = arg.Const
+					}
+				}
+				if err := target.Add(a.Rel, t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return target, nil
+}
+
+// forEachMatch enumerates the matches of a Boolean conjunctive query body
+// on a database by evaluating the query with all its variables as head.
+func forEachMatch(q cq.Query, d *table.Database, fn func(map[string]value.Value)) error {
+	vars := q.Variables()
+	full := cq.Query{Name: q.Name, Head: vars, Body: q.Body}
+	rel, err := full.Eval(d)
+	if err != nil {
+		return err
+	}
+	for _, t := range rel.Tuples() {
+		env := make(map[string]value.Value, len(vars))
+		for i, v := range vars {
+			env[v] = t[i]
+		}
+		fn(env)
+	}
+	return nil
+}
+
+// CertainAnswers computes certain answers to a UCQ over the target schema
+// in the data-exchange sense: the query is naïvely evaluated on the chased
+// (canonical universal) solution and tuples with nulls are dropped.  For
+// UCQs this coincides with certain answers over all solutions (the standard
+// result of data-exchange theory reflected in Section 2 of the paper).
+func (m Mapping) CertainAnswers(q cq.UCQ, source *table.Database) (*table.Relation, error) {
+	target, err := m.Chase(source)
+	if err != nil {
+		return nil, err
+	}
+	ans, err := q.Eval(target)
+	if err != nil {
+		return nil, err
+	}
+	return ans.CompletePart(), nil
+}

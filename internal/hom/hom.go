@@ -1,0 +1,307 @@
+// Package hom implements homomorphisms between (incomplete) databases and
+// the information orderings they induce (Section 5.2 of the paper):
+//
+//	D ⪯owa  D'  ⇔  there is a homomorphism h : D → D'
+//	D ⪯wcwa D'  ⇔  there is an onto homomorphism (h(adom D) = adom D')
+//	D ⪯cwa  D'  ⇔  there is a strong onto homomorphism (h(D) = D')
+//
+// A homomorphism maps the active domain of D to the active domain of D',
+// is the identity on constants, and sends every tuple of D to a tuple of D'.
+package hom
+
+import (
+	"sort"
+
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// Mapping is a homomorphism candidate: an assignment of values to the nulls
+// of the source database.  Constants are implicitly fixed.
+type Mapping map[value.Value]value.Value
+
+// ApplyValue returns the image of a value under the mapping (constants and
+// unassigned nulls are fixed).
+func (m Mapping) ApplyValue(v value.Value) value.Value {
+	if v.IsNull() {
+		if img, ok := m[v]; ok {
+			return img
+		}
+	}
+	return v
+}
+
+// ApplyTuple applies the mapping to every field of a tuple.
+func (m Mapping) ApplyTuple(t table.Tuple) table.Tuple { return t.Map(m.ApplyValue) }
+
+// ApplyDatabase returns h(D).
+func (m Mapping) ApplyDatabase(d *table.Database) *table.Database { return d.Map(m.ApplyValue) }
+
+// Clone returns a copy of the mapping.
+func (m Mapping) Clone() Mapping {
+	out := make(Mapping, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// tupleObligation records a source tuple and the index (into the ordered
+// null list) of the last null it mentions, used for incremental checking.
+type tupleObligation struct {
+	rel     string
+	tuple   table.Tuple
+	lastIdx int
+}
+
+// searcher performs backtracking search for homomorphisms from src to dst.
+type searcher struct {
+	src, dst    *table.Database
+	nulls       []value.Value // nulls of src in fixed order
+	nullIdx     map[value.Value]int
+	candidates  []value.Value       // adom(dst), candidate images for each null
+	obligations [][]tupleObligation // obligations[i]: tuples checkable once null i is assigned
+	immediate   []tupleObligation   // null-free source tuples (checked up front)
+}
+
+func newSearcher(src, dst *table.Database) *searcher {
+	s := &searcher{src: src, dst: dst}
+	s.nulls = table.SortedValues(src.Nulls())
+	s.nullIdx = make(map[value.Value]int, len(s.nulls))
+	for i, n := range s.nulls {
+		s.nullIdx[n] = i
+	}
+	s.candidates = table.SortedValues(dst.ActiveDomain())
+	s.obligations = make([][]tupleObligation, len(s.nulls))
+	for _, relName := range src.RelationNames() {
+		rel := src.Relation(relName)
+		for _, t := range rel.Tuples() {
+			last := -1
+			for _, v := range t {
+				if v.IsNull() {
+					if i := s.nullIdx[v]; i > last {
+						last = i
+					}
+				}
+			}
+			ob := tupleObligation{rel: relName, tuple: t, lastIdx: last}
+			if last < 0 {
+				s.immediate = append(s.immediate, ob)
+			} else {
+				s.obligations[last] = append(s.obligations[last], ob)
+			}
+		}
+	}
+	return s
+}
+
+// checkTuple reports whether the image of the obligation's tuple under m is
+// present in dst.
+func (s *searcher) checkTuple(m Mapping, ob tupleObligation) bool {
+	dstRel := s.dst.Relation(ob.rel)
+	if dstRel == nil {
+		return false
+	}
+	return dstRel.Contains(m.ApplyTuple(ob.tuple))
+}
+
+// search enumerates homomorphisms; accept is called with each complete
+// homomorphism and returns true to keep searching or false to stop.  The
+// return value reports whether some call to accept returned false (i.e. a
+// witness was found and the search stopped early).
+func (s *searcher) search(accept func(Mapping) bool) bool {
+	m := make(Mapping, len(s.nulls))
+	for _, ob := range s.immediate {
+		if !s.checkTuple(m, ob) {
+			return false
+		}
+	}
+	stopped := false
+	var rec func(i int) bool // returns false to stop the whole search
+	rec = func(i int) bool {
+		if i == len(s.nulls) {
+			if !accept(m) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		for _, c := range s.candidates {
+			m[s.nulls[i]] = c
+			ok := true
+			for _, ob := range s.obligations[i] {
+				if !s.checkTuple(m, ob) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if !rec(i + 1) {
+					return false
+				}
+			}
+		}
+		delete(m, s.nulls[i])
+		return true
+	}
+	rec(0)
+	return stopped
+}
+
+// Find searches for a homomorphism h : src → dst and returns it (as a
+// mapping on the nulls of src) together with a success flag.
+func Find(src, dst *table.Database) (Mapping, bool) {
+	s := newSearcher(src, dst)
+	var found Mapping
+	ok := s.search(func(m Mapping) bool {
+		found = m.Clone()
+		return false
+	})
+	return found, ok
+}
+
+// Exists reports whether a homomorphism src → dst exists.
+func Exists(src, dst *table.Database) bool {
+	_, ok := Find(src, dst)
+	return ok
+}
+
+// isStrongOnto reports whether h(src) = dst (every tuple of dst is the image
+// of a tuple of src).
+func isStrongOnto(m Mapping, src, dst *table.Database) bool {
+	img := m.ApplyDatabase(src)
+	return img.Equal(dst)
+}
+
+// isOnto reports whether h(adom(src)) = adom(dst).
+func isOnto(m Mapping, src, dst *table.Database) bool {
+	image := map[value.Value]bool{}
+	for v := range src.ActiveDomain() {
+		image[m.ApplyValue(v)] = true
+	}
+	dstDom := dst.ActiveDomain()
+	if len(image) != len(dstDom) {
+		return false
+	}
+	for v := range dstDom {
+		if !image[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// FindStrongOnto searches for a strong onto homomorphism h : src → dst,
+// i.e. a homomorphism with h(src) = dst.
+func FindStrongOnto(src, dst *table.Database) (Mapping, bool) {
+	// Quick necessary condition: every relation of dst must be no larger
+	// than the corresponding relation of src (images cannot add tuples).
+	for _, name := range dst.RelationNames() {
+		sr := src.Relation(name)
+		if sr == nil {
+			if dst.Relation(name).Len() > 0 {
+				return nil, false
+			}
+			continue
+		}
+		if dst.Relation(name).Len() > sr.Len() {
+			return nil, false
+		}
+	}
+	s := newSearcher(src, dst)
+	var found Mapping
+	ok := s.search(func(m Mapping) bool {
+		if isStrongOnto(m, src, dst) {
+			found = m.Clone()
+			return false
+		}
+		return true
+	})
+	return found, ok
+}
+
+// ExistsStrongOnto reports whether a strong onto homomorphism src → dst
+// exists.
+func ExistsStrongOnto(src, dst *table.Database) bool {
+	_, ok := FindStrongOnto(src, dst)
+	return ok
+}
+
+// FindOnto searches for an onto homomorphism (h(adom src) = adom dst).
+func FindOnto(src, dst *table.Database) (Mapping, bool) {
+	s := newSearcher(src, dst)
+	var found Mapping
+	ok := s.search(func(m Mapping) bool {
+		if isOnto(m, src, dst) {
+			found = m.Clone()
+			return false
+		}
+		return true
+	})
+	return found, ok
+}
+
+// ExistsOnto reports whether an onto homomorphism src → dst exists.
+func ExistsOnto(src, dst *table.Database) bool {
+	_, ok := FindOnto(src, dst)
+	return ok
+}
+
+// LeqOWA is the open-world information ordering: D ⪯owa D' iff there is a
+// homomorphism D → D'.
+func LeqOWA(d, dPrime *table.Database) bool { return Exists(d, dPrime) }
+
+// LeqCWA is the closed-world information ordering: D ⪯cwa D' iff there is a
+// strong onto homomorphism D → D'.
+func LeqCWA(d, dPrime *table.Database) bool { return ExistsStrongOnto(d, dPrime) }
+
+// LeqWCWA is the weak closed-world ordering: D ⪯wcwa D' iff there is an onto
+// homomorphism D → D'.
+func LeqWCWA(d, dPrime *table.Database) bool { return ExistsOnto(d, dPrime) }
+
+// EquivalentOWA reports hom-equivalence: homomorphisms both ways.  Under the
+// OWA ordering such databases carry the same information.
+func EquivalentOWA(a, b *table.Database) bool { return Exists(a, b) && Exists(b, a) }
+
+// CountHomomorphisms returns the number of homomorphisms src → dst (used by
+// tests and the ordering experiments; exponential in the number of nulls).
+func CountHomomorphisms(src, dst *table.Database) int {
+	s := newSearcher(src, dst)
+	count := 0
+	s.search(func(Mapping) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// Core computes a core of the database under OWA: a minimal (with respect to
+// tuple deletion) sub-database hom-equivalent to d.  Cores are unique up to
+// isomorphism and are a convenient canonical representative of the
+// OWA-information content of a naïve database.
+func Core(d *table.Database) *table.Database {
+	current := d.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, name := range current.RelationNames() {
+			rel := current.Relation(name)
+			tuples := rel.Tuples()
+			// Try removing tuples in a deterministic order: larger tuples
+			// (more nulls) are better removal candidates, but any order
+			// converges to a core.
+			sort.Slice(tuples, func(i, j int) bool { return tuples[i].Less(tuples[j]) })
+			for _, t := range tuples {
+				candidate := current.Clone()
+				candidate.Relation(name).Remove(t)
+				// We may only remove t if the smaller database still admits a
+				// homomorphism from the original (it always maps into the
+				// original since it is a sub-database).
+				if Exists(current, candidate) {
+					current = candidate
+					changed = true
+				}
+			}
+		}
+	}
+	return current
+}

@@ -1,0 +1,231 @@
+package hom
+
+import (
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+func db1(t *testing.T, rows ...[]string) *table.Database {
+	t.Helper()
+	s := schema.MustNew(schema.WithArity("R", len(rows[0])))
+	d := table.NewDatabase(s)
+	for _, r := range rows {
+		d.MustAddRow("R", r...)
+	}
+	return d
+}
+
+func TestMappingApply(t *testing.T) {
+	m := Mapping{value.Null(1): value.Int(7)}
+	if m.ApplyValue(value.Null(1)) != value.Int(7) || m.ApplyValue(value.Null(2)) != value.Null(2) || m.ApplyValue(value.Int(3)) != value.Int(3) {
+		t.Error("ApplyValue wrong")
+	}
+	tp := m.ApplyTuple(table.MustParseTuple("⊥1", "5"))
+	if !tp.Equal(table.MustParseTuple("7", "5")) {
+		t.Errorf("ApplyTuple = %v", tp)
+	}
+	c := m.Clone()
+	c[value.Null(1)] = value.Int(8)
+	if m[value.Null(1)] != value.Int(7) {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestFindSimple(t *testing.T) {
+	// R = {(1,⊥1),(⊥1,2)} maps into R' = {(1,3),(3,2)} via ⊥1↦3.
+	src := db1(t, []string{"1", "⊥1"}, []string{"⊥1", "2"})
+	dst := db1(t, []string{"1", "3"}, []string{"3", "2"})
+	m, ok := Find(src, dst)
+	if !ok {
+		t.Fatal("homomorphism should exist")
+	}
+	if m[value.Null(1)] != value.Int(3) {
+		t.Errorf("mapping = %v", m)
+	}
+	if !m.ApplyDatabaseCheck(src, dst) {
+		t.Error("image not contained in dst")
+	}
+}
+
+// ApplyDatabaseCheck is a test helper verifying h(src) ⊆ dst.
+func (m Mapping) ApplyDatabaseCheck(src, dst *table.Database) bool {
+	return dst.ContainsDatabase(m.ApplyDatabase(src))
+}
+
+func TestFindRespectConstants(t *testing.T) {
+	// Constants must be fixed: R={(1,2)} has no homomorphism into R'={(3,4)}.
+	src := db1(t, []string{"1", "2"})
+	dst := db1(t, []string{"3", "4"})
+	if Exists(src, dst) {
+		t.Error("homomorphism must fix constants")
+	}
+}
+
+func TestFindSharedNullConstraint(t *testing.T) {
+	// ⊥1 occurs twice; both occurrences must map to the same value.
+	src := db1(t, []string{"1", "⊥1"}, []string{"⊥1", "2"})
+	dst := db1(t, []string{"1", "3"}, []string{"4", "2"}) // would need ⊥1↦3 and ⊥1↦4
+	if Exists(src, dst) {
+		t.Error("no homomorphism should exist when a shared null needs two images")
+	}
+}
+
+func TestFindNullToNull(t *testing.T) {
+	// Nulls may map to nulls of the target.
+	src := db1(t, []string{"1", "⊥1"})
+	dst := db1(t, []string{"1", "⊥5"})
+	m, ok := Find(src, dst)
+	if !ok || m[value.Null(1)] != value.Null(5) {
+		t.Errorf("expected ⊥1↦⊥5, got %v ok=%v", m, ok)
+	}
+}
+
+func TestFindCompleteTuplesMustMatch(t *testing.T) {
+	src := db1(t, []string{"1", "2"}, []string{"1", "⊥1"})
+	dst := db1(t, []string{"1", "3"})
+	if Exists(src, dst) {
+		t.Error("null-free tuple (1,2) has no image; no homomorphism")
+	}
+	dst2 := db1(t, []string{"1", "2"})
+	if !Exists(src, dst2) {
+		t.Error("homomorphism with ⊥1↦2 should exist")
+	}
+}
+
+func TestExistsEmptySource(t *testing.T) {
+	src := table.NewDatabase(schema.MustNew(schema.WithArity("R", 2)))
+	dst := db1(t, []string{"1", "2"})
+	if !Exists(src, dst) {
+		t.Error("empty database maps into anything")
+	}
+	if Exists(dst, src) {
+		t.Error("nonempty complete database does not map into empty one")
+	}
+}
+
+func TestStrongOnto(t *testing.T) {
+	// The paper: D ⪯cwa D' iff strong onto homomorphism exists.
+	src := db1(t, []string{"1", "⊥1"}, []string{"⊥1", "2"})
+	dstExact := db1(t, []string{"1", "3"}, []string{"3", "2"})
+	if !ExistsStrongOnto(src, dstExact) {
+		t.Error("strong onto homomorphism should exist (⊥1↦3 covers all of dst)")
+	}
+	// Add an extra tuple to dst: still a homomorphism, but not strong onto.
+	dstExtra := db1(t, []string{"1", "3"}, []string{"3", "2"}, []string{"5", "6"})
+	if !Exists(src, dstExtra) {
+		t.Error("plain homomorphism should exist into the larger db")
+	}
+	if ExistsStrongOnto(src, dstExtra) {
+		t.Error("strong onto homomorphism should not exist when dst has an unhit tuple")
+	}
+}
+
+func TestStrongOntoMerging(t *testing.T) {
+	// A strong onto homomorphism may merge tuples of src.
+	src := db1(t, []string{"1", "⊥1"}, []string{"1", "⊥2"})
+	dst := db1(t, []string{"1", "7"})
+	m, ok := FindStrongOnto(src, dst)
+	if !ok {
+		t.Fatal("strong onto homomorphism should exist by merging both tuples onto (1,7)")
+	}
+	if m[value.Null(1)] != value.Int(7) || m[value.Null(2)] != value.Int(7) {
+		t.Errorf("mapping = %v", m)
+	}
+}
+
+func TestOnto(t *testing.T) {
+	// Onto requires covering adom(dst), not the tuples of dst.
+	src := db1(t, []string{"1", "⊥1"})
+	dst := db1(t, []string{"1", "2"})
+	if !ExistsOnto(src, dst) {
+		t.Error("onto homomorphism (⊥1↦2) should exist: image {1,2} = adom(dst)")
+	}
+	dstBig := db1(t, []string{"1", "2"}, []string{"1", "3"})
+	if ExistsOnto(src, dstBig) {
+		t.Error("cannot cover adom {1,2,3} with image of {1,⊥1}")
+	}
+	if !Exists(src, dstBig) {
+		t.Error("plain homomorphism should still exist")
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	// From the paper (Section 5.3): R = {(1,2),(2,⊥)}, and the candidate
+	// "certain answer" {(1,2)}.  Under ⪯owa, {(1,2)} ⪯ every v(R); under
+	// ⪯cwa it is NOT below v(R).
+	r := db1(t, []string{"1", "2"}, []string{"2", "⊥1"})
+	single := db1(t, []string{"1", "2"})
+	vr := db1(t, []string{"1", "2"}, []string{"2", "5"}) // a valuation image of r
+
+	if !LeqOWA(single, vr) {
+		t.Error("{(1,2)} ⪯owa v(R) should hold")
+	}
+	if LeqCWA(single, vr) {
+		t.Error("{(1,2)} ⪯cwa v(R) should NOT hold (the paper's point)")
+	}
+	if !LeqCWA(r, vr) {
+		t.Error("R ⪯cwa v(R) should hold")
+	}
+	if !LeqOWA(r, vr) || !LeqWCWA(r, vr) {
+		t.Error("R should be below v(R) in all orderings")
+	}
+}
+
+func TestEquivalentOWA(t *testing.T) {
+	a := db1(t, []string{"1", "⊥1"})
+	b := db1(t, []string{"1", "⊥2"}, []string{"1", "⊥3"})
+	if !EquivalentOWA(a, b) {
+		t.Error("a and b are hom-equivalent")
+	}
+	c := db1(t, []string{"1", "2"})
+	if EquivalentOWA(a, c) {
+		t.Error("a and c are not hom-equivalent (c has no hom into a ... actually it does? check)")
+	}
+}
+
+func TestCountHomomorphisms(t *testing.T) {
+	src := db1(t, []string{"1", "⊥1"})
+	dst := db1(t, []string{"1", "2"}, []string{"1", "3"})
+	// ⊥1 can map to 2 or 3 (mapping to 1 would need tuple (1,1) in dst).
+	if got := CountHomomorphisms(src, dst); got != 2 {
+		t.Errorf("CountHomomorphisms = %d, want 2", got)
+	}
+	if got := CountHomomorphisms(dst, src); got != 0 {
+		t.Errorf("CountHomomorphisms(dst,src) = %d, want 0", got)
+	}
+}
+
+func TestCore(t *testing.T) {
+	// {(1,⊥1),(1,⊥2),(1,2)} has core {(1,2)}: every tuple maps onto (1,2).
+	d := db1(t, []string{"1", "⊥1"}, []string{"1", "⊥2"}, []string{"1", "2"})
+	core := Core(d)
+	if core.TotalTuples() != 1 {
+		t.Fatalf("core size = %d, want 1: %v", core.TotalTuples(), core)
+	}
+	if !core.Relation("R").Contains(table.MustParseTuple("1", "2")) {
+		t.Errorf("core = %v", core)
+	}
+	if !EquivalentOWA(d, core) {
+		t.Error("core must be hom-equivalent to the original")
+	}
+	// A database that is already a core stays unchanged.
+	c2 := db1(t, []string{"1", "2"}, []string{"3", "4"})
+	if !Core(c2).Equal(c2) {
+		t.Error("complete database without redundancy should be its own core")
+	}
+}
+
+func TestLeqOWAReflexiveTransitiveSample(t *testing.T) {
+	a := db1(t, []string{"1", "⊥1"})
+	b := db1(t, []string{"1", "2"})
+	c := db1(t, []string{"1", "2"}, []string{"3", "4"})
+	if !LeqOWA(a, a) || !LeqOWA(b, b) {
+		t.Error("⪯owa must be reflexive")
+	}
+	if !LeqOWA(a, b) || !LeqOWA(b, c) || !LeqOWA(a, c) {
+		t.Error("⪯owa transitivity sample failed")
+	}
+}

@@ -1,0 +1,107 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// Diagrams: the logical descriptions δD of an incomplete database D from
+// Section 4 and Section 5.2 of the paper.
+
+// nullVars assigns a variable name x<i> to each null of D, deterministically.
+func nullVars(d *table.Database) (map[value.Value]string, []string) {
+	nulls := d.SortedNulls()
+	m := make(map[value.Value]string, len(nulls))
+	names := make([]string, 0, len(nulls))
+	for _, n := range nulls {
+		name := fmt.Sprintf("x%d", n.NullID())
+		m[n] = name
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return m, names
+}
+
+func termFor(v value.Value, vars map[value.Value]string) Term {
+	if v.IsNull() {
+		return V(vars[v])
+	}
+	return C(v)
+}
+
+// PositiveDiagram returns PosDiag(D): the conjunction of all atoms of D with
+// nulls replaced by variables, plus the list of those variables.
+func PositiveDiagram(d *table.Database) (And, []string) {
+	vars, names := nullVars(d)
+	var conj []Formula
+	for _, relName := range d.RelationNames() {
+		rel := d.Relation(relName)
+		for _, t := range rel.Tuples() {
+			args := make([]Term, len(t))
+			for i, v := range t {
+				args[i] = termFor(v, vars)
+			}
+			conj = append(conj, NewAtom(relName, args...))
+		}
+	}
+	return AllOf(conj...), names
+}
+
+// OWADiagram returns δD = ∃x̄ PosDiag(D), the existential positive sentence
+// whose complete models are exactly [[D]]owa (equation (5) of the paper).
+func OWADiagram(d *table.Database) Formula {
+	diag, vars := PositiveDiagram(d)
+	if len(vars) == 0 {
+		return diag
+	}
+	return Exists{Vars: vars, Body: diag}
+}
+
+// CWADiagram returns δD^cwa: the Pos∀G sentence
+//
+//	∃x̄ ( PosDiag(D) ∧ ⋀_R ∀ȳ ( R(ȳ) → ∨_{t∈R_D} ȳ = t ) )
+//
+// whose complete models are exactly [[D]]cwa (Section 5.2).
+func CWADiagram(d *table.Database) Formula {
+	vars, names := nullVars(d)
+	diag, _ := PositiveDiagram(d)
+	conj := []Formula{diag}
+	for _, relName := range d.RelationNames() {
+		rel := d.Relation(relName)
+		arity := rel.Arity()
+		yVars := make([]string, arity)
+		for i := range yVars {
+			yVars[i] = fmt.Sprintf("y%s%d", relName, i)
+		}
+		var disj []Formula
+		for _, t := range rel.Tuples() {
+			var eqs []Formula
+			for i, v := range t {
+				eqs = append(eqs, Eq(V(yVars[i]), termFor(v, vars)))
+			}
+			disj = append(disj, AllOf(eqs...))
+		}
+		conj = append(conj, ForAllGuard{Rel: relName, Vars: yVars, Body: AnyOf(disj...)})
+	}
+	body := AllOf(conj...)
+	if len(names) == 0 {
+		return body
+	}
+	return Exists{Vars: names, Body: body}
+}
+
+// ModelsOWA reports whether the complete database world is a model of the
+// OWA diagram of d, i.e. whether world ∈ [[d]]owa by the logical route.  It
+// is the logical counterpart of semantics.Represents(OWA, d, world) and the
+// two are cross-checked in tests.
+func ModelsOWA(d, world *table.Database) (bool, error) {
+	return EvalSentence(OWADiagram(d), world)
+}
+
+// ModelsCWA reports whether world is a model of the CWA diagram of d.
+func ModelsCWA(d, world *table.Database) (bool, error) {
+	return EvalSentence(CWADiagram(d), world)
+}

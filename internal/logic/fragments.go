@@ -1,0 +1,128 @@
+package logic
+
+// Syntactic fragments used in the paper.
+//
+//   - Existential positive formulae (∃,∧,∨ over atoms and equalities) have
+//     exactly the expressive power of unions of conjunctive queries; they
+//     form a representation system under OWA and are preserved under
+//     homomorphisms (Rossman's theorem), so naïve evaluation works for them
+//     under OWA.
+//   - Positive formulae additionally allow ∀.
+//   - Pos∀G (positive with universal guards) allows ∀ only in the guarded
+//     form ∀x̄(R(x̄) → φ); they are preserved under strong onto
+//     homomorphisms, form a representation system under CWA, and coincide
+//     with the algebra RAcwa, so naïve evaluation works for them under CWA.
+
+// IsExistentialPositive reports membership in the ∃,∧,∨ fragment (UCQ).
+func IsExistentialPositive(f Formula) bool {
+	switch ff := f.(type) {
+	case Atom, Equals:
+		return true
+	case And:
+		for _, g := range ff.Conjuncts {
+			if !IsExistentialPositive(g) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, g := range ff.Disjuncts {
+			if !IsExistentialPositive(g) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		return IsExistentialPositive(ff.Body)
+	default:
+		return false
+	}
+}
+
+// IsPositive reports membership in positive FO: no negation, quantifiers
+// unrestricted (the guarded universal is a special case of ∀).
+func IsPositive(f Formula) bool {
+	switch ff := f.(type) {
+	case Atom, Equals:
+		return true
+	case And:
+		for _, g := range ff.Conjuncts {
+			if !IsPositive(g) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, g := range ff.Disjuncts {
+			if !IsPositive(g) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		return IsPositive(ff.Body)
+	case ForAll:
+		return IsPositive(ff.Body)
+	case ForAllGuard:
+		return IsPositive(ff.Body)
+	default:
+		return false
+	}
+}
+
+// IsPosForallG reports membership in Pos∀G: positive formulae whose only
+// universal quantification is the guarded form ∀x̄(R(x̄) → φ), represented
+// here by the ForAllGuard node.
+func IsPosForallG(f Formula) bool {
+	switch ff := f.(type) {
+	case Atom, Equals:
+		return true
+	case And:
+		for _, g := range ff.Conjuncts {
+			if !IsPosForallG(g) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, g := range ff.Disjuncts {
+			if !IsPosForallG(g) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		return IsPosForallG(ff.Body)
+	case ForAllGuard:
+		return IsPosForallG(ff.Body)
+	case ForAll, Not:
+		return false
+	default:
+		return false
+	}
+}
+
+// Fragment names the finest fragment a formula is known to belong to.
+type Fragment string
+
+// Fragments, from most to least restrictive.
+const (
+	FragmentUCQ      Fragment = "existential positive (UCQ)"
+	FragmentPosGuard Fragment = "Pos∀G"
+	FragmentPositive Fragment = "positive FO"
+	FragmentFO       Fragment = "first-order"
+)
+
+// Classify returns the finest fragment containing f.
+func Classify(f Formula) Fragment {
+	if IsExistentialPositive(f) {
+		return FragmentUCQ
+	}
+	if IsPosForallG(f) {
+		return FragmentPosGuard
+	}
+	if IsPositive(f) {
+		return FragmentPositive
+	}
+	return FragmentFO
+}

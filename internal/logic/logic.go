@@ -1,0 +1,411 @@
+// Package logic implements first-order formulae over relational
+// vocabularies, their evaluation with active-domain semantics, the syntactic
+// fragments the paper works with (existential positive ≡ UCQ, positive FO,
+// and Pos∀G — positive formulae with universal guards), and the logical
+// descriptions of incomplete databases of Section 4:
+//
+//	δD       = ∃x̄ PosDiag(D)                      with ModC(δD) = [[D]]owa
+//	δD^cwa   = ∃x̄ (PosDiag(D) ∧ ⋀_R ∀ȳ(R(ȳ) → ∨_t ȳ=t))   with ModC = [[D]]cwa
+//
+// Formulae double as the "knowledge" representation of certainty (certainK)
+// in the representation-system framework of Section 5.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// Term is a variable or a constant appearing in a formula.
+type Term struct {
+	Var   string
+	Const value.Value
+	IsVar bool
+}
+
+// V builds a variable term.
+func V(name string) Term { return Term{Var: name, IsVar: true} }
+
+// C builds a constant term.
+func C(v value.Value) Term { return Term{Const: v} }
+
+// CInt builds an integer-constant term.
+func CInt(i int64) Term { return C(value.Int(i)) }
+
+// CString builds a string-constant term.
+func CString(s string) Term { return C(value.String(s)) }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Var
+	}
+	return t.Const.String()
+}
+
+// Env is a variable assignment used during evaluation.
+type Env map[string]value.Value
+
+func (t Term) eval(env Env) (value.Value, error) {
+	if !t.IsVar {
+		return t.Const, nil
+	}
+	v, ok := env[t.Var]
+	if !ok {
+		return value.Value{}, fmt.Errorf("logic: unbound variable %s", t.Var)
+	}
+	return v, nil
+}
+
+// Formula is a first-order formula.
+type Formula interface {
+	// Eval evaluates the formula on a database under an environment
+	// binding its free variables, with active-domain quantification.
+	Eval(d *table.Database, env Env) (bool, error)
+	// FreeVars adds the formula's free variables to the set.
+	FreeVars(bound map[string]bool, free map[string]bool)
+	// String renders the formula.
+	String() string
+}
+
+// Atom is R(t1,...,tk).
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(rel string, args ...Term) Atom { return Atom{Rel: rel, Args: args} }
+
+// Eval implements Formula.
+func (a Atom) Eval(d *table.Database, env Env) (bool, error) {
+	rel := d.Relation(a.Rel)
+	if rel == nil {
+		return false, fmt.Errorf("logic: unknown relation %q", a.Rel)
+	}
+	if rel.Arity() != len(a.Args) {
+		return false, fmt.Errorf("logic: atom %s has %d arguments, relation has arity %d", a.Rel, len(a.Args), rel.Arity())
+	}
+	tuple := make(table.Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		v, err := arg.eval(env)
+		if err != nil {
+			return false, err
+		}
+		tuple[i] = v
+	}
+	return rel.Contains(tuple), nil
+}
+
+// FreeVars implements Formula.
+func (a Atom) FreeVars(bound, free map[string]bool) {
+	for _, arg := range a.Args {
+		if arg.IsVar && !bound[arg.Var] {
+			free[arg.Var] = true
+		}
+	}
+}
+
+// String implements Formula.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, arg := range a.Args {
+		parts[i] = arg.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Equals is t1 = t2.
+type Equals struct {
+	Left, Right Term
+}
+
+// Eq builds an equality formula.
+func Eq(l, r Term) Equals { return Equals{Left: l, Right: r} }
+
+// Eval implements Formula.
+func (e Equals) Eval(_ *table.Database, env Env) (bool, error) {
+	l, err := e.Left.eval(env)
+	if err != nil {
+		return false, err
+	}
+	r, err := e.Right.eval(env)
+	if err != nil {
+		return false, err
+	}
+	return l == r, nil
+}
+
+// FreeVars implements Formula.
+func (e Equals) FreeVars(bound, free map[string]bool) {
+	for _, t := range []Term{e.Left, e.Right} {
+		if t.IsVar && !bound[t.Var] {
+			free[t.Var] = true
+		}
+	}
+}
+
+// String implements Formula.
+func (e Equals) String() string { return e.Left.String() + "=" + e.Right.String() }
+
+// Not is negation.
+type Not struct{ Body Formula }
+
+// Eval implements Formula.
+func (n Not) Eval(d *table.Database, env Env) (bool, error) {
+	b, err := n.Body.Eval(d, env)
+	return !b, err
+}
+
+// FreeVars implements Formula.
+func (n Not) FreeVars(bound, free map[string]bool) { n.Body.FreeVars(bound, free) }
+
+// String implements Formula.
+func (n Not) String() string { return "¬" + n.Body.String() }
+
+// And is conjunction.
+type And struct{ Conjuncts []Formula }
+
+// AllOf builds a conjunction.
+func AllOf(fs ...Formula) And { return And{Conjuncts: fs} }
+
+// Eval implements Formula.
+func (a And) Eval(d *table.Database, env Env) (bool, error) {
+	for _, f := range a.Conjuncts {
+		b, err := f.Eval(d, env)
+		if err != nil {
+			return false, err
+		}
+		if !b {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// FreeVars implements Formula.
+func (a And) FreeVars(bound, free map[string]bool) {
+	for _, f := range a.Conjuncts {
+		f.FreeVars(bound, free)
+	}
+}
+
+// String implements Formula.
+func (a And) String() string { return joinFormulas(a.Conjuncts, " ∧ ", "true") }
+
+// Or is disjunction.
+type Or struct{ Disjuncts []Formula }
+
+// AnyOf builds a disjunction.
+func AnyOf(fs ...Formula) Or { return Or{Disjuncts: fs} }
+
+// Eval implements Formula.
+func (o Or) Eval(d *table.Database, env Env) (bool, error) {
+	for _, f := range o.Disjuncts {
+		b, err := f.Eval(d, env)
+		if err != nil {
+			return false, err
+		}
+		if b {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// FreeVars implements Formula.
+func (o Or) FreeVars(bound, free map[string]bool) {
+	for _, f := range o.Disjuncts {
+		f.FreeVars(bound, free)
+	}
+}
+
+// String implements Formula.
+func (o Or) String() string { return joinFormulas(o.Disjuncts, " ∨ ", "false") }
+
+func joinFormulas(fs []Formula, sep, empty string) string {
+	if len(fs) == 0 {
+		return empty
+	}
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Exists is existential quantification over active-domain values.
+type Exists struct {
+	Vars []string
+	Body Formula
+}
+
+// Eval implements Formula.
+func (e Exists) Eval(d *table.Database, env Env) (bool, error) {
+	return quantify(d, env, e.Vars, e.Body, true)
+}
+
+// FreeVars implements Formula.
+func (e Exists) FreeVars(bound, free map[string]bool) {
+	inner := cloneSet(bound)
+	for _, v := range e.Vars {
+		inner[v] = true
+	}
+	e.Body.FreeVars(inner, free)
+}
+
+// String implements Formula.
+func (e Exists) String() string {
+	return "∃" + strings.Join(e.Vars, ",") + " " + e.Body.String()
+}
+
+// ForAll is universal quantification over active-domain values.
+type ForAll struct {
+	Vars []string
+	Body Formula
+}
+
+// Eval implements Formula.
+func (f ForAll) Eval(d *table.Database, env Env) (bool, error) {
+	return quantify(d, env, f.Vars, f.Body, false)
+}
+
+// FreeVars implements Formula.
+func (f ForAll) FreeVars(bound, free map[string]bool) {
+	inner := cloneSet(bound)
+	for _, v := range f.Vars {
+		inner[v] = true
+	}
+	f.Body.FreeVars(inner, free)
+}
+
+// String implements Formula.
+func (f ForAll) String() string {
+	return "∀" + strings.Join(f.Vars, ",") + " " + f.Body.String()
+}
+
+// ForAllGuard is the guarded universal quantifier of Pos∀G formulae:
+// ∀x̄ (R(x̄) → body).  The guard relation R ranges over the tuples actually
+// present in the database, so evaluation never leaves the active domain.
+type ForAllGuard struct {
+	Rel  string
+	Vars []string
+	Body Formula
+}
+
+// Eval implements Formula.
+func (g ForAllGuard) Eval(d *table.Database, env Env) (bool, error) {
+	rel := d.Relation(g.Rel)
+	if rel == nil {
+		return false, fmt.Errorf("logic: unknown relation %q", g.Rel)
+	}
+	if rel.Arity() != len(g.Vars) {
+		return false, fmt.Errorf("logic: guard %s binds %d variables, relation has arity %d", g.Rel, len(g.Vars), rel.Arity())
+	}
+	ok := true
+	var evalErr error
+	rel.Each(func(t table.Tuple) bool {
+		inner := cloneEnv(env)
+		for i, v := range g.Vars {
+			inner[v] = t[i]
+		}
+		b, err := g.Body.Eval(d, inner)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if !b {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if evalErr != nil {
+		return false, evalErr
+	}
+	return ok, nil
+}
+
+// FreeVars implements Formula.
+func (g ForAllGuard) FreeVars(bound, free map[string]bool) {
+	inner := cloneSet(bound)
+	for _, v := range g.Vars {
+		inner[v] = true
+	}
+	g.Body.FreeVars(inner, free)
+}
+
+// String implements Formula.
+func (g ForAllGuard) String() string {
+	return "∀" + strings.Join(g.Vars, ",") + "(" + g.Rel + "(" + strings.Join(g.Vars, ",") + ") → " + g.Body.String() + ")"
+}
+
+func quantify(d *table.Database, env Env, vars []string, body Formula, existential bool) (bool, error) {
+	dom := table.SortedValues(d.ActiveDomain())
+	if len(vars) == 0 {
+		return body.Eval(d, env)
+	}
+	cur := cloneEnv(env)
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(vars) {
+			return body.Eval(d, cur)
+		}
+		for _, v := range dom {
+			cur[vars[i]] = v
+			b, err := rec(i + 1)
+			if err != nil {
+				return false, err
+			}
+			if existential && b {
+				return true, nil
+			}
+			if !existential && !b {
+				return false, nil
+			}
+		}
+		delete(cur, vars[i])
+		return !existential, nil
+	}
+	return rec(0)
+}
+
+func cloneEnv(env Env) Env {
+	out := make(Env, len(env)+2)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s)+2)
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// FreeVariables returns the free variables of a formula, sorted.
+func FreeVariables(f Formula) []string {
+	free := map[string]bool{}
+	f.FreeVars(map[string]bool{}, free)
+	out := make([]string, 0, len(free))
+	for v := range free {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EvalSentence evaluates a sentence (a formula without free variables).
+func EvalSentence(f Formula, d *table.Database) (bool, error) {
+	if fv := FreeVariables(f); len(fv) > 0 {
+		return false, fmt.Errorf("logic: formula has free variables %v", fv)
+	}
+	return f.Eval(d, Env{})
+}

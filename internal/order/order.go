@@ -1,0 +1,305 @@
+// Package order implements the information orderings of Sections 3 and 5 of
+// the paper and the greatest-lower-bound constructions that turn certainty
+// into an object (certainO):
+//
+//	x ⪯ y  ⇔  [[y]] ⊆ [[x]]    ("y is more informative than x")
+//
+// For relational databases under OWA the ordering is the homomorphism
+// preorder, and greatest lower bounds of finite sets of databases exist and
+// are computed by the direct-product construction.  Under CWA the ordering
+// is the strong-onto-homomorphism preorder; lower bounds are checked
+// directly.  The paper's Section 5.3 example — where the intersection-based
+// certain answer fails to be a ⪯cwa lower bound — is reproduced in the
+// tests and in experiment E8.
+package order
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incdata/internal/hom"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// LeqOWA reports x ⪯owa y (a homomorphism x → y exists).
+func LeqOWA(x, y *table.Database) bool { return hom.LeqOWA(x, y) }
+
+// LeqCWA reports x ⪯cwa y (a strong onto homomorphism x → y exists).
+func LeqCWA(x, y *table.Database) bool { return hom.LeqCWA(x, y) }
+
+// LeqWCWA reports x ⪯wcwa y (an onto homomorphism x → y exists).
+func LeqWCWA(x, y *table.Database) bool { return hom.LeqWCWA(x, y) }
+
+// Ordering selects one of the information orderings.
+type Ordering uint8
+
+// The three orderings studied in the paper.
+const (
+	OWA Ordering = iota
+	CWA
+	WCWA
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case OWA:
+		return "⪯owa"
+	case CWA:
+		return "⪯cwa"
+	case WCWA:
+		return "⪯wcwa"
+	default:
+		return fmt.Sprintf("Ordering(%d)", uint8(o))
+	}
+}
+
+// Leq dispatches on the ordering.
+func Leq(o Ordering, x, y *table.Database) bool {
+	switch o {
+	case OWA:
+		return LeqOWA(x, y)
+	case CWA:
+		return LeqCWA(x, y)
+	case WCWA:
+		return LeqWCWA(x, y)
+	default:
+		return false
+	}
+}
+
+// IsLowerBound reports whether cand ⪯ d for every d in dbs.
+func IsLowerBound(o Ordering, cand *table.Database, dbs []*table.Database) bool {
+	for _, d := range dbs {
+		if !Leq(o, cand, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsGreatestLowerBound reports whether cand is a lower bound of dbs that is
+// at least as informative as every other candidate in others (a finite
+// verification of the glb property used by tests and experiments).
+func IsGreatestLowerBound(o Ordering, cand *table.Database, dbs, others []*table.Database) bool {
+	if !IsLowerBound(o, cand, dbs) {
+		return false
+	}
+	for _, other := range others {
+		if IsLowerBound(o, other, dbs) && !Leq(o, other, cand) {
+			return false
+		}
+	}
+	return true
+}
+
+// GLBOWA computes the greatest lower bound of a nonempty finite set of
+// databases in the ⪯owa (homomorphism) ordering via the direct-product
+// construction: the product database has one tuple per combination of
+// tuples (one from each input) in the same relation; positions where all
+// components agree on a constant keep that constant, all other positions
+// become a marked null identified by the vector of component values.
+//
+// The product is folded pairwise, reducing each intermediate result to its
+// core, so that the size of the GLB stays proportional to its information
+// content rather than growing as the product of all input sizes.  The
+// result is the certainO object for the set under OWA: it is below every
+// input, and every database below all inputs maps homomorphically into it.
+func GLBOWA(dbs []*table.Database) (*table.Database, error) {
+	if len(dbs) == 0 {
+		return nil, fmt.Errorf("order: GLB of an empty set is undefined")
+	}
+	if len(dbs) == 1 {
+		return dbs[0].Clone(), nil
+	}
+	acc := dbs[0].Clone()
+	for _, next := range dbs[1:] {
+		prod, err := directProduct([]*table.Database{acc, next})
+		if err != nil {
+			return nil, err
+		}
+		acc = coreIfSmall(prod)
+	}
+	return acc, nil
+}
+
+// coreNullBudget bounds the number of nulls for which intermediate core
+// reduction is attempted.  Core computation performs repeated homomorphism
+// searches, which are exponential in the number of nulls in the worst case;
+// beyond the budget the raw product is kept — it is still a greatest lower
+// bound, just not the minimal representative.
+const coreNullBudget = 12
+
+func coreIfSmall(d *table.Database) *table.Database {
+	if len(d.Nulls()) > coreNullBudget {
+		return d
+	}
+	return hom.Core(d)
+}
+
+// directProduct builds the direct product of the given databases (two or
+// more) without any reduction.
+func directProduct(dbs []*table.Database) (*table.Database, error) {
+	first := dbs[0]
+	out := table.NewDatabase(first.Schema())
+	// Null ids for combination vectors are allocated deterministically.
+	nullFor := map[string]value.Value{}
+	nextID := maxNullID(dbs) + 1
+	combinationNull := func(key string) value.Value {
+		if n, ok := nullFor[key]; ok {
+			return n
+		}
+		n := value.Null(nextID)
+		nextID++
+		nullFor[key] = n
+		return n
+	}
+
+	for _, relName := range first.RelationNames() {
+		arity := first.Relation(relName).Arity()
+		// Tuple lists per database; if any database has an empty relation the
+		// product is empty.
+		lists := make([][]table.Tuple, len(dbs))
+		empty := false
+		for i, d := range dbs {
+			rel := d.Relation(relName)
+			if rel == nil || rel.Len() == 0 {
+				empty = true
+				break
+			}
+			lists[i] = rel.Tuples()
+		}
+		if empty {
+			continue
+		}
+		// Enumerate the cartesian product of the tuple lists.
+		idx := make([]int, len(dbs))
+		for {
+			combined := make(table.Tuple, arity)
+			for pos := 0; pos < arity; pos++ {
+				vals := make([]value.Value, len(dbs))
+				allSameConst := true
+				for i := range dbs {
+					vals[i] = lists[i][idx[i]][pos]
+					if vals[i].IsNull() || vals[i] != vals[0] {
+						allSameConst = false
+					}
+				}
+				if allSameConst {
+					combined[pos] = vals[0]
+				} else {
+					combined[pos] = combinationNull(vectorKey(vals))
+				}
+			}
+			if err := out.Add(relName, combined); err != nil {
+				return nil, err
+			}
+			// Advance the odometer.
+			i := len(idx) - 1
+			for i >= 0 {
+				idx[i]++
+				if idx[i] < len(lists[i]) {
+					break
+				}
+				idx[i] = 0
+				i--
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func vectorKey(vals []value.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func maxNullID(dbs []*table.Database) uint64 {
+	var max uint64
+	for _, d := range dbs {
+		for n := range d.Nulls() {
+			if n.NullID() > max {
+				max = n.NullID()
+			}
+		}
+	}
+	return max
+}
+
+// GLBRelationsOWA is GLBOWA specialised to single relations sharing a
+// schema; it is convenient for query answers, which are relations rather
+// than databases.  The raw direct product contains many hom-redundant
+// tuples, so the result is reduced to its core, giving a small canonical
+// representative of the greatest lower bound (unique up to isomorphism).
+func GLBRelationsOWA(rels []*table.Relation) (*table.Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("order: GLB of an empty set is undefined")
+	}
+	dbs := make([]*table.Database, len(rels))
+	for i, r := range rels {
+		d, err := singletonDB(r)
+		if err != nil {
+			return nil, err
+		}
+		dbs[i] = d
+	}
+	glb, err := GLBOWA(dbs)
+	if err != nil {
+		return nil, err
+	}
+	return coreIfSmall(glb).Relation(answerRelName), nil
+}
+
+// IntersectionRelations computes the plain tuple intersection of relations,
+// which is the standard intersection-based certain answer (equation (1) of
+// the paper) when applied to the query answers over all worlds.  It is
+// provided for comparison with the ordering-based notions.
+func IntersectionRelations(rels []*table.Relation) (*table.Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("order: intersection of an empty set is undefined")
+	}
+	out := rels[0].Clone()
+	for _, r := range rels[1:] {
+		if r.Arity() != out.Arity() {
+			return nil, fmt.Errorf("order: intersection of arities %d and %d", out.Arity(), r.Arity())
+		}
+		out = out.Filter(func(t table.Tuple) bool { return r.Contains(t) })
+	}
+	return out, nil
+}
+
+const answerRelName = "__answer__"
+
+func singletonDB(r *table.Relation) (*table.Database, error) {
+	s, err := newSingletonSchema(r.Arity())
+	if err != nil {
+		return nil, err
+	}
+	d := table.NewDatabase(s)
+	for _, t := range r.Tuples() {
+		if err := d.Add(answerRelName, t); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// MoreInformativeSort orders databases from least to most informative under
+// the given ordering using a stable topological-ish sort: d1 before d2 when
+// d1 ⪯ d2 and not d2 ⪯ d1.  Ties keep the input order.  It is a reporting
+// convenience for the experiments.
+func MoreInformativeSort(o Ordering, dbs []*table.Database) []*table.Database {
+	out := append([]*table.Database(nil), dbs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return Leq(o, out[i], out[j]) && !Leq(o, out[j], out[i])
+	})
+	return out
+}

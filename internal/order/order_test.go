@@ -1,0 +1,220 @@
+package order
+
+import (
+	"testing"
+
+	"incdata/internal/hom"
+	"incdata/internal/schema"
+	"incdata/internal/table"
+)
+
+func db(t *testing.T, rows ...[]string) *table.Database {
+	t.Helper()
+	arity := 2
+	if len(rows) > 0 {
+		arity = len(rows[0])
+	}
+	s := schema.MustNew(schema.WithArity("R", arity))
+	d := table.NewDatabase(s)
+	for _, r := range rows {
+		d.MustAddRow("R", r...)
+	}
+	return d
+}
+
+func rel(t *testing.T, rows ...[]string) *table.Relation {
+	t.Helper()
+	arity := 2
+	if len(rows) > 0 {
+		arity = len(rows[0])
+	}
+	r := table.NewRelationArity("A", arity)
+	for _, row := range rows {
+		r.MustAdd(table.MustParseTuple(row...))
+	}
+	return r
+}
+
+func TestOrderingDispatchAndString(t *testing.T) {
+	x := db(t, []string{"1", "⊥1"})
+	y := db(t, []string{"1", "2"})
+	if !Leq(OWA, x, y) || !Leq(CWA, x, y) || !Leq(WCWA, x, y) {
+		t.Error("x should be below its valuation image in all orderings")
+	}
+	if Leq(Ordering(99), x, y) {
+		t.Error("unknown ordering should be false")
+	}
+	if OWA.String() != "⪯owa" || CWA.String() != "⪯cwa" || WCWA.String() != "⪯wcwa" || Ordering(99).String() == "" {
+		t.Error("Ordering strings wrong")
+	}
+	if !LeqOWA(x, y) || !LeqCWA(x, y) || !LeqWCWA(x, y) {
+		t.Error("direct ordering functions disagree")
+	}
+}
+
+// Section 5.3: R = {(1,2),(2,⊥)} and the intersection-based certain answer
+// {(1,2)}.  Under ⪯owa the intersection is a lower bound of every
+// valuation image; under ⪯cwa it is not.
+func TestPaperSection53Example(t *testing.T) {
+	worlds := []*table.Database{
+		db(t, []string{"1", "2"}, []string{"2", "5"}),
+		db(t, []string{"1", "2"}, []string{"2", "6"}),
+		db(t, []string{"1", "2"}, []string{"2", "2"}),
+	}
+	intersection := db(t, []string{"1", "2"})
+	r := db(t, []string{"1", "2"}, []string{"2", "⊥1"})
+
+	if !IsLowerBound(OWA, intersection, worlds) {
+		t.Error("{(1,2)} should be a ⪯owa lower bound of the worlds")
+	}
+	if IsLowerBound(CWA, intersection, worlds) {
+		t.Error("{(1,2)} must NOT be a ⪯cwa lower bound — the paper's point")
+	}
+	if !IsLowerBound(CWA, r, worlds) {
+		t.Error("R itself is a ⪯cwa lower bound of its worlds")
+	}
+	if !IsLowerBound(OWA, r, worlds) {
+		t.Error("R is also a ⪯owa lower bound")
+	}
+	// R is a greater lower bound than the intersection under OWA.
+	if !Leq(OWA, intersection, r) {
+		t.Error("intersection ⪯owa R should hold")
+	}
+}
+
+func TestGLBOWAOfValuationImages(t *testing.T) {
+	// GLB of all valuation images of R = {(1,⊥)} over a couple of worlds
+	// should be hom-equivalent to R itself (certainO[[R]] = R).
+	r := db(t, []string{"1", "⊥1"})
+	worlds := []*table.Database{
+		db(t, []string{"1", "5"}),
+		db(t, []string{"1", "6"}),
+		db(t, []string{"1", "7"}),
+	}
+	glb, err := GLBOWA(worlds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsLowerBound(OWA, glb, worlds) {
+		t.Fatal("GLB must be a lower bound")
+	}
+	// r is also a lower bound, and must be ⪯owa the GLB; and vice versa.
+	if !Leq(OWA, r, glb) || !Leq(OWA, glb, r) {
+		t.Errorf("GLB %v should be hom-equivalent to %v", glb, r)
+	}
+	if !IsGreatestLowerBound(OWA, glb, worlds, []*table.Database{r, db(t, []string{"1", "5"})}) {
+		t.Error("GLB should be greatest among the candidates")
+	}
+	if IsGreatestLowerBound(OWA, db(t, []string{"9", "9"}), worlds, nil) {
+		t.Error("unrelated database is not even a lower bound")
+	}
+}
+
+func TestGLBOWAConstantAgreement(t *testing.T) {
+	// Worlds agreeing on a constant position keep the constant; disagreeing
+	// positions become shared nulls that remember the disagreement pattern.
+	a := db(t, []string{"1", "2"}, []string{"3", "4"})
+	b := db(t, []string{"1", "2"}, []string{"3", "5"})
+	glb, err := GLBOWA([]*table.Database{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !glb.Relation("R").Contains(table.MustParseTuple("1", "2")) {
+		t.Errorf("GLB should keep the common tuple (1,2): %v", glb)
+	}
+	if !IsLowerBound(OWA, glb, []*table.Database{a, b}) {
+		t.Error("GLB must be a lower bound")
+	}
+	// The common certain tuple database is a lower bound and must embed in glb.
+	common := db(t, []string{"1", "2"})
+	if !Leq(OWA, common, glb) {
+		t.Error("common part should be below the GLB")
+	}
+}
+
+func TestGLBOWAEdgeCases(t *testing.T) {
+	if _, err := GLBOWA(nil); err == nil {
+		t.Error("GLB of empty set should error")
+	}
+	single := db(t, []string{"1", "2"})
+	glb, err := GLBOWA([]*table.Database{single})
+	if err != nil || !glb.Equal(single) {
+		t.Error("GLB of a singleton is the database itself")
+	}
+	// Empty relation in one input makes the product relation empty.
+	withEmpty := []*table.Database{db(t, []string{"1", "2"}), db(t)}
+	glb2, err := GLBOWA(withEmpty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glb2.TotalTuples() != 0 {
+		t.Errorf("GLB with an empty input relation should be empty, got %v", glb2)
+	}
+	// Shared nulls across positions: same disagreement vector gives the same null.
+	a := db(t, []string{"1", "1"})
+	b := db(t, []string{"2", "2"})
+	glb3, _ := GLBOWA([]*table.Database{a, b})
+	ts := glb3.Relation("R").Tuples()
+	if len(ts) != 1 || ts[0][0] != ts[0][1] {
+		t.Errorf("disagreement vector (1,2) should map to one shared null: %v", ts)
+	}
+	if !ts[0][0].IsNull() {
+		t.Error("disagreeing position should be a null")
+	}
+}
+
+func TestGLBRelationsAndIntersection(t *testing.T) {
+	rels := []*table.Relation{
+		rel(t, []string{"1", "2"}, []string{"2", "5"}),
+		rel(t, []string{"1", "2"}, []string{"2", "6"}),
+	}
+	glb, err := GLBRelationsOWA(rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !glb.Contains(table.MustParseTuple("1", "2")) {
+		t.Errorf("GLB relation should contain (1,2): %v", glb)
+	}
+	// It should also contain a tuple (2,⊥) for the disagreeing pair — i.e.
+	// strictly more information than the intersection.
+	hasPartial := false
+	for _, tp := range glb.Tuples() {
+		if tp[0] == table.MustParseTuple("2")[0] && tp[1].IsNull() {
+			hasPartial = true
+		}
+	}
+	if !hasPartial {
+		t.Errorf("GLB should remember the partially known tuple (2,⊥): %v", glb)
+	}
+
+	inter, err := IntersectionRelations(rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.Len() != 1 || !inter.Contains(table.MustParseTuple("1", "2")) {
+		t.Errorf("intersection = %v", inter)
+	}
+	if _, err := GLBRelationsOWA(nil); err == nil {
+		t.Error("GLB of empty relation set should error")
+	}
+	if _, err := IntersectionRelations(nil); err == nil {
+		t.Error("intersection of empty set should error")
+	}
+	if _, err := IntersectionRelations([]*table.Relation{rel(t, []string{"1", "2"}), table.NewRelationArity("B", 1)}); err == nil {
+		t.Error("intersection with arity mismatch should error")
+	}
+}
+
+func TestMoreInformativeSort(t *testing.T) {
+	least := db(t, []string{"⊥1", "⊥2"})
+	mid := db(t, []string{"1", "⊥1"})
+	most := db(t, []string{"1", "2"})
+	sorted := MoreInformativeSort(OWA, []*table.Database{most, least, mid})
+	if !sorted[0].Equal(least) || !sorted[2].Equal(most) {
+		t.Errorf("sort order wrong: %v", sorted)
+	}
+	// Sanity: ordering is consistent with hom package.
+	if !hom.Exists(least, mid) || !hom.Exists(mid, most) {
+		t.Error("expected homomorphisms missing")
+	}
+}

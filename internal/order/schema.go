@@ -1,0 +1,10 @@
+package order
+
+import "incdata/internal/schema"
+
+// newSingletonSchema builds the throwaway schema used to wrap a single
+// answer relation into a database so that the database-level GLB machinery
+// can be reused for relations.
+func newSingletonSchema(arity int) (*schema.Schema, error) {
+	return schema.New(schema.WithArity(answerRelName, arity))
+}

@@ -1,0 +1,322 @@
+// Package queryparse parses a small textual query language into
+// relational-algebra expressions (package ra).  It exists for the incq CLI,
+// so that queries over CSV data can be written on the command line.
+//
+// Grammar (whitespace-insensitive):
+//
+//	expr  := NAME
+//	       | project(expr ; attr, ...)
+//	       | select(expr ; cond)
+//	       | rename(expr ; NewName)            -- keep attributes
+//	       | rename(expr ; NewName ; a, b, ...) -- rename attributes too
+//	       | join(expr , expr)      | product(expr , expr)
+//	       | union(expr , expr)     | diff(expr , expr)
+//	       | intersect(expr , expr) | divide(expr , expr)
+//	cond  := cmp ( '&' cmp )*   or   cmp ( '|' cmp )*    (no mixing)
+//	cmp   := operand op operand          op ∈ { =, !=, <, <=, >, >= }
+//	operand := attribute | 123 (int) | 'text' (string constant)
+//
+// Example:  project(select(diff(Order2, Paid); product = 'pr1'); o_id)
+package queryparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"incdata/internal/ra"
+	"incdata/internal/value"
+)
+
+// Parse parses a query expression.
+func Parse(input string) (ra.Expr, error) {
+	p := &parser{input: input}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("queryparse: trailing input at offset %d: %q", p.pos, p.input[p.pos:])
+	}
+	return e, nil
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("queryparse: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.input) {
+		return p.input[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := rune(p.input[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '#' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected an identifier")
+	}
+	return p.input[start:p.pos], nil
+}
+
+var binaryOps = map[string]func(l, r ra.Expr) ra.Expr{
+	"join":      func(l, r ra.Expr) ra.Expr { return ra.Join{Left: l, Right: r} },
+	"product":   func(l, r ra.Expr) ra.Expr { return ra.Product{Left: l, Right: r} },
+	"union":     func(l, r ra.Expr) ra.Expr { return ra.Union{Left: l, Right: r} },
+	"diff":      func(l, r ra.Expr) ra.Expr { return ra.Diff{Left: l, Right: r} },
+	"intersect": func(l, r ra.Expr) ra.Expr { return ra.Intersect{Left: l, Right: r} },
+	"divide":    func(l, r ra.Expr) ra.Expr { return ra.Division{Left: l, Right: r} },
+}
+
+func (p *parser) parseExpr() (ra.Expr, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() != '(' {
+		return ra.Base(name), nil
+	}
+	lower := strings.ToLower(name)
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	switch lower {
+	case "project":
+		return p.parseProject()
+	case "select":
+		return p.parseSelect()
+	case "rename":
+		return p.parseRename()
+	default:
+		build, ok := binaryOps[lower]
+		if !ok {
+			return nil, p.errf("unknown operator %q", name)
+		}
+		left, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		right, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return build(left, right), nil
+	}
+}
+
+func (p *parser) parseProject() (ra.Expr, error) {
+	input, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, err
+	}
+	attrs, err := p.attrList(')')
+	if err != nil {
+		return nil, err
+	}
+	return ra.Project{Input: input, Attrs: attrs}, nil
+}
+
+func (p *parser) parseRename() (ra.Expr, error) {
+	input, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, err
+	}
+	newName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() == ')' {
+		p.pos++
+		return ra.Rename{Input: input, As: newName}, nil
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, err
+	}
+	attrs, err := p.attrList(')')
+	if err != nil {
+		return nil, err
+	}
+	return ra.Rename{Input: input, As: newName, Attrs: attrs}, nil
+}
+
+func (p *parser) parseSelect() (ra.Expr, error) {
+	input, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, err
+	}
+	pred, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return ra.Select{Input: input, Pred: pred}, nil
+}
+
+func (p *parser) attrList(end byte) ([]string, error) {
+	var attrs []string
+	for {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case end:
+			p.pos++
+			return attrs, nil
+		default:
+			return nil, p.errf("expected ',' or %q in attribute list", string(end))
+		}
+	}
+}
+
+func (p *parser) parseCond() (ra.Predicate, error) {
+	first, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	preds := []ra.Predicate{first}
+	connective := byte(0)
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c != '&' && c != '|' {
+			break
+		}
+		if connective == 0 {
+			connective = c
+		} else if connective != c {
+			return nil, p.errf("cannot mix '&' and '|' without parentheses")
+		}
+		p.pos++
+		next, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, next)
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	if connective == '&' {
+		return ra.AllOf(preds...), nil
+	}
+	return ra.AnyOf(preds...), nil
+}
+
+var cmpOps = []struct {
+	text string
+	op   ra.CmpOp
+}{
+	{"!=", ra.NEQ}, {"<=", ra.LEQ}, {">=", ra.GEQ},
+	{"=", ra.EQ}, {"<", ra.LT}, {">", ra.GT},
+}
+
+func (p *parser) parseCmp() (ra.Predicate, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	for _, c := range cmpOps {
+		if strings.HasPrefix(p.input[p.pos:], c.text) {
+			p.pos += len(c.text)
+			right, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			return ra.Cmp{Left: left, Op: c.op, Right: right}, nil
+		}
+	}
+	return nil, p.errf("expected a comparison operator")
+}
+
+func (p *parser) parseOperand() (ra.Operand, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '\'':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.input) && p.input[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.input) {
+			return ra.Operand{}, p.errf("unterminated string literal")
+		}
+		s := p.input[start:p.pos]
+		p.pos++
+		return ra.LitString(s), nil
+	case c == '-' || unicode.IsDigit(rune(c)):
+		start := p.pos
+		p.pos++
+		for p.pos < len(p.input) && unicode.IsDigit(rune(p.input[p.pos])) {
+			p.pos++
+		}
+		i, err := strconv.ParseInt(p.input[start:p.pos], 10, 64)
+		if err != nil {
+			return ra.Operand{}, p.errf("bad integer literal: %v", err)
+		}
+		return ra.Lit(value.Int(i)), nil
+	default:
+		a, err := p.ident()
+		if err != nil {
+			return ra.Operand{}, err
+		}
+		return ra.Attr(a), nil
+	}
+}

@@ -1,0 +1,158 @@
+package ra
+
+// Fragment classification (Section 2 and Section 6.2 of the paper).
+//
+// Positive relational algebra (σ=,π,×,⋈,∪, with equality-only selection
+// conditions) is the algebraic counterpart of unions of conjunctive queries
+// (UCQ); naïve evaluation computes certain answers for it under both OWA
+// and CWA.
+//
+// RAcwa extends the positive algebra with the division operator Q ÷ Q'
+// where the divisor Q' belongs to RA(Δ,π,×,∪) — base relations and Δ closed
+// under π, × and ∪.  RAcwa coincides with Pos∀G (positive FO with universal
+// guards), and naïve evaluation computes certain answers for it under CWA.
+
+// IsPositive reports whether the expression belongs to the positive
+// relational algebra: no difference, no intersection-free requirement
+// (intersection is positive), no division, and selection predicates built
+// from =, ∧, ∨ only.
+func IsPositive(e Expr) bool {
+	switch ex := e.(type) {
+	case Rel, Delta:
+		return true
+	case Select:
+		return ex.Pred.positive() && IsPositive(ex.Input)
+	case Project:
+		return IsPositive(ex.Input)
+	case Rename:
+		return IsPositive(ex.Input)
+	case Product:
+		return IsPositive(ex.Left) && IsPositive(ex.Right)
+	case Join:
+		return IsPositive(ex.Left) && IsPositive(ex.Right)
+	case Union:
+		return IsPositive(ex.Left) && IsPositive(ex.Right)
+	case Intersect:
+		return IsPositive(ex.Left) && IsPositive(ex.Right)
+	case Diff, Division:
+		return false
+	default:
+		return false
+	}
+}
+
+// isDeltaPiProductUnion reports membership in RA(Δ,π,×,∪): base relations
+// and Δ closed under projection, product, union and renaming (renaming is
+// harmless relabelling).
+func isDeltaPiProductUnion(e Expr) bool {
+	switch ex := e.(type) {
+	case Rel, Delta:
+		return true
+	case Project:
+		return isDeltaPiProductUnion(ex.Input)
+	case Rename:
+		return isDeltaPiProductUnion(ex.Input)
+	case Product:
+		return isDeltaPiProductUnion(ex.Left) && isDeltaPiProductUnion(ex.Right)
+	case Union:
+		return isDeltaPiProductUnion(ex.Left) && isDeltaPiProductUnion(ex.Right)
+	default:
+		return false
+	}
+}
+
+// IsRAcwa reports whether the expression belongs to RAcwa: closed under
+// σ=,π,×,⋈,∪,∩ (no difference), plus division Q ÷ Q' with Q' in
+// RA(Δ,π,×,∪).  Naïve evaluation computes certain answers for RAcwa
+// queries under the closed-world semantics (Section 6.2).
+func IsRAcwa(e Expr) bool {
+	switch ex := e.(type) {
+	case Rel, Delta:
+		return true
+	case Select:
+		return ex.Pred.positive() && IsRAcwa(ex.Input)
+	case Project:
+		return IsRAcwa(ex.Input)
+	case Rename:
+		return IsRAcwa(ex.Input)
+	case Product:
+		return IsRAcwa(ex.Left) && IsRAcwa(ex.Right)
+	case Join:
+		return IsRAcwa(ex.Left) && IsRAcwa(ex.Right)
+	case Union:
+		return IsRAcwa(ex.Left) && IsRAcwa(ex.Right)
+	case Intersect:
+		return IsRAcwa(ex.Left) && IsRAcwa(ex.Right)
+	case Division:
+		return IsRAcwa(ex.Left) && isDeltaPiProductUnion(ex.Right)
+	case Diff:
+		return false
+	default:
+		return false
+	}
+}
+
+// UsesDifference reports whether the expression contains a difference
+// operator anywhere.
+func UsesDifference(e Expr) bool {
+	switch ex := e.(type) {
+	case Rel, Delta:
+		return false
+	case Select:
+		return UsesDifference(ex.Input)
+	case Project:
+		return UsesDifference(ex.Input)
+	case Rename:
+		return UsesDifference(ex.Input)
+	case Product:
+		return UsesDifference(ex.Left) || UsesDifference(ex.Right)
+	case Join:
+		return UsesDifference(ex.Left) || UsesDifference(ex.Right)
+	case Union:
+		return UsesDifference(ex.Left) || UsesDifference(ex.Right)
+	case Intersect:
+		return UsesDifference(ex.Left) || UsesDifference(ex.Right)
+	case Division:
+		return UsesDifference(ex.Left) || UsesDifference(ex.Right)
+	case Diff:
+		return true
+	default:
+		return false
+	}
+}
+
+// Fragment names the finest query class an expression is known to belong
+// to, for reporting purposes.
+type Fragment string
+
+// Fragments, from most to least restrictive.
+const (
+	FragmentPositive Fragment = "positive (UCQ)"
+	FragmentRAcwa    Fragment = "RAcwa (Pos∀G)"
+	FragmentFull     Fragment = "full relational algebra"
+)
+
+// Classify returns the finest fragment containing the expression.
+func Classify(e Expr) Fragment {
+	if IsPositive(e) {
+		return FragmentPositive
+	}
+	if IsRAcwa(e) {
+		return FragmentRAcwa
+	}
+	return FragmentFull
+}
+
+// NaiveEvalSound reports whether naïve evaluation (followed by null
+// stripping) is guaranteed by the results of Section 6.2 to compute certain
+// answers under the given closed-world flag: positive queries under OWA,
+// positive and RAcwa queries under CWA.
+func NaiveEvalSound(e Expr, closedWorld bool) bool {
+	if IsPositive(e) {
+		return true
+	}
+	if closedWorld && IsRAcwa(e) {
+		return true
+	}
+	return false
+}

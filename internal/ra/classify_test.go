@@ -1,0 +1,153 @@
+package ra
+
+import "testing"
+
+func TestClassify(t *testing.T) {
+	posQueries := []Expr{
+		Base("R"),
+		Delta{},
+		Select{Input: Base("R"), Pred: Eq(Attr("a"), LitInt(1))},
+		Select{Input: Base("R"), Pred: AllOf(Eq(Attr("a"), LitInt(1)), AnyOf(Eq(Attr("b"), LitInt(2))))},
+		Project{Input: Join{Left: Base("R"), Right: Base("S")}, Attrs: []string{"a"}},
+		Union{Left: Base("R"), Right: Rename{Input: Base("R"), As: "R2"}},
+		Intersect{Left: Base("R"), Right: Base("R")},
+		Product{Left: Base("R"), Right: Base("S")},
+	}
+	for _, q := range posQueries {
+		if !IsPositive(q) {
+			t.Errorf("%s should be positive", q)
+		}
+		if !IsRAcwa(q) {
+			t.Errorf("%s should be in RAcwa (positive ⊆ RAcwa)", q)
+		}
+		if Classify(q) != FragmentPositive {
+			t.Errorf("%s should classify as positive", q)
+		}
+		if UsesDifference(q) {
+			t.Errorf("%s should not use difference", q)
+		}
+		if !NaiveEvalSound(q, false) || !NaiveEvalSound(q, true) {
+			t.Errorf("naïve evaluation should be sound for %s under both semantics", q)
+		}
+	}
+
+	// Division by a base relation: RAcwa but not positive.
+	div := Division{Left: Base("Enroll"), Right: Base("Course")}
+	if IsPositive(div) {
+		t.Error("division is not positive")
+	}
+	if !IsRAcwa(div) {
+		t.Error("division by a base relation is in RAcwa")
+	}
+	if Classify(div) != FragmentRAcwa {
+		t.Error("division should classify as RAcwa")
+	}
+	if NaiveEvalSound(div, false) {
+		t.Error("naïve evaluation for division is not known sound under OWA")
+	}
+	if !NaiveEvalSound(div, true) {
+		t.Error("naïve evaluation for division is sound under CWA")
+	}
+
+	// Division by an RA(Δ,π,×,∪) expression is still RAcwa.
+	div2 := Division{
+		Left:  Base("Enroll"),
+		Right: Union{Left: Project{Input: Base("Course"), Attrs: []string{"course"}}, Right: Project{Input: Delta{Attr1: "course", Attr2: "c2"}, Attrs: []string{"course"}}},
+	}
+	if !IsRAcwa(div2) {
+		t.Error("division by RA(Δ,π,×,∪) divisor should be RAcwa")
+	}
+
+	// Division by a selection is not RAcwa (selection not allowed in the divisor).
+	div3 := Division{Left: Base("Enroll"), Right: Select{Input: Base("Course"), Pred: True{}}}
+	if IsRAcwa(div3) {
+		t.Error("division by a selection is outside RAcwa")
+	}
+
+	// Difference is outside both fragments.
+	diff := Diff{Left: Base("R"), Right: Base("S")}
+	if IsPositive(diff) || IsRAcwa(diff) {
+		t.Error("difference must not be positive or RAcwa")
+	}
+	if Classify(diff) != FragmentFull {
+		t.Error("difference should classify as full RA")
+	}
+	if !UsesDifference(diff) || !UsesDifference(Project{Input: diff, Attrs: []string{"a"}}) {
+		t.Error("UsesDifference should detect nested difference")
+	}
+	if NaiveEvalSound(diff, true) || NaiveEvalSound(diff, false) {
+		t.Error("naïve evaluation is not sound for difference")
+	}
+
+	// Selections with ≠ or ¬ leave the positive fragment.
+	neq := Select{Input: Base("R"), Pred: Neq(Attr("a"), Attr("b"))}
+	if IsPositive(neq) {
+		t.Error("≠ selection is not positive")
+	}
+	neg := Select{Input: Base("R"), Pred: Negate(Eq(Attr("a"), LitInt(1)))}
+	if IsPositive(neg) || IsRAcwa(neg) {
+		t.Error("negated selection is not positive/RAcwa")
+	}
+
+	// Nested structures propagate.
+	nested := Union{Left: Base("R"), Right: Diff{Left: Base("R"), Right: Base("S")}}
+	if IsPositive(nested) || IsRAcwa(nested) || !UsesDifference(nested) {
+		t.Error("nested difference classification wrong")
+	}
+	nestedDiv := Project{Input: Division{Left: Base("Enroll"), Right: Base("Course")}, Attrs: []string{"student"}}
+	if IsPositive(nestedDiv) || !IsRAcwa(nestedDiv) || UsesDifference(nestedDiv) {
+		t.Error("nested division classification wrong")
+	}
+	// Division whose dividend uses difference.
+	mixedDiv := Division{Left: Diff{Left: Base("Enroll"), Right: Base("Enroll")}, Right: Base("Course")}
+	if IsRAcwa(mixedDiv) || !UsesDifference(mixedDiv) {
+		t.Error("division over a difference is not RAcwa")
+	}
+	// Intersect/Join/Select/Rename/Product/Delta paths of UsesDifference.
+	if UsesDifference(Intersect{Left: Base("R"), Right: Base("S")}) ||
+		UsesDifference(Join{Left: Base("R"), Right: Base("S")}) ||
+		UsesDifference(Select{Input: Base("R"), Pred: True{}}) ||
+		UsesDifference(Rename{Input: Base("R"), As: "X"}) ||
+		UsesDifference(Product{Left: Base("R"), Right: Base("S")}) ||
+		UsesDifference(Delta{}) {
+		t.Error("UsesDifference false positives")
+	}
+	if UsesDifference(Union{Left: Base("R"), Right: Base("S")}) {
+		t.Error("union without difference misreported")
+	}
+	if !UsesDifference(Union{Left: Diff{Left: Base("R"), Right: Base("S")}, Right: Base("S")}) {
+		t.Error("difference under union missed")
+	}
+}
+
+func TestClassifyRenameAndRAcwaPaths(t *testing.T) {
+	// Renames are transparent for all classifications.
+	q := Rename{Input: Division{Left: Base("Enroll"), Right: Base("Course")}, As: "Q"}
+	if IsPositive(q) || !IsRAcwa(q) {
+		t.Error("rename over division misclassified")
+	}
+	// RAcwa closed under intersection and join over divisions.
+	q2 := Intersect{
+		Left:  Project{Input: Base("Enroll"), Attrs: []string{"student"}},
+		Right: Division{Left: Base("Enroll"), Right: Base("Course")},
+	}
+	if !IsRAcwa(q2) || IsPositive(q2) {
+		t.Error("intersection with division misclassified")
+	}
+	// isDeltaPiProductUnion: product and rename inside divisor are fine,
+	// join is not.
+	div := Division{
+		Left: Base("Enroll"),
+		Right: Project{
+			Input: Product{Left: Rename{Input: Base("Course"), As: "C1", Attrs: []string{"c1"}}, Right: Rename{Input: Base("Course"), As: "C2", Attrs: []string{"course"}}},
+			Attrs: []string{"course"},
+		},
+	}
+	if !IsRAcwa(div) {
+		t.Error("divisor in RA(Δ,π,×,∪) with product/rename should be allowed")
+	}
+	badDiv := Division{Left: Base("Enroll"), Right: Join{Left: Base("Course"), Right: Base("Course")}}
+	if IsRAcwa(badDiv) {
+		t.Error("join in divisor is outside RA(Δ,π,×,∪)")
+	}
+}

@@ -1,0 +1,362 @@
+package ra
+
+import (
+	"fmt"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// Eval evaluates the expression against a database using naïve evaluation:
+// nulls are ordinary values with marked-null identity.  On complete
+// databases this is standard relational-algebra evaluation.
+func Eval(e Expr, d *table.Database) (*table.Relation, error) {
+	out, err := eval(e, d)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MustEval is Eval that panics on error; intended for examples and tests.
+func MustEval(e Expr, d *table.Database) *table.Relation {
+	r, err := Eval(e, d)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// EvalBool evaluates a Boolean query: the expression is evaluated and the
+// answer is "true" iff the result is nonempty.  This matches the standard
+// encoding of Boolean queries in relational algebra.
+func EvalBool(e Expr, d *table.Database) (bool, error) {
+	r, err := Eval(e, d)
+	if err != nil {
+		return false, err
+	}
+	return r.Len() > 0, nil
+}
+
+func eval(e Expr, d *table.Database) (*table.Relation, error) {
+	switch ex := e.(type) {
+	case Rel:
+		rel := d.Relation(ex.Name)
+		if rel == nil {
+			return nil, fmt.Errorf("ra: unknown relation %q", ex.Name)
+		}
+		return rel.Clone(), nil
+
+	case Select:
+		in, err := eval(ex.Input, d)
+		if err != nil {
+			return nil, err
+		}
+		rs := in.Schema()
+		if err := ex.Pred.validate(rs); err != nil {
+			return nil, err
+		}
+		return in.Filter(func(t table.Tuple) bool { return ex.Pred.Holds(t, rs) }), nil
+
+	case Project:
+		in, err := eval(ex.Input, d)
+		if err != nil {
+			return nil, err
+		}
+		rs := in.Schema()
+		idx := make([]int, len(ex.Attrs))
+		for i, a := range ex.Attrs {
+			j := rs.AttrIndex(a)
+			if j < 0 {
+				return nil, fmt.Errorf("ra: projection attribute %q not in %s", a, rs)
+			}
+			idx[i] = j
+		}
+		outSchema := schema.NewRelation("π("+rs.Name+")", ex.Attrs...)
+		out := table.NewRelation(outSchema)
+		in.Each(func(t table.Tuple) bool {
+			out.MustAdd(t.Project(idx...))
+			return true
+		})
+		return out, nil
+
+	case Rename:
+		in, err := eval(ex.Input, d)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := ex.OutSchemaFromInput(in.Schema())
+		if err != nil {
+			return nil, err
+		}
+		out := table.NewRelation(rs)
+		in.Each(func(t table.Tuple) bool {
+			out.MustAdd(t)
+			return true
+		})
+		return out, nil
+
+	case Product:
+		l, err := eval(ex.Left, d)
+		if err != nil {
+			return nil, err
+		}
+		r, err := eval(ex.Right, d)
+		if err != nil {
+			return nil, err
+		}
+		ls, rsch := l.Schema(), r.Schema()
+		for _, a := range rsch.Attrs {
+			if ls.HasAttr(a) {
+				return nil, fmt.Errorf("ra: product attribute clash on %q", a)
+			}
+		}
+		attrs := append(append([]string{}, ls.Attrs...), rsch.Attrs...)
+		out := table.NewRelation(schema.NewRelation("("+ls.Name+"×"+rsch.Name+")", attrs...))
+		l.Each(func(lt table.Tuple) bool {
+			r.Each(func(rt table.Tuple) bool {
+				out.MustAdd(lt.Concat(rt))
+				return true
+			})
+			return true
+		})
+		return out, nil
+
+	case Join:
+		return evalJoin(ex, d)
+
+	case Union:
+		l, r, err := evalPair(ex.Left, ex.Right, d, "∪")
+		if err != nil {
+			return nil, err
+		}
+		out := table.NewRelation(schema.NewRelation("("+l.Name()+"∪"+r.Name()+")", l.Schema().Attrs...))
+		l.Each(func(t table.Tuple) bool { out.MustAdd(t); return true })
+		r.Each(func(t table.Tuple) bool { out.MustAdd(t); return true })
+		return out, nil
+
+	case Diff:
+		l, r, err := evalPair(ex.Left, ex.Right, d, "−")
+		if err != nil {
+			return nil, err
+		}
+		out := table.NewRelation(schema.NewRelation("("+l.Name()+"−"+r.Name()+")", l.Schema().Attrs...))
+		l.Each(func(t table.Tuple) bool {
+			if !r.Contains(t) {
+				out.MustAdd(t)
+			}
+			return true
+		})
+		return out, nil
+
+	case Intersect:
+		l, r, err := evalPair(ex.Left, ex.Right, d, "∩")
+		if err != nil {
+			return nil, err
+		}
+		out := table.NewRelation(schema.NewRelation("("+l.Name()+"∩"+r.Name()+")", l.Schema().Attrs...))
+		l.Each(func(t table.Tuple) bool {
+			if r.Contains(t) {
+				out.MustAdd(t)
+			}
+			return true
+		})
+		return out, nil
+
+	case Division:
+		return evalDivision(ex, d)
+
+	case Delta:
+		rs, err := ex.OutSchema(d.Schema())
+		if err != nil {
+			return nil, err
+		}
+		out := table.NewRelation(rs)
+		for v := range d.ActiveDomain() {
+			out.MustAdd(table.NewTuple(v, v))
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("ra: unsupported expression %T", e)
+	}
+}
+
+// OutSchemaFromInput computes the Rename output schema given the already
+// evaluated input schema (used by the evaluator to avoid re-deriving the
+// input schema from the database schema, which would fail for derived
+// inputs).
+func (r Rename) OutSchemaFromInput(in schema.Relation) (schema.Relation, error) {
+	name := r.As
+	if name == "" {
+		name = in.Name
+	}
+	attrs := in.Attrs
+	if len(r.Attrs) > 0 {
+		if len(r.Attrs) != in.Arity() {
+			return schema.Relation{}, fmt.Errorf("ra: rename of %s to %d attributes", in, len(r.Attrs))
+		}
+		attrs = r.Attrs
+	}
+	return schema.NewRelation(name, attrs...), nil
+}
+
+func evalPair(le, re Expr, d *table.Database, op string) (*table.Relation, *table.Relation, error) {
+	l, err := eval(le, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := eval(re, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	if l.Arity() != r.Arity() {
+		return nil, nil, fmt.Errorf("ra: %s of arities %d and %d", op, l.Arity(), r.Arity())
+	}
+	return l, r, nil
+}
+
+func evalJoin(j Join, d *table.Database) (*table.Relation, error) {
+	l, err := eval(j.Left, d)
+	if err != nil {
+		return nil, err
+	}
+	r, err := eval(j.Right, d)
+	if err != nil {
+		return nil, err
+	}
+	ls, rsch := l.Schema(), r.Schema()
+	// Shared attributes and the positions to compare.
+	type pair struct{ li, ri int }
+	var shared []pair
+	var extraAttrs []string
+	var extraIdx []int
+	for ri, a := range rsch.Attrs {
+		if li := ls.AttrIndex(a); li >= 0 {
+			shared = append(shared, pair{li: li, ri: ri})
+		} else {
+			extraAttrs = append(extraAttrs, a)
+			extraIdx = append(extraIdx, ri)
+		}
+	}
+	attrs := append(append([]string{}, ls.Attrs...), extraAttrs...)
+	out := table.NewRelation(schema.NewRelation("("+ls.Name+"⋈"+rsch.Name+")", attrs...))
+
+	// Hash join on the shared attributes (marked-null identity, so nulls
+	// join with themselves — that is naïve evaluation).
+	index := map[string][]table.Tuple{}
+	keyOf := func(t table.Tuple, positions []int) string {
+		parts := make(table.Tuple, len(positions))
+		for i, p := range positions {
+			parts[i] = t[p]
+		}
+		return parts.Key()
+	}
+	rShared := make([]int, len(shared))
+	lShared := make([]int, len(shared))
+	for i, p := range shared {
+		rShared[i] = p.ri
+		lShared[i] = p.li
+	}
+	r.Each(func(rt table.Tuple) bool {
+		k := keyOf(rt, rShared)
+		index[k] = append(index[k], rt)
+		return true
+	})
+	l.Each(func(lt table.Tuple) bool {
+		k := keyOf(lt, lShared)
+		for _, rt := range index[k] {
+			combined := lt.Clone()
+			for _, ri := range extraIdx {
+				combined = append(combined, rt[ri])
+			}
+			out.MustAdd(combined)
+		}
+		return true
+	})
+	return out, nil
+}
+
+func evalDivision(dv Division, d *table.Database) (*table.Relation, error) {
+	l, err := eval(dv.Left, d)
+	if err != nil {
+		return nil, err
+	}
+	r, err := eval(dv.Right, d)
+	if err != nil {
+		return nil, err
+	}
+	ls, rsch := l.Schema(), r.Schema()
+	if rsch.Arity() == 0 {
+		return nil, fmt.Errorf("ra: division by zero-ary relation")
+	}
+	// Positions of divisor attributes inside the dividend, and of the kept
+	// attributes.
+	divPos := make([]int, rsch.Arity())
+	for i, a := range rsch.Attrs {
+		j := ls.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("ra: division attribute %q of %s not in %s", a, rsch, ls)
+		}
+		divPos[i] = j
+	}
+	var keepAttrs []string
+	var keepPos []int
+	for i, a := range ls.Attrs {
+		if !rsch.HasAttr(a) {
+			keepAttrs = append(keepAttrs, a)
+			keepPos = append(keepPos, i)
+		}
+	}
+	if len(keepAttrs) == 0 {
+		return nil, fmt.Errorf("ra: division %s ÷ %s would have empty schema", ls, rsch)
+	}
+	out := table.NewRelation(schema.NewRelation("("+ls.Name+"÷"+rsch.Name+")", keepAttrs...))
+
+	// Group dividend tuples by their kept part; collect the set of divisor
+	// parts seen for each group.
+	groups := map[string]map[string]bool{}
+	repr := map[string]table.Tuple{}
+	l.Each(func(t table.Tuple) bool {
+		kt := t.Project(keepPos...)
+		dt := t.Project(divPos...)
+		k := kt.Key()
+		if groups[k] == nil {
+			groups[k] = map[string]bool{}
+			repr[k] = kt
+		}
+		groups[k][dt.Key()] = true
+		return true
+	})
+	// Divisor tuple keys.
+	var divisorKeys []string
+	r.Each(func(t table.Tuple) bool {
+		divisorKeys = append(divisorKeys, t.Key())
+		return true
+	})
+	for k, seen := range groups {
+		all := true
+		for _, dk := range divisorKeys {
+			if !seen[dk] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out.MustAdd(repr[k])
+		}
+	}
+	return out, nil
+}
+
+// StripNulls removes tuples containing nulls from a relation; composing it
+// with naïve evaluation yields certain answers for the query classes of
+// Section 6 (this is the "add IS NOT NULL to the WHERE clause" step).
+func StripNulls(r *table.Relation) *table.Relation { return r.CompletePart() }
+
+// ActiveDomainValues exposes adom(D) deterministically ordered; several
+// experiments and the Δ operator need it.
+func ActiveDomainValues(d *table.Database) []value.Value {
+	return table.SortedValues(d.ActiveDomain())
+}

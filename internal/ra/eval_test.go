@@ -1,0 +1,395 @@
+package ra
+
+import (
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// testDB builds the two-relation database used across the evaluator tests:
+//
+//	R(a,b) = {(1,2), (2,3), (1,⊥1)}
+//	S(b)   = {(2), (⊥2)}
+func testDB(t *testing.T) *table.Database {
+	t.Helper()
+	s := schema.MustNew(
+		schema.NewRelation("R", "a", "b"),
+		schema.NewRelation("S", "b"),
+	)
+	d := table.NewDatabase(s)
+	d.MustAddRow("R", "1", "2")
+	d.MustAddRow("R", "2", "3")
+	d.MustAddRow("R", "1", "⊥1")
+	d.MustAddRow("S", "2")
+	d.MustAddRow("S", "⊥2")
+	return d
+}
+
+func mustTuples(t *testing.T, r *table.Relation, want ...[]string) {
+	t.Helper()
+	if r.Len() != len(want) {
+		t.Fatalf("relation has %d tuples, want %d: %v", r.Len(), len(want), r)
+	}
+	for _, w := range want {
+		if !r.Contains(table.MustParseTuple(w...)) {
+			t.Errorf("missing tuple %v in %v", w, r)
+		}
+	}
+}
+
+func TestEvalBaseAndErrors(t *testing.T) {
+	d := testDB(t)
+	r := MustEval(Base("R"), d)
+	if r.Len() != 3 {
+		t.Errorf("base relation len = %d", r.Len())
+	}
+	if _, err := Eval(Base("Nope"), d); err == nil {
+		t.Error("unknown relation should error")
+	}
+	if _, err := (Base("Nope")).OutSchema(d.Schema()); err == nil {
+		t.Error("OutSchema of unknown relation should error")
+	}
+}
+
+func TestMustEvalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEval should panic on error")
+		}
+	}()
+	MustEval(Base("Nope"), testDB(t))
+}
+
+func TestEvalSelect(t *testing.T) {
+	d := testDB(t)
+	q := Select{Input: Base("R"), Pred: Eq(Attr("a"), LitInt(1))}
+	mustTuples(t, MustEval(q, d), []string{"1", "2"}, []string{"1", "⊥1"})
+
+	// Naïve semantics: ⊥1 = ⊥1 holds, ⊥1 = 2 does not.
+	q2 := Select{Input: Base("R"), Pred: Eq(Attr("b"), Lit(value.Null(1)))}
+	mustTuples(t, MustEval(q2, d), []string{"1", "⊥1"})
+
+	q3 := Select{Input: Base("R"), Pred: Neq(Attr("a"), Attr("b"))}
+	mustTuples(t, MustEval(q3, d), []string{"1", "2"}, []string{"2", "3"}, []string{"1", "⊥1"})
+
+	q4 := Select{Input: Base("R"), Pred: Lt(Attr("a"), LitInt(2))}
+	mustTuples(t, MustEval(q4, d), []string{"1", "2"}, []string{"1", "⊥1"})
+
+	// Predicate attribute errors surface.
+	if _, err := Eval(Select{Input: Base("R"), Pred: Eq(Attr("zz"), LitInt(1))}, d); err != nil {
+		// Expected: unknown attribute
+	} else {
+		t.Error("selection on unknown attribute should error")
+	}
+}
+
+func TestEvalProject(t *testing.T) {
+	d := testDB(t)
+	q := Project{Input: Base("R"), Attrs: []string{"a"}}
+	mustTuples(t, MustEval(q, d), []string{"1"}, []string{"2"})
+	// projection merges duplicates: (1,2) and (1,⊥1) both give a=1
+
+	q2 := Project{Input: Base("R"), Attrs: []string{"b", "a"}}
+	mustTuples(t, MustEval(q2, d), []string{"2", "1"}, []string{"3", "2"}, []string{"⊥1", "1"})
+
+	if _, err := Eval(Project{Input: Base("R"), Attrs: []string{"zzz"}}, d); err == nil {
+		t.Error("projection on missing attribute should error")
+	}
+	if _, err := (Project{Input: Base("R")}).OutSchema(d.Schema()); err == nil {
+		t.Error("empty projection should error in OutSchema")
+	}
+}
+
+func TestEvalRename(t *testing.T) {
+	d := testDB(t)
+	q := Rename{Input: Base("S"), As: "T", Attrs: []string{"c"}}
+	r := MustEval(q, d)
+	if r.Schema().Name != "T" || r.Schema().Attrs[0] != "c" || r.Len() != 2 {
+		t.Errorf("rename wrong: %v %v", r.Schema(), r)
+	}
+	if _, err := Eval(Rename{Input: Base("S"), Attrs: []string{"a", "b"}}, d); err == nil {
+		t.Error("rename with wrong attribute count should error")
+	}
+	// Rename without attrs keeps them.
+	r2 := MustEval(Rename{Input: Base("S"), As: "U"}, d)
+	if r2.Schema().Attrs[0] != "b" {
+		t.Error("rename should keep attributes when none are given")
+	}
+}
+
+func TestEvalProductAndJoin(t *testing.T) {
+	d := testDB(t)
+	// Product needs disjoint attributes.
+	if _, err := Eval(Product{Left: Base("R"), Right: Base("S")}, d); err == nil {
+		t.Error("product with clashing attribute b should error")
+	}
+	p := Product{Left: Base("R"), Right: Rename{Input: Base("S"), As: "S2", Attrs: []string{"c"}}}
+	r := MustEval(p, d)
+	if r.Len() != 6 || r.Arity() != 3 {
+		t.Errorf("product: len=%d arity=%d", r.Len(), r.Arity())
+	}
+
+	// Natural join R ⋈ S on b: joins (1,2) with (2); ⊥1 and ⊥2 do not join
+	// with anything (different marks, naïve identity).
+	j := Join{Left: Base("R"), Right: Base("S")}
+	mustTuples(t, MustEval(j, d), []string{"1", "2"})
+
+	// A join with a shared null mark does join.
+	d.MustAddRow("S", "⊥1")
+	mustTuples(t, MustEval(j, d), []string{"1", "2"}, []string{"1", "⊥1"})
+
+	// Join with no shared attributes degenerates to a product.
+	j2 := Join{Left: Base("R"), Right: Rename{Input: Base("S"), As: "S2", Attrs: []string{"c"}}}
+	r2 := MustEval(j2, d)
+	if r2.Arity() != 3 || r2.Len() != 9 {
+		t.Errorf("join-as-product: arity=%d len=%d", r2.Arity(), r2.Len())
+	}
+}
+
+func TestEvalSetOperations(t *testing.T) {
+	d := testDB(t)
+	pa := Project{Input: Base("R"), Attrs: []string{"b"}}
+	u := Union{Left: pa, Right: Base("S")}
+	mustTuples(t, MustEval(u, d), []string{"2"}, []string{"3"}, []string{"⊥1"}, []string{"⊥2"})
+
+	diff := Diff{Left: pa, Right: Base("S")}
+	mustTuples(t, MustEval(diff, d), []string{"3"}, []string{"⊥1"})
+
+	inter := Intersect{Left: pa, Right: Base("S")}
+	mustTuples(t, MustEval(inter, d), []string{"2"})
+
+	// Arity mismatch errors.
+	if _, err := Eval(Union{Left: Base("R"), Right: Base("S")}, d); err == nil {
+		t.Error("union with arity mismatch should error")
+	}
+	if _, err := Eval(Diff{Left: Base("R"), Right: Base("S")}, d); err == nil {
+		t.Error("diff with arity mismatch should error")
+	}
+	if _, err := Eval(Intersect{Left: Base("R"), Right: Base("S")}, d); err == nil {
+		t.Error("intersect with arity mismatch should error")
+	}
+}
+
+func TestEvalBoolAndStripNulls(t *testing.T) {
+	d := testDB(t)
+	nonempty, err := EvalBool(Base("R"), d)
+	if err != nil || !nonempty {
+		t.Error("R should be nonempty")
+	}
+	empty, err := EvalBool(Select{Input: Base("R"), Pred: Eq(Attr("a"), LitInt(99))}, d)
+	if err != nil || empty {
+		t.Error("selection on 99 should be empty")
+	}
+	if _, err := EvalBool(Base("Nope"), d); err == nil {
+		t.Error("EvalBool should propagate errors")
+	}
+	stripped := StripNulls(MustEval(Base("R"), d))
+	mustTuples(t, stripped, []string{"1", "2"}, []string{"2", "3"})
+}
+
+// Division: the "students who take all courses" pattern.  Enroll(student,
+// course) ÷ Course(course).
+func TestEvalDivision(t *testing.T) {
+	s := schema.MustNew(
+		schema.NewRelation("Enroll", "student", "course"),
+		schema.NewRelation("Course", "course"),
+	)
+	d := table.NewDatabase(s)
+	d.MustAddRow("Enroll", "alice", "db")
+	d.MustAddRow("Enroll", "alice", "os")
+	d.MustAddRow("Enroll", "bob", "db")
+	d.MustAddRow("Course", "db")
+	d.MustAddRow("Course", "os")
+
+	q := Division{Left: Base("Enroll"), Right: Base("Course")}
+	mustTuples(t, MustEval(q, d), []string{"alice"})
+
+	// Empty divisor: every group qualifies (universally quantified over ∅).
+	empty := table.NewDatabase(s)
+	empty.MustAddRow("Enroll", "carol", "db")
+	mustTuples(t, MustEval(q, empty), []string{"carol"})
+
+	// Divisor attributes must be a subset of dividend attributes.
+	bad := Division{Left: Base("Course"), Right: Base("Enroll")}
+	if _, err := Eval(bad, d); err == nil {
+		t.Error("division with non-subset divisor should error")
+	}
+	if _, err := bad.OutSchema(s); err == nil {
+		t.Error("OutSchema of bad division should error")
+	}
+	// Division that would keep no attributes errors.
+	sameAttrs := Division{Left: Base("Course"), Right: Base("Course")}
+	if _, err := Eval(sameAttrs, d); err == nil {
+		t.Error("division with empty result schema should error")
+	}
+}
+
+func TestEvalDelta(t *testing.T) {
+	d := testDB(t)
+	r := MustEval(Delta{Attr1: "x", Attr2: "y"}, d)
+	adom := d.ActiveDomain()
+	if r.Len() != len(adom) {
+		t.Errorf("Δ has %d tuples, want |adom| = %d", r.Len(), len(adom))
+	}
+	for v := range adom {
+		if !r.Contains(table.NewTuple(v, v)) {
+			t.Errorf("Δ missing (%v,%v)", v, v)
+		}
+	}
+	if _, err := Eval(Delta{Attr1: "x", Attr2: "x"}, d); err == nil {
+		t.Error("Δ with identical attribute names should error")
+	}
+}
+
+func TestOutSchemas(t *testing.T) {
+	d := testDB(t)
+	sc := d.Schema()
+	cases := []struct {
+		e     Expr
+		attrs []string
+	}{
+		{Base("R"), []string{"a", "b"}},
+		{Select{Input: Base("R"), Pred: True{}}, []string{"a", "b"}},
+		{Project{Input: Base("R"), Attrs: []string{"b"}}, []string{"b"}},
+		{Rename{Input: Base("R"), As: "X", Attrs: []string{"c", "d"}}, []string{"c", "d"}},
+		{Product{Left: Base("R"), Right: Rename{Input: Base("S"), As: "T", Attrs: []string{"c"}}}, []string{"a", "b", "c"}},
+		{Join{Left: Base("R"), Right: Base("S")}, []string{"a", "b"}},
+		{Union{Left: Project{Input: Base("R"), Attrs: []string{"b"}}, Right: Base("S")}, []string{"b"}},
+		{Diff{Left: Project{Input: Base("R"), Attrs: []string{"b"}}, Right: Base("S")}, []string{"b"}},
+		{Intersect{Left: Project{Input: Base("R"), Attrs: []string{"b"}}, Right: Base("S")}, []string{"b"}},
+		{Division{Left: Base("R"), Right: Base("S")}, []string{"a"}},
+		{Delta{}, []string{"δ1", "δ2"}},
+	}
+	for _, c := range cases {
+		rs, err := c.e.OutSchema(sc)
+		if err != nil {
+			t.Errorf("%s: OutSchema error %v", c.e, err)
+			continue
+		}
+		if rs.Arity() != len(c.attrs) {
+			t.Errorf("%s: arity %d, want %d", c.e, rs.Arity(), len(c.attrs))
+			continue
+		}
+		for i, a := range c.attrs {
+			if rs.Attrs[i] != a {
+				t.Errorf("%s: attr[%d] = %q, want %q", c.e, i, rs.Attrs[i], a)
+			}
+		}
+		// The evaluated relation's schema must agree with OutSchema arity.
+		rel, err := Eval(c.e, d)
+		if err != nil {
+			t.Errorf("%s: Eval error %v", c.e, err)
+			continue
+		}
+		if rel.Arity() != rs.Arity() {
+			t.Errorf("%s: evaluated arity %d != schema arity %d", c.e, rel.Arity(), rs.Arity())
+		}
+	}
+	// Error propagation through composite schemas.
+	if _, err := (Select{Input: Base("Nope"), Pred: True{}}).OutSchema(sc); err == nil {
+		t.Error("schema error should propagate through Select")
+	}
+	if _, err := (Product{Left: Base("R"), Right: Base("R")}).OutSchema(sc); err == nil {
+		t.Error("product self-clash should error")
+	}
+	if _, err := (Union{Left: Base("R"), Right: Base("S")}).OutSchema(sc); err == nil {
+		t.Error("union arity mismatch should error in OutSchema")
+	}
+	if _, err := (Rename{Input: Base("R"), Attrs: []string{"only-one"}}).OutSchema(sc); err == nil {
+		t.Error("rename arity mismatch should error in OutSchema")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	q := Diff{
+		Left: Project{Input: Base("R"), Attrs: []string{"b"}},
+		Right: Select{
+			Input: Base("S"),
+			Pred:  AllOf(Eq(Attr("b"), LitInt(2)), Negate(Neq(Attr("b"), LitString("x")))),
+		},
+	}
+	s := q.String()
+	want := "(π[b](R) − σ[(b=2 ∧ ¬b≠x)](S))"
+	if s != want {
+		t.Errorf("String = %q, want %q", s, want)
+	}
+	if (Join{Left: Base("R"), Right: Base("S")}).String() != "(R ⋈ S)" {
+		t.Error("join string wrong")
+	}
+	if (Division{Left: Base("R"), Right: Base("S")}).String() != "(R ÷ S)" {
+		t.Error("division string wrong")
+	}
+	if (Delta{}).String() != "Δ" {
+		t.Error("delta string wrong")
+	}
+	if (Union{Left: Base("R"), Right: Base("S")}).String() != "(R ∪ S)" {
+		t.Error("union string wrong")
+	}
+	if (Intersect{Left: Base("R"), Right: Base("S")}).String() != "(R ∩ S)" {
+		t.Error("intersect string wrong")
+	}
+	if (Product{Left: Base("R"), Right: Base("S")}).String() != "(R × S)" {
+		t.Error("product string wrong")
+	}
+	if (Rename{Input: Base("R"), As: "X"}).String() != "ρ[X](R)" {
+		t.Error("rename string wrong")
+	}
+	if (Rename{Input: Base("R"), As: "X", Attrs: []string{"c"}}).String() != "ρ[X(c)](R)" {
+		t.Error("rename-with-attrs string wrong")
+	}
+	if AllOf().String() != "true" || AnyOf().String() != "false" {
+		t.Error("empty connective strings wrong")
+	}
+	if AnyOf(Eq(Attr("a"), LitInt(1)), Lt(Attr("a"), LitInt(3))).String() != "(a=1 ∨ a<3)" {
+		t.Error("or string wrong")
+	}
+	ops := []CmpOp{EQ, NEQ, LT, LEQ, GT, GEQ, CmpOp(99)}
+	names := []string{"=", "≠", "<", "≤", ">", "≥", "?"}
+	for i, op := range ops {
+		if op.String() != names[i] {
+			t.Errorf("op %d string = %q", i, op.String())
+		}
+	}
+}
+
+func TestPredicateSemantics(t *testing.T) {
+	rs := schema.NewRelation("R", "a", "b")
+	tup := table.MustParseTuple("1", "⊥1")
+	if !(True{}).Holds(tup, rs) {
+		t.Error("True should hold")
+	}
+	if !AllOf().Holds(tup, rs) {
+		t.Error("empty conjunction should hold")
+	}
+	if AnyOf().Holds(tup, rs) {
+		t.Error("empty disjunction should not hold")
+	}
+	cmp := Cmp{Left: Attr("a"), Op: LEQ, Right: LitInt(1)}
+	if !cmp.Holds(tup, rs) {
+		t.Error("1 ≤ 1 should hold")
+	}
+	if (Cmp{Left: Attr("a"), Op: GT, Right: LitInt(1)}).Holds(tup, rs) {
+		t.Error("1 > 1 should not hold")
+	}
+	if !(Cmp{Left: Attr("a"), Op: GEQ, Right: LitInt(1)}).Holds(tup, rs) {
+		t.Error("1 ≥ 1 should hold")
+	}
+	if (Cmp{Left: Attr("a"), Op: CmpOp(99), Right: LitInt(1)}).Holds(tup, rs) {
+		t.Error("unknown operator should not hold")
+	}
+	// Unknown attribute validation on nested predicates.
+	if err := AllOf(Eq(Attr("zz"), LitInt(1))).validate(rs); err == nil {
+		t.Error("validate should catch unknown attribute in conjunction")
+	}
+	if err := AnyOf(Eq(Attr("zz"), LitInt(1))).validate(rs); err == nil {
+		t.Error("validate should catch unknown attribute in disjunction")
+	}
+	if err := Negate(Eq(Attr("zz"), LitInt(1))).validate(rs); err == nil {
+		t.Error("validate should catch unknown attribute under negation")
+	}
+	if err := Eq(LitInt(1), Attr("zz")).validate(rs); err == nil {
+		t.Error("validate should catch unknown attribute on the right")
+	}
+}

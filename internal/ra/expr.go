@@ -1,0 +1,322 @@
+// Package ra implements relational algebra over (possibly incomplete)
+// databases: the operators σ, π, ×, ⋈, ∪, −, ∩, ρ, the division operator ÷,
+// and the auxiliary Δ relation used to define the class RAcwa (Section 6.2
+// of the paper).
+//
+// Evaluation (Eval) is naïve evaluation in the sense of the paper: nulls
+// are treated as ordinary values, with marked-null identity for equality.
+// On complete databases this coincides with standard relational-algebra
+// evaluation.  Fragment classification (IsPositive, IsRAcwa) identifies the
+// query classes for which naïve evaluation computes certain answers under
+// OWA and CWA respectively.
+package ra
+
+import (
+	"fmt"
+	"strings"
+
+	"incdata/internal/schema"
+)
+
+// Expr is a relational algebra expression.
+type Expr interface {
+	// OutSchema computes the output schema of the expression against a
+	// database schema; it reports schema errors (unknown relations or
+	// attributes, arity mismatches).
+	OutSchema(s *schema.Schema) (schema.Relation, error)
+	// String renders the expression in a conventional textual form.
+	String() string
+}
+
+// Rel references a base relation by name.
+type Rel struct {
+	Name string
+}
+
+// Base is shorthand for referencing a base relation.
+func Base(name string) Rel { return Rel{Name: name} }
+
+// OutSchema implements Expr.
+func (r Rel) OutSchema(s *schema.Schema) (schema.Relation, error) {
+	rs, ok := s.Relation(r.Name)
+	if !ok {
+		return schema.Relation{}, fmt.Errorf("ra: unknown relation %q", r.Name)
+	}
+	return rs, nil
+}
+
+// String implements Expr.
+func (r Rel) String() string { return r.Name }
+
+// Select filters the input by a predicate (σ_pred).
+type Select struct {
+	Input Expr
+	Pred  Predicate
+}
+
+// OutSchema implements Expr.
+func (s Select) OutSchema(sc *schema.Schema) (schema.Relation, error) {
+	in, err := s.Input.OutSchema(sc)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	if err := s.Pred.validate(in); err != nil {
+		return schema.Relation{}, err
+	}
+	return in.Rename("σ(" + in.Name + ")"), nil
+}
+
+// String implements Expr.
+func (s Select) String() string {
+	return "σ[" + s.Pred.String() + "](" + s.Input.String() + ")"
+}
+
+// Project keeps only the named attributes, in the given order (π_attrs).
+type Project struct {
+	Input Expr
+	Attrs []string
+}
+
+// OutSchema implements Expr.
+func (p Project) OutSchema(sc *schema.Schema) (schema.Relation, error) {
+	in, err := p.Input.OutSchema(sc)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	if len(p.Attrs) == 0 {
+		return schema.Relation{}, fmt.Errorf("ra: projection onto no attributes")
+	}
+	for _, a := range p.Attrs {
+		if !in.HasAttr(a) {
+			return schema.Relation{}, fmt.Errorf("ra: projection attribute %q not in %s", a, in)
+		}
+	}
+	return schema.NewRelation("π("+in.Name+")", p.Attrs...), nil
+}
+
+// String implements Expr.
+func (p Project) String() string {
+	return "π[" + strings.Join(p.Attrs, ",") + "](" + p.Input.String() + ")"
+}
+
+// Rename renames the output relation and, optionally, its attributes (ρ).
+type Rename struct {
+	Input Expr
+	As    string
+	Attrs []string // if non-empty, must match the input arity
+}
+
+// OutSchema implements Expr.
+func (r Rename) OutSchema(sc *schema.Schema) (schema.Relation, error) {
+	in, err := r.Input.OutSchema(sc)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	name := r.As
+	if name == "" {
+		name = in.Name
+	}
+	attrs := in.Attrs
+	if len(r.Attrs) > 0 {
+		if len(r.Attrs) != in.Arity() {
+			return schema.Relation{}, fmt.Errorf("ra: rename of %s to %d attributes", in, len(r.Attrs))
+		}
+		attrs = r.Attrs
+	}
+	return schema.NewRelation(name, attrs...), nil
+}
+
+// String implements Expr.
+func (r Rename) String() string {
+	if len(r.Attrs) == 0 {
+		return "ρ[" + r.As + "](" + r.Input.String() + ")"
+	}
+	return "ρ[" + r.As + "(" + strings.Join(r.Attrs, ",") + ")](" + r.Input.String() + ")"
+}
+
+// Product is the cartesian product (×); the attribute sets must be disjoint.
+type Product struct {
+	Left, Right Expr
+}
+
+// OutSchema implements Expr.
+func (p Product) OutSchema(sc *schema.Schema) (schema.Relation, error) {
+	l, err := p.Left.OutSchema(sc)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	r, err := p.Right.OutSchema(sc)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	for _, a := range r.Attrs {
+		if l.HasAttr(a) {
+			return schema.Relation{}, fmt.Errorf("ra: product attribute clash on %q (rename one side)", a)
+		}
+	}
+	attrs := append(append([]string{}, l.Attrs...), r.Attrs...)
+	return schema.NewRelation("("+l.Name+"×"+r.Name+")", attrs...), nil
+}
+
+// String implements Expr.
+func (p Product) String() string {
+	return "(" + p.Left.String() + " × " + p.Right.String() + ")"
+}
+
+// Join is the natural join (⋈) on all shared attribute names.
+type Join struct {
+	Left, Right Expr
+}
+
+// OutSchema implements Expr.
+func (j Join) OutSchema(sc *schema.Schema) (schema.Relation, error) {
+	l, err := j.Left.OutSchema(sc)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	r, err := j.Right.OutSchema(sc)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	attrs := append([]string{}, l.Attrs...)
+	for _, a := range r.Attrs {
+		if !l.HasAttr(a) {
+			attrs = append(attrs, a)
+		}
+	}
+	return schema.NewRelation("("+l.Name+"⋈"+r.Name+")", attrs...), nil
+}
+
+// String implements Expr.
+func (j Join) String() string {
+	return "(" + j.Left.String() + " ⋈ " + j.Right.String() + ")"
+}
+
+// binarySetOp factors the schema logic shared by ∪, −, ∩: both sides must
+// have the same arity; the output uses the left schema's attributes.
+func binarySetOp(op string, left, right Expr, sc *schema.Schema) (schema.Relation, error) {
+	l, err := left.OutSchema(sc)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	r, err := right.OutSchema(sc)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	if l.Arity() != r.Arity() {
+		return schema.Relation{}, fmt.Errorf("ra: %s of arities %d and %d", op, l.Arity(), r.Arity())
+	}
+	return schema.NewRelation("("+l.Name+op+r.Name+")", l.Attrs...), nil
+}
+
+// Union is set union (∪); arities must match.
+type Union struct {
+	Left, Right Expr
+}
+
+// OutSchema implements Expr.
+func (u Union) OutSchema(sc *schema.Schema) (schema.Relation, error) {
+	return binarySetOp("∪", u.Left, u.Right, sc)
+}
+
+// String implements Expr.
+func (u Union) String() string {
+	return "(" + u.Left.String() + " ∪ " + u.Right.String() + ")"
+}
+
+// Diff is set difference (−); arities must match.
+type Diff struct {
+	Left, Right Expr
+}
+
+// OutSchema implements Expr.
+func (d Diff) OutSchema(sc *schema.Schema) (schema.Relation, error) {
+	return binarySetOp("−", d.Left, d.Right, sc)
+}
+
+// String implements Expr.
+func (d Diff) String() string {
+	return "(" + d.Left.String() + " − " + d.Right.String() + ")"
+}
+
+// Intersect is set intersection (∩); arities must match.
+type Intersect struct {
+	Left, Right Expr
+}
+
+// OutSchema implements Expr.
+func (i Intersect) OutSchema(sc *schema.Schema) (schema.Relation, error) {
+	return binarySetOp("∩", i.Left, i.Right, sc)
+}
+
+// String implements Expr.
+func (i Intersect) String() string {
+	return "(" + i.Left.String() + " ∩ " + i.Right.String() + ")"
+}
+
+// Division is the relational division R ÷ S: the divisor's attributes must
+// be a subset of the dividend's; the result keeps the remaining attributes
+// of R and contains a tuple t iff (t,s) ∈ R for every s ∈ S.  Division by a
+// base relation (or an RA(Δ,π,×,∪) expression) is the operator that extends
+// positive relational algebra to RAcwa in Section 6.2.
+type Division struct {
+	Left, Right Expr
+}
+
+// OutSchema implements Expr.
+func (d Division) OutSchema(sc *schema.Schema) (schema.Relation, error) {
+	l, err := d.Left.OutSchema(sc)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	r, err := d.Right.OutSchema(sc)
+	if err != nil {
+		return schema.Relation{}, err
+	}
+	if r.Arity() == 0 {
+		return schema.Relation{}, fmt.Errorf("ra: division by zero-ary relation")
+	}
+	var keep []string
+	for _, a := range l.Attrs {
+		if !r.HasAttr(a) {
+			keep = append(keep, a)
+		}
+	}
+	if len(keep)+r.Arity() != l.Arity() {
+		return schema.Relation{}, fmt.Errorf("ra: division %s ÷ %s: divisor attributes must be a subset of dividend attributes", l, r)
+	}
+	if len(keep) == 0 {
+		return schema.Relation{}, fmt.Errorf("ra: division %s ÷ %s would have empty schema", l, r)
+	}
+	return schema.NewRelation("("+l.Name+"÷"+r.Name+")", keep...), nil
+}
+
+// String implements Expr.
+func (d Division) String() string {
+	return "(" + d.Left.String() + " ÷ " + d.Right.String() + ")"
+}
+
+// Delta is the auxiliary query Δ returning {(a,a) | a ∈ adom(D)}, definable
+// in positive relational algebra and used in the definition of RA(Δ,π,×,∪)
+// divisors for RAcwa.
+type Delta struct {
+	Attr1, Attr2 string
+}
+
+// OutSchema implements Expr.
+func (d Delta) OutSchema(*schema.Schema) (schema.Relation, error) {
+	a1, a2 := d.Attr1, d.Attr2
+	if a1 == "" {
+		a1 = "δ1"
+	}
+	if a2 == "" {
+		a2 = "δ2"
+	}
+	if a1 == a2 {
+		return schema.Relation{}, fmt.Errorf("ra: Δ needs two distinct attribute names")
+	}
+	return schema.NewRelation("Δ", a1, a2), nil
+}
+
+// String implements Expr.
+func (d Delta) String() string { return "Δ" }

@@ -1,0 +1,283 @@
+package ra
+
+import (
+	"fmt"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// Predicate is a selection condition evaluated over a single tuple.  Under
+// naïve evaluation predicates are two-valued and nulls are ordinary values
+// (marked-null identity): ⊥1 = ⊥1 holds, ⊥1 = ⊥2 and ⊥1 = 3 do not.
+type Predicate interface {
+	// validate checks that the attributes used by the predicate exist.
+	validate(rs schema.Relation) error
+	// Holds evaluates the predicate on a tuple with the given schema.
+	Holds(t table.Tuple, rs schema.Relation) bool
+	// String renders the predicate.
+	String() string
+	// positive reports whether the predicate belongs to the positive
+	// fragment (built from =, ∧, ∨ only).
+	positive() bool
+}
+
+// Operand is either an attribute reference or a constant.
+type Operand struct {
+	Attr   string      // attribute name if IsAttr
+	Const  value.Value // constant otherwise
+	IsAttr bool
+}
+
+// Attr builds an attribute operand.
+func Attr(name string) Operand { return Operand{Attr: name, IsAttr: true} }
+
+// Lit builds a constant operand.
+func Lit(v value.Value) Operand { return Operand{Const: v} }
+
+// LitInt builds an integer-constant operand.
+func LitInt(i int64) Operand { return Lit(value.Int(i)) }
+
+// LitString builds a string-constant operand.
+func LitString(s string) Operand { return Lit(value.String(s)) }
+
+func (o Operand) validate(rs schema.Relation) error {
+	if o.IsAttr && !rs.HasAttr(o.Attr) {
+		return fmt.Errorf("ra: unknown attribute %q in %s", o.Attr, rs)
+	}
+	return nil
+}
+
+func (o Operand) resolve(t table.Tuple, rs schema.Relation) value.Value {
+	if o.IsAttr {
+		return t[rs.AttrIndex(o.Attr)]
+	}
+	return o.Const
+}
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.IsAttr {
+		return o.Attr
+	}
+	return o.Const.String()
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators supported in selection predicates.
+const (
+	EQ CmpOp = iota
+	NEQ
+	LT
+	LEQ
+	GT
+	GEQ
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NEQ:
+		return "≠"
+	case LT:
+		return "<"
+	case LEQ:
+		return "≤"
+	case GT:
+		return ">"
+	case GEQ:
+		return "≥"
+	default:
+		return "?"
+	}
+}
+
+// Cmp compares two operands.
+type Cmp struct {
+	Left  Operand
+	Op    CmpOp
+	Right Operand
+}
+
+// Eq builds the predicate left = right.
+func Eq(l, r Operand) Cmp { return Cmp{Left: l, Op: EQ, Right: r} }
+
+// Neq builds the predicate left ≠ right.
+func Neq(l, r Operand) Cmp { return Cmp{Left: l, Op: NEQ, Right: r} }
+
+// Lt builds the predicate left < right.
+func Lt(l, r Operand) Cmp { return Cmp{Left: l, Op: LT, Right: r} }
+
+func (c Cmp) validate(rs schema.Relation) error {
+	if err := c.Left.validate(rs); err != nil {
+		return err
+	}
+	return c.Right.validate(rs)
+}
+
+// Holds implements Predicate with marked-null identity semantics.
+func (c Cmp) Holds(t table.Tuple, rs schema.Relation) bool {
+	l := c.Left.resolve(t, rs)
+	r := c.Right.resolve(t, rs)
+	switch c.Op {
+	case EQ:
+		return l == r
+	case NEQ:
+		return l != r
+	case LT:
+		return value.Compare(l, r) < 0
+	case LEQ:
+		return value.Compare(l, r) <= 0
+	case GT:
+		return value.Compare(l, r) > 0
+	case GEQ:
+		return value.Compare(l, r) >= 0
+	default:
+		return false
+	}
+}
+
+// String implements Predicate.
+func (c Cmp) String() string {
+	return c.Left.String() + c.Op.String() + c.Right.String()
+}
+
+func (c Cmp) positive() bool { return c.Op == EQ }
+
+// And is conjunction of predicates.
+type And struct {
+	Preds []Predicate
+}
+
+// AllOf builds a conjunction.
+func AllOf(ps ...Predicate) And { return And{Preds: ps} }
+
+func (a And) validate(rs schema.Relation) error {
+	for _, p := range a.Preds {
+		if err := p.validate(rs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Holds implements Predicate.
+func (a And) Holds(t table.Tuple, rs schema.Relation) bool {
+	for _, p := range a.Preds {
+		if !p.Holds(t, rs) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Predicate.
+func (a And) String() string {
+	if len(a.Preds) == 0 {
+		return "true"
+	}
+	s := ""
+	for i, p := range a.Preds {
+		if i > 0 {
+			s += " ∧ "
+		}
+		s += p.String()
+	}
+	return "(" + s + ")"
+}
+
+func (a And) positive() bool {
+	for _, p := range a.Preds {
+		if !p.positive() {
+			return false
+		}
+	}
+	return true
+}
+
+// Or is disjunction of predicates.
+type Or struct {
+	Preds []Predicate
+}
+
+// AnyOf builds a disjunction.
+func AnyOf(ps ...Predicate) Or { return Or{Preds: ps} }
+
+func (o Or) validate(rs schema.Relation) error {
+	for _, p := range o.Preds {
+		if err := p.validate(rs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Holds implements Predicate.
+func (o Or) Holds(t table.Tuple, rs schema.Relation) bool {
+	for _, p := range o.Preds {
+		if p.Holds(t, rs) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Predicate.
+func (o Or) String() string {
+	if len(o.Preds) == 0 {
+		return "false"
+	}
+	s := ""
+	for i, p := range o.Preds {
+		if i > 0 {
+			s += " ∨ "
+		}
+		s += p.String()
+	}
+	return "(" + s + ")"
+}
+
+func (o Or) positive() bool {
+	for _, p := range o.Preds {
+		if !p.positive() {
+			return false
+		}
+	}
+	return true
+}
+
+// Not is negation of a predicate.
+type Not struct {
+	Pred Predicate
+}
+
+// Negate builds a negation.
+func Negate(p Predicate) Not { return Not{Pred: p} }
+
+func (n Not) validate(rs schema.Relation) error { return n.Pred.validate(rs) }
+
+// Holds implements Predicate.
+func (n Not) Holds(t table.Tuple, rs schema.Relation) bool { return !n.Pred.Holds(t, rs) }
+
+// String implements Predicate.
+func (n Not) String() string { return "¬" + n.Pred.String() }
+
+func (n Not) positive() bool { return false }
+
+// True is the always-true predicate.
+type True struct{}
+
+func (True) validate(schema.Relation) error { return nil }
+
+// Holds implements Predicate.
+func (True) Holds(table.Tuple, schema.Relation) bool { return true }
+
+// String implements Predicate.
+func (True) String() string { return "true" }
+
+func (True) positive() bool { return true }

@@ -1,0 +1,213 @@
+// Package schema describes relational schemas: named relations with a fixed
+// arity and named attributes.  Schemas are shared by complete and incomplete
+// databases alike (Section 2 of the paper): incompleteness lives in the data,
+// not in the schema.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is the schema of a single relation: a name and an ordered list of
+// attribute names.  The arity of the relation is the number of attributes.
+type Relation struct {
+	Name  string
+	Attrs []string
+}
+
+// NewRelation builds a relation schema.  If no attribute names are given the
+// attributes are auto-named #1..#arity via WithArity.
+func NewRelation(name string, attrs ...string) Relation {
+	return Relation{Name: name, Attrs: attrs}
+}
+
+// WithArity builds a relation schema with auto-named attributes #1..#arity.
+func WithArity(name string, arity int) Relation {
+	attrs := make([]string, arity)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("#%d", i+1)
+	}
+	return Relation{Name: name, Attrs: attrs}
+}
+
+// Arity returns the number of attributes.
+func (r Relation) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r Relation) AttrIndex(attr string) int {
+	for i, a := range r.Attrs {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasAttr reports whether the relation has the named attribute.
+func (r Relation) HasAttr(attr string) bool { return r.AttrIndex(attr) >= 0 }
+
+// Rename returns a copy of the schema under a new relation name.
+func (r Relation) Rename(name string) Relation {
+	return Relation{Name: name, Attrs: append([]string(nil), r.Attrs...)}
+}
+
+// String renders the schema as Name(attr1,...,attrk).
+func (r Relation) String() string {
+	return r.Name + "(" + strings.Join(r.Attrs, ",") + ")"
+}
+
+// Equal reports whether two relation schemas have the same name, arity and
+// attribute names in the same order.
+func (r Relation) Equal(o Relation) bool {
+	if r.Name != o.Name || len(r.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range r.Attrs {
+		if r.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Schema is a collection of relation schemas with unique names.
+type Schema struct {
+	rels   []Relation
+	byName map[string]int
+}
+
+// New builds a schema from relation schemas.  Duplicate relation names are
+// rejected with an error.
+func New(rels ...Relation) (*Schema, error) {
+	s := &Schema{byName: make(map[string]int, len(rels))}
+	for _, r := range rels {
+		if err := s.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(rels ...Relation) *Schema {
+	s, err := New(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add inserts a relation schema; it fails if the name is already used or
+// empty.
+func (s *Schema) Add(r Relation) error {
+	if r.Name == "" {
+		return fmt.Errorf("schema: relation with empty name")
+	}
+	if s.byName == nil {
+		s.byName = make(map[string]int)
+	}
+	if _, dup := s.byName[r.Name]; dup {
+		return fmt.Errorf("schema: duplicate relation %q", r.Name)
+	}
+	s.byName[r.Name] = len(s.rels)
+	s.rels = append(s.rels, r)
+	return nil
+}
+
+// Relation looks up a relation schema by name.
+func (s *Schema) Relation(name string) (Relation, bool) {
+	if s == nil || s.byName == nil {
+		return Relation{}, false
+	}
+	i, ok := s.byName[name]
+	if !ok {
+		return Relation{}, false
+	}
+	return s.rels[i], true
+}
+
+// MustRelation looks up a relation schema and panics if it is absent.
+func (s *Schema) MustRelation(name string) Relation {
+	r, ok := s.Relation(name)
+	if !ok {
+		panic(fmt.Sprintf("schema: unknown relation %q", name))
+	}
+	return r
+}
+
+// Has reports whether the schema contains the named relation.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.Relation(name)
+	return ok
+}
+
+// Names returns the relation names in sorted order.
+func (s *Schema) Names() []string {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.rels))
+	for _, r := range s.rels {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Relations returns the relation schemas sorted by name.
+func (s *Schema) Relations() []Relation {
+	if s == nil {
+		return nil
+	}
+	out := append([]Relation(nil), s.rels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of relations in the schema.
+func (s *Schema) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.rels)
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	if s == nil {
+		return nil
+	}
+	out := &Schema{byName: make(map[string]int, len(s.rels))}
+	for _, r := range s.rels {
+		out.byName[r.Name] = len(out.rels)
+		out.rels = append(out.rels, r.Rename(r.Name))
+	}
+	return out
+}
+
+// Equal reports whether two schemas contain the same relation schemas
+// (order-insensitive).
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for _, r := range s.Relations() {
+		or, ok := o.Relation(r.Name)
+		if !ok || !r.Equal(or) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as a sorted, semicolon-separated list.
+func (s *Schema) String() string {
+	rels := s.Relations()
+	parts := make([]string, len(rels))
+	for i, r := range rels {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,147 @@
+package schema
+
+import "testing"
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation("Order", "o_id", "product")
+	if r.Arity() != 2 {
+		t.Fatalf("arity = %d", r.Arity())
+	}
+	if r.AttrIndex("product") != 1 || r.AttrIndex("o_id") != 0 {
+		t.Error("AttrIndex wrong")
+	}
+	if r.AttrIndex("missing") != -1 {
+		t.Error("AttrIndex for missing attr should be -1")
+	}
+	if !r.HasAttr("o_id") || r.HasAttr("x") {
+		t.Error("HasAttr wrong")
+	}
+	if r.String() != "Order(o_id,product)" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestWithArity(t *testing.T) {
+	r := WithArity("R", 3)
+	if r.Arity() != 3 {
+		t.Fatalf("arity = %d", r.Arity())
+	}
+	if r.Attrs[0] != "#1" || r.Attrs[2] != "#3" {
+		t.Errorf("auto attrs = %v", r.Attrs)
+	}
+}
+
+func TestRelationRenameAndEqual(t *testing.T) {
+	r := NewRelation("R", "a", "b")
+	s := r.Rename("S")
+	if s.Name != "S" || s.Arity() != 2 {
+		t.Error("Rename wrong")
+	}
+	if !r.Equal(NewRelation("R", "a", "b")) {
+		t.Error("Equal should hold")
+	}
+	if r.Equal(s) {
+		t.Error("different names should not be equal")
+	}
+	if r.Equal(NewRelation("R", "a")) {
+		t.Error("different arities should not be equal")
+	}
+	if r.Equal(NewRelation("R", "a", "c")) {
+		t.Error("different attrs should not be equal")
+	}
+	// Rename must not alias the attribute slice.
+	s.Attrs[0] = "zzz"
+	if r.Attrs[0] != "a" {
+		t.Error("Rename aliases attribute slice")
+	}
+}
+
+func TestSchemaAddLookup(t *testing.T) {
+	s := MustNew(NewRelation("R", "a", "b"), NewRelation("S", "c"))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has("R") || !s.Has("S") || s.Has("T") {
+		t.Error("Has wrong")
+	}
+	r, ok := s.Relation("R")
+	if !ok || r.Arity() != 2 {
+		t.Error("Relation lookup wrong")
+	}
+	if _, ok := s.Relation("nope"); ok {
+		t.Error("lookup of missing relation should fail")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "R" || names[1] != "S" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := New(NewRelation("R", "a"), NewRelation("R", "b")); err == nil {
+		t.Error("duplicate relation names should be rejected")
+	}
+	if _, err := New(NewRelation("", "a")); err == nil {
+		t.Error("empty relation name should be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on error")
+		}
+	}()
+	MustNew(NewRelation("R"), NewRelation("R"))
+}
+
+func TestMustRelationPanics(t *testing.T) {
+	s := MustNew(NewRelation("R", "a"))
+	if got := s.MustRelation("R"); got.Name != "R" {
+		t.Error("MustRelation wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRelation should panic for unknown relation")
+		}
+	}()
+	s.MustRelation("missing")
+}
+
+func TestSchemaCloneEqualString(t *testing.T) {
+	s := MustNew(NewRelation("S", "c"), NewRelation("R", "a", "b"))
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone should be equal")
+	}
+	if err := c.Add(NewRelation("T", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Equal(c) {
+		t.Error("after adding to clone, schemas should differ")
+	}
+	if s.String() != "R(a,b); S(c)" {
+		t.Errorf("String = %q", s.String())
+	}
+	other := MustNew(NewRelation("R", "a", "zz"), NewRelation("S", "c"))
+	if s.Equal(other) {
+		t.Error("schemas with different attribute names should differ")
+	}
+}
+
+func TestNilSchema(t *testing.T) {
+	var s *Schema
+	if s.Len() != 0 || s.Names() != nil || s.Relations() != nil || s.Clone() != nil {
+		t.Error("nil schema accessors should be zero values")
+	}
+	if _, ok := s.Relation("R"); ok {
+		t.Error("nil schema should have no relations")
+	}
+}
+
+func TestEmptySchemaAdd(t *testing.T) {
+	var s Schema
+	if err := s.Add(NewRelation("R", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("R") {
+		t.Error("Add on zero-value Schema should work")
+	}
+}

@@ -1,0 +1,237 @@
+// Package semantics defines the semantics of incompleteness from Section 2
+// of the paper: functions [[·]] assigning to an incomplete database the set
+// of complete databases it represents.
+//
+//	[[D]]cwa  = { v(D)                     | v a valuation }
+//	[[D]]owa  = { D' | D' ⊇ v(D),            v a valuation }
+//	[[D]]wcwa = { D' | D' ⊇ v(D), adom(D') = adom(v(D)), v a valuation }
+//
+// The sets are infinite (valuations range over an infinite constant set and
+// OWA additionally allows arbitrary supersets), so the package offers two
+// finite views used throughout the experiments: membership tests, and
+// enumeration of worlds over an explicitly given finite constant domain.
+// For generic queries the finite-domain enumeration with enough fresh
+// constants yields the same certain answers as the full semantics; package
+// certain cross-checks this.
+package semantics
+
+import (
+	"fmt"
+
+	"incdata/internal/hom"
+	"incdata/internal/table"
+	"incdata/internal/valuation"
+	"incdata/internal/value"
+)
+
+// Assumption selects one of the semantics of incompleteness.
+type Assumption uint8
+
+const (
+	// OWA is the open-world assumption.
+	OWA Assumption = iota
+	// CWA is the closed-world assumption.
+	CWA
+	// WCWA is the weak closed-world assumption (supersets allowed but no new
+	// active-domain elements).
+	WCWA
+)
+
+// String names the assumption.
+func (a Assumption) String() string {
+	switch a {
+	case OWA:
+		return "owa"
+	case CWA:
+		return "cwa"
+	case WCWA:
+		return "wcwa"
+	default:
+		return fmt.Sprintf("Assumption(%d)", uint8(a))
+	}
+}
+
+// ParseAssumption parses "owa", "cwa" or "wcwa".
+func ParseAssumption(s string) (Assumption, error) {
+	switch s {
+	case "owa", "OWA":
+		return OWA, nil
+	case "cwa", "CWA":
+		return CWA, nil
+	case "wcwa", "WCWA":
+		return WCWA, nil
+	default:
+		return OWA, fmt.Errorf("semantics: unknown assumption %q", s)
+	}
+}
+
+// Represents reports whether the complete database world belongs to
+// [[d]] under the given assumption.  world must be complete; Represents
+// returns false (and is meaningless) otherwise.
+//
+// The characterisations used are the ones from Section 5.2 of the paper:
+// membership in [[D]]owa is the existence of a homomorphism D → world,
+// membership in [[D]]cwa is the existence of a strong onto homomorphism,
+// and membership in [[D]]wcwa is the existence of an onto homomorphism.
+// For a complete target these coincide with the valuation-based definitions.
+func Represents(a Assumption, d, world *table.Database) bool {
+	if !world.IsComplete() {
+		return false
+	}
+	switch a {
+	case OWA:
+		return hom.Exists(d, world)
+	case CWA:
+		return hom.ExistsStrongOnto(d, world)
+	case WCWA:
+		return hom.ExistsOnto(d, world)
+	default:
+		return false
+	}
+}
+
+// Domain is a finite set of constants used to enumerate worlds.
+type Domain []value.Value
+
+// DomainOf builds the enumeration domain for a database: its constants plus
+// extraFresh fresh constants not occurring in it (so that valuations can map
+// nulls outside Const(D), which is what genericity arguments require).
+// Additional constants (for example constants mentioned by a query) can be
+// passed in extra.
+func DomainOf(d *table.Database, extraFresh int, extra ...value.Value) Domain {
+	seen := map[value.Value]bool{}
+	var dom Domain
+	add := func(v value.Value) {
+		if v.IsConst() && !seen[v] {
+			seen[v] = true
+			dom = append(dom, v)
+		}
+	}
+	for _, c := range d.SortedConsts() {
+		add(c)
+	}
+	for _, c := range extra {
+		add(c)
+	}
+	next := 0
+	for added := 0; added < extraFresh; added++ {
+		c := value.String(fmt.Sprintf("@w%d", next))
+		next++
+		for seen[c] {
+			c = value.String(fmt.Sprintf("@w%d", next))
+			next++
+		}
+		add(c)
+	}
+	return dom
+}
+
+// Values returns the domain as a plain slice.
+func (dom Domain) Values() []value.Value { return []value.Value(dom) }
+
+// EnumerateCWA calls fn with every world of [[d]]cwa whose nulls are
+// instantiated within the given domain, i.e. with v(d) for every valuation
+// v : Null(d) → dom.  Distinct valuations may yield the same world; fn sees
+// each distinct world exactly once.  Enumeration stops early when fn
+// returns false; the return value reports whether enumeration ran to
+// completion.
+func EnumerateCWA(d *table.Database, dom Domain, fn func(*table.Database) bool) bool {
+	nulls := d.SortedNulls()
+	seen := map[string]bool{}
+	return valuation.Enumerate(nulls, dom, func(v valuation.Valuation) bool {
+		world := v.ApplyDatabase(d)
+		key := world.String()
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		return fn(world)
+	})
+}
+
+// EnumerateOWA calls fn with worlds of [[d]]owa over the given domain,
+// namely every v(d) extended with at most maxExtraTuples additional tuples
+// built from domain constants.  With maxExtraTuples = 0 it enumerates
+// exactly the minimal worlds (the valuation images), which is sufficient
+// for computing certain answers of monotone queries.  Enumeration stops
+// early when fn returns false.
+func EnumerateOWA(d *table.Database, dom Domain, maxExtraTuples int, fn func(*table.Database) bool) bool {
+	if maxExtraTuples <= 0 {
+		return EnumerateCWA(d, dom, fn)
+	}
+	// All candidate extra tuples over the domain, per relation.
+	type extra struct {
+		rel   string
+		tuple table.Tuple
+	}
+	var candidates []extra
+	for _, name := range d.RelationNames() {
+		arity := d.Relation(name).Arity()
+		tuples := allTuples(dom, arity)
+		for _, t := range tuples {
+			candidates = append(candidates, extra{rel: name, tuple: t})
+		}
+	}
+	seen := map[string]bool{}
+	emit := func(world *table.Database) bool {
+		key := world.String()
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		return fn(world)
+	}
+	return EnumerateCWA(d, dom, func(base *table.Database) bool {
+		// Enumerate subsets of candidate extra tuples of size ≤ maxExtraTuples.
+		var rec func(start, budget int, cur *table.Database) bool
+		rec = func(start, budget int, cur *table.Database) bool {
+			if !emit(cur) {
+				return false
+			}
+			if budget == 0 {
+				return true
+			}
+			for i := start; i < len(candidates); i++ {
+				c := candidates[i]
+				if cur.Relation(c.rel).Contains(c.tuple) {
+					continue
+				}
+				next := cur.Clone()
+				next.MustAdd(c.rel, c.tuple)
+				if !rec(i+1, budget-1, next) {
+					return false
+				}
+			}
+			return true
+		}
+		return rec(0, maxExtraTuples, base)
+	})
+}
+
+// allTuples enumerates all tuples of the given arity over the domain.
+func allTuples(dom Domain, arity int) []table.Tuple {
+	if arity == 0 {
+		return []table.Tuple{{}}
+	}
+	var out []table.Tuple
+	cur := make(table.Tuple, arity)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == arity {
+			out = append(out, cur.Clone())
+			return
+		}
+		for _, v := range dom {
+			cur[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// WorldCount returns the number of valuations that EnumerateCWA will try:
+// |dom|^|Null(d)| (worlds may be fewer after deduplication).
+func WorldCount(d *table.Database, dom Domain) int {
+	return valuation.Count(len(d.Nulls()), len(dom))
+}

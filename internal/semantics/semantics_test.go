@@ -1,0 +1,218 @@
+package semantics
+
+import (
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+func db(t *testing.T, arity int, rows ...[]string) *table.Database {
+	t.Helper()
+	s := schema.MustNew(schema.WithArity("R", arity))
+	d := table.NewDatabase(s)
+	for _, r := range rows {
+		d.MustAddRow("R", r...)
+	}
+	return d
+}
+
+func TestAssumptionStringParse(t *testing.T) {
+	for _, a := range []Assumption{OWA, CWA, WCWA} {
+		got, err := ParseAssumption(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip of %v failed: %v %v", a, got, err)
+		}
+	}
+	if _, err := ParseAssumption("nonsense"); err == nil {
+		t.Error("ParseAssumption should fail on junk")
+	}
+	if Assumption(200).String() == "" {
+		t.Error("unknown assumption should render")
+	}
+	if got, _ := ParseAssumption("CWA"); got != CWA {
+		t.Error("upper-case parse failed")
+	}
+}
+
+// The paper's example: R = {(⊥,1,⊥'), (2,⊥',⊥)}.  R1 = {(3,1,4),(2,4,3)} is
+// in [[R]]cwa and [[R]]owa; R2 = R1 ∪ {(5,6,7)} is only in [[R]]owa.
+func TestRepresentsPaperExample(t *testing.T) {
+	r := db(t, 3, []string{"⊥1", "1", "⊥2"}, []string{"2", "⊥2", "⊥1"})
+	r1 := db(t, 3, []string{"3", "1", "4"}, []string{"2", "4", "3"})
+	r2 := db(t, 3, []string{"3", "1", "4"}, []string{"2", "4", "3"}, []string{"5", "6", "7"})
+
+	if !Represents(CWA, r, r1) {
+		t.Error("R1 ∈ [[R]]cwa expected")
+	}
+	if !Represents(OWA, r, r1) {
+		t.Error("R1 ∈ [[R]]owa expected")
+	}
+	if Represents(CWA, r, r2) {
+		t.Error("R2 ∉ [[R]]cwa expected")
+	}
+	if !Represents(OWA, r, r2) {
+		t.Error("R2 ∈ [[R]]owa expected")
+	}
+	// WCWA: R2 adds new active-domain elements 5,6,7, so it is not in
+	// [[R]]wcwa; R1 is.
+	if !Represents(WCWA, r, r1) {
+		t.Error("R1 ∈ [[R]]wcwa expected")
+	}
+	if Represents(WCWA, r, r2) {
+		t.Error("R2 ∉ [[R]]wcwa expected")
+	}
+}
+
+func TestRepresentsRejectsIncompleteWorld(t *testing.T) {
+	r := db(t, 1, []string{"⊥1"})
+	withNull := db(t, 1, []string{"⊥2"})
+	if Represents(OWA, r, withNull) || Represents(CWA, r, withNull) {
+		t.Error("worlds must be complete databases")
+	}
+	if Represents(Assumption(99), r, db(t, 1, []string{"1"})) {
+		t.Error("unknown assumption should represent nothing")
+	}
+}
+
+func TestWCWAAllowsMoreTuplesSameDomain(t *testing.T) {
+	r := db(t, 2, []string{"1", "⊥1"})
+	// world (1,2),(2,1): superset of v(R) for ⊥1↦2 with adom {1,2} = adom(v(R)).
+	w := db(t, 2, []string{"1", "2"}, []string{"2", "1"})
+	if !Represents(WCWA, r, w) {
+		t.Error("WCWA should allow extra tuples over the same active domain")
+	}
+	if Represents(CWA, r, w) {
+		t.Error("CWA should not")
+	}
+	if !Represents(OWA, r, w) {
+		t.Error("OWA should allow it too")
+	}
+}
+
+func TestDomainOf(t *testing.T) {
+	d := db(t, 2, []string{"1", "⊥1"}, []string{"2", "⊥2"})
+	dom := DomainOf(d, 2, value.Int(7))
+	if len(dom) != 5 {
+		t.Fatalf("domain size = %d, want 5 (2 consts + 1 extra + 2 fresh): %v", len(dom), dom)
+	}
+	seen := map[value.Value]bool{}
+	for _, v := range dom.Values() {
+		if !v.IsConst() {
+			t.Errorf("domain contains non-constant %v", v)
+		}
+		if seen[v] {
+			t.Errorf("domain contains duplicate %v", v)
+		}
+		seen[v] = true
+	}
+	if !seen[value.Int(1)] || !seen[value.Int(2)] || !seen[value.Int(7)] {
+		t.Error("domain should include database and extra constants")
+	}
+	// Fresh constants must avoid existing ones even if they look like @w0.
+	d2 := db(t, 1, []string{"@w0"})
+	dom2 := DomainOf(d2, 1)
+	if len(dom2) != 2 || dom2[0] == dom2[1] {
+		t.Errorf("fresh constant collided: %v", dom2)
+	}
+}
+
+func TestEnumerateCWA(t *testing.T) {
+	d := db(t, 2, []string{"1", "⊥1"}, []string{"⊥1", "2"})
+	dom := Domain{value.Int(1), value.Int(2), value.Int(3)}
+	var worlds []*table.Database
+	completed := EnumerateCWA(d, dom, func(w *table.Database) bool {
+		worlds = append(worlds, w)
+		return true
+	})
+	if !completed {
+		t.Error("enumeration should complete")
+	}
+	// One world per value of ⊥1: 3 distinct worlds.
+	if len(worlds) != 3 {
+		t.Fatalf("got %d worlds, want 3", len(worlds))
+	}
+	for _, w := range worlds {
+		if !w.IsComplete() {
+			t.Errorf("world %v is not complete", w)
+		}
+		if !Represents(CWA, d, w) {
+			t.Errorf("enumerated world %v not in [[d]]cwa", w)
+		}
+	}
+	if got := WorldCount(d, dom); got != 3 {
+		t.Errorf("WorldCount = %d, want 3", got)
+	}
+}
+
+func TestEnumerateCWADeduplicates(t *testing.T) {
+	// Two nulls that always produce the same world when equal: make sure
+	// distinct valuations collapsing to the same world are deduplicated.
+	d := db(t, 1, []string{"⊥1"}, []string{"⊥2"})
+	dom := Domain{value.Int(1), value.Int(2)}
+	count := 0
+	EnumerateCWA(d, dom, func(w *table.Database) bool {
+		count++
+		return true
+	})
+	// Valuations: 4.  Worlds: {1},{2},{1,2} => 3.
+	if count != 3 {
+		t.Errorf("expected 3 distinct worlds, got %d", count)
+	}
+}
+
+func TestEnumerateCWAEarlyStop(t *testing.T) {
+	d := db(t, 1, []string{"⊥1"})
+	dom := Domain{value.Int(1), value.Int(2), value.Int(3)}
+	count := 0
+	completed := EnumerateCWA(d, dom, func(*table.Database) bool {
+		count++
+		return false
+	})
+	if completed || count != 1 {
+		t.Errorf("early stop failed: completed=%v count=%d", completed, count)
+	}
+}
+
+func TestEnumerateOWA(t *testing.T) {
+	d := db(t, 1, []string{"1"})
+	dom := Domain{value.Int(1), value.Int(2)}
+	var sizes []int
+	EnumerateOWA(d, dom, 1, func(w *table.Database) bool {
+		sizes = append(sizes, w.TotalTuples())
+		if !Represents(OWA, d, w) {
+			t.Errorf("world %v not in [[d]]owa", w)
+		}
+		return true
+	})
+	// Worlds: {1} and {1,2} (adding tuple (2)); adding (1) is already there.
+	if len(sizes) != 2 {
+		t.Fatalf("got %d OWA worlds, want 2", len(sizes))
+	}
+	// maxExtraTuples=0 degenerates to CWA enumeration.
+	count := 0
+	EnumerateOWA(d, dom, 0, func(*table.Database) bool { count++; return true })
+	if count != 1 {
+		t.Errorf("OWA with 0 extra tuples should equal CWA enumeration, got %d", count)
+	}
+}
+
+func TestEnumerateOWAWithNullsAndEarlyStop(t *testing.T) {
+	d := db(t, 1, []string{"⊥1"})
+	dom := Domain{value.Int(1), value.Int(2)}
+	worlds := map[string]bool{}
+	EnumerateOWA(d, dom, 1, func(w *table.Database) bool {
+		worlds[w.String()] = true
+		return true
+	})
+	// Base worlds {1},{2}; plus one extra tuple each: {1,2} (from either).
+	if len(worlds) != 3 {
+		t.Errorf("got %d worlds, want 3: %v", len(worlds), worlds)
+	}
+	count := 0
+	completed := EnumerateOWA(d, dom, 1, func(*table.Database) bool { count++; return false })
+	if completed || count != 1 {
+		t.Errorf("early stop failed: %v %d", completed, count)
+	}
+}

@@ -1,0 +1,472 @@
+// Package sqlx is the "practice" baseline of the paper: a small in-memory
+// evaluator for SQL-style SELECT-FROM-WHERE queries that follows the SQL
+// standard's treatment of nulls — Codd's three-valued logic, with
+// comparisons against NULL evaluating to unknown and WHERE keeping only
+// rows whose condition is definitely true.
+//
+// It exists to reproduce, verbatim, the anomalies of Section 1:
+//
+//   - the unpaid-orders query (NOT IN against a subquery returning a null)
+//     returning the empty answer although an unpaid order provably exists;
+//   - R − S written with NOT IN returning ∅ whenever S contains a null;
+//   - Grant's example: σ[order = 'oid1' ∨ order ≠ 'oid1'] returning ∅ on a
+//     null although every interpretation of the null satisfies it.
+//
+// The package deliberately implements only the fragment the paper discusses
+// (single-table FROM, scalar comparisons, IN/NOT IN and EXISTS/NOT EXISTS
+// subqueries); it is a semantics reference, not a SQL engine.
+package sqlx
+
+import (
+	"fmt"
+	"strings"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/tvl"
+	"incdata/internal/value"
+)
+
+// Query is a SELECT-FROM-WHERE query over a single relation.
+type Query struct {
+	// Select lists the output attributes (of the FROM relation).
+	Select []string
+	// From names the relation scanned by the query.
+	From string
+	// Where is the condition; nil means "WHERE true".
+	Where Cond
+}
+
+// String renders the query in SQL-ish syntax.
+func (q Query) String() string {
+	s := "SELECT " + strings.Join(q.Select, ", ") + " FROM " + q.From
+	if q.Where != nil {
+		s += " WHERE " + q.Where.String()
+	}
+	return s
+}
+
+// Cond is a WHERE condition evaluated in three-valued logic.
+type Cond interface {
+	// Truth evaluates the condition on a tuple of the outer relation.
+	Truth(t table.Tuple, rs schema.Relation, d *table.Database) (tvl.Truth, error)
+	// String renders the condition.
+	String() string
+}
+
+// Term is an attribute reference or a constant inside a condition.
+type Term struct {
+	Attr   string
+	Const  value.Value
+	IsAttr bool
+}
+
+// Col references an attribute of the FROM relation.
+func Col(name string) Term { return Term{Attr: name, IsAttr: true} }
+
+// Val embeds a constant.
+func Val(v value.Value) Term { return Term{Const: v} }
+
+// ValString embeds a string constant.
+func ValString(s string) Term { return Val(value.String(s)) }
+
+// ValInt embeds an integer constant.
+func ValInt(i int64) Term { return Val(value.Int(i)) }
+
+func (t Term) resolve(tp table.Tuple, rs schema.Relation) (value.Value, error) {
+	if !t.IsAttr {
+		return t.Const, nil
+	}
+	i := rs.AttrIndex(t.Attr)
+	if i < 0 {
+		return value.Value{}, fmt.Errorf("sqlx: unknown attribute %q in %s", t.Attr, rs)
+	}
+	return tp[i], nil
+}
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsAttr {
+		return t.Attr
+	}
+	if s, ok := t.Const.AsString(); ok {
+		return "'" + s + "'"
+	}
+	return t.Const.String()
+}
+
+// CmpKind is a SQL comparison operator.
+type CmpKind uint8
+
+// SQL comparison operators.
+const (
+	OpEq CmpKind = iota
+	OpNeq
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+)
+
+func (k CmpKind) String() string {
+	switch k {
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLeq:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGeq:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Compare is a scalar comparison; it is unknown whenever either side is a
+// null, per the SQL standard.
+type Compare struct {
+	Left  Term
+	Op    CmpKind
+	Right Term
+}
+
+// Eq builds left = right.
+func Eq(l, r Term) Compare { return Compare{Left: l, Op: OpEq, Right: r} }
+
+// Neq builds left <> right.
+func Neq(l, r Term) Compare { return Compare{Left: l, Op: OpNeq, Right: r} }
+
+// Truth implements Cond.
+func (c Compare) Truth(tp table.Tuple, rs schema.Relation, _ *table.Database) (tvl.Truth, error) {
+	l, err := c.Left.resolve(tp, rs)
+	if err != nil {
+		return tvl.Unknown, err
+	}
+	r, err := c.Right.resolve(tp, rs)
+	if err != nil {
+		return tvl.Unknown, err
+	}
+	switch c.Op {
+	case OpEq:
+		return tvl.Equals(l, r), nil
+	case OpNeq:
+		return tvl.NotEquals(l, r), nil
+	case OpLt:
+		return tvl.Less(l, r), nil
+	case OpLeq:
+		return tvl.LessEq(l, r), nil
+	case OpGt:
+		return tvl.Greater(l, r), nil
+	case OpGeq:
+		return tvl.GreaterEq(l, r), nil
+	default:
+		return tvl.Unknown, fmt.Errorf("sqlx: unknown comparison operator %d", c.Op)
+	}
+}
+
+// String implements Cond.
+func (c Compare) String() string {
+	return c.Left.String() + " " + c.Op.String() + " " + c.Right.String()
+}
+
+// IsNull is the SQL "attr IS [NOT] NULL" predicate, the only null-aware
+// predicate SQL offers (it is two-valued).
+type IsNull struct {
+	Term   Term
+	Negate bool
+}
+
+// Truth implements Cond.
+func (c IsNull) Truth(tp table.Tuple, rs schema.Relation, _ *table.Database) (tvl.Truth, error) {
+	v, err := c.Term.resolve(tp, rs)
+	if err != nil {
+		return tvl.Unknown, err
+	}
+	isNull := v.IsNull()
+	if c.Negate {
+		isNull = !isNull
+	}
+	return tvl.FromBool(isNull), nil
+}
+
+// String implements Cond.
+func (c IsNull) String() string {
+	if c.Negate {
+		return c.Term.String() + " IS NOT NULL"
+	}
+	return c.Term.String() + " IS NULL"
+}
+
+// And is conjunction in Kleene logic.
+type And struct{ Conds []Cond }
+
+// AllOf builds a conjunction.
+func AllOf(cs ...Cond) And { return And{Conds: cs} }
+
+// Truth implements Cond.
+func (a And) Truth(tp table.Tuple, rs schema.Relation, d *table.Database) (tvl.Truth, error) {
+	out := tvl.True
+	for _, c := range a.Conds {
+		t, err := c.Truth(tp, rs, d)
+		if err != nil {
+			return tvl.Unknown, err
+		}
+		out = tvl.And(out, t)
+	}
+	return out, nil
+}
+
+// String implements Cond.
+func (a And) String() string { return joinConds(a.Conds, " AND ") }
+
+// Or is disjunction in Kleene logic.
+type Or struct{ Conds []Cond }
+
+// AnyOf builds a disjunction.
+func AnyOf(cs ...Cond) Or { return Or{Conds: cs} }
+
+// Truth implements Cond.
+func (o Or) Truth(tp table.Tuple, rs schema.Relation, d *table.Database) (tvl.Truth, error) {
+	out := tvl.False
+	for _, c := range o.Conds {
+		t, err := c.Truth(tp, rs, d)
+		if err != nil {
+			return tvl.Unknown, err
+		}
+		out = tvl.Or(out, t)
+	}
+	return out, nil
+}
+
+// String implements Cond.
+func (o Or) String() string { return joinConds(o.Conds, " OR ") }
+
+// Not is Kleene negation.
+type Not struct{ Cond Cond }
+
+// Truth implements Cond.
+func (n Not) Truth(tp table.Tuple, rs schema.Relation, d *table.Database) (tvl.Truth, error) {
+	t, err := n.Cond.Truth(tp, rs, d)
+	if err != nil {
+		return tvl.Unknown, err
+	}
+	return tvl.Not(t), nil
+}
+
+// String implements Cond.
+func (n Not) String() string { return "NOT (" + n.Cond.String() + ")" }
+
+func joinConds(cs []Cond, sep string) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Subquery is a single-column subquery used by IN and EXISTS conditions.
+// Correlations equate an attribute of the inner relation with an attribute
+// of the outer tuple.
+type Subquery struct {
+	// Select is the single output attribute (needed for IN; optional for
+	// EXISTS).
+	Select string
+	// From names the inner relation.
+	From string
+	// Where is the inner condition evaluated on inner tuples; nil means true.
+	Where Cond
+	// Correlate equates inner attributes with outer attributes (inner = outer).
+	Correlate []Correlation
+}
+
+// Correlation equates an attribute of the subquery's relation with an
+// attribute of the outer query's relation, with SQL's 3VL equality.
+type Correlation struct {
+	Inner string
+	Outer string
+}
+
+// values evaluates the subquery for a given outer tuple and returns the
+// column of selected values (for IN) or just whether a row matched (for
+// EXISTS, via the second return).
+func (s Subquery) values(outer table.Tuple, outerRS schema.Relation, d *table.Database) ([]value.Value, bool, error) {
+	rel := d.Relation(s.From)
+	if rel == nil {
+		return nil, false, fmt.Errorf("sqlx: unknown relation %q", s.From)
+	}
+	innerRS := rel.Schema()
+	selIdx := -1
+	if s.Select != "" {
+		selIdx = innerRS.AttrIndex(s.Select)
+		if selIdx < 0 {
+			return nil, false, fmt.Errorf("sqlx: unknown attribute %q in %s", s.Select, innerRS)
+		}
+	}
+	var out []value.Value
+	exists := false
+	var evalErr error
+	rel.Each(func(it table.Tuple) bool {
+		keep := tvl.True
+		for _, corr := range s.Correlate {
+			ii := innerRS.AttrIndex(corr.Inner)
+			oi := outerRS.AttrIndex(corr.Outer)
+			if ii < 0 || oi < 0 {
+				evalErr = fmt.Errorf("sqlx: bad correlation %s = %s", corr.Inner, corr.Outer)
+				return false
+			}
+			keep = tvl.And(keep, tvl.Equals(it[ii], outer[oi]))
+		}
+		if s.Where != nil {
+			t, err := s.Where.Truth(it, innerRS, d)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			keep = tvl.And(keep, t)
+		}
+		if keep.IsTrue() {
+			exists = true
+			if selIdx >= 0 {
+				out = append(out, it[selIdx])
+			}
+		}
+		return true
+	})
+	return out, exists, evalErr
+}
+
+// In is "term IN (subquery)"; NOT IN when Negate is set.  Its three-valued
+// semantics is exactly SQL's and is the source of the anomalies in the
+// paper's introduction.
+type In struct {
+	Term   Term
+	Sub    Subquery
+	Negate bool
+}
+
+// Truth implements Cond.
+func (c In) Truth(tp table.Tuple, rs schema.Relation, d *table.Database) (tvl.Truth, error) {
+	v, err := c.Term.resolve(tp, rs)
+	if err != nil {
+		return tvl.Unknown, err
+	}
+	col, _, err := c.Sub.values(tp, rs, d)
+	if err != nil {
+		return tvl.Unknown, err
+	}
+	t := tvl.In(v, col)
+	if c.Negate {
+		t = tvl.Not(t)
+	}
+	return t, nil
+}
+
+// String implements Cond.
+func (c In) String() string {
+	op := "IN"
+	if c.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("%s %s (SELECT %s FROM %s%s)", c.Term.String(), op, c.Sub.Select, c.Sub.From, subWhere(c.Sub))
+}
+
+// Exists is "[NOT] EXISTS (subquery)".  EXISTS is two-valued in SQL: a row
+// either matches or it does not, so NOT EXISTS rewrites do not suffer from
+// the NOT IN anomaly — package certain uses this contrast in experiment E1.
+type Exists struct {
+	Sub    Subquery
+	Negate bool
+}
+
+// Truth implements Cond.
+func (c Exists) Truth(tp table.Tuple, rs schema.Relation, d *table.Database) (tvl.Truth, error) {
+	_, exists, err := c.Sub.values(tp, rs, d)
+	if err != nil {
+		return tvl.Unknown, err
+	}
+	if c.Negate {
+		exists = !exists
+	}
+	return tvl.FromBool(exists), nil
+}
+
+// String implements Cond.
+func (c Exists) String() string {
+	op := "EXISTS"
+	if c.Negate {
+		op = "NOT EXISTS"
+	}
+	return fmt.Sprintf("%s (SELECT * FROM %s%s)", op, c.Sub.From, subWhere(c.Sub))
+}
+
+func subWhere(s Subquery) string {
+	var parts []string
+	for _, c := range s.Correlate {
+		parts = append(parts, s.From+"."+c.Inner+" = outer."+c.Outer)
+	}
+	if s.Where != nil {
+		parts = append(parts, s.Where.String())
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " WHERE " + strings.Join(parts, " AND ")
+}
+
+// Eval evaluates the query under SQL semantics and returns the resulting
+// relation.  Only rows whose WHERE condition is definitely true are kept —
+// rows evaluating to unknown are silently dropped, which is precisely the
+// behaviour the paper critiques.
+func Eval(q Query, d *table.Database) (*table.Relation, error) {
+	rel := d.Relation(q.From)
+	if rel == nil {
+		return nil, fmt.Errorf("sqlx: unknown relation %q", q.From)
+	}
+	rs := rel.Schema()
+	if len(q.Select) == 0 {
+		return nil, fmt.Errorf("sqlx: empty SELECT list")
+	}
+	idx := make([]int, len(q.Select))
+	for i, a := range q.Select {
+		j := rs.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("sqlx: unknown attribute %q in %s", a, rs)
+		}
+		idx[i] = j
+	}
+	out := table.NewRelation(schema.NewRelation("sql("+q.From+")", q.Select...))
+	var evalErr error
+	rel.Each(func(t table.Tuple) bool {
+		keep := tvl.True
+		if q.Where != nil {
+			tr, err := q.Where.Truth(t, rs, d)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			keep = tr
+		}
+		if keep.IsTrue() {
+			out.MustAdd(t.Project(idx...))
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// MustEval is Eval that panics on error.
+func MustEval(q Query, d *table.Database) *table.Relation {
+	r, err := Eval(q, d)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,302 @@
+package sqlx
+
+import (
+	"strings"
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// ordersDB is the introduction's instance: Order = {(oid1,pr1),(oid2,pr2)},
+// Pay = {(pid1, ⊥, 100)}.
+func ordersDB() *table.Database {
+	s := schema.MustNew(
+		schema.NewRelation("Order", "o_id", "product"),
+		schema.NewRelation("Pay", "p_id", "order", "amount"),
+	)
+	d := table.NewDatabase(s)
+	d.MustAddRow("Order", "oid1", "pr1")
+	d.MustAddRow("Order", "oid2", "pr2")
+	d.MustAddRow("Pay", "pid1", "⊥1", "100")
+	return d
+}
+
+// The flagship anomaly: the unpaid-orders query returns the empty set even
+// though at least one order is certainly unpaid.
+func TestUnpaidOrdersAnomaly(t *testing.T) {
+	d := ordersDB()
+	q := Query{
+		Select: []string{"o_id"},
+		From:   "Order",
+		Where: In{
+			Term:   Col("o_id"),
+			Sub:    Subquery{Select: "order", From: "Pay"},
+			Negate: true,
+		},
+	}
+	res := MustEval(q, d)
+	if res.Len() != 0 {
+		t.Fatalf("SQL NOT IN with a null should return the empty answer, got %v", res)
+	}
+
+	// Sanity check: without the null the query behaves as expected.
+	d2 := ordersDB()
+	d2.MustRelation("Pay").Remove(table.MustParseTuple("pid1", "⊥1", "100"))
+	d2.MustAddRow("Pay", "pid1", "oid1", "100")
+	res2 := MustEval(q, d2)
+	if res2.Len() != 1 || !res2.Contains(table.MustParseTuple("oid2")) {
+		t.Fatalf("without nulls, oid2 should be reported unpaid, got %v", res2)
+	}
+}
+
+// The NOT EXISTS rewrite does not suffer from the anomaly in the same way:
+// it still misses oid1/oid2 only if the null "could" pay for them, i.e. it
+// is sound but incomplete, never returning a false positive here.
+func TestNotExistsRewrite(t *testing.T) {
+	d := ordersDB()
+	q := Query{
+		Select: []string{"o_id"},
+		From:   "Order",
+		Where: Exists{
+			Sub:    Subquery{From: "Pay", Correlate: []Correlation{{Inner: "order", Outer: "o_id"}}},
+			Negate: true,
+		},
+	}
+	res := MustEval(q, d)
+	// Under SQL semantics the correlated equality with ⊥ is unknown, so no
+	// Pay row matches and NOT EXISTS is true for both orders.
+	if res.Len() != 2 {
+		t.Fatalf("NOT EXISTS rewrite should return both orders here, got %v", res)
+	}
+}
+
+// R − S via NOT IN: returns ∅ whenever S contains a null, regardless of R.
+func TestDifferenceViaNotInAnomaly(t *testing.T) {
+	s := schema.MustNew(schema.NewRelation("R", "A"), schema.NewRelation("S", "A"))
+	d := table.NewDatabase(s)
+	for i := 0; i < 5; i++ {
+		d.MustAddRow("R", value.Int(int64(i)).String())
+	}
+	d.MustAddRow("S", "⊥1")
+	q := Query{
+		Select: []string{"A"},
+		From:   "R",
+		Where:  In{Term: Col("A"), Sub: Subquery{Select: "A", From: "S"}, Negate: true},
+	}
+	if got := MustEval(q, d); got.Len() != 0 {
+		t.Fatalf("R NOT IN S with null S should be empty, got %v", got)
+	}
+	// |R| > |S| guarantees R−S is nonempty in every world — SQL still says ∅.
+}
+
+// Grant's example: WHERE order = 'oid1' OR order <> 'oid1' on a null row.
+func TestTautologyAnomaly(t *testing.T) {
+	d := ordersDB()
+	q := Query{
+		Select: []string{"p_id"},
+		From:   "Pay",
+		Where: AnyOf(
+			Eq(Col("order"), ValString("oid1")),
+			Neq(Col("order"), ValString("oid1")),
+		),
+	}
+	res := MustEval(q, d)
+	if res.Len() != 0 {
+		t.Fatalf("tautological WHERE over a null should drop the row under 3VL, got %v", res)
+	}
+	// The certain answer is {pid1}: every interpretation of ⊥ satisfies the
+	// disjunction.  package certain demonstrates the fix; here we only pin
+	// down the SQL behaviour.
+}
+
+func TestIsNullPredicate(t *testing.T) {
+	d := ordersDB()
+	q := Query{Select: []string{"p_id"}, From: "Pay", Where: IsNull{Term: Col("order")}}
+	if got := MustEval(q, d); got.Len() != 1 {
+		t.Fatalf("IS NULL should find the null row, got %v", got)
+	}
+	q2 := Query{Select: []string{"p_id"}, From: "Pay", Where: IsNull{Term: Col("order"), Negate: true}}
+	if got := MustEval(q2, d); got.Len() != 0 {
+		t.Fatalf("IS NOT NULL should drop the null row, got %v", got)
+	}
+}
+
+func TestConnectivesAndComparisons(t *testing.T) {
+	s := schema.MustNew(schema.NewRelation("T", "a", "b"))
+	d := table.NewDatabase(s)
+	d.MustAddRow("T", "1", "2")
+	d.MustAddRow("T", "3", "⊥1")
+	d.MustAddRow("T", "5", "6")
+
+	// a < 4 AND NOT (b = 2): keeps nothing with nulls involved except...
+	q := Query{
+		Select: []string{"a"},
+		From:   "T",
+		Where: AllOf(
+			Compare{Left: Col("a"), Op: OpLt, Right: ValInt(4)},
+			Not{Cond: Eq(Col("b"), ValInt(2))},
+		),
+	}
+	res := MustEval(q, d)
+	// (1,2): 1<4 true, NOT(2=2)=false -> drop. (3,⊥): 3<4 true, NOT(unknown)=unknown -> drop.
+	if res.Len() != 0 {
+		t.Fatalf("expected empty, got %v", res)
+	}
+	// a >= 3 OR b <= 2
+	q2 := Query{
+		Select: []string{"a"},
+		From:   "T",
+		Where: AnyOf(
+			Compare{Left: Col("a"), Op: OpGeq, Right: ValInt(3)},
+			Compare{Left: Col("b"), Op: OpLeq, Right: ValInt(2)},
+		),
+	}
+	res2 := MustEval(q2, d)
+	if res2.Len() != 3 {
+		t.Fatalf("expected 3 rows, got %v", res2)
+	}
+	// a > 4, a <= 1
+	q3 := Query{Select: []string{"a"}, From: "T", Where: Compare{Left: Col("a"), Op: OpGt, Right: ValInt(4)}}
+	if MustEval(q3, d).Len() != 1 {
+		t.Error("a > 4 should keep one row")
+	}
+	q4 := Query{Select: []string{"a"}, From: "T", Where: Compare{Left: Col("a"), Op: OpLeq, Right: ValInt(1)}}
+	if MustEval(q4, d).Len() != 1 {
+		t.Error("a <= 1 should keep one row")
+	}
+}
+
+func TestEvalNoWhereAndProjection(t *testing.T) {
+	d := ordersDB()
+	q := Query{Select: []string{"product", "o_id"}, From: "Order"}
+	res := MustEval(q, d)
+	if res.Len() != 2 || !res.Contains(table.MustParseTuple("pr1", "oid1")) {
+		t.Fatalf("projection without WHERE wrong: %v", res)
+	}
+	// Output keeps nulls (SQL does not hide them).
+	q2 := Query{Select: []string{"order"}, From: "Pay"}
+	res2 := MustEval(q2, d)
+	if res2.Len() != 1 || !res2.Contains(table.MustParseTuple("⊥1")) {
+		t.Fatalf("null should appear in output: %v", res2)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	d := ordersDB()
+	if _, err := Eval(Query{Select: []string{"x"}, From: "Nope"}, d); err == nil {
+		t.Error("unknown relation should error")
+	}
+	if _, err := Eval(Query{Select: []string{"nope"}, From: "Order"}, d); err == nil {
+		t.Error("unknown select attribute should error")
+	}
+	if _, err := Eval(Query{Select: nil, From: "Order"}, d); err == nil {
+		t.Error("empty select should error")
+	}
+	if _, err := Eval(Query{Select: []string{"o_id"}, From: "Order", Where: Eq(Col("zz"), ValInt(1))}, d); err == nil {
+		t.Error("unknown attribute in WHERE should error")
+	}
+	if _, err := Eval(Query{Select: []string{"o_id"}, From: "Order", Where: Eq(ValInt(1), Col("zz"))}, d); err == nil {
+		t.Error("unknown attribute on right of comparison should error")
+	}
+	if _, err := Eval(Query{Select: []string{"o_id"}, From: "Order",
+		Where: In{Term: Col("o_id"), Sub: Subquery{Select: "x", From: "Nope"}}}, d); err == nil {
+		t.Error("unknown subquery relation should error")
+	}
+	if _, err := Eval(Query{Select: []string{"o_id"}, From: "Order",
+		Where: In{Term: Col("o_id"), Sub: Subquery{Select: "nope", From: "Pay"}}}, d); err == nil {
+		t.Error("unknown subquery attribute should error")
+	}
+	if _, err := Eval(Query{Select: []string{"o_id"}, From: "Order",
+		Where: Exists{Sub: Subquery{From: "Pay", Correlate: []Correlation{{Inner: "zz", Outer: "o_id"}}}}}, d); err == nil {
+		t.Error("bad correlation should error")
+	}
+	if _, err := Eval(Query{Select: []string{"o_id"}, From: "Order",
+		Where: AllOf(Eq(Col("zz"), ValInt(1)))}, d); err == nil {
+		t.Error("error should propagate through AND")
+	}
+	if _, err := Eval(Query{Select: []string{"o_id"}, From: "Order",
+		Where: AnyOf(Eq(Col("zz"), ValInt(1)))}, d); err == nil {
+		t.Error("error should propagate through OR")
+	}
+	if _, err := Eval(Query{Select: []string{"o_id"}, From: "Order",
+		Where: Not{Cond: Eq(Col("zz"), ValInt(1))}}, d); err == nil {
+		t.Error("error should propagate through NOT")
+	}
+	if _, err := Eval(Query{Select: []string{"o_id"}, From: "Order",
+		Where: IsNull{Term: Col("zz")}}, d); err == nil {
+		t.Error("error should propagate through IS NULL")
+	}
+	if _, err := Eval(Query{Select: []string{"o_id"}, From: "Order",
+		Where: Compare{Left: Col("o_id"), Op: CmpKind(99), Right: ValInt(1)}}, d); err == nil {
+		t.Error("unknown operator should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEval should panic on error")
+		}
+	}()
+	MustEval(Query{Select: []string{"x"}, From: "Nope"}, d)
+}
+
+func TestCorrelatedSubqueryWhere(t *testing.T) {
+	d := ordersDB()
+	// EXISTS (SELECT * FROM Pay WHERE Pay.order = Order.o_id AND amount >= 50)
+	q := Query{
+		Select: []string{"o_id"},
+		From:   "Order",
+		Where: Exists{
+			Sub: Subquery{
+				From:      "Pay",
+				Correlate: []Correlation{{Inner: "order", Outer: "o_id"}},
+				Where:     Compare{Left: Col("amount"), Op: OpGeq, Right: ValInt(50)},
+			},
+		},
+	}
+	if got := MustEval(q, d); got.Len() != 0 {
+		t.Fatalf("no order is definitely paid, got %v", got)
+	}
+	// Subquery Where errors propagate.
+	qBad := q
+	qBad.Where = Exists{Sub: Subquery{From: "Pay", Where: Eq(Col("zz"), ValInt(1))}}
+	if _, err := Eval(qBad, d); err == nil {
+		t.Error("subquery WHERE error should propagate")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	q := Query{
+		Select: []string{"o_id"},
+		From:   "Order",
+		Where: AllOf(
+			In{Term: Col("o_id"), Sub: Subquery{Select: "order", From: "Pay"}, Negate: true},
+			AnyOf(Eq(Col("product"), ValString("pr1")), Not{Cond: IsNull{Term: Col("product")}}),
+			Exists{Sub: Subquery{From: "Pay", Correlate: []Correlation{{Inner: "order", Outer: "o_id"}}}, Negate: true},
+		),
+	}
+	s := q.String()
+	for _, frag := range []string{"SELECT o_id FROM Order WHERE", "NOT IN (SELECT order FROM Pay)",
+		"product = 'pr1'", "NOT (product IS NULL)", "NOT EXISTS (SELECT * FROM Pay WHERE Pay.order = outer.o_id)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q: %s", frag, s)
+		}
+	}
+	if Eq(Col("a"), ValInt(3)).String() != "a = 3" {
+		t.Error("Compare string wrong")
+	}
+	if (IsNull{Term: Col("a"), Negate: true}).String() != "a IS NOT NULL" {
+		t.Error("IS NOT NULL string wrong")
+	}
+	if (In{Term: Col("a"), Sub: Subquery{Select: "b", From: "S", Where: Eq(Col("b"), ValInt(1))}}).String() !=
+		"a IN (SELECT b FROM S WHERE b = 1)" {
+		t.Error("IN string wrong")
+	}
+	ops := []CmpKind{OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq, CmpKind(9)}
+	names := []string{"=", "<>", "<", "<=", ">", ">=", "?"}
+	for i := range ops {
+		if ops[i].String() != names[i] {
+			t.Errorf("op string %d wrong", i)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incdata/internal/schema"
+	"incdata/internal/value"
+)
+
+// Database is an incomplete relational instance: it assigns to each relation
+// name of a schema a finite relation over Const ∪ Null (a naïve database in
+// the terminology of the paper).  A complete database is one without nulls.
+type Database struct {
+	schema *schema.Schema
+	rels   map[string]*Relation
+}
+
+// NewDatabase creates an empty database over the given schema.  Every
+// relation of the schema is initialised to the empty relation.
+func NewDatabase(s *schema.Schema) *Database {
+	d := &Database{schema: s, rels: make(map[string]*Relation, s.Len())}
+	for _, rs := range s.Relations() {
+		d.rels[rs.Name] = NewRelation(rs)
+	}
+	return d
+}
+
+// Schema returns the database schema.
+func (d *Database) Schema() *schema.Schema { return d.schema }
+
+// Relation returns the named relation, or nil if the schema has no such
+// relation.
+func (d *Database) Relation(name string) *Relation {
+	if d == nil {
+		return nil
+	}
+	return d.rels[name]
+}
+
+// MustRelation returns the named relation and panics if it does not exist.
+func (d *Database) MustRelation(name string) *Relation {
+	r := d.Relation(name)
+	if r == nil {
+		panic(fmt.Sprintf("table: unknown relation %q", name))
+	}
+	return r
+}
+
+// Add inserts a tuple into the named relation.
+func (d *Database) Add(rel string, t Tuple) error {
+	r := d.Relation(rel)
+	if r == nil {
+		return fmt.Errorf("table: unknown relation %q", rel)
+	}
+	return r.Add(t)
+}
+
+// MustAdd is Add that panics on error.
+func (d *Database) MustAdd(rel string, t Tuple) {
+	if err := d.Add(rel, t); err != nil {
+		panic(err)
+	}
+}
+
+// MustAddRow parses each field with value.Parse and adds the tuple.
+func (d *Database) MustAddRow(rel string, fields ...string) {
+	d.MustAdd(rel, MustParseTuple(fields...))
+}
+
+// SetRelation replaces the named relation wholesale (the arity must match
+// the schema).
+func (d *Database) SetRelation(rel string, r *Relation) error {
+	rs, ok := d.schema.Relation(rel)
+	if !ok {
+		return fmt.Errorf("table: unknown relation %q", rel)
+	}
+	if rs.Arity() != r.Arity() {
+		return fmt.Errorf("table: relation %q has arity %d, got %d", rel, rs.Arity(), r.Arity())
+	}
+	cp := r.Clone()
+	cp.schema = rs
+	d.rels[rel] = cp
+	return nil
+}
+
+// RelationNames returns the relation names in sorted order.
+func (d *Database) RelationNames() []string {
+	names := make([]string, 0, len(d.rels))
+	for n := range d.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalTuples returns the total number of tuples across all relations.
+func (d *Database) TotalTuples() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the database.
+func (d *Database) Clone() *Database {
+	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels))}
+	for n, r := range d.rels {
+		out.rels[n] = r.Clone()
+	}
+	return out
+}
+
+// Equal reports whether two databases over the same relation names have
+// identical relations (set equality of tuples per relation).
+func (d *Database) Equal(o *Database) bool {
+	if len(d.rels) != len(o.rels) {
+		return false
+	}
+	for n, r := range d.rels {
+		or, ok := o.rels[n]
+		if !ok || !r.Equal(or) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsComplete reports whether the database contains no nulls.
+func (d *Database) IsComplete() bool {
+	for _, r := range d.rels {
+		if !r.IsComplete() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCodd reports whether every null occurs at most once in the whole
+// database (the Codd-table model of SQL nulls).
+func (d *Database) IsCodd() bool {
+	seen := map[value.Value]bool{}
+	for _, name := range d.RelationNames() {
+		for _, t := range d.rels[name].Tuples() {
+			for _, v := range t {
+				if v.IsNull() {
+					if seen[v] {
+						return false
+					}
+					seen[v] = true
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Nulls returns Null(D): the set of nulls occurring in D.
+func (d *Database) Nulls() map[value.Value]bool {
+	out := map[value.Value]bool{}
+	for _, r := range d.rels {
+		for n := range r.Nulls() {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// Consts returns Const(D): the set of constants occurring in D.
+func (d *Database) Consts() map[value.Value]bool {
+	out := map[value.Value]bool{}
+	for _, r := range d.rels {
+		for c := range r.Consts() {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+// ActiveDomain returns adom(D) = Const(D) ∪ Null(D).
+func (d *Database) ActiveDomain() map[value.Value]bool {
+	out := map[value.Value]bool{}
+	for _, r := range d.rels {
+		for v := range r.ActiveDomain() {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// SortedNulls returns Null(D) as a deterministically ordered slice.
+func (d *Database) SortedNulls() []value.Value {
+	return SortedValues(d.Nulls())
+}
+
+// SortedConsts returns Const(D) as a deterministically ordered slice.
+func (d *Database) SortedConsts() []value.Value {
+	return SortedValues(d.Consts())
+}
+
+// Map applies f to every value of every tuple in every relation.
+func (d *Database) Map(f func(value.Value) value.Value) *Database {
+	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels))}
+	for n, r := range d.rels {
+		out.rels[n] = r.Map(f)
+	}
+	return out
+}
+
+// CompletePart returns the database keeping only null-free tuples.
+func (d *Database) CompletePart() *Database {
+	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels))}
+	for n, r := range d.rels {
+		out.rels[n] = r.CompletePart()
+	}
+	return out
+}
+
+// ContainsDatabase reports whether every tuple of o is present in d
+// (relation-wise containment, marked-null identity).  This is the "⊇" used
+// by the OWA semantics.
+func (d *Database) ContainsDatabase(o *Database) bool {
+	for n, or := range o.rels {
+		dr, ok := d.rels[n]
+		if !ok {
+			if or.Len() > 0 {
+				return false
+			}
+			continue
+		}
+		contained := true
+		or.Each(func(t Tuple) bool {
+			if !dr.Contains(t) {
+				contained = false
+				return false
+			}
+			return true
+		})
+		if !contained {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the database relation by relation in sorted name order.
+func (d *Database) String() string {
+	names := d.RelationNames()
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = d.rels[n].String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// SortedValues converts a value set into a deterministically ordered slice.
+func SortedValues(set map[value.Value]bool) []value.Value {
+	out := make([]value.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return value.Less(out[i], out[j]) })
+	return out
+}

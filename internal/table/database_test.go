@@ -1,0 +1,206 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/value"
+)
+
+// ordersSchema is the schema of the running example from Section 1 of the
+// paper: Order(o_id, product) and Pay(p_id, order, amount).
+func ordersSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.NewRelation("Order", "o_id", "product"),
+		schema.NewRelation("Pay", "p_id", "order", "amount"),
+	)
+}
+
+// ordersDB is the instance from the introduction: Order = {(oid1,pr1),
+// (oid2,pr2)}, Pay = {(pid1, ⊥, 100)}.
+func ordersDB() *Database {
+	d := NewDatabase(ordersSchema())
+	d.MustAddRow("Order", "oid1", "pr1")
+	d.MustAddRow("Order", "oid2", "pr2")
+	d.MustAddRow("Pay", "pid1", "⊥1", "100")
+	return d
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	d := ordersDB()
+	if d.Schema().Len() != 2 {
+		t.Error("schema lost")
+	}
+	if d.Relation("Order").Len() != 2 || d.Relation("Pay").Len() != 1 {
+		t.Error("relation sizes wrong")
+	}
+	if d.Relation("Nope") != nil {
+		t.Error("unknown relation should be nil")
+	}
+	if d.TotalTuples() != 3 {
+		t.Errorf("TotalTuples = %d", d.TotalTuples())
+	}
+	names := d.RelationNames()
+	if len(names) != 2 || names[0] != "Order" || names[1] != "Pay" {
+		t.Errorf("RelationNames = %v", names)
+	}
+	if err := d.Add("Nope", MustParseTuple("1")); err == nil {
+		t.Error("Add to unknown relation should fail")
+	}
+}
+
+func TestDatabaseMustPanics(t *testing.T) {
+	d := ordersDB()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRelation should panic on unknown relation")
+		}
+	}()
+	d.MustRelation("Nope")
+}
+
+func TestDatabaseMustAddPanics(t *testing.T) {
+	d := ordersDB()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd should panic on unknown relation")
+		}
+	}()
+	d.MustAdd("Nope", MustParseTuple("1"))
+}
+
+func TestDatabaseCompletenessAndDomains(t *testing.T) {
+	d := ordersDB()
+	if d.IsComplete() {
+		t.Error("database with a null should not be complete")
+	}
+	if !d.IsCodd() {
+		t.Error("single occurrence of ⊥1 -> Codd database")
+	}
+	d.MustAddRow("Order", "oid3", "⊥1") // reuse ⊥1 across relations
+	if d.IsCodd() {
+		t.Error("reused null -> not Codd")
+	}
+	nulls := d.Nulls()
+	if len(nulls) != 1 || !nulls[value.Null(1)] {
+		t.Errorf("Nulls = %v", nulls)
+	}
+	if len(d.Consts()) != 7 {
+		t.Errorf("Consts = %v", d.Consts())
+	}
+	if len(d.ActiveDomain()) != 8 {
+		t.Errorf("adom = %v", d.ActiveDomain())
+	}
+	sn := d.SortedNulls()
+	if len(sn) != 1 || sn[0] != value.Null(1) {
+		t.Errorf("SortedNulls = %v", sn)
+	}
+	sc := d.SortedConsts()
+	if len(sc) != 7 || !value.Less(sc[0], sc[len(sc)-1]) {
+		t.Errorf("SortedConsts = %v", sc)
+	}
+}
+
+func TestDatabaseCloneEqual(t *testing.T) {
+	d := ordersDB()
+	c := d.Clone()
+	if !d.Equal(c) {
+		t.Error("clone should be equal")
+	}
+	c.MustAddRow("Order", "oid9", "pr9")
+	if d.Equal(c) {
+		t.Error("modified clone should differ")
+	}
+	if d.Relation("Order").Len() != 2 {
+		t.Error("clone aliases storage")
+	}
+	// databases over different relation name sets are unequal
+	other := NewDatabase(schema.MustNew(schema.NewRelation("Order", "o_id", "product")))
+	if d.Equal(other) {
+		t.Error("different relation sets should differ")
+	}
+}
+
+func TestDatabaseMapAndCompletePart(t *testing.T) {
+	d := ordersDB()
+	v := d.Map(func(x value.Value) value.Value {
+		if x.IsNull() {
+			return value.String("oid1")
+		}
+		return x
+	})
+	if !v.IsComplete() {
+		t.Error("after substituting nulls, database should be complete")
+	}
+	if !v.Relation("Pay").Contains(MustParseTuple("pid1", "oid1", "100")) {
+		t.Error("Map did not substitute")
+	}
+	cp := d.CompletePart()
+	if cp.Relation("Pay").Len() != 0 || cp.Relation("Order").Len() != 2 {
+		t.Error("CompletePart wrong")
+	}
+}
+
+func TestDatabaseContainsDatabase(t *testing.T) {
+	d := ordersDB()
+	small := NewDatabase(ordersSchema())
+	small.MustAddRow("Order", "oid1", "pr1")
+	if !d.ContainsDatabase(small) {
+		t.Error("d should contain its subset")
+	}
+	if small.ContainsDatabase(d) {
+		t.Error("subset should not contain superset")
+	}
+	if !d.ContainsDatabase(d) {
+		t.Error("containment should be reflexive")
+	}
+}
+
+func TestDatabaseSetRelation(t *testing.T) {
+	d := ordersDB()
+	r := NewRelationArity("X", 2)
+	r.MustAdd(MustParseTuple("a", "b"))
+	if err := d.SetRelation("Order", r); err != nil {
+		t.Fatal(err)
+	}
+	if d.Relation("Order").Len() != 1 || !d.Relation("Order").Contains(MustParseTuple("a", "b")) {
+		t.Error("SetRelation did not replace")
+	}
+	if d.Relation("Order").Name() != "Order" {
+		t.Error("SetRelation should rename to schema name")
+	}
+	if err := d.SetRelation("Nope", r); err == nil {
+		t.Error("SetRelation on unknown relation should fail")
+	}
+	bad := NewRelationArity("X", 5)
+	if err := d.SetRelation("Order", bad); err == nil {
+		t.Error("SetRelation with arity mismatch should fail")
+	}
+	// original relation r is not aliased
+	r.MustAdd(MustParseTuple("c", "d"))
+	if d.Relation("Order").Len() != 1 {
+		t.Error("SetRelation aliases the given relation")
+	}
+}
+
+func TestDatabaseString(t *testing.T) {
+	d := ordersDB()
+	s := d.String()
+	if !strings.Contains(s, "Order{(oid1, pr1), (oid2, pr2)}") || !strings.Contains(s, "Pay{(pid1, ⊥1, 100)}") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSortedValues(t *testing.T) {
+	set := map[value.Value]bool{
+		value.Int(5):      true,
+		value.Null(1):     true,
+		value.String("a"): true,
+		value.Int(-2):     true,
+	}
+	got := SortedValues(set)
+	if len(got) != 4 || got[0] != value.Null(1) || got[1] != value.Int(-2) || got[3] != value.String("a") {
+		t.Errorf("SortedValues = %v", got)
+	}
+}

@@ -1,0 +1,278 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incdata/internal/schema"
+	"incdata/internal/value"
+)
+
+// Relation is a finite set of tuples of a fixed arity, together with its
+// schema (name and attribute names).  The empty relation of any schema is
+// valid.  Relation uses set semantics; Add silently deduplicates.
+type Relation struct {
+	schema schema.Relation
+	tuples map[string]Tuple // keyed by Tuple.Key
+}
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(rs schema.Relation) *Relation {
+	return &Relation{schema: rs, tuples: make(map[string]Tuple)}
+}
+
+// NewRelationArity creates an empty relation named name with auto-named
+// attributes of the given arity.
+func NewRelationArity(name string, arity int) *Relation {
+	return NewRelation(schema.WithArity(name, arity))
+}
+
+// FromTuples builds a relation with the given schema and tuples.  Tuples of
+// the wrong arity cause an error.
+func FromTuples(rs schema.Relation, tuples ...Tuple) (*Relation, error) {
+	r := NewRelation(rs)
+	for _, t := range tuples {
+		if err := r.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// MustFromTuples is FromTuples that panics on error.
+func MustFromTuples(rs schema.Relation, tuples ...Tuple) *Relation {
+	r, err := FromTuples(rs, tuples...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() schema.Relation { return r.schema }
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.schema.Name }
+
+// Arity returns the relation arity.
+func (r *Relation) Arity() int { return r.schema.Arity() }
+
+// Len returns the number of (distinct) tuples.
+func (r *Relation) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.tuples)
+}
+
+// Add inserts a tuple; duplicates are ignored.  The arity must match.
+func (r *Relation) Add(t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("table: tuple %v has arity %d, relation %s has arity %d",
+			t, len(t), r.schema.Name, r.schema.Arity())
+	}
+	r.tuples[t.Key()] = t.Clone()
+	return nil
+}
+
+// MustAdd is Add that panics on arity mismatch.
+func (r *Relation) MustAdd(t Tuple) {
+	if err := r.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// AddAll inserts all tuples of another relation (arity must match).
+func (r *Relation) AddAll(o *Relation) error {
+	for _, t := range o.Tuples() {
+		if err := r.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove deletes a tuple if present and reports whether it was there.
+func (r *Relation) Remove(t Tuple) bool {
+	k := t.Key()
+	if _, ok := r.tuples[k]; ok {
+		delete(r.tuples, k)
+		return true
+	}
+	return false
+}
+
+// Contains reports whether the tuple is present (marked-null identity).
+func (r *Relation) Contains(t Tuple) bool {
+	if r == nil {
+		return false
+	}
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// Tuples returns the tuples in canonical (sorted) order.  The returned
+// slice and its tuples are copies; mutating them does not affect r.
+func (r *Relation) Tuples() []Tuple {
+	if r == nil {
+		return nil
+	}
+	out := make([]Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Each calls f on every tuple (in unspecified order) until f returns false.
+// The tuple passed to f must not be mutated.
+func (r *Relation) Each(f func(Tuple) bool) {
+	if r == nil {
+		return
+	}
+	for _, t := range r.tuples {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.schema)
+	for k, t := range r.tuples {
+		out.tuples[k] = t.Clone()
+	}
+	return out
+}
+
+// Rename returns a copy of the relation under a new name (same tuples).
+func (r *Relation) Rename(name string) *Relation {
+	out := r.Clone()
+	out.schema = r.schema.Rename(name)
+	return out
+}
+
+// Equal reports set equality of tuples; the relation names and attribute
+// names are ignored, only arity and contents matter.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Len() != o.Len() || r.Arity() != o.Arity() {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsComplete reports whether no tuple contains a null.
+func (r *Relation) IsComplete() bool {
+	for _, t := range r.tuples {
+		if t.HasNull() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCodd reports whether the relation is a Codd table: every null occurs at
+// most once in the whole relation.
+func (r *Relation) IsCodd() bool {
+	seen := map[value.Value]bool{}
+	for _, t := range r.tuples {
+		for _, v := range t {
+			if v.IsNull() {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+	}
+	return true
+}
+
+// CompletePart returns the sub-relation of null-free tuples (D_cmpl in the
+// paper: the part of the answer kept when extracting certain answers).
+func (r *Relation) CompletePart() *Relation {
+	out := NewRelation(r.schema)
+	for _, t := range r.tuples {
+		if t.IsComplete() {
+			out.tuples[t.Key()] = t.Clone()
+		}
+	}
+	return out
+}
+
+// Nulls returns the set of nulls occurring in the relation.
+func (r *Relation) Nulls() map[value.Value]bool {
+	out := map[value.Value]bool{}
+	for _, t := range r.tuples {
+		for _, v := range t {
+			if v.IsNull() {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// Consts returns the set of constants occurring in the relation.
+func (r *Relation) Consts() map[value.Value]bool {
+	out := map[value.Value]bool{}
+	for _, t := range r.tuples {
+		for _, v := range t {
+			if v.IsConst() {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// ActiveDomain returns adom(r) = Consts(r) ∪ Nulls(r).
+func (r *Relation) ActiveDomain() map[value.Value]bool {
+	out := map[value.Value]bool{}
+	for _, t := range r.tuples {
+		for _, v := range t {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// Map applies f to every value of every tuple and returns the resulting
+// relation (useful for applying valuations and homomorphisms).
+func (r *Relation) Map(f func(value.Value) value.Value) *Relation {
+	out := NewRelation(r.schema)
+	for _, t := range r.tuples {
+		nt := t.Map(f)
+		out.tuples[nt.Key()] = nt
+	}
+	return out
+}
+
+// Filter returns the sub-relation of tuples satisfying pred.
+func (r *Relation) Filter(pred func(Tuple) bool) *Relation {
+	out := NewRelation(r.schema)
+	for _, t := range r.tuples {
+		if pred(t) {
+			out.tuples[t.Key()] = t.Clone()
+		}
+	}
+	return out
+}
+
+// String renders the relation as Name{(t1), (t2), ...} in canonical order.
+func (r *Relation) String() string {
+	ts := r.Tuples()
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return r.schema.Name + "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,147 @@
+package table
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incdata/internal/value"
+)
+
+func TestTupleBasics(t *testing.T) {
+	tp := NewTuple(value.Int(1), value.Null(2), value.String("x"))
+	if tp.Arity() != 3 {
+		t.Fatalf("arity = %d", tp.Arity())
+	}
+	if tp.IsComplete() {
+		t.Error("tuple with null should not be complete")
+	}
+	if !tp.HasNull() {
+		t.Error("HasNull should be true")
+	}
+	complete := NewTuple(value.Int(1), value.Int(2))
+	if !complete.IsComplete() || complete.HasNull() {
+		t.Error("complete tuple misclassified")
+	}
+}
+
+func TestTupleEqualCompare(t *testing.T) {
+	a := NewTuple(value.Int(1), value.Null(1))
+	b := NewTuple(value.Int(1), value.Null(1))
+	c := NewTuple(value.Int(1), value.Null(2))
+	if !a.Equal(b) {
+		t.Error("identical tuples should be equal")
+	}
+	if a.Equal(c) {
+		t.Error("tuples with different nulls should differ")
+	}
+	if a.Equal(NewTuple(value.Int(1))) {
+		t.Error("different arities should differ")
+	}
+	if a.Compare(b) != 0 || a.Compare(c) >= 0 || c.Compare(a) <= 0 {
+		t.Error("Compare inconsistent")
+	}
+	short := NewTuple(value.Int(1))
+	if short.Compare(a) != -1 || a.Compare(short) != 1 {
+		t.Error("prefix ordering wrong")
+	}
+	if !short.Less(a) {
+		t.Error("Less wrong")
+	}
+}
+
+func TestTupleNullsConsts(t *testing.T) {
+	tp := NewTuple(value.Int(1), value.Null(2), value.Null(2), value.String("x"))
+	nulls := tp.Nulls()
+	if len(nulls) != 1 || !nulls[value.Null(2)] {
+		t.Errorf("Nulls = %v", nulls)
+	}
+	consts := tp.Consts()
+	if len(consts) != 2 || !consts[value.Int(1)] || !consts[value.String("x")] {
+		t.Errorf("Consts = %v", consts)
+	}
+}
+
+func TestTupleCloneProjectConcatMap(t *testing.T) {
+	tp := NewTuple(value.Int(1), value.Int(2), value.Int(3))
+	cl := tp.Clone()
+	cl[0] = value.Int(99)
+	if v, _ := tp[0].AsInt(); v != 1 {
+		t.Error("Clone aliases")
+	}
+	pr := tp.Project(2, 0)
+	if !pr.Equal(NewTuple(value.Int(3), value.Int(1))) {
+		t.Errorf("Project = %v", pr)
+	}
+	cc := tp.Concat(NewTuple(value.Int(4)))
+	if cc.Arity() != 4 {
+		t.Errorf("Concat arity = %d", cc.Arity())
+	}
+	mp := tp.Map(func(v value.Value) value.Value {
+		i, _ := v.AsInt()
+		return value.Int(i * 10)
+	})
+	if !mp.Equal(NewTuple(value.Int(10), value.Int(20), value.Int(30))) {
+		t.Errorf("Map = %v", mp)
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	tuples := []Tuple{
+		NewTuple(value.Int(1), value.Int(2)),
+		NewTuple(value.Int(12)),
+		NewTuple(value.String("1"), value.Int(2)),
+		NewTuple(value.Null(1), value.Int(2)),
+		NewTuple(value.Int(1), value.Null(2)),
+		NewTuple(value.String("a\x1fb")),
+		NewTuple(value.String("a"), value.String("b")),
+	}
+	seen := map[string]Tuple{}
+	for _, tp := range tuples {
+		k := tp.Key()
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision between %v and %v", prev, tp)
+		}
+		seen[k] = tp
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tp := NewTuple(value.Int(1), value.Null(3), value.String("oid1"))
+	if tp.String() != "(1, ⊥3, oid1)" {
+		t.Errorf("String = %q", tp.String())
+	}
+}
+
+func TestParseTuple(t *testing.T) {
+	tp, err := ParseTuple("1", "⊥2", "oid1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Equal(NewTuple(value.Int(1), value.Null(2), value.String("oid1"))) {
+		t.Errorf("ParseTuple = %v", tp)
+	}
+	if _, err := ParseTuple("1", ""); err == nil {
+		t.Error("ParseTuple with empty field should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseTuple should panic")
+		}
+	}()
+	MustParseTuple("")
+}
+
+func TestQuickTupleCompareConsistency(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		x := NewTuple(value.Int(a), value.Int(b))
+		y := NewTuple(value.Int(c), value.Int(d))
+		cmp := x.Compare(y)
+		if cmp == 0 {
+			return x.Equal(y) && x.Key() == y.Key()
+		}
+		return !x.Equal(y) && cmp == -y.Compare(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

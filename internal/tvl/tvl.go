@@ -1,0 +1,151 @@
+// Package tvl implements the three-valued (Kleene) logic that SQL uses to
+// evaluate conditions over nulls: truth values true, false and unknown,
+// with Codd's propagation rules (Section 1 of the paper).  Comparisons
+// involving a null evaluate to unknown; a WHERE clause keeps only rows whose
+// condition evaluates to true.
+package tvl
+
+import "incdata/internal/value"
+
+// Truth is a three-valued truth value.
+type Truth uint8
+
+const (
+	// False is definite falsehood.
+	False Truth = iota
+	// Unknown is SQL's "unknown" (the result of comparing with NULL).
+	Unknown
+	// True is definite truth.
+	True
+)
+
+// String renders the truth value.
+func (t Truth) String() string {
+	switch t {
+	case False:
+		return "false"
+	case Unknown:
+		return "unknown"
+	case True:
+		return "true"
+	default:
+		return "invalid"
+	}
+}
+
+// FromBool lifts a Boolean into the three-valued lattice.
+func FromBool(b bool) Truth {
+	if b {
+		return True
+	}
+	return False
+}
+
+// IsTrue reports whether t is definitely true (the only case in which SQL
+// keeps a row).
+func (t Truth) IsTrue() bool { return t == True }
+
+// IsFalse reports whether t is definitely false.
+func (t Truth) IsFalse() bool { return t == False }
+
+// IsUnknown reports whether t is unknown.
+func (t Truth) IsUnknown() bool { return t == Unknown }
+
+// And is Kleene conjunction: min in the order False < Unknown < True.
+func And(a, b Truth) Truth {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Or is Kleene disjunction: max in the order False < Unknown < True.
+func Or(a, b Truth) Truth {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Not is Kleene negation: swaps True and False, fixes Unknown.
+func Not(a Truth) Truth {
+	switch a {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// AndAll folds And over the arguments (True for the empty list).
+func AndAll(ts ...Truth) Truth {
+	out := True
+	for _, t := range ts {
+		out = And(out, t)
+	}
+	return out
+}
+
+// OrAll folds Or over the arguments (False for the empty list).
+func OrAll(ts ...Truth) Truth {
+	out := False
+	for _, t := range ts {
+		out = Or(out, t)
+	}
+	return out
+}
+
+// Equals is SQL equality: unknown if either operand is a null, otherwise the
+// Boolean comparison of the constants.  Note the contrast with marked-null
+// identity: under SQL semantics even ⊥1 = ⊥1 is unknown.
+func Equals(a, b value.Value) Truth {
+	if a.IsNull() || b.IsNull() {
+		return Unknown
+	}
+	return FromBool(a == b)
+}
+
+// NotEquals is SQL inequality: Not(Equals(a,b)).
+func NotEquals(a, b value.Value) Truth { return Not(Equals(a, b)) }
+
+// Less is SQL "<": unknown if either operand is null, false for
+// incomparable constant kinds, otherwise the comparison.
+func Less(a, b value.Value) Truth {
+	if a.IsNull() || b.IsNull() {
+		return Unknown
+	}
+	if a.Kind() != b.Kind() {
+		return FromBool(value.Less(a, b))
+	}
+	return FromBool(value.Less(a, b))
+}
+
+// LessEq is SQL "<=".
+func LessEq(a, b value.Value) Truth {
+	return Or(Less(a, b), Equals(a, b))
+}
+
+// Greater is SQL ">".
+func Greater(a, b value.Value) Truth { return Less(b, a) }
+
+// GreaterEq is SQL ">=".
+func GreaterEq(a, b value.Value) Truth { return LessEq(b, a) }
+
+// In implements SQL's "x IN (list)": true if x definitely equals some
+// element, false if it definitely differs from all elements, and unknown
+// otherwise (the source of the NOT IN anomaly in the paper's introduction).
+func In(x value.Value, list []value.Value) Truth {
+	out := False
+	for _, y := range list {
+		out = Or(out, Equals(x, y))
+		if out == True {
+			return True
+		}
+	}
+	return out
+}
+
+// NotIn implements SQL's "x NOT IN (list)" = Not(In(x, list)).
+func NotIn(x value.Value, list []value.Value) Truth { return Not(In(x, list)) }

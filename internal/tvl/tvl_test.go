@@ -1,0 +1,137 @@
+package tvl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incdata/internal/value"
+)
+
+func TestStringAndPredicates(t *testing.T) {
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Error("String wrong")
+	}
+	if Truth(9).String() != "invalid" {
+		t.Error("invalid truth should render as invalid")
+	}
+	if !True.IsTrue() || True.IsFalse() || True.IsUnknown() {
+		t.Error("True predicates wrong")
+	}
+	if !False.IsFalse() || False.IsTrue() {
+		t.Error("False predicates wrong")
+	}
+	if !Unknown.IsUnknown() || Unknown.IsTrue() || Unknown.IsFalse() {
+		t.Error("Unknown predicates wrong")
+	}
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool wrong")
+	}
+}
+
+// Kleene truth tables.
+func TestKleeneTables(t *testing.T) {
+	vals := []Truth{False, Unknown, True}
+	andTable := map[[2]Truth]Truth{
+		{False, False}: False, {False, Unknown}: False, {False, True}: False,
+		{Unknown, False}: False, {Unknown, Unknown}: Unknown, {Unknown, True}: Unknown,
+		{True, False}: False, {True, Unknown}: Unknown, {True, True}: True,
+	}
+	orTable := map[[2]Truth]Truth{
+		{False, False}: False, {False, Unknown}: Unknown, {False, True}: True,
+		{Unknown, False}: Unknown, {Unknown, Unknown}: Unknown, {Unknown, True}: True,
+		{True, False}: True, {True, Unknown}: True, {True, True}: True,
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got := And(a, b); got != andTable[[2]Truth{a, b}] {
+				t.Errorf("And(%v,%v) = %v", a, b, got)
+			}
+			if got := Or(a, b); got != orTable[[2]Truth{a, b}] {
+				t.Errorf("Or(%v,%v) = %v", a, b, got)
+			}
+		}
+	}
+	if Not(True) != False || Not(False) != True || Not(Unknown) != Unknown {
+		t.Error("Not wrong")
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	f := func(x, y uint8) bool {
+		a := Truth(x % 3)
+		b := Truth(y % 3)
+		return Not(And(a, b)) == Or(Not(a), Not(b)) && Not(Or(a, b)) == And(Not(a), Not(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAndAllOrAll(t *testing.T) {
+	if AndAll() != True || OrAll() != False {
+		t.Error("empty folds wrong")
+	}
+	if AndAll(True, Unknown, True) != Unknown {
+		t.Error("AndAll wrong")
+	}
+	if AndAll(True, False, Unknown) != False {
+		t.Error("AndAll with false wrong")
+	}
+	if OrAll(False, Unknown) != Unknown || OrAll(False, True, Unknown) != True {
+		t.Error("OrAll wrong")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	one, two := value.Int(1), value.Int(2)
+	null := value.Null(1)
+	if Equals(one, one) != True || Equals(one, two) != False {
+		t.Error("Equals on constants wrong")
+	}
+	if Equals(one, null) != Unknown || Equals(null, null) != Unknown {
+		t.Error("Equals with null must be unknown (even ⊥=⊥)")
+	}
+	if NotEquals(one, two) != True || NotEquals(one, null) != Unknown {
+		t.Error("NotEquals wrong")
+	}
+	if Less(one, two) != True || Less(two, one) != False || Less(one, null) != Unknown {
+		t.Error("Less wrong")
+	}
+	if LessEq(one, one) != True || LessEq(two, one) != False || LessEq(null, one) != Unknown {
+		t.Error("LessEq wrong")
+	}
+	if Greater(two, one) != True || GreaterEq(one, one) != True || Greater(null, one) != Unknown {
+		t.Error("Greater/GreaterEq wrong")
+	}
+	if Less(value.Int(1), value.String("a")) != True {
+		t.Error("cross-kind Less should follow canonical order")
+	}
+}
+
+// The NOT IN anomaly from the paper's introduction: if the list contains a
+// null and x does not match any constant in it, NOT IN is unknown, so the
+// row is silently dropped.
+func TestInNotInAnomaly(t *testing.T) {
+	oid1 := value.String("oid1")
+	oid2 := value.String("oid2")
+	null := value.Null(1)
+
+	if In(oid1, []value.Value{oid1, null}) != True {
+		t.Error("IN should be true when a definite match exists")
+	}
+	if In(oid2, []value.Value{oid1}) != False {
+		t.Error("IN should be false with no match and no nulls")
+	}
+	if In(oid2, []value.Value{oid1, null}) != Unknown {
+		t.Error("IN with no definite match but a null should be unknown")
+	}
+	if NotIn(oid2, []value.Value{null}) != Unknown {
+		t.Error("NOT IN (NULL) must be unknown — the unpaid-orders anomaly")
+	}
+	if NotIn(oid2, nil) != True {
+		t.Error("NOT IN of empty list should be true")
+	}
+	if NotIn(oid1, []value.Value{oid1, null}) != False {
+		t.Error("NOT IN should be false when a definite match exists")
+	}
+}

@@ -1,0 +1,223 @@
+package valuation
+
+import (
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+func sampleDB() *table.Database {
+	s := schema.MustNew(schema.NewRelation("R", "a", "b"))
+	d := table.NewDatabase(s)
+	d.MustAddRow("R", "1", "⊥1")
+	d.MustAddRow("R", "⊥2", "2")
+	return d
+}
+
+func TestSetAndApply(t *testing.T) {
+	v := New()
+	v.MustSet(value.Null(1), value.Int(7))
+	if got := v.ApplyValue(value.Null(1)); got != value.Int(7) {
+		t.Errorf("ApplyValue = %v", got)
+	}
+	if got := v.ApplyValue(value.Null(2)); got != value.Null(2) {
+		t.Errorf("unbound null should stay, got %v", got)
+	}
+	if got := v.ApplyValue(value.Int(3)); got != value.Int(3) {
+		t.Errorf("constants should be fixed, got %v", got)
+	}
+	if err := v.Set(value.Int(1), value.Int(2)); err == nil {
+		t.Error("Set with constant key should fail")
+	}
+	if err := v.Set(value.Null(1), value.Null(2)); err == nil {
+		t.Error("Set with null image should fail")
+	}
+}
+
+func TestMustSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSet should panic")
+		}
+	}()
+	New().MustSet(value.Int(1), value.Int(1))
+}
+
+func TestApplyTupleRelationDatabase(t *testing.T) {
+	d := sampleDB()
+	v := New()
+	v.MustSet(value.Null(1), value.Int(10))
+	v.MustSet(value.Null(2), value.Int(20))
+	if !v.TotalOn(d) {
+		t.Error("valuation should be total on d")
+	}
+	vd := v.ApplyDatabase(d)
+	if !vd.IsComplete() {
+		t.Error("v(D) should be complete")
+	}
+	r := vd.Relation("R")
+	if !r.Contains(table.MustParseTuple("1", "10")) || !r.Contains(table.MustParseTuple("20", "2")) {
+		t.Errorf("v(D) = %v", vd)
+	}
+	tp := v.ApplyTuple(table.MustParseTuple("⊥1", "⊥3"))
+	if !tp.Equal(table.MustParseTuple("10", "⊥3")) {
+		t.Errorf("ApplyTuple = %v", tp)
+	}
+	vr := v.ApplyRelation(d.Relation("R"))
+	if vr.Len() != 2 {
+		t.Errorf("ApplyRelation len = %d", vr.Len())
+	}
+	partial := New()
+	partial.MustSet(value.Null(1), value.Int(1))
+	if partial.TotalOn(d) {
+		t.Error("partial valuation should not be total")
+	}
+}
+
+func TestCloneDomainImageEqualString(t *testing.T) {
+	v := New()
+	v.MustSet(value.Null(2), value.Int(5))
+	v.MustSet(value.Null(1), value.String("a"))
+	c := v.Clone()
+	c.MustSet(value.Null(3), value.Int(9))
+	if len(v) != 2 {
+		t.Error("Clone aliases")
+	}
+	dom := v.Domain()
+	if len(dom) != 2 || dom[0] != value.Null(1) || dom[1] != value.Null(2) {
+		t.Errorf("Domain = %v", dom)
+	}
+	img := v.Image()
+	if len(img) != 2 || !img[value.Int(5)] || !img[value.String("a")] {
+		t.Errorf("Image = %v", img)
+	}
+	if !v.Equal(v.Clone()) {
+		t.Error("Equal should hold for clones")
+	}
+	if v.Equal(c) {
+		t.Error("different valuations should not be Equal")
+	}
+	w := v.Clone()
+	w.MustSet(value.Null(2), value.Int(6))
+	if v.Equal(w) {
+		t.Error("different image should not be Equal")
+	}
+	if v.String() != "{⊥1↦a, ⊥2↦5}" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestFresh(t *testing.T) {
+	nulls := []value.Value{value.Null(3), value.Null(1), value.Int(5)}
+	avoid := map[value.Value]bool{value.String("@fresh0"): true}
+	v := Fresh(nulls, avoid)
+	if len(v) != 2 {
+		t.Fatalf("Fresh bound %d nulls", len(v))
+	}
+	if v[value.Null(1)] == v[value.Null(3)] {
+		t.Error("fresh constants must be pairwise distinct")
+	}
+	for _, c := range v {
+		if avoid[c] {
+			t.Errorf("fresh constant %v is in avoid set", c)
+		}
+		if !c.IsConst() {
+			t.Errorf("fresh image %v is not a constant", c)
+		}
+	}
+}
+
+func TestFreshFor(t *testing.T) {
+	d := sampleDB()
+	v := FreshFor(d)
+	if !v.TotalOn(d) {
+		t.Error("FreshFor should be total")
+	}
+	vd := v.ApplyDatabase(d)
+	if !vd.IsComplete() {
+		t.Error("FreshFor(D)(D) should be complete")
+	}
+	// fresh constants avoid the constants of D
+	for _, c := range v {
+		if d.Consts()[c] {
+			t.Errorf("fresh constant %v collides with Const(D)", c)
+		}
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	nulls := []value.Value{value.Null(1), value.Null(2)}
+	domain := []value.Value{value.Int(1), value.Int(2), value.Int(3)}
+	var seen []Valuation
+	done := Enumerate(nulls, domain, func(v Valuation) bool {
+		seen = append(seen, v.Clone())
+		return true
+	})
+	if !done {
+		t.Error("Enumerate should complete")
+	}
+	if len(seen) != 9 {
+		t.Fatalf("expected 9 valuations, got %d", len(seen))
+	}
+	// all distinct and all total
+	for i := range seen {
+		if len(seen[i]) != 2 {
+			t.Errorf("valuation %v not total", seen[i])
+		}
+		for j := i + 1; j < len(seen); j++ {
+			if seen[i].Equal(seen[j]) {
+				t.Errorf("duplicate valuation %v", seen[i])
+			}
+		}
+	}
+}
+
+func TestEnumerateEdgeCases(t *testing.T) {
+	// No nulls: exactly one (empty) valuation.
+	count := 0
+	Enumerate(nil, []value.Value{value.Int(1)}, func(v Valuation) bool {
+		count++
+		if len(v) != 0 {
+			t.Error("empty valuation expected")
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("expected 1 call, got %d", count)
+	}
+	// Empty domain with nulls: no valuations.
+	count = 0
+	Enumerate([]value.Value{value.Null(1)}, nil, func(Valuation) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("expected 0 calls, got %d", count)
+	}
+	// Early stop.
+	count = 0
+	finished := Enumerate([]value.Value{value.Null(1)}, []value.Value{value.Int(1), value.Int(2)}, func(Valuation) bool {
+		count++
+		return false
+	})
+	if finished || count != 1 {
+		t.Errorf("early stop failed: finished=%v count=%d", finished, count)
+	}
+	// Non-null entries in inputs are filtered.
+	count = 0
+	Enumerate([]value.Value{value.Int(9)}, []value.Value{value.Null(1), value.Int(1)}, func(v Valuation) bool {
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("expected single empty valuation, got %d", count)
+	}
+}
+
+func TestCount(t *testing.T) {
+	if Count(0, 5) != 1 || Count(3, 0) != 0 || Count(2, 3) != 9 || Count(10, 2) != 1024 {
+		t.Error("Count wrong")
+	}
+	if Count(100, 100) != 1<<62 {
+		t.Error("Count should saturate")
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+func TestOrdersGenerator(t *testing.T) {
+	cfg := OrdersConfig{Orders: 200, PaidFraction: 0.7, NullRate: 0.3, Seed: 42}
+	d, unpaid := Orders(cfg)
+	if d.Relation("Order").Len() != 200 {
+		t.Fatalf("orders = %d", d.Relation("Order").Len())
+	}
+	pays := d.Relation("Pay").Len()
+	if pays == 0 || pays >= 200 {
+		t.Errorf("payments = %d, expected some but not all", pays)
+	}
+	if len(unpaid) == 0 || len(unpaid) >= 200 {
+		t.Errorf("unpaid = %d", len(unpaid))
+	}
+	// Some payments should have null order references at 30% null rate.
+	if len(d.Nulls()) == 0 {
+		t.Error("expected some null order references")
+	}
+	// Determinism.
+	d2, unpaid2 := Orders(cfg)
+	if !d.Equal(d2) || len(unpaid) != len(unpaid2) {
+		t.Error("generator should be deterministic for a fixed seed")
+	}
+	// Different seeds give different instances.
+	d3, _ := Orders(OrdersConfig{Orders: 200, PaidFraction: 0.7, NullRate: 0.3, Seed: 43})
+	if d.Equal(d3) {
+		t.Error("different seeds should give different instances")
+	}
+	// Unpaid orders really have no payment tuple.
+	for _, oid := range unpaid {
+		found := false
+		d.Relation("Pay").Each(func(tp table.Tuple) bool {
+			if tp[1] == value.String(oid) {
+				found = true
+			}
+			return true
+		})
+		if found {
+			t.Errorf("order %s is marked unpaid but has a payment", oid)
+		}
+	}
+	// Zero null rate produces a complete database.
+	d4, _ := Orders(OrdersConfig{Orders: 50, PaidFraction: 0.5, NullRate: 0, Seed: 1})
+	if !d4.IsComplete() {
+		t.Error("null rate 0 should give a complete database")
+	}
+}
+
+func TestRandomGenerator(t *testing.T) {
+	cfg := RandomConfig{
+		Relations:         map[string]int{"R": 2, "S": 3},
+		TuplesPerRelation: 50,
+		DomainSize:        10,
+		Nulls:             4,
+		NullRate:          0.2,
+		Seed:              7,
+	}
+	d := Random(cfg)
+	if d.Relation("R").Arity() != 2 || d.Relation("S").Arity() != 3 {
+		t.Error("arities wrong")
+	}
+	if d.Relation("R").Len() == 0 || d.Relation("R").Len() > 50 {
+		t.Errorf("R size = %d", d.Relation("R").Len())
+	}
+	if len(d.Nulls()) == 0 || len(d.Nulls()) > 4 {
+		t.Errorf("nulls = %v", d.Nulls())
+	}
+	if !d.Equal(Random(cfg)) {
+		t.Error("Random should be deterministic")
+	}
+	// No nulls requested -> complete.
+	complete := Random(RandomConfig{Relations: map[string]int{"R": 2}, TuplesPerRelation: 10, DomainSize: 5, Seed: 3})
+	if !complete.IsComplete() {
+		t.Error("random database without nulls should be complete")
+	}
+}
+
+func TestEnrollGenerator(t *testing.T) {
+	cfg := EnrollConfig{Students: 60, Courses: 4, EnrollRate: 0.8, NullRate: 0.2, Seed: 11}
+	d, certain := Enroll(cfg)
+	if d.Relation("Course").Len() != 4 {
+		t.Fatalf("courses = %d", d.Relation("Course").Len())
+	}
+	if d.Relation("Enroll").Len() == 0 {
+		t.Fatal("no enrolments generated")
+	}
+	if len(d.Nulls()) == 0 {
+		t.Error("expected null course references")
+	}
+	// Students in the certain list really enrol in every course without nulls.
+	for _, s := range certain {
+		for c := 0; c < cfg.Courses; c++ {
+			if !d.Relation("Enroll").Contains(table.MustParseTuple(s, "c"+itoa(c))) {
+				t.Errorf("student %s missing certain enrolment in c%d", s, c)
+			}
+		}
+	}
+	d2, certain2 := Enroll(cfg)
+	if !d.Equal(d2) || len(certain) != len(certain2) {
+		t.Error("Enroll should be deterministic")
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func TestPairsGenerator(t *testing.T) {
+	cfg := PairsConfig{RSize: 100, SSize: 20, SNulls: 3, DomainSize: 50, Seed: 5}
+	d := Pairs(cfg)
+	if d.Relation("R").Len() == 0 || d.Relation("S").Len() == 0 {
+		t.Fatal("empty relations")
+	}
+	if got := len(d.Nulls()); got != 3 {
+		t.Errorf("nulls = %d, want 3", got)
+	}
+	if !d.Equal(Pairs(cfg)) {
+		t.Error("Pairs should be deterministic")
+	}
+	noNulls := Pairs(PairsConfig{RSize: 10, SSize: 5, SNulls: 0, DomainSize: 10, Seed: 2})
+	if !noNulls.IsComplete() {
+		t.Error("Pairs without nulls should be complete")
+	}
+}
