@@ -1,5 +1,5 @@
 // Package incdata's root-level benchmarks: one Benchmark per reproduction
-// experiment (E1–E12, see DESIGN.md and EXPERIMENTS.md).  Each benchmark
+// experiment (E1–E12, see the "Experiments" section of README.md).  Each benchmark
 // re-runs the corresponding experiment's workload at a representative
 // parameter point; cmd/incbench prints the full sweeps as tables.
 package incdata_test

@@ -1,14 +1,18 @@
-// Command incbench runs the reproduction experiments E1–E12 (see DESIGN.md
-// and EXPERIMENTS.md) and prints one text table per experiment.
+// Command incbench runs the reproduction experiments E1–E12 (see the
+// "Experiments" section of README.md) and prints one text table per
+// experiment, or a single machine-readable JSON document with -json so
+// that successive runs can be archived (BENCH_*.json) and compared.
 //
 // Usage:
 //
 //	incbench            # quick configuration (seconds)
 //	incbench -full      # larger sweeps (minutes)
 //	incbench -only E1,E8
+//	incbench -json      # machine-readable output for perf tracking
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,14 +22,25 @@ import (
 	"incdata/internal/experiments"
 )
 
+// report is the -json output document.
+type report struct {
+	Config      string               `json:"config"`
+	Experiments []experiments.Result `json:"experiments"`
+	Ran         int                  `json:"ran"`
+	Seconds     float64              `json:"seconds"`
+}
+
 func main() {
 	full := flag.Bool("full", false, "run the larger sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E8)")
+	asJSON := flag.Bool("json", false, "emit one JSON document instead of text tables")
 	flag.Parse()
 
 	cfg := experiments.QuickConfig()
+	cfgName := "quick"
 	if *full {
 		cfg = experiments.FullConfig()
+		cfgName = "full"
 	}
 	filter := map[string]bool{}
 	if *only != "" {
@@ -35,17 +50,34 @@ func main() {
 	}
 
 	start := time.Now()
-	ran := 0
+	var kept []experiments.Result
 	for _, res := range experiments.All(cfg) {
 		if len(filter) > 0 && !filter[res.ID] {
 			continue
 		}
-		fmt.Println(res.String())
-		ran++
+		if !*asJSON {
+			fmt.Println(res.String())
+		}
+		kept = append(kept, res)
 	}
-	if ran == 0 {
+	if len(kept) == 0 {
 		fmt.Fprintln(os.Stderr, "incbench: no experiment matched the -only filter")
 		os.Exit(1)
 	}
-	fmt.Printf("ran %d experiments in %s\n", ran, time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{
+			Config:      cfgName,
+			Experiments: kept,
+			Ran:         len(kept),
+			Seconds:     elapsed.Seconds(),
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "incbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("ran %d experiments in %s\n", len(kept), elapsed.Round(time.Millisecond))
 }

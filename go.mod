@@ -1,0 +1,3 @@
+module incdata
+
+go 1.21

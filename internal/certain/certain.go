@@ -146,26 +146,25 @@ func Naive(q ra.Expr, d *table.Database) (*table.Relation, error) {
 // Options.MaxWorlds.
 var ErrTooManyWorlds = fmt.Errorf("certain: world enumeration exceeds the configured bound")
 
-// collectWorldsCWA enumerates the CWA worlds of d over the options' domain.
-func collectWorldsCWA(d *table.Database, opts Options) ([]*table.Database, error) {
-	dom := opts.domain(d)
-	if opts.MaxWorlds > 0 && semantics.WorldCount(d, dom) > opts.MaxWorlds {
-		return nil, ErrTooManyWorlds
+// errNoWorlds is returned when the enumeration domain admits no valuation
+// at all (mirrors the "intersection of an empty set" error of package
+// order).
+var errNoWorlds = fmt.Errorf("certain: no worlds to intersect (empty enumeration domain)")
+
+// checkWorldBound enforces Options.MaxWorlds before enumeration starts.
+func (o Options) checkWorldBound(d *table.Database, dom semantics.Domain) error {
+	if o.MaxWorlds > 0 && semantics.WorldCount(d, dom) > o.MaxWorlds {
+		return ErrTooManyWorlds
 	}
-	var worlds []*table.Database
-	semantics.EnumerateCWA(d, dom, func(w *table.Database) bool {
-		worlds = append(worlds, w)
-		return true
-	})
-	return worlds, nil
+	return nil
 }
 
 // collectWorldsOWA enumerates OWA worlds (valuation images plus up to
 // MaxExtraTuples additional tuples over the domain).
 func collectWorldsOWA(d *table.Database, opts Options) ([]*table.Database, error) {
 	dom := opts.domain(d)
-	if opts.MaxWorlds > 0 && semantics.WorldCount(d, dom) > opts.MaxWorlds {
-		return nil, ErrTooManyWorlds
+	if err := opts.checkWorldBound(d, dom); err != nil {
+		return nil, err
 	}
 	var worlds []*table.Database
 	semantics.EnumerateOWA(d, dom, opts.MaxExtraTuples, func(w *table.Database) bool {
@@ -175,39 +174,22 @@ func collectWorldsOWA(d *table.Database, opts Options) ([]*table.Database, error
 	return worlds, nil
 }
 
-// answersOnWorlds evaluates the query on every world (possibly in
-// parallel).
-func answersOnWorlds(q ra.Expr, worlds []*table.Database, workers int) ([]*table.Relation, error) {
-	if workers > 1 {
-		return parallelAnswers(q, worlds, workers)
-	}
-	out := make([]*table.Relation, len(worlds))
-	for i, w := range worlds {
-		r, err := ra.Eval(q, w)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = r
-	}
-	return out, nil
-}
-
 // ByWorldsCWA computes the intersection-based certain answers under CWA by
 // explicit world enumeration:  ⋂ { Q(v(D)) | v valuation into the finite
 // domain }.  For generic queries with enough fresh constants in the domain
 // this equals certain(Q,D) under [[·]]cwa.
+//
+// Worlds are never materialized: the query is evaluated under a valuation
+// view of the base database, a running intersection is maintained, and the
+// enumeration aborts as soon as the intersection is empty.
 func ByWorldsCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
 	opts = opts.withDefaults(d)
 	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
-	worlds, err := collectWorldsCWA(d, opts)
-	if err != nil {
+	dom := opts.domain(d)
+	if err := opts.checkWorldBound(d, dom); err != nil {
 		return nil, err
 	}
-	answers, err := answersOnWorlds(q, worlds, opts.Workers)
-	if err != nil {
-		return nil, err
-	}
-	return order.IntersectionRelations(answers)
+	return intersectWorldsCWA(q, d, dom, opts.Workers)
 }
 
 // ByWorldsOWA computes intersection-based certain answers under OWA over
@@ -219,6 +201,15 @@ func ByWorldsCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, e
 func ByWorldsOWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
 	opts = opts.withDefaults(d)
 	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
+	if opts.MaxExtraTuples <= 0 {
+		// The minimal OWA worlds are exactly the CWA worlds; use the
+		// streaming valuation-view path.
+		dom := opts.domain(d)
+		if err := opts.checkWorldBound(d, dom); err != nil {
+			return nil, err
+		}
+		return intersectWorldsCWA(q, d, dom, opts.Workers)
+	}
 	worlds, err := collectWorldsOWA(d, opts)
 	if err != nil {
 		return nil, err
@@ -238,11 +229,11 @@ func ByWorldsOWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, e
 func CertainObjectCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
 	opts = opts.withDefaults(d)
 	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
-	worlds, err := collectWorldsCWA(d, opts)
-	if err != nil {
+	dom := opts.domain(d)
+	if err := opts.checkWorldBound(d, dom); err != nil {
 		return nil, err
 	}
-	answers, err := answersOnWorlds(q, worlds, opts.Workers)
+	answers, err := collectAnswersCWA(q, d, dom, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -250,30 +241,26 @@ func CertainObjectCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relati
 }
 
 // BoolCertainCWA computes the certain answer of a Boolean query under CWA
-// by world enumeration: true iff the query is nonempty in every world.
+// by world enumeration: true iff the query is nonempty in every world.  It
+// evaluates through a valuation view (no world materialization) and stops
+// at the first counterexample world.
 func BoolCertainCWA(q ra.Expr, d *table.Database, opts Options) (bool, error) {
 	opts = opts.withDefaults(d)
 	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
 	dom := opts.domain(d)
-	if opts.MaxWorlds > 0 && semantics.WorldCount(d, dom) > opts.MaxWorlds {
-		return false, ErrTooManyWorlds
+	if err := opts.checkWorldBound(d, dom); err != nil {
+		return false, err
 	}
 	certain := true
-	var evalErr error
-	semantics.EnumerateCWA(d, dom, func(w *table.Database) bool {
-		ok, err := ra.EvalBool(q, w)
-		if err != nil {
-			evalErr = err
-			return false
-		}
-		if !ok {
+	err := forEachWorldAnswer(q, d, dom, func(ans *table.Relation) bool {
+		if ans.Len() == 0 {
 			certain = false
 			return false
 		}
 		return true
 	})
-	if evalErr != nil {
-		return false, evalErr
+	if err != nil {
+		return false, err
 	}
 	return certain, nil
 }

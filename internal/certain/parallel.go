@@ -3,18 +3,313 @@ package certain
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"incdata/internal/ra"
+	"incdata/internal/schema"
+	"incdata/internal/semantics"
 	"incdata/internal/table"
+	"incdata/internal/valuation"
+	"incdata/internal/value"
 )
+
+// worldView presents v(D) to the evaluator without materializing a database
+// per valuation: base relations are substituted on the fly the first time a
+// world's evaluation scans them, into per-view scratch relations whose map
+// storage is reused from world to world.  It implements ra.DB.
+type worldView struct {
+	base *table.Database
+	val  valuation.Valuation
+	rels map[string]*table.Relation // per-relation scratch, reused across worlds
+	live map[string]bool            // scratch entries valid for the current valuation
+}
+
+func newWorldView(d *table.Database) *worldView {
+	return &worldView{
+		base: d,
+		rels: make(map[string]*table.Relation),
+		live: make(map[string]bool),
+	}
+}
+
+// setValuation moves the view to the next world; scratch storage is kept.
+func (w *worldView) setValuation(v valuation.Valuation) {
+	w.val = v
+	clear(w.live)
+}
+
+// Relation returns the named relation of the current world.
+func (w *worldView) Relation(name string) *table.Relation {
+	base := w.base.Relation(name)
+	if base == nil {
+		return nil
+	}
+	if len(w.val) == 0 {
+		// No nulls to substitute: the base relation is the world.
+		return base
+	}
+	if w.live[name] {
+		return w.rels[name]
+	}
+	scr := w.rels[name]
+	if scr == nil {
+		scr = table.NewRelation(base.Schema())
+		w.rels[name] = scr
+	}
+	scr.FillMapped(base, w.val.ApplyValue)
+	w.live[name] = true
+	return scr
+}
+
+// Schema returns the base schema (valuations do not change the schema).
+func (w *worldView) Schema() *schema.Schema { return w.base.Schema() }
+
+// ActiveDomain returns adom(v(D)) = v(adom(D)).
+func (w *worldView) ActiveDomain() map[value.Value]bool {
+	out := map[value.Value]bool{}
+	for v := range w.base.ActiveDomain() {
+		out[w.val.ApplyValue(v)] = true
+	}
+	return out
+}
+
+// forEachWorldAnswer evaluates q on every CWA world of d over dom through a
+// valuation view, calling fn with each answer.  The answer passed to fn is
+// only valid during the call; fn must Clone it (copy-on-write, cheap) to
+// retain it.  Enumeration stops early when fn returns false.  Valuations
+// yielding identical worlds are not deduplicated — re-evaluating a
+// duplicate world is cheaper than detecting it, and the certain-answer
+// combinators (intersection, GLB after answer dedup) are insensitive to
+// multiplicity.
+func forEachWorldAnswer(q ra.Expr, d *table.Database, dom semantics.Domain, fn func(*table.Relation) bool) error {
+	view := newWorldView(d)
+	var evalErr error
+	valuation.Enumerate(d.SortedNulls(), dom.Values(), func(v valuation.Valuation) bool {
+		view.setValuation(v)
+		ans, err := ra.EvalDB(q, view)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return fn(ans)
+	})
+	return evalErr
+}
+
+// intersectWorldsCWA computes ⋂ { Q(v(D)) | v } over dom, maintaining a
+// running intersection and aborting the enumeration as soon as it is empty
+// (sound for any query: intersecting further worlds cannot grow it).
+func intersectWorldsCWA(q ra.Expr, d *table.Database, dom semantics.Domain, workers int) (*table.Relation, error) {
+	if workers > 1 {
+		return parallelIntersectCWA(q, d, dom, workers)
+	}
+	var running *table.Relation
+	err := forEachWorldAnswer(q, d, dom, func(ans *table.Relation) bool {
+		if running == nil {
+			running = ans.Clone()
+		} else {
+			running.Retain(ans.Contains)
+		}
+		return running.Len() > 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	if running == nil {
+		return nil, errNoWorlds
+	}
+	return running, nil
+}
+
+// collectAnswersCWA evaluates q on every CWA world over dom and returns the
+// distinct answers (deduplicated by canonical key; duplicate worlds and
+// worlds with equal answers collapse).  The GLB construction is invariant
+// under duplicates, so deduplication is purely an optimization.
+func collectAnswersCWA(q ra.Expr, d *table.Database, dom semantics.Domain, workers int) ([]*table.Relation, error) {
+	if workers > 1 {
+		return parallelCollectAnswers(q, d, dom, workers)
+	}
+	seen := map[string]bool{}
+	var answers []*table.Relation
+	err := forEachWorldAnswer(q, d, dom, func(ans *table.Relation) bool {
+		k := ans.CanonicalKey()
+		if !seen[k] {
+			seen[k] = true
+			answers = append(answers, ans.Clone())
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return answers, nil
+}
+
+// valuationJobs feeds cloned valuations to workers, stopping early when the
+// flag is raised.  It closes jobs when enumeration ends.
+func valuationJobs(d *table.Database, dom semantics.Domain, stop *atomic.Bool) <-chan valuation.Valuation {
+	jobs := make(chan valuation.Valuation, 64)
+	go func() {
+		defer close(jobs)
+		valuation.Enumerate(d.SortedNulls(), dom.Values(), func(v valuation.Valuation) bool {
+			if stop.Load() {
+				return false
+			}
+			jobs <- v.Clone()
+			return true
+		})
+	}()
+	return jobs
+}
+
+func workerCount(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// runWorldPool splits the valuation stream over a worker pool.  Each worker
+// owns a valuation view (scratch reused from world to world) and calls work
+// for every job; work returning false raises a global stop flag that makes
+// all workers drain the remaining jobs without evaluating them.  The errs
+// slice collects per-worker evaluation errors.
+func runWorldPool(q ra.Expr, d *table.Database, dom semantics.Domain, workers int, errs []error,
+	work func(w int, ans *table.Relation) bool) error {
+	var stop atomic.Bool
+	jobs := valuationJobs(d, dom, &stop)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			view := newWorldView(d)
+			for v := range jobs {
+				if stop.Load() {
+					continue // drain; the result is already decided
+				}
+				view.setValuation(v)
+				ans, err := ra.EvalDB(q, view)
+				if err != nil {
+					errs[w] = err
+					stop.Store(true)
+					continue
+				}
+				if !work(w, ans) {
+					stop.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parallelIntersectCWA splits the valuation stream over a worker pool; each
+// worker keeps a running local intersection (world evaluation reuses the
+// worker's valuation-view scratch), and the locals are intersected at the
+// end.  Any empty local intersection makes the global result empty, so it
+// raises the stop flag for early exit.
+func parallelIntersectCWA(q ra.Expr, d *table.Database, dom semantics.Domain, workers int) (*table.Relation, error) {
+	workers = workerCount(workers)
+	locals := make([]*table.Relation, workers)
+	err := runWorldPool(q, d, dom, workers, make([]error, workers), func(w int, ans *table.Relation) bool {
+		if locals[w] == nil {
+			locals[w] = ans.Clone()
+		} else {
+			locals[w].Retain(ans.Contains)
+		}
+		return locals[w].Len() > 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	var running *table.Relation
+	for _, local := range locals {
+		if local == nil {
+			continue
+		}
+		if running == nil || local.Len() == 0 {
+			running = local
+		} else {
+			running.Retain(local.Contains)
+		}
+		if running.Len() == 0 {
+			return running, nil
+		}
+	}
+	if running == nil {
+		return nil, errNoWorlds
+	}
+	return running, nil
+}
+
+// parallelCollectAnswers gathers the distinct answers over all worlds using
+// a worker pool with per-worker valuation-view scratch and local dedup.
+func parallelCollectAnswers(q ra.Expr, d *table.Database, dom semantics.Domain, workers int) ([]*table.Relation, error) {
+	workers = workerCount(workers)
+	type local struct {
+		seen    map[string]bool
+		answers []*table.Relation
+	}
+	locals := make([]local, workers)
+	for w := range locals {
+		locals[w].seen = map[string]bool{}
+	}
+	err := runWorldPool(q, d, dom, workers, make([]error, workers), func(w int, ans *table.Relation) bool {
+		k := ans.CanonicalKey()
+		if !locals[w].seen[k] {
+			locals[w].seen[k] = true
+			locals[w].answers = append(locals[w].answers, ans.Clone())
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var answers []*table.Relation
+	for _, l := range locals {
+		for _, ans := range l.answers {
+			ck := ans.CanonicalKey()
+			if !seen[ck] {
+				seen[ck] = true
+				answers = append(answers, ans)
+			}
+		}
+	}
+	return answers, nil
+}
+
+// answersOnWorlds evaluates the query on every (already materialized) world,
+// possibly in parallel.  It remains the path for OWA enumeration with extra
+// tuples, where worlds are genuine supersets that a valuation view cannot
+// express.
+func answersOnWorlds(q ra.Expr, worlds []*table.Database, workers int) ([]*table.Relation, error) {
+	if workers > 1 {
+		return parallelAnswers(q, worlds, workers)
+	}
+	out := make([]*table.Relation, len(worlds))
+	for i, w := range worlds {
+		r, err := ra.Eval(q, w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
 
 // parallelAnswers evaluates the query on every world using a bounded worker
 // pool.  World evaluation is embarrassingly parallel; only the final
 // intersection / GLB is sequential.
 func parallelAnswers(q ra.Expr, worlds []*table.Database, workers int) ([]*table.Relation, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = workerCount(workers)
 	if workers > len(worlds) {
 		workers = len(worlds)
 	}

@@ -1,8 +1,8 @@
 // Package experiments implements the reproduction experiments E1–E12
-// indexed in DESIGN.md.  The paper (a theory keynote) has no numbered
+// indexed in the "Experiments" section of README.md.  The paper (a theory keynote) has no numbered
 // tables or figures; each experiment regenerates one of its worked examples
 // or checkable claims, at parameterised scale, and prints the rows recorded
-// in EXPERIMENTS.md.  The same code backs cmd/incbench (human-readable
+// in README.md.  The same code backs cmd/incbench (human-readable
 // output) and the root-level Go benchmarks (one Benchmark per experiment).
 package experiments
 

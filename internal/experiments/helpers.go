@@ -86,7 +86,7 @@ func QuickConfig() Config {
 	}
 }
 
-// FullConfig runs larger sweeps (minutes, not seconds); EXPERIMENTS.md
+// FullConfig runs larger sweeps (minutes, not seconds); README.md
 // records QuickConfig numbers so results are reproducible everywhere.
 func FullConfig() Config {
 	return Config{

@@ -8,15 +8,37 @@ import (
 	"incdata/internal/value"
 )
 
+// DB is the view of a database the evaluator needs.  *table.Database
+// implements it; package certain supplies valuation views that substitute
+// nulls on the fly during base-relation scans, so that world enumeration
+// never materializes a full database per valuation.
+//
+// Relations returned by Relation are treated as immutable by the evaluator:
+// they are scanned and may be shared (copy-on-write) into the result, but
+// never mutated.
+type DB interface {
+	Relation(name string) *table.Relation
+	Schema() *schema.Schema
+	ActiveDomain() map[value.Value]bool
+}
+
 // Eval evaluates the expression against a database using naïve evaluation:
 // nulls are ordinary values with marked-null identity.  On complete
 // databases this is standard relational-algebra evaluation.
 func Eval(e Expr, d *table.Database) (*table.Relation, error) {
-	out, err := eval(e, d)
+	return EvalDB(e, d)
+}
+
+// EvalDB is Eval over any DB implementation.  The result never aliases
+// mutable state of the database: base relations reaching the output are
+// shared copy-on-write, so mutating the result does not change the input.
+func EvalDB(e Expr, db DB) (*table.Relation, error) {
+	ev := evaluator{db: db}
+	out, err := ev.eval(e)
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return out.Clone(), nil
 }
 
 // MustEval is Eval that panics on error; intended for examples and tests.
@@ -32,24 +54,48 @@ func MustEval(e Expr, d *table.Database) *table.Relation {
 // answer is "true" iff the result is nonempty.  This matches the standard
 // encoding of Boolean queries in relational algebra.
 func EvalBool(e Expr, d *table.Database) (bool, error) {
-	r, err := Eval(e, d)
+	return EvalBoolDB(e, d)
+}
+
+// EvalBoolDB is EvalBool over any DB implementation.
+func EvalBoolDB(e Expr, db DB) (bool, error) {
+	ev := evaluator{db: db}
+	r, err := ev.eval(e)
 	if err != nil {
 		return false, err
 	}
 	return r.Len() > 0, nil
 }
 
-func eval(e Expr, d *table.Database) (*table.Relation, error) {
+// evaluator carries the database view and a reusable key scratch buffer so
+// that inner loops (hash join, division grouping) do not allocate per tuple.
+type evaluator struct {
+	db     DB
+	keyBuf []byte
+}
+
+// projKey appends the key of t restricted to the given positions into the
+// evaluator's scratch buffer and returns it; valid until the next call.
+func (ev *evaluator) projKey(t table.Tuple, positions []int) []byte {
+	buf := ev.keyBuf[:0]
+	for _, p := range positions {
+		buf = t[p].AppendKey(buf)
+	}
+	ev.keyBuf = buf
+	return buf
+}
+
+func (ev *evaluator) eval(e Expr) (*table.Relation, error) {
 	switch ex := e.(type) {
 	case Rel:
-		rel := d.Relation(ex.Name)
+		rel := ev.db.Relation(ex.Name)
 		if rel == nil {
 			return nil, fmt.Errorf("ra: unknown relation %q", ex.Name)
 		}
-		return rel.Clone(), nil
+		return rel, nil
 
 	case Select:
-		in, err := eval(ex.Input, d)
+		in, err := ev.eval(ex.Input)
 		if err != nil {
 			return nil, err
 		}
@@ -60,11 +106,24 @@ func eval(e Expr, d *table.Database) (*table.Relation, error) {
 		return in.Filter(func(t table.Tuple) bool { return ex.Pred.Holds(t, rs) }), nil
 
 	case Project:
-		in, err := eval(ex.Input, d)
+		// Fuse a selection directly below the projection into a single
+		// pass, so the selected intermediate is never materialized.
+		inExpr := ex.Input
+		var pred Predicate
+		if sel, ok := inExpr.(Select); ok {
+			inExpr = sel.Input
+			pred = sel.Pred
+		}
+		in, err := ev.eval(inExpr)
 		if err != nil {
 			return nil, err
 		}
 		rs := in.Schema()
+		if pred != nil {
+			if err := pred.validate(rs); err != nil {
+				return nil, err
+			}
+		}
 		idx := make([]int, len(ex.Attrs))
 		for i, a := range ex.Attrs {
 			j := rs.AttrIndex(a)
@@ -76,13 +135,16 @@ func eval(e Expr, d *table.Database) (*table.Relation, error) {
 		outSchema := schema.NewRelation("π("+rs.Name+")", ex.Attrs...)
 		out := table.NewRelation(outSchema)
 		in.Each(func(t table.Tuple) bool {
+			if pred != nil && !pred.Holds(t, rs) {
+				return true
+			}
 			out.MustAdd(t.Project(idx...))
 			return true
 		})
 		return out, nil
 
 	case Rename:
-		in, err := eval(ex.Input, d)
+		in, err := ev.eval(ex.Input)
 		if err != nil {
 			return nil, err
 		}
@@ -90,19 +152,14 @@ func eval(e Expr, d *table.Database) (*table.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := table.NewRelation(rs)
-		in.Each(func(t table.Tuple) bool {
-			out.MustAdd(t)
-			return true
-		})
-		return out, nil
+		return in.WithSchema(rs), nil
 
 	case Product:
-		l, err := eval(ex.Left, d)
+		l, err := ev.eval(ex.Left)
 		if err != nil {
 			return nil, err
 		}
-		r, err := eval(ex.Right, d)
+		r, err := ev.eval(ex.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -124,56 +181,45 @@ func eval(e Expr, d *table.Database) (*table.Relation, error) {
 		return out, nil
 
 	case Join:
-		return evalJoin(ex, d)
+		return ev.evalJoin(ex)
 
 	case Union:
-		l, r, err := evalPair(ex.Left, ex.Right, d, "∪")
+		l, r, err := ev.evalPair(ex.Left, ex.Right, "∪")
 		if err != nil {
 			return nil, err
 		}
-		out := table.NewRelation(schema.NewRelation("("+l.Name()+"∪"+r.Name()+")", l.Schema().Attrs...))
-		l.Each(func(t table.Tuple) bool { out.MustAdd(t); return true })
-		r.Each(func(t table.Tuple) bool { out.MustAdd(t); return true })
+		out := l.WithSchema(schema.NewRelation("("+l.Name()+"∪"+r.Name()+")", l.Schema().Attrs...))
+		if err := out.AddAll(r); err != nil {
+			return nil, err
+		}
 		return out, nil
 
 	case Diff:
-		l, r, err := evalPair(ex.Left, ex.Right, d, "−")
+		l, r, err := ev.evalPair(ex.Left, ex.Right, "−")
 		if err != nil {
 			return nil, err
 		}
-		out := table.NewRelation(schema.NewRelation("("+l.Name()+"−"+r.Name()+")", l.Schema().Attrs...))
-		l.Each(func(t table.Tuple) bool {
-			if !r.Contains(t) {
-				out.MustAdd(t)
-			}
-			return true
-		})
-		return out, nil
+		out := l.Filter(func(t table.Tuple) bool { return !r.Contains(t) })
+		return out.WithSchema(schema.NewRelation("("+l.Name()+"−"+r.Name()+")", l.Schema().Attrs...)), nil
 
 	case Intersect:
-		l, r, err := evalPair(ex.Left, ex.Right, d, "∩")
+		l, r, err := ev.evalPair(ex.Left, ex.Right, "∩")
 		if err != nil {
 			return nil, err
 		}
-		out := table.NewRelation(schema.NewRelation("("+l.Name()+"∩"+r.Name()+")", l.Schema().Attrs...))
-		l.Each(func(t table.Tuple) bool {
-			if r.Contains(t) {
-				out.MustAdd(t)
-			}
-			return true
-		})
-		return out, nil
+		out := l.Filter(r.Contains)
+		return out.WithSchema(schema.NewRelation("("+l.Name()+"∩"+r.Name()+")", l.Schema().Attrs...)), nil
 
 	case Division:
-		return evalDivision(ex, d)
+		return ev.evalDivision(ex)
 
 	case Delta:
-		rs, err := ex.OutSchema(d.Schema())
+		rs, err := ex.OutSchema(ev.db.Schema())
 		if err != nil {
 			return nil, err
 		}
 		out := table.NewRelation(rs)
-		for v := range d.ActiveDomain() {
+		for v := range ev.db.ActiveDomain() {
 			out.MustAdd(table.NewTuple(v, v))
 		}
 		return out, nil
@@ -202,12 +248,12 @@ func (r Rename) OutSchemaFromInput(in schema.Relation) (schema.Relation, error) 
 	return schema.NewRelation(name, attrs...), nil
 }
 
-func evalPair(le, re Expr, d *table.Database, op string) (*table.Relation, *table.Relation, error) {
-	l, err := eval(le, d)
+func (ev *evaluator) evalPair(le, re Expr, op string) (*table.Relation, *table.Relation, error) {
+	l, err := ev.eval(le)
 	if err != nil {
 		return nil, nil, err
 	}
-	r, err := eval(re, d)
+	r, err := ev.eval(re)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -217,24 +263,24 @@ func evalPair(le, re Expr, d *table.Database, op string) (*table.Relation, *tabl
 	return l, r, nil
 }
 
-func evalJoin(j Join, d *table.Database) (*table.Relation, error) {
-	l, err := eval(j.Left, d)
+func (ev *evaluator) evalJoin(j Join) (*table.Relation, error) {
+	l, err := ev.eval(j.Left)
 	if err != nil {
 		return nil, err
 	}
-	r, err := eval(j.Right, d)
+	r, err := ev.eval(j.Right)
 	if err != nil {
 		return nil, err
 	}
 	ls, rsch := l.Schema(), r.Schema()
 	// Shared attributes and the positions to compare.
-	type pair struct{ li, ri int }
-	var shared []pair
+	var lShared, rShared []int
 	var extraAttrs []string
 	var extraIdx []int
 	for ri, a := range rsch.Attrs {
 		if li := ls.AttrIndex(a); li >= 0 {
-			shared = append(shared, pair{li: li, ri: ri})
+			lShared = append(lShared, li)
+			rShared = append(rShared, ri)
 		} else {
 			extraAttrs = append(extraAttrs, a)
 			extraIdx = append(extraIdx, ri)
@@ -244,30 +290,38 @@ func evalJoin(j Join, d *table.Database) (*table.Relation, error) {
 	out := table.NewRelation(schema.NewRelation("("+ls.Name+"⋈"+rsch.Name+")", attrs...))
 
 	// Hash join on the shared attributes (marked-null identity, so nulls
-	// join with themselves — that is naïve evaluation).
-	index := map[string][]table.Tuple{}
-	keyOf := func(t table.Tuple, positions []int) string {
-		parts := make(table.Tuple, len(positions))
-		for i, p := range positions {
-			parts[i] = t[p]
-		}
-		return parts.Key()
+	// join with themselves — that is naïve evaluation).  The build side is
+	// an open-addressed chain over a slice: the bucket map allocates one
+	// string key per distinct join key, not per tuple, and probes convert
+	// no strings at all.
+	type node struct {
+		t    table.Tuple
+		next int32 // 1-based index into nodes; 0 terminates
 	}
-	rShared := make([]int, len(shared))
-	lShared := make([]int, len(shared))
-	for i, p := range shared {
-		rShared[i] = p.ri
-		lShared[i] = p.li
-	}
+	nodes := make([]node, 0, r.Len())
+	buckets := make([]int32, 0, 16)
+	heads := make(map[string]int32, r.Len()) // join key → slot in buckets
 	r.Each(func(rt table.Tuple) bool {
-		k := keyOf(rt, rShared)
-		index[k] = append(index[k], rt)
+		k := ev.projKey(rt, rShared)
+		slot, ok := heads[string(k)]
+		if !ok {
+			buckets = append(buckets, 0)
+			slot = int32(len(buckets) - 1)
+			heads[string(k)] = slot
+		}
+		nodes = append(nodes, node{t: rt, next: buckets[slot]})
+		buckets[slot] = int32(len(nodes))
 		return true
 	})
 	l.Each(func(lt table.Tuple) bool {
-		k := keyOf(lt, lShared)
-		for _, rt := range index[k] {
-			combined := lt.Clone()
+		slot, ok := heads[string(ev.projKey(lt, lShared))]
+		if !ok {
+			return true
+		}
+		for i := buckets[slot]; i != 0; i = nodes[i-1].next {
+			rt := nodes[i-1].t
+			combined := make(table.Tuple, len(lt), len(lt)+len(extraIdx))
+			copy(combined, lt)
 			for _, ri := range extraIdx {
 				combined = append(combined, rt[ri])
 			}
@@ -278,12 +332,12 @@ func evalJoin(j Join, d *table.Database) (*table.Relation, error) {
 	return out, nil
 }
 
-func evalDivision(dv Division, d *table.Database) (*table.Relation, error) {
-	l, err := eval(dv.Left, d)
+func (ev *evaluator) evalDivision(dv Division) (*table.Relation, error) {
+	l, err := ev.eval(dv.Left)
 	if err != nil {
 		return nil, err
 	}
-	r, err := eval(dv.Right, d)
+	r, err := ev.eval(dv.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -315,36 +369,46 @@ func evalDivision(dv Division, d *table.Database) (*table.Relation, error) {
 	out := table.NewRelation(schema.NewRelation("("+ls.Name+"÷"+rsch.Name+")", keepAttrs...))
 
 	// Group dividend tuples by their kept part; collect the set of divisor
-	// parts seen for each group.
-	groups := map[string]map[string]bool{}
-	repr := map[string]table.Tuple{}
+	// parts seen for each group.  Keys are built in the scratch buffer and
+	// converted to strings only when a new map entry is actually created.
+	type group struct {
+		repr table.Tuple
+		seen map[string]bool
+	}
+	groups := map[string]*group{}
+	var divBuf []byte
 	l.Each(func(t table.Tuple) bool {
-		kt := t.Project(keepPos...)
-		dt := t.Project(divPos...)
-		k := kt.Key()
-		if groups[k] == nil {
-			groups[k] = map[string]bool{}
-			repr[k] = kt
+		k := ev.projKey(t, keepPos)
+		g, ok := groups[string(k)]
+		if !ok {
+			g = &group{repr: t.Project(keepPos...), seen: map[string]bool{}}
+			groups[string(k)] = g
 		}
-		groups[k][dt.Key()] = true
+		divBuf = divBuf[:0]
+		for _, p := range divPos {
+			divBuf = t[p].AppendKey(divBuf)
+		}
+		if !g.seen[string(divBuf)] {
+			g.seen[string(divBuf)] = true
+		}
 		return true
 	})
 	// Divisor tuple keys.
 	var divisorKeys []string
 	r.Each(func(t table.Tuple) bool {
-		divisorKeys = append(divisorKeys, t.Key())
+		divisorKeys = append(divisorKeys, string(t.AppendKey(ev.keyBuf[:0])))
 		return true
 	})
-	for k, seen := range groups {
+	for _, g := range groups {
 		all := true
 		for _, dk := range divisorKeys {
-			if !seen[dk] {
+			if !g.seen[dk] {
 				all = false
 				break
 			}
 		}
 		if all {
-			out.MustAdd(repr[k])
+			out.MustAdd(g.repr)
 		}
 	}
 	return out, nil

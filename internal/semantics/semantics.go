@@ -140,7 +140,7 @@ func EnumerateCWA(d *table.Database, dom Domain, fn func(*table.Database) bool) 
 	seen := map[string]bool{}
 	return valuation.Enumerate(nulls, dom, func(v valuation.Valuation) bool {
 		world := v.ApplyDatabase(d)
-		key := world.String()
+		key := world.CanonicalKey()
 		if seen[key] {
 			return true
 		}
@@ -174,7 +174,7 @@ func EnumerateOWA(d *table.Database, dom Domain, maxExtraTuples int, fn func(*ta
 	}
 	seen := map[string]bool{}
 	emit := func(world *table.Database) bool {
-		key := world.String()
+		key := world.CanonicalKey()
 		if seen[key] {
 			return true
 		}

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -243,6 +244,20 @@ func (d *Database) ContainsDatabase(o *Database) bool {
 		}
 	}
 	return true
+}
+
+// CanonicalKey returns a canonical binary encoding of the database
+// contents: two databases over the same schema have equal keys iff they
+// hold the same tuples relation by relation.  World enumeration uses it to
+// deduplicate worlds far more cheaply than rendering String.
+func (d *Database) CanonicalKey() string {
+	var buf []byte
+	for _, n := range d.RelationNames() {
+		buf = binary.AppendUvarint(buf, uint64(len(n)))
+		buf = append(buf, n...)
+		buf = d.rels[n].appendCanonicalKey(buf)
+	}
+	return string(buf)
 }
 
 // String renders the database relation by relation in sorted name order.

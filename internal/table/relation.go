@@ -1,9 +1,11 @@
 package table
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"incdata/internal/schema"
 	"incdata/internal/value"
@@ -12,9 +14,16 @@ import (
 // Relation is a finite set of tuples of a fixed arity, together with its
 // schema (name and attribute names).  The empty relation of any schema is
 // valid.  Relation uses set semantics; Add silently deduplicates.
+//
+// Relations are copy-on-write: Clone, Rename and WithSchema share the
+// underlying tuple storage and the first subsequent mutation of either side
+// copies the map (never the tuples, which are immutable once stored).  A
+// tuple passed to Add is adopted by the relation and must not be mutated by
+// the caller afterwards.
 type Relation struct {
 	schema schema.Relation
 	tuples map[string]Tuple // keyed by Tuple.Key
+	shared atomic.Bool      // tuple map shared with another Relation
 }
 
 // NewRelation creates an empty relation with the given schema.
@@ -66,13 +75,46 @@ func (r *Relation) Len() int {
 	return len(r.tuples)
 }
 
-// Add inserts a tuple; duplicates are ignored.  The arity must match.
+// mutable ensures r exclusively owns its tuple map, copying it first when it
+// is shared with another relation (the copy shares the stored tuples and
+// their keys, which are immutable).
+func (r *Relation) mutable() {
+	if r.tuples == nil {
+		r.tuples = make(map[string]Tuple)
+		return
+	}
+	if r.shared.Load() {
+		m := make(map[string]Tuple, len(r.tuples))
+		for k, t := range r.tuples {
+			m[k] = t
+		}
+		r.tuples = m
+		r.shared.Store(false)
+	}
+}
+
+// share returns a relation sharing r's tuple storage copy-on-write; both
+// sides copy the map before their next mutation.
+func (r *Relation) share() *Relation {
+	r.shared.Store(true)
+	out := &Relation{schema: r.schema, tuples: r.tuples}
+	out.shared.Store(true)
+	return out
+}
+
+// Add inserts a tuple; duplicates are ignored.  The arity must match.  The
+// relation adopts t: callers must not mutate it after Add returns.
 func (r *Relation) Add(t Tuple) error {
 	if len(t) != r.schema.Arity() {
 		return fmt.Errorf("table: tuple %v has arity %d, relation %s has arity %d",
 			t, len(t), r.schema.Name, r.schema.Arity())
 	}
-	r.tuples[t.Key()] = t.Clone()
+	r.mutable()
+	var buf [keyBufSize]byte
+	k := t.AppendKey(buf[:0])
+	if _, ok := r.tuples[string(k)]; !ok {
+		r.tuples[string(k)] = t
+	}
 	return nil
 }
 
@@ -83,21 +125,30 @@ func (r *Relation) MustAdd(t Tuple) {
 	}
 }
 
-// AddAll inserts all tuples of another relation (arity must match).
+// AddAll inserts all tuples of another relation (arity must match).  The
+// stored keys of o are reused, so no tuple is re-encoded or copied.
 func (r *Relation) AddAll(o *Relation) error {
-	for _, t := range o.Tuples() {
-		if err := r.Add(t); err != nil {
-			return err
-		}
+	if o.Len() == 0 {
+		return nil
+	}
+	if o.Arity() != r.schema.Arity() {
+		return fmt.Errorf("table: AddAll of arity %d into relation %s of arity %d",
+			o.Arity(), r.schema.Name, r.schema.Arity())
+	}
+	r.mutable()
+	for k, t := range o.tuples {
+		r.tuples[k] = t
 	}
 	return nil
 }
 
 // Remove deletes a tuple if present and reports whether it was there.
 func (r *Relation) Remove(t Tuple) bool {
-	k := t.Key()
-	if _, ok := r.tuples[k]; ok {
-		delete(r.tuples, k)
+	var buf [keyBufSize]byte
+	k := t.AppendKey(buf[:0])
+	if _, ok := r.tuples[string(k)]; ok {
+		r.mutable()
+		delete(r.tuples, string(k))
 		return true
 	}
 	return false
@@ -108,7 +159,8 @@ func (r *Relation) Contains(t Tuple) bool {
 	if r == nil {
 		return false
 	}
-	_, ok := r.tuples[t.Key()]
+	var buf [keyBufSize]byte
+	_, ok := r.tuples[string(t.AppendKey(buf[:0]))]
 	return ok
 }
 
@@ -139,19 +191,26 @@ func (r *Relation) Each(f func(Tuple) bool) {
 	}
 }
 
-// Clone returns a deep copy of the relation.
-func (r *Relation) Clone() *Relation {
-	out := NewRelation(r.schema)
-	for k, t := range r.tuples {
-		out.tuples[k] = t.Clone()
-	}
+// Clone returns a copy of the relation.  The copy is made lazily: both
+// relations share the tuple map until one of them is mutated.
+func (r *Relation) Clone() *Relation { return r.share() }
+
+// Rename returns a copy of the relation under a new name (same tuples,
+// shared copy-on-write).
+func (r *Relation) Rename(name string) *Relation {
+	out := r.share()
+	out.schema = r.schema.Rename(name)
 	return out
 }
 
-// Rename returns a copy of the relation under a new name (same tuples).
-func (r *Relation) Rename(name string) *Relation {
-	out := r.Clone()
-	out.schema = r.schema.Rename(name)
+// WithSchema returns a relation with the same tuples (shared copy-on-write)
+// under a different schema of the same arity; it panics on arity mismatch.
+func (r *Relation) WithSchema(rs schema.Relation) *Relation {
+	if rs.Arity() != r.schema.Arity() {
+		panic(fmt.Sprintf("table: WithSchema arity %d on relation of arity %d", rs.Arity(), r.schema.Arity()))
+	}
+	out := r.share()
+	out.schema = rs
 	return out
 }
 
@@ -197,15 +256,14 @@ func (r *Relation) IsCodd() bool {
 }
 
 // CompletePart returns the sub-relation of null-free tuples (D_cmpl in the
-// paper: the part of the answer kept when extracting certain answers).
+// paper: the part of the answer kept when extracting certain answers).  A
+// relation that is already complete is shared copy-on-write rather than
+// copied.
 func (r *Relation) CompletePart() *Relation {
-	out := NewRelation(r.schema)
-	for _, t := range r.tuples {
-		if t.IsComplete() {
-			out.tuples[t.Key()] = t.Clone()
-		}
+	if r.IsComplete() {
+		return r.share()
 	}
-	return out
+	return r.Filter(func(t Tuple) bool { return t.IsComplete() })
 }
 
 // Nulls returns the set of nulls occurring in the relation.
@@ -246,25 +304,88 @@ func (r *Relation) ActiveDomain() map[value.Value]bool {
 }
 
 // Map applies f to every value of every tuple and returns the resulting
-// relation (useful for applying valuations and homomorphisms).
+// relation (useful for applying valuations and homomorphisms).  Tuples that
+// f leaves unchanged are shared together with their stored keys.
 func (r *Relation) Map(f func(value.Value) value.Value) *Relation {
-	out := NewRelation(r.schema)
-	for _, t := range r.tuples {
-		nt := t.Map(f)
-		out.tuples[nt.Key()] = nt
+	out := &Relation{schema: r.schema, tuples: make(map[string]Tuple, len(r.tuples))}
+	out.fillMapped(r, f)
+	return out
+}
+
+// FillMapped resets r in place to f applied to every tuple of src, adopting
+// src's schema.  The tuple map storage is reused across calls when r is not
+// shared, which lets world-enumeration workers apply one valuation after
+// another without reallocating.
+func (r *Relation) FillMapped(src *Relation, f func(value.Value) value.Value) {
+	r.schema = src.schema
+	if r.tuples == nil || r.shared.Load() {
+		r.tuples = make(map[string]Tuple, len(src.tuples))
+		r.shared.Store(false)
+	} else {
+		clear(r.tuples)
+	}
+	r.fillMapped(src, f)
+}
+
+func (r *Relation) fillMapped(src *Relation, f func(value.Value) value.Value) {
+	var buf [keyBufSize]byte
+	for k, t := range src.tuples {
+		nt, changed := t.mapChanged(f)
+		if !changed {
+			r.tuples[k] = t
+			continue
+		}
+		nk := nt.AppendKey(buf[:0])
+		if _, ok := r.tuples[string(nk)]; !ok {
+			r.tuples[string(nk)] = nt
+		}
+	}
+}
+
+// Filter returns the sub-relation of tuples satisfying pred.  Tuples and
+// their stored keys are shared with r, not copied.
+func (r *Relation) Filter(pred func(Tuple) bool) *Relation {
+	out := &Relation{schema: r.schema, tuples: make(map[string]Tuple)}
+	for k, t := range r.tuples {
+		if pred(t) {
+			out.tuples[k] = t
+		}
 	}
 	return out
 }
 
-// Filter returns the sub-relation of tuples satisfying pred.
-func (r *Relation) Filter(pred func(Tuple) bool) *Relation {
-	out := NewRelation(r.schema)
-	for _, t := range r.tuples {
-		if pred(t) {
-			out.tuples[t.Key()] = t.Clone()
+// Retain removes, in place, every tuple for which pred is false.  It is the
+// allocation-free complement of Filter, used for running intersections.
+func (r *Relation) Retain(pred func(Tuple) bool) {
+	r.mutable()
+	for k, t := range r.tuples {
+		if !pred(t) {
+			delete(r.tuples, k)
 		}
 	}
-	return out
+}
+
+// appendCanonicalKey appends a canonical binary encoding of the relation's
+// contents (its sorted tuple keys, count-prefixed) to dst.
+func (r *Relation) appendCanonicalKey(dst []byte) []byte {
+	keys := make([]string, 0, len(r.tuples))
+	for k := range r.tuples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// CanonicalKey returns a canonical encoding of the relation's tuple set:
+// two relations have equal canonical keys iff they contain the same tuples.
+// It is much cheaper than String and is used to deduplicate worlds and
+// answers during enumeration.
+func (r *Relation) CanonicalKey() string {
+	return string(r.appendCanonicalKey(nil))
 }
 
 // String renders the relation as Name{(t1), (t2), ...} in canonical order.

@@ -158,27 +158,47 @@ func (t Tuple) Map(f func(value.Value) value.Value) Tuple {
 	return out
 }
 
+// keyBufSize is the size of the stack scratch buffers used for tuple keys;
+// keys longer than this spill to the heap but stay correct.
+const keyBufSize = 96
+
+// AppendKey appends the tuple's canonical binary key to dst and returns the
+// extended slice.  Each field's encoding is self-delimiting (length-prefixed
+// strings, varint integers), so distinct tuples — including tuples of
+// different arities sharing a prefix — have distinct keys.  Hot paths append
+// into a reusable scratch buffer and convert to string only at map inserts.
+func (t Tuple) AppendKey(dst []byte) []byte {
+	for _, v := range t {
+		dst = v.AppendKey(dst)
+	}
+	return dst
+}
+
 // Key returns a canonical string encoding of the tuple suitable for use as a
 // map key.  Distinct tuples have distinct keys.
 func (t Tuple) Key() string {
-	var b strings.Builder
+	var buf [keyBufSize]byte
+	return string(t.AppendKey(buf[:0]))
+}
+
+// mapChanged applies f to every field.  When f fixes every field it returns
+// the original tuple and false without allocating; otherwise it returns a
+// fresh mapped tuple and true.
+func (t Tuple) mapChanged(f func(value.Value) value.Value) (Tuple, bool) {
 	for i, v := range t {
-		if i > 0 {
-			b.WriteByte('\x1f')
+		nv := f(v)
+		if nv == v {
+			continue
 		}
-		switch v.Kind() {
-		case value.KindNull:
-			fmt.Fprintf(&b, "n%d", v.NullID())
-		case value.KindInt:
-			i64, _ := v.AsInt()
-			fmt.Fprintf(&b, "i%d", i64)
-		case value.KindString:
-			s, _ := v.AsString()
-			b.WriteByte('s')
-			b.WriteString(s)
+		out := make(Tuple, len(t))
+		copy(out, t[:i])
+		out[i] = nv
+		for j := i + 1; j < len(t); j++ {
+			out[j] = f(t[j])
 		}
+		return out, true
 	}
-	return b.String()
+	return t, false
 }
 
 // String renders the tuple as (v1, v2, ..., vk).

@@ -105,6 +105,43 @@ func TestTupleKeyInjective(t *testing.T) {
 	}
 }
 
+func TestTupleKeySeparatorCollision(t *testing.T) {
+	// Regression: the original encoding joined fields with '\x1f', so a
+	// string value containing the separator collided across field
+	// boundaries: ("a\x1fsb") and ("a", "b") produced the same key.  The
+	// length-prefixed binary encoding must keep them distinct.
+	pairs := [][2]Tuple{
+		{NewTuple(value.String("a\x1fsb")), NewTuple(value.String("a"), value.String("b"))},
+		{NewTuple(value.String("a\x1f"), value.String("b")), NewTuple(value.String("a"), value.String("\x1fb"))},
+		{NewTuple(value.String("ab")), NewTuple(value.String("a"), value.String("b"))},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("key collision between %v and %v", p[0], p[1])
+		}
+		r := NewRelationArity("R", p[0].Arity())
+		r.MustAdd(p[0])
+		if p[1].Arity() == r.Arity() && r.Contains(p[1]) {
+			t.Errorf("relation treats %v and %v as the same tuple", p[0], p[1])
+		}
+	}
+}
+
+func TestZeroAllocKeyPath(t *testing.T) {
+	r := NewRelationArity("R", 3)
+	for i := 0; i < 100; i++ {
+		r.MustAdd(NewTuple(value.Int(int64(i)), value.String("name"), value.Null(uint64(i%7))))
+	}
+	probe := NewTuple(value.Int(42), value.String("name"), value.Null(0))
+	if allocs := testing.AllocsPerRun(200, func() { r.Contains(probe) }); allocs != 0 {
+		t.Errorf("Relation.Contains allocates %v times per call, want 0", allocs)
+	}
+	buf := make([]byte, 0, keyBufSize)
+	if allocs := testing.AllocsPerRun(200, func() { buf = probe.AppendKey(buf[:0]) }); allocs != 0 {
+		t.Errorf("Tuple.AppendKey into a sized buffer allocates %v times per call, want 0", allocs)
+	}
+}
+
 func TestTupleString(t *testing.T) {
 	tp := NewTuple(value.Int(1), value.Null(3), value.String("oid1"))
 	if tp.String() != "(1, ⊥3, oid1)" {

@@ -70,11 +70,16 @@ func (v Valuation) ApplyTuple(t table.Tuple) table.Tuple {
 }
 
 // ApplyRelation applies the valuation to every tuple of a relation.
+// Null-free tuples are shared with r (together with their stored hash keys)
+// rather than copied, so applying a valuation to a mostly-complete relation
+// allocates only for the tuples it actually changes.
 func (v Valuation) ApplyRelation(r *table.Relation) *table.Relation {
 	return r.Map(v.ApplyValue)
 }
 
-// ApplyDatabase returns v(D).
+// ApplyDatabase returns v(D), sharing null-free tuples with d (see
+// ApplyRelation).  World enumeration over databases with few nulls therefore
+// costs per-world allocations proportional to the nulls, not the database.
 func (v Valuation) ApplyDatabase(d *table.Database) *table.Database {
 	return d.Map(v.ApplyValue)
 }

@@ -11,6 +11,7 @@
 package value
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -106,6 +107,21 @@ func (v Value) AsString() (string, bool) {
 		return "", false
 	}
 	return v.s, true
+}
+
+// AppendKey appends a compact self-delimiting binary encoding of v to dst
+// and returns the extended slice.  Distinct values have distinct encodings,
+// and because string payloads are length-prefixed, the concatenation of
+// several encodings decodes unambiguously — unlike separator-based schemes,
+// a payload can never be confused with an encoding boundary.
+func (v Value) AppendKey(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	if v.kind == KindString {
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		return append(dst, v.s...)
+	}
+	// KindNull and KindInt both carry an integer payload.
+	return binary.AppendVarint(dst, v.i)
 }
 
 // String renders the value: integers as decimal literals, strings verbatim

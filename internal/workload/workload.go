@@ -5,7 +5,7 @@
 // division (RAcwa) experiments.
 //
 // All generators are deterministic given a seed, so every experiment in
-// EXPERIMENTS.md is reproducible bit-for-bit.
+// the "Experiments" section of README.md is reproducible bit-for-bit.
 package workload
 
 import (

@@ -1,0 +1,88 @@
+// Micro-benchmarks for the evaluator hot path, alongside the E1–E12
+// experiment benchmarks in bench_test.go: tuple-key encoding, the hash
+// join, and world enumeration.  These are the numbers the perf work of
+// each PR is judged against (see README.md, "Benchmarks").
+package incdata_test
+
+import (
+	"testing"
+
+	"incdata/internal/certain"
+	"incdata/internal/ra"
+	"incdata/internal/table"
+	"incdata/internal/value"
+	"incdata/internal/workload"
+)
+
+func BenchmarkTupleKey(b *testing.B) {
+	tuples := make([]table.Tuple, 64)
+	for i := range tuples {
+		tuples[i] = table.NewTuple(
+			value.Int(int64(i)),
+			value.String("customer-name"),
+			value.Null(uint64(i%5)),
+			value.Int(int64(i*7919)),
+		)
+	}
+	b.Run("key", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = tuples[i%len(tuples)].Key()
+		}
+	})
+	b.Run("append-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 128)
+		for i := 0; i < b.N; i++ {
+			buf = tuples[i%len(tuples)].AppendKey(buf[:0])
+		}
+	})
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	d := workload.Random(workload.RandomConfig{
+		Relations: map[string]int{"R": 2, "S": 2}, TuplesPerRelation: 2000,
+		DomainSize: 500, Nulls: 20, NullRate: 0.05, Seed: 3,
+	})
+	q := ra.Join{
+		Left:  ra.Rename{Input: ra.Base("R"), As: "R1", Attrs: []string{"a", "b"}},
+		Right: ra.Rename{Input: ra.Base("S"), As: "S1", Attrs: []string{"b", "c"}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ra.Eval(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorldEnum(b *testing.B) {
+	d := workload.Random(workload.RandomConfig{
+		Relations: map[string]int{"R": 2, "S": 2}, TuplesPerRelation: 10,
+		DomainSize: 6, Nulls: 4, NullRate: 0.3, Seed: 19,
+	})
+	q := ra.Project{
+		Input: ra.Join{
+			Left:  ra.Rename{Input: ra.Base("R"), As: "R1", Attrs: []string{"a", "b"}},
+			Right: ra.Rename{Input: ra.Base("S"), As: "S1", Attrs: []string{"b", "c"}},
+		},
+		Attrs: []string{"a", "c"},
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := certain.ByWorldsCWA(q, d, certain.Options{ExtraFresh: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := certain.ByWorldsCWA(q, d, certain.Options{ExtraFresh: 1, Workers: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
