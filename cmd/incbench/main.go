@@ -3,12 +3,20 @@
 // experiment, or a single machine-readable JSON document with -json so
 // that successive runs can be archived (BENCH_*.json) and compared.
 //
+// The -planner flag selects the evaluation path: "on" (the query planner:
+// planned one-shot evaluation plus world-invariant subplan hoisting),
+// "off" (the naïve-evaluation oracle, the seed path), or "both", which
+// runs the suite twice and reports per-experiment timings for each —
+// the planner-on vs planner-off comparison archived in BENCH_*.json.
+//
 // Usage:
 //
-//	incbench            # quick configuration (seconds)
-//	incbench -full      # larger sweeps (minutes)
+//	incbench                  # quick configuration (seconds)
+//	incbench -full            # larger sweeps (minutes)
 //	incbench -only E1,E8
-//	incbench -json      # machine-readable output for perf tracking
+//	incbench -json            # machine-readable output for perf tracking
+//	incbench -json -planner both
+//	incbench -json -planner off > BENCH_baseline.json
 package main
 
 import (
@@ -19,21 +27,51 @@ import (
 	"strings"
 	"time"
 
+	"incdata/internal/certain"
 	"incdata/internal/experiments"
 )
+
+// plannerTimings summarizes one full suite run under a fixed planner
+// setting.
+type plannerTimings struct {
+	Seconds     float64            `json:"seconds"`
+	Experiments map[string]float64 `json:"experiment_seconds"`
+}
 
 // report is the -json output document.
 type report struct {
 	Config      string               `json:"config"`
+	Planner     string               `json:"planner"`
 	Experiments []experiments.Result `json:"experiments"`
 	Ran         int                  `json:"ran"`
 	Seconds     float64              `json:"seconds"`
+	// PlannerOn/PlannerOff carry the per-experiment timing comparison when
+	// -planner both is selected; the Experiments above are the planner-on
+	// results (the two paths are differentially tested to be identical).
+	PlannerOn  *plannerTimings `json:"planner_on,omitempty"`
+	PlannerOff *plannerTimings `json:"planner_off,omitempty"`
+}
+
+// runSuite executes the experiment suite under the given planner setting
+// and returns the kept results plus timing summary.
+func runSuite(cfg experiments.Config, filter map[string]bool, plannerOn bool) ([]experiments.Result, plannerTimings) {
+	prev := certain.EnablePlanner(plannerOn)
+	defer certain.EnablePlanner(prev)
+	start := time.Now()
+	kept := experiments.Run(cfg, filter)
+	timings := plannerTimings{Experiments: map[string]float64{}}
+	for _, res := range kept {
+		timings.Experiments[res.ID] = res.Seconds
+	}
+	timings.Seconds = time.Since(start).Seconds()
+	return kept, timings
 }
 
 func main() {
 	full := flag.Bool("full", false, "run the larger sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E8)")
 	asJSON := flag.Bool("json", false, "emit one JSON document instead of text tables")
+	planner := flag.String("planner", "on", "evaluation path: on, off, or both (runs twice and compares timings)")
 	flag.Parse()
 
 	cfg := experiments.QuickConfig()
@@ -48,36 +86,62 @@ func main() {
 			filter[strings.TrimSpace(strings.ToUpper(id))] = true
 		}
 	}
-
-	start := time.Now()
-	var kept []experiments.Result
-	for _, res := range experiments.All(cfg) {
-		if len(filter) > 0 && !filter[res.ID] {
-			continue
-		}
-		if !*asJSON {
-			fmt.Println(res.String())
-		}
-		kept = append(kept, res)
+	if *planner != "on" && *planner != "off" && *planner != "both" {
+		fmt.Fprintf(os.Stderr, "incbench: -planner must be on, off or both (got %q)\n", *planner)
+		os.Exit(2)
 	}
+
+	primaryOn := *planner != "off"
+	kept, primary := runSuite(cfg, filter, primaryOn)
 	if len(kept) == 0 {
 		fmt.Fprintln(os.Stderr, "incbench: no experiment matched the -only filter")
 		os.Exit(1)
 	}
-	elapsed := time.Since(start)
+	var secondary *plannerTimings
+	if *planner == "both" {
+		_, off := runSuite(cfg, filter, false)
+		secondary = &off
+	}
+
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report{
+		rep := report{
 			Config:      cfgName,
+			Planner:     *planner,
 			Experiments: kept,
 			Ran:         len(kept),
-			Seconds:     elapsed.Seconds(),
-		}); err != nil {
+			Seconds:     primary.Seconds,
+		}
+		if *planner == "both" {
+			p := primary
+			rep.PlannerOn = &p
+			rep.PlannerOff = secondary
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(os.Stderr, "incbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	fmt.Printf("ran %d experiments in %s\n", len(kept), elapsed.Round(time.Millisecond))
+
+	for _, res := range kept {
+		fmt.Println(res.String())
+	}
+	if *planner == "both" {
+		fmt.Println("== planner-on vs planner-off (seconds per experiment) ==")
+		fmt.Printf("%-6s  %12s  %12s  %8s\n", "exp", "planner-on", "planner-off", "speedup")
+		for _, res := range kept {
+			on := primary.Experiments[res.ID]
+			off := secondary.Experiments[res.ID]
+			speedup := "-"
+			if on > 0 {
+				speedup = fmt.Sprintf("%.2fx", off/on)
+			}
+			fmt.Printf("%-6s  %12.4f  %12.4f  %8s\n", res.ID, on, off, speedup)
+		}
+		fmt.Printf("total   %12.4f  %12.4f\n", primary.Seconds, secondary.Seconds)
+	}
+	fmt.Printf("ran %d experiments in %s (planner %s)\n",
+		len(kept), time.Duration(primary.Seconds*float64(time.Second)).Round(time.Millisecond), *planner)
 }

@@ -18,6 +18,7 @@ package certain
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"incdata/internal/order"
 	"incdata/internal/ra"
@@ -25,6 +26,25 @@ import (
 	"incdata/internal/table"
 	"incdata/internal/value"
 )
+
+// plannerEnabled gates the query-planner fast paths (planned one-shot
+// evaluation and world-invariant subplan hoisting).  It is on by default;
+// cmd/incbench and the differential tests flip it to compare the planner
+// against the naïve-evaluation oracle, which remains the reference
+// implementation for every path.
+var plannerEnabled atomic.Bool
+
+func init() { plannerEnabled.Store(true) }
+
+// EnablePlanner switches the planner fast paths on or off and returns the
+// previous setting.  The oracle paths compute identical results, only
+// slower; this exists for benchmarking and differential testing.
+func EnablePlanner(on bool) (previous bool) {
+	return plannerEnabled.Swap(on)
+}
+
+// usePlanner reports whether the planner paths are active.
+func usePlanner() bool { return plannerEnabled.Load() }
 
 // Options controls world enumeration.
 type Options struct {
@@ -122,12 +142,30 @@ func queryConstants(e ra.Expr) []value.Value {
 	return out
 }
 
+// withQueryConstants returns a copy of the options whose ExtraConstants
+// additionally contain the constants mentioned by the query.  The original
+// slice is never appended to in place: appending could write into the
+// caller's backing array and corrupt an Options value reused across calls.
+func (o Options) withQueryConstants(q ra.Expr) Options {
+	qc := queryConstants(q)
+	if len(qc) == 0 {
+		return o
+	}
+	merged := make([]value.Value, 0, len(o.ExtraConstants)+len(qc))
+	merged = append(merged, o.ExtraConstants...)
+	merged = append(merged, qc...)
+	o.ExtraConstants = merged
+	return o
+}
+
 // NaiveRaw evaluates the query naïvely (nulls as values) without stripping
 // nulls from the answer.  It is the certainO representation of the answer
 // for monotone generic queries (equation (9)), and the input to the
-// null-stripping step.
+// null-stripping step.  With the planner enabled the expression is
+// compiled to a physical plan (pushdown, indexed joins); results are
+// bit-identical to ra.Eval.
 func NaiveRaw(q ra.Expr, d *table.Database) (*table.Relation, error) {
-	return ra.Eval(q, d)
+	return evalMaybePlanned(q, d)
 }
 
 // Naive computes certain answers by naïve evaluation followed by dropping
@@ -135,11 +173,29 @@ func NaiveRaw(q ra.Expr, d *table.Database) (*table.Relation, error) {
 // results guarantee this equals the intersection-based certain answers for
 // positive queries (under OWA and CWA) and for RAcwa queries (under CWA).
 func Naive(q ra.Expr, d *table.Database) (*table.Relation, error) {
+	if usePlanner() {
+		if p, err := cachedCompile(q, d.Schema()); err == nil {
+			return p.EvalCertain(d)
+		}
+	}
 	r, err := ra.Eval(q, d)
 	if err != nil {
 		return nil, err
 	}
 	return ra.StripNulls(r), nil
+}
+
+// evalMaybePlanned evaluates through the query planner when it is enabled
+// and the expression compiles, falling back to the naïve-evaluation oracle
+// otherwise (so unsupported expressions and error cases behave exactly as
+// before).
+func evalMaybePlanned(q ra.Expr, d *table.Database) (*table.Relation, error) {
+	if usePlanner() {
+		if p, err := cachedCompile(q, d.Schema()); err == nil {
+			return p.Eval(d)
+		}
+	}
+	return ra.Eval(q, d)
 }
 
 // ErrTooManyWorlds is returned when world enumeration would exceed
@@ -183,8 +239,7 @@ func collectWorldsOWA(d *table.Database, opts Options) ([]*table.Database, error
 // view of the base database, a running intersection is maintained, and the
 // enumeration aborts as soon as the intersection is empty.
 func ByWorldsCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
-	opts = opts.withDefaults(d)
-	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
+	opts = opts.withDefaults(d).withQueryConstants(q)
 	dom := opts.domain(d)
 	if err := opts.checkWorldBound(d, dom); err != nil {
 		return nil, err
@@ -199,8 +254,7 @@ func ByWorldsCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, e
 // the true OWA certain answers (which are undecidable in general), and
 // increasing MaxExtraTuples tightens it.
 func ByWorldsOWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
-	opts = opts.withDefaults(d)
-	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
+	opts = opts.withDefaults(d).withQueryConstants(q)
 	if opts.MaxExtraTuples <= 0 {
 		// The minimal OWA worlds are exactly the CWA worlds; use the
 		// streaming valuation-view path.
@@ -227,8 +281,7 @@ func ByWorldsOWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, e
 // Section 6.1 says this equals Q(D) itself (naïve evaluation, nulls kept);
 // experiment E8/E11 verify the equality.
 func CertainObjectCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
-	opts = opts.withDefaults(d)
-	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
+	opts = opts.withDefaults(d).withQueryConstants(q)
 	dom := opts.domain(d)
 	if err := opts.checkWorldBound(d, dom); err != nil {
 		return nil, err
@@ -245,11 +298,13 @@ func CertainObjectCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relati
 // evaluates through a valuation view (no world materialization) and stops
 // at the first counterexample world.
 func BoolCertainCWA(q ra.Expr, d *table.Database, opts Options) (bool, error) {
-	opts = opts.withDefaults(d)
-	opts.ExtraConstants = append(opts.ExtraConstants, queryConstants(q)...)
+	opts = opts.withDefaults(d).withQueryConstants(q)
 	dom := opts.domain(d)
 	if err := opts.checkWorldBound(d, dom); err != nil {
 		return false, err
+	}
+	if wp := worldPlanFor(q, d); wp != nil {
+		return boolCertainPlanned(wp, d, dom)
 	}
 	certain := true
 	err := forEachWorldAnswer(q, d, dom, func(ans *table.Relation) bool {

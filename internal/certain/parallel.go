@@ -98,8 +98,15 @@ func forEachWorldAnswer(q ra.Expr, d *table.Database, dom semantics.Domain, fn f
 
 // intersectWorldsCWA computes ⋂ { Q(v(D)) | v } over dom, maintaining a
 // running intersection and aborting the enumeration as soon as it is empty
-// (sound for any query: intersecting further worlds cannot grow it).
+// (sound for any query: intersecting further worlds cannot grow it).  With
+// the planner enabled the query is factored into a world-invariant stable
+// part and per-valuation deltas, and only the deltas are intersected (see
+// planned.go); this oracle path remains for planner-off runs and for
+// expressions the planner rejects.
 func intersectWorldsCWA(q ra.Expr, d *table.Database, dom semantics.Domain, workers int) (*table.Relation, error) {
+	if wp := worldPlanFor(q, d); wp != nil {
+		return intersectWorldsPlanned(wp, d, dom, workers)
+	}
 	if workers > 1 {
 		return parallelIntersectCWA(q, d, dom, workers)
 	}
@@ -126,6 +133,9 @@ func intersectWorldsCWA(q ra.Expr, d *table.Database, dom semantics.Domain, work
 // worlds with equal answers collapse).  The GLB construction is invariant
 // under duplicates, so deduplication is purely an optimization.
 func collectAnswersCWA(q ra.Expr, d *table.Database, dom semantics.Domain, workers int) ([]*table.Relation, error) {
+	if wp := worldPlanFor(q, d); wp != nil {
+		return collectAnswersPlanned(wp, d, dom, workers)
+	}
 	if workers > 1 {
 		return parallelCollectAnswers(q, d, dom, workers)
 	}

@@ -1,0 +1,423 @@
+package certain
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"incdata/internal/plan"
+	"incdata/internal/ra"
+	"incdata/internal/semantics"
+	"incdata/internal/table"
+	"incdata/internal/valuation"
+)
+
+// Planner-backed world enumeration.  plan.ForWorlds factors the query into
+// a world-invariant stable part, evaluated once, and a per-valuation delta
+// plan; the certain-answer combinators below exploit the factorization
+// directly:
+//
+//   - Intersection: ⋂_v (S ∪ D_v) = S ∪ ⋂_v D_v, so the running
+//     intersection touches only the (tiny) deltas.
+//   - Boolean certainty: a nonempty stable part is a lower bound of every
+//     world's answer, so the query is certainly true without enumerating a
+//     single world; otherwise only the delta decides each world.
+//   - certainO answer collection: worlds are deduplicated by the canonical
+//     key of the normalized delta (the stable part is fixed), so full
+//     answers are materialized once per distinct answer, not per world.
+//
+// Non-splittable plans (difference with a world-dependent right side,
+// division) fall back to per-world full evaluation, which still reuses
+// every world-invariant subtree and its hash indexes.
+
+// worldPlanFor returns the factored world plan for q over d, or nil when
+// the planner is disabled or cannot compile the expression (the caller
+// then uses the oracle path, preserving error behavior exactly).
+func worldPlanFor(q ra.Expr, d *table.Database) *plan.WorldPlan {
+	if !usePlanner() {
+		return nil
+	}
+	wp, err := cachedForWorlds(q, d)
+	if err != nil {
+		return nil
+	}
+	return wp
+}
+
+// intersectWorldsPlanned computes ⋂ { Q(v(D)) | v } through the factored
+// plan.
+func intersectWorldsPlanned(wp *plan.WorldPlan, d *table.Database, dom semantics.Domain, workers int) (*table.Relation, error) {
+	if workers > 1 {
+		return parallelIntersectPlanned(wp, d, dom, workers)
+	}
+	sess := wp.AcquireSession()
+	defer wp.ReleaseSession(sess)
+	var running *table.Relation
+	saw := false
+	var evalErr error
+	if wp.Splittable() {
+		// Running intersection of the deltas as a slice of keyed tuples:
+		// per world only membership probes against the current delta, no
+		// map copying.  Stored tuples are immutable, so retaining them
+		// across scratch resets is safe.
+		type cand struct {
+			key string
+			t   table.Tuple
+		}
+		var cands []cand
+		valuation.Enumerate(wp.SortedNulls(), dom.Values(), func(v valuation.Valuation) bool {
+			delta, err := sess.Delta(v)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !saw {
+				saw = true
+				delta.EachKeyed(func(k string, t table.Tuple) bool {
+					cands = append(cands, cand{key: k, t: t})
+					return true
+				})
+			} else {
+				w := 0
+				for _, c := range cands {
+					if delta.ContainsKeyString(c.key) {
+						cands[w] = c
+						w++
+					}
+				}
+				cands = cands[:w]
+			}
+			// Once the delta intersection is empty the result is exactly the
+			// stable part; further worlds cannot change it.
+			return len(cands) > 0
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		if !saw {
+			return nil, errNoWorlds
+		}
+		stable, err := wp.Stable()
+		if err != nil {
+			return nil, err
+		}
+		out := table.NewRelation(wp.OutSchema())
+		if err := out.AddAll(stable); err != nil {
+			return nil, err
+		}
+		for _, c := range cands {
+			out.MustAdd(c.t)
+		}
+		return out, nil
+	}
+	valuation.Enumerate(wp.SortedNulls(), dom.Values(), func(v valuation.Valuation) bool {
+		saw = true
+		ans, err := sess.Answer(v)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if running == nil {
+			running = ans.Clone()
+		} else {
+			running.Retain(ans.Contains)
+		}
+		return running.Len() > 0
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if !saw {
+		return nil, errNoWorlds
+	}
+	return running.WithSchema(wp.OutSchema()), nil
+}
+
+// mergeStableDelta materializes stable ∪ delta under the plan's output
+// schema; delta may be nil (no surviving delta tuples).
+func mergeStableDelta(wp *plan.WorldPlan, stable, delta *table.Relation) (*table.Relation, error) {
+	out := table.NewRelation(wp.OutSchema())
+	if err := out.AddAll(stable); err != nil {
+		return nil, err
+	}
+	if delta != nil && delta.Len() > 0 {
+		if err := out.AddAll(delta); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// boolCertainPlanned decides Boolean certainty through the factored plan.
+func boolCertainPlanned(wp *plan.WorldPlan, d *table.Database, dom semantics.Domain) (bool, error) {
+	if wp.Splittable() {
+		stable, err := wp.Stable()
+		if err != nil {
+			return false, err
+		}
+		if stable.Len() > 0 {
+			// The stable part is contained in every world's answer: the
+			// query is certainly true with zero worlds evaluated.
+			return true, nil
+		}
+		sess := wp.AcquireSession()
+		defer wp.ReleaseSession(sess)
+		certain := true
+		var evalErr error
+		valuation.Enumerate(wp.SortedNulls(), dom.Values(), func(v valuation.Valuation) bool {
+			delta, err := sess.Delta(v)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if delta.Len() == 0 {
+				certain = false
+				return false
+			}
+			return true
+		})
+		if evalErr != nil {
+			return false, evalErr
+		}
+		return certain, nil
+	}
+	sess := wp.AcquireSession()
+	defer wp.ReleaseSession(sess)
+	certain := true
+	var evalErr error
+	valuation.Enumerate(wp.SortedNulls(), dom.Values(), func(v valuation.Valuation) bool {
+		ans, err := sess.Answer(v)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if ans.Len() == 0 {
+			certain = false
+			return false
+		}
+		return true
+	})
+	if evalErr != nil {
+		return false, evalErr
+	}
+	return certain, nil
+}
+
+// collectAnswersPlanned gathers the distinct per-world answers through the
+// factored plan (for the certainO GLB).
+func collectAnswersPlanned(wp *plan.WorldPlan, d *table.Database, dom semantics.Domain, workers int) ([]*table.Relation, error) {
+	if workers > 1 {
+		return parallelCollectPlanned(wp, d, dom, workers)
+	}
+	sess := wp.AcquireSession()
+	defer wp.ReleaseSession(sess)
+	seen := map[string]bool{}
+	var answers []*table.Relation
+	var evalErr error
+	if wp.Splittable() {
+		stable, err := wp.Stable()
+		if err != nil {
+			return nil, err
+		}
+		valuation.Enumerate(wp.SortedNulls(), dom.Values(), func(v valuation.Valuation) bool {
+			delta, err := sess.Delta(v)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			// Normalize so the delta key identifies the full answer: the
+			// stable part is fixed across worlds.
+			delta.Retain(func(t table.Tuple) bool { return !stable.Contains(t) })
+			k := delta.CanonicalKey()
+			if !seen[k] {
+				seen[k] = true
+				full, err := mergeStableDelta(wp, stable, delta)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				answers = append(answers, full)
+			}
+			return true
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		return answers, nil
+	}
+	valuation.Enumerate(wp.SortedNulls(), dom.Values(), func(v valuation.Valuation) bool {
+		ans, err := sess.Answer(v)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		k := ans.CanonicalKey()
+		if !seen[k] {
+			seen[k] = true
+			answers = append(answers, ans.Clone())
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return answers, nil
+}
+
+// runPlannedPool streams valuations to a pool of workers, each owning a
+// plan session.  work receives the session's scratch result for the world
+// (the delta when the plan is splittable, the full answer otherwise) and
+// must clone whatever it retains; returning false stops the enumeration.
+func runPlannedPool(wp *plan.WorldPlan, d *table.Database, dom semantics.Domain, workers int,
+	work func(w int, rel *table.Relation) bool) error {
+	split := wp.Splittable()
+	var stop atomic.Bool
+	jobs := valuationJobs(d, dom, &stop)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			sess := wp.AcquireSession()
+			defer wp.ReleaseSession(sess)
+			for v := range jobs {
+				if stop.Load() {
+					continue // drain; the result is already decided
+				}
+				var rel *table.Relation
+				var err error
+				if split {
+					rel, err = sess.Delta(v)
+				} else {
+					rel, err = sess.Answer(v)
+				}
+				if err != nil {
+					errs[w] = err
+					stop.Store(true)
+					continue
+				}
+				if !work(w, rel) {
+					stop.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parallelIntersectPlanned is intersectWorldsPlanned over a worker pool:
+// per-worker running intersections of the deltas (or full answers), merged
+// at the end.
+func parallelIntersectPlanned(wp *plan.WorldPlan, d *table.Database, dom semantics.Domain, workers int) (*table.Relation, error) {
+	workers = workerCount(workers)
+	locals := make([]*table.Relation, workers)
+	sawWorld := make([]bool, workers)
+	err := runPlannedPool(wp, d, dom, workers, func(w int, rel *table.Relation) bool {
+		sawWorld[w] = true
+		if locals[w] == nil {
+			locals[w] = rel.Clone()
+		} else {
+			locals[w].Retain(rel.Contains)
+		}
+		return locals[w].Len() > 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	var running *table.Relation
+	saw := false
+	for w, local := range locals {
+		if sawWorld[w] {
+			saw = true
+		}
+		if local == nil {
+			continue
+		}
+		if running == nil || local.Len() == 0 {
+			running = local
+		} else {
+			running.Retain(local.Contains)
+		}
+		if running.Len() == 0 {
+			break
+		}
+	}
+	if !saw {
+		return nil, errNoWorlds
+	}
+	if wp.Splittable() {
+		stable, err := wp.Stable()
+		if err != nil {
+			return nil, err
+		}
+		return mergeStableDelta(wp, stable, running)
+	}
+	if running == nil {
+		return nil, errNoWorlds
+	}
+	return running.WithSchema(wp.OutSchema()), nil
+}
+
+// parallelCollectPlanned is collectAnswersPlanned over a worker pool with
+// local dedup; full answers are materialized once per globally distinct
+// answer.
+func parallelCollectPlanned(wp *plan.WorldPlan, d *table.Database, dom semantics.Domain, workers int) ([]*table.Relation, error) {
+	workers = workerCount(workers)
+	split := wp.Splittable()
+	var stable *table.Relation
+	if split {
+		var err error
+		if stable, err = wp.Stable(); err != nil {
+			return nil, err
+		}
+	}
+	type keyed struct {
+		key string
+		rel *table.Relation // delta clone (split) or full answer clone
+	}
+	locals := make([][]keyed, workers)
+	seenLocal := make([]map[string]bool, workers)
+	for w := range seenLocal {
+		seenLocal[w] = map[string]bool{}
+	}
+	err := runPlannedPool(wp, d, dom, workers, func(w int, rel *table.Relation) bool {
+		if split {
+			rel.Retain(func(t table.Tuple) bool { return !stable.Contains(t) })
+		}
+		k := rel.CanonicalKey()
+		if !seenLocal[w][k] {
+			seenLocal[w][k] = true
+			locals[w] = append(locals[w], keyed{key: k, rel: rel.Clone()})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var answers []*table.Relation
+	for _, l := range locals {
+		for _, kr := range l {
+			if seen[kr.key] {
+				continue
+			}
+			seen[kr.key] = true
+			if split {
+				full, err := mergeStableDelta(wp, stable, kr.rel)
+				if err != nil {
+					return nil, err
+				}
+				answers = append(answers, full)
+			} else {
+				answers = append(answers, kr.rel)
+			}
+		}
+	}
+	return answers, nil
+}

@@ -31,6 +31,9 @@ type Result struct {
 	Header []string
 	Rows   [][]string
 	Notes  string
+	// Seconds is the wall-clock time the experiment took; cmd/incbench
+	// archives it to compare planner-on and planner-off runs.
+	Seconds float64 `json:"seconds"`
 }
 
 // String renders the result as an aligned text table.

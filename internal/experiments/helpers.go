@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"time"
+
 	"incdata/internal/cq"
 	"incdata/internal/exchange"
 	"incdata/internal/schema"
@@ -109,20 +111,39 @@ func FullConfig() Config {
 	}
 }
 
-// All runs every experiment with the given configuration, in order.
-func All(cfg Config) []Result {
-	return []Result{
-		E1UnpaidOrders(cfg.E1Sizes, cfg.E1NullRates),
-		E2Difference(cfg.E2Sizes),
-		E3Tautology(),
-		E4CTables(cfg.E4Sizes),
-		E5NaiveUCQ(cfg.E5Trials, cfg.E5NullCounts),
-		E6Complexity(cfg.E6DBSizes, cfg.E6NullCounts),
-		E7Duality(cfg.E7AtomCounts, cfg.E7Trials),
-		E8CertainO(),
-		E9Division(cfg.E9Students, cfg.E9NullRates),
-		E10Exchange(cfg.E10Orders),
-		E11Theorem(cfg.E11Instances),
-		E12Orderings(cfg.E12Sizes, cfg.E12Pairs),
+// All runs every experiment with the given configuration, in order, and
+// stamps each result with its wall-clock duration.
+func All(cfg Config) []Result { return Run(cfg, nil) }
+
+// Run executes the selected experiments (nil or empty selects all) in
+// order, stamping each result with its wall-clock duration.
+func Run(cfg Config, ids map[string]bool) []Result {
+	runs := []struct {
+		id  string
+		run func() Result
+	}{
+		{"E1", func() Result { return E1UnpaidOrders(cfg.E1Sizes, cfg.E1NullRates) }},
+		{"E2", func() Result { return E2Difference(cfg.E2Sizes) }},
+		{"E3", func() Result { return E3Tautology() }},
+		{"E4", func() Result { return E4CTables(cfg.E4Sizes) }},
+		{"E5", func() Result { return E5NaiveUCQ(cfg.E5Trials, cfg.E5NullCounts) }},
+		{"E6", func() Result { return E6Complexity(cfg.E6DBSizes, cfg.E6NullCounts) }},
+		{"E7", func() Result { return E7Duality(cfg.E7AtomCounts, cfg.E7Trials) }},
+		{"E8", func() Result { return E8CertainO() }},
+		{"E9", func() Result { return E9Division(cfg.E9Students, cfg.E9NullRates) }},
+		{"E10", func() Result { return E10Exchange(cfg.E10Orders) }},
+		{"E11", func() Result { return E11Theorem(cfg.E11Instances) }},
+		{"E12", func() Result { return E12Orderings(cfg.E12Sizes, cfg.E12Pairs) }},
 	}
+	var out []Result
+	for _, r := range runs {
+		if len(ids) > 0 && !ids[r.id] {
+			continue
+		}
+		start := time.Now()
+		res := r.run()
+		res.Seconds = time.Since(start).Seconds()
+		out = append(out, res)
+	}
+	return out
 }

@@ -10,7 +10,7 @@
 package hom
 
 import (
-	"sort"
+	"slices"
 
 	"incdata/internal/table"
 	"incdata/internal/value"
@@ -46,63 +46,152 @@ func (m Mapping) Clone() Mapping {
 	return out
 }
 
-// tupleObligation records a source tuple and the index (into the ordered
-// null list) of the last null it mentions, used for incremental checking.
+// obField is one precompiled field of an obligation tuple: either a fixed
+// constant or a reference to a null by its index in the searcher's null
+// order, so the search loop resolves images by slice indexing, with no map
+// lookups.
+type obField struct {
+	val     value.Value // the field value when nullIdx < 0
+	nullIdx int         // index into searcher.nulls, or -1 for constants
+}
+
+// tupleObligation records a source tuple, the destination relation its
+// image must belong to, and the index (into the ordered null list) of the
+// last null it mentions, used for incremental checking.
 type tupleObligation struct {
-	rel     string
+	dstRel  *table.Relation // nil when dst lacks the relation: always fails
 	tuple   table.Tuple
+	fields  []obField
 	lastIdx int
 }
 
 // searcher performs backtracking search for homomorphisms from src to dst.
 type searcher struct {
 	src, dst    *table.Database
-	nulls       []value.Value // nulls of src in fixed order
-	nullIdx     map[value.Value]int
+	nulls       []value.Value       // nulls of src in fixed order
 	candidates  []value.Value       // adom(dst), candidate images for each null
 	obligations [][]tupleObligation // obligations[i]: tuples checkable once null i is assigned
 	immediate   []tupleObligation   // null-free source tuples (checked up front)
+	assigned    []value.Value       // current image per null (parallel to nulls)
+	keyBuf      []byte              // scratch for image keys (no per-check allocation)
+
+	// Forbidden image, used by Core: when set, no source tuple may map
+	// onto this tuple of forbidRel — searching src → dst∖{t} without
+	// materializing the smaller database.
+	forbidRel *table.Relation
+	forbidKey []byte
 }
 
 func newSearcher(src, dst *table.Database) *searcher {
 	s := &searcher{src: src, dst: dst}
-	s.nulls = table.SortedValues(src.Nulls())
-	s.nullIdx = make(map[value.Value]int, len(s.nulls))
-	for i, n := range s.nulls {
-		s.nullIdx[n] = i
+	if src == dst {
+		// The self-searcher (core computation): collect nulls and
+		// candidates in one pass.
+		all := collectSorted(src, func(value.Value) bool { return true })
+		s.candidates = all
+		for _, v := range all {
+			if v.IsNull() {
+				s.nulls = append(s.nulls, v)
+			}
+		}
+	} else {
+		s.nulls = collectSorted(src, func(v value.Value) bool { return v.IsNull() })
+		s.candidates = collectSorted(dst, func(value.Value) bool { return true })
 	}
-	s.candidates = table.SortedValues(dst.ActiveDomain())
+	s.assigned = make([]value.Value, len(s.nulls))
 	s.obligations = make([][]tupleObligation, len(s.nulls))
+	// The null list is sorted, so null indices resolve by binary search; no
+	// index map is needed.
+	nullIndex := func(v value.Value) int {
+		idx, _ := slices.BinarySearchFunc(s.nulls, v, value.Compare)
+		return idx
+	}
 	for _, relName := range src.RelationNames() {
 		rel := src.Relation(relName)
-		for _, t := range rel.Tuples() {
+		dstRel := dst.Relation(relName)
+		// Iterate the stored tuples directly: the searcher never mutates
+		// them, and the obligation order only affects pruning, not which
+		// homomorphism the (null-order, candidate-order) search finds first.
+		rel.Each(func(t table.Tuple) bool {
 			last := -1
-			for _, v := range t {
+			fields := make([]obField, len(t))
+			for fi, v := range t {
 				if v.IsNull() {
-					if i := s.nullIdx[v]; i > last {
+					i := nullIndex(v)
+					fields[fi] = obField{nullIdx: i}
+					if i > last {
 						last = i
 					}
+				} else {
+					fields[fi] = obField{val: v, nullIdx: -1}
 				}
 			}
-			ob := tupleObligation{rel: relName, tuple: t, lastIdx: last}
+			ob := tupleObligation{dstRel: dstRel, tuple: t, fields: fields, lastIdx: last}
 			if last < 0 {
 				s.immediate = append(s.immediate, ob)
 			} else {
 				s.obligations[last] = append(s.obligations[last], ob)
 			}
-		}
+			return true
+		})
 	}
 	return s
 }
 
+// collectSorted gathers the distinct values of d satisfying keep, sorted.
+// It collects with duplicates and sort-deduplicates — for the small
+// databases homomorphism search runs on, that beats building a set.
+func collectSorted(d *table.Database, keep func(value.Value) bool) []value.Value {
+	var out []value.Value
+	for _, name := range d.RelationNames() {
+		d.Relation(name).Each(func(t table.Tuple) bool {
+			for _, v := range t {
+				if keep(v) {
+					out = append(out, v)
+				}
+			}
+			return true
+		})
+	}
+	slices.SortFunc(out, value.Compare)
+	return slices.Compact(out)
+}
+
 // checkTuple reports whether the image of the obligation's tuple under m is
-// present in dst.
-func (s *searcher) checkTuple(m Mapping, ob tupleObligation) bool {
-	dstRel := s.dst.Relation(ob.rel)
-	if dstRel == nil {
+// present in dst.  The image's key is built in a scratch buffer; the image
+// tuple itself is never materialized.
+func (s *searcher) checkTuple(ob tupleObligation) bool {
+	if ob.dstRel == nil {
 		return false
 	}
-	return dstRel.Contains(m.ApplyTuple(ob.tuple))
+	buf := s.keyBuf[:0]
+	for _, f := range ob.fields {
+		if f.nullIdx >= 0 {
+			buf = s.assigned[f.nullIdx].AppendKey(buf)
+		} else {
+			buf = f.val.AppendKey(buf)
+		}
+	}
+	s.keyBuf = buf
+	if !ob.dstRel.ContainsKey(buf) {
+		return false
+	}
+	if s.forbidRel == ob.dstRel && string(buf) == string(s.forbidKey) {
+		return false
+	}
+	return true
+}
+
+// existsAvoiding reports whether a homomorphism src → dst exists whose
+// image avoids the tuple t of the named destination relation, i.e. a
+// homomorphism src → dst∖{t}.  Core uses it to test tuple removals
+// without cloning the database per attempt.
+func (s *searcher) existsAvoiding(rel *table.Relation, t table.Tuple) bool {
+	s.forbidRel = rel
+	s.forbidKey = t.AppendKey(s.forbidKey[:0])
+	found := s.search(func(Mapping) bool { return false })
+	s.forbidRel = nil
+	return found
 }
 
 // search enumerates homomorphisms; accept is called with each complete
@@ -110,12 +199,12 @@ func (s *searcher) checkTuple(m Mapping, ob tupleObligation) bool {
 // return value reports whether some call to accept returned false (i.e. a
 // witness was found and the search stopped early).
 func (s *searcher) search(accept func(Mapping) bool) bool {
-	m := make(Mapping, len(s.nulls))
 	for _, ob := range s.immediate {
-		if !s.checkTuple(m, ob) {
+		if !s.checkTuple(ob) {
 			return false
 		}
 	}
+	m := make(Mapping, len(s.nulls))
 	stopped := false
 	var rec func(i int) bool // returns false to stop the whole search
 	rec = func(i int) bool {
@@ -127,15 +216,16 @@ func (s *searcher) search(accept func(Mapping) bool) bool {
 			return true
 		}
 		for _, c := range s.candidates {
-			m[s.nulls[i]] = c
+			s.assigned[i] = c
 			ok := true
 			for _, ob := range s.obligations[i] {
-				if !s.checkTuple(m, ob) {
+				if !s.checkTuple(ob) {
 					ok = false
 					break
 				}
 			}
 			if ok {
+				m[s.nulls[i]] = c
 				if !rec(i + 1) {
 					return false
 				}
@@ -279,26 +369,32 @@ func CountHomomorphisms(src, dst *table.Database) int {
 // tuple deletion) sub-database hom-equivalent to d.  Cores are unique up to
 // isomorphism and are a convenient canonical representative of the
 // OWA-information content of a naïve database.
+//
+// A tuple t may be removed when current admits a homomorphism into
+// current∖{t} (the smaller database always maps into the larger).  The
+// search runs on a single reusable searcher per core state with t as a
+// forbidden image, so failed attempts — the common case once the core is
+// reached — cost no setup; a complete database is its own core (every
+// homomorphism fixes it pointwise).
 func Core(d *table.Database) *table.Database {
 	current := d.Clone()
+	if current.IsComplete() {
+		return current
+	}
 	for changed := true; changed; {
 		changed = false
+		s := newSearcher(current, current)
 		for _, name := range current.RelationNames() {
 			rel := current.Relation(name)
-			tuples := rel.Tuples()
-			// Try removing tuples in a deterministic order: larger tuples
-			// (more nulls) are better removal candidates, but any order
-			// converges to a core.
-			sort.Slice(tuples, func(i, j int) bool { return tuples[i].Less(tuples[j]) })
+			// Try removing tuples in a deterministic order: any order
+			// converges to a core, and the canonical order makes the
+			// representative reproducible.
+			tuples := rel.SortedTuples()
 			for _, t := range tuples {
-				candidate := current.Clone()
-				candidate.Relation(name).Remove(t)
-				// We may only remove t if the smaller database still admits a
-				// homomorphism from the original (it always maps into the
-				// original since it is a sub-database).
-				if Exists(current, candidate) {
-					current = candidate
+				if s.existsAvoiding(rel, t) {
+					rel.Remove(t)
 					changed = true
+					s = newSearcher(current, current)
 				}
 			}
 		}

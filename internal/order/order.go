@@ -16,7 +16,6 @@ package order
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"incdata/internal/hom"
 	"incdata/internal/table"
@@ -147,7 +146,10 @@ func directProduct(dbs []*table.Database) (*table.Database, error) {
 	// Null ids for combination vectors are allocated deterministically.
 	nullFor := map[string]value.Value{}
 	nextID := maxNullID(dbs) + 1
-	combinationNull := func(key string) value.Value {
+	var keyBuf []byte
+	combinationNull := func(vals []value.Value) value.Value {
+		var key string
+		keyBuf, key = vectorKey(keyBuf, vals)
 		if n, ok := nullFor[key]; ok {
 			return n
 		}
@@ -169,17 +171,17 @@ func directProduct(dbs []*table.Database) (*table.Database, error) {
 				empty = true
 				break
 			}
-			lists[i] = rel.Tuples()
+			lists[i] = rel.SortedTuples()
 		}
 		if empty {
 			continue
 		}
 		// Enumerate the cartesian product of the tuple lists.
 		idx := make([]int, len(dbs))
+		vals := make([]value.Value, len(dbs))
 		for {
 			combined := make(table.Tuple, arity)
 			for pos := 0; pos < arity; pos++ {
-				vals := make([]value.Value, len(dbs))
 				allSameConst := true
 				for i := range dbs {
 					vals[i] = lists[i][idx[i]][pos]
@@ -190,7 +192,7 @@ func directProduct(dbs []*table.Database) (*table.Database, error) {
 				if allSameConst {
 					combined[pos] = vals[0]
 				} else {
-					combined[pos] = combinationNull(vectorKey(vals))
+					combined[pos] = combinationNull(vals)
 				}
 			}
 			if err := out.Add(relName, combined); err != nil {
@@ -214,12 +216,15 @@ func directProduct(dbs []*table.Database) (*table.Database, error) {
 	return out, nil
 }
 
-func vectorKey(vals []value.Value) string {
-	parts := make([]string, len(vals))
-	for i, v := range vals {
-		parts[i] = v.String()
+// vectorKey encodes a component-value vector with the self-delimiting
+// binary value encoding (no string rendering; distinct vectors get
+// distinct keys by construction).
+func vectorKey(buf []byte, vals []value.Value) ([]byte, string) {
+	buf = buf[:0]
+	for _, v := range vals {
+		buf = v.AppendKey(buf)
 	}
-	return strings.Join(parts, "\x1f")
+	return buf, string(buf)
 }
 
 func maxNullID(dbs []*table.Database) uint64 {
@@ -284,10 +289,13 @@ func singletonDB(r *table.Relation) (*table.Database, error) {
 		return nil, err
 	}
 	d := table.NewDatabase(s)
-	for _, t := range r.Tuples() {
-		if err := d.Add(answerRelName, t); err != nil {
-			return nil, err
-		}
+	var addErr error
+	r.Each(func(t table.Tuple) bool {
+		addErr = d.Add(answerRelName, t)
+		return addErr == nil
+	})
+	if addErr != nil {
+		return nil, addErr
 	}
 	return d, nil
 }

@@ -1,10 +1,26 @@
 package order
 
-import "incdata/internal/schema"
+import (
+	"sync"
 
-// newSingletonSchema builds the throwaway schema used to wrap a single
-// answer relation into a database so that the database-level GLB machinery
-// can be reused for relations.
+	"incdata/internal/schema"
+)
+
+// singletonSchemas caches the per-arity schemas used to wrap answer
+// relations into databases; GLB folds build many such wrappers.
+var singletonSchemas sync.Map // arity → *schema.Schema
+
+// newSingletonSchema returns the schema used to wrap a single answer
+// relation into a database so that the database-level GLB machinery can be
+// reused for relations.  Schemas are immutable and cached per arity.
 func newSingletonSchema(arity int) (*schema.Schema, error) {
-	return schema.New(schema.WithArity(answerRelName, arity))
+	if s, ok := singletonSchemas.Load(arity); ok {
+		return s.(*schema.Schema), nil
+	}
+	s, err := schema.New(schema.WithArity(answerRelName, arity))
+	if err != nil {
+		return nil, err
+	}
+	singletonSchemas.Store(arity, s)
+	return s, nil
 }

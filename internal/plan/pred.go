@@ -1,0 +1,245 @@
+package plan
+
+import (
+	"fmt"
+
+	"incdata/internal/ra"
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// predAttrs returns the attribute names a predicate references (with
+// duplicates; callers only test membership).
+func predAttrs(p ra.Predicate) []string {
+	var out []string
+	var walk func(p ra.Predicate)
+	walk = func(p ra.Predicate) {
+		switch pp := p.(type) {
+		case ra.Cmp:
+			if pp.Left.IsAttr {
+				out = append(out, pp.Left.Attr)
+			}
+			if pp.Right.IsAttr {
+				out = append(out, pp.Right.Attr)
+			}
+		case ra.And:
+			for _, q := range pp.Preds {
+				walk(q)
+			}
+		case ra.Or:
+			for _, q := range pp.Preds {
+				walk(q)
+			}
+		case ra.Not:
+			walk(pp.Pred)
+		}
+	}
+	walk(p)
+	return out
+}
+
+// translatePred rewrites a predicate's attribute references positionally
+// from one schema to another of the same arity (used when pushing through
+// ρ and ∪).
+func translatePred(p ra.Predicate, from, to schema.Relation) (ra.Predicate, error) {
+	if from.Arity() != to.Arity() {
+		return nil, fmt.Errorf("plan: cannot translate predicate between %s and %s", from, to)
+	}
+	translateOp := func(o ra.Operand) (ra.Operand, error) {
+		if !o.IsAttr {
+			return o, nil
+		}
+		pos := from.AttrIndex(o.Attr)
+		if pos < 0 {
+			return o, fmt.Errorf("plan: attribute %q not in %s", o.Attr, from)
+		}
+		return ra.Attr(to.Attrs[pos]), nil
+	}
+	var walk func(p ra.Predicate) (ra.Predicate, error)
+	walk = func(p ra.Predicate) (ra.Predicate, error) {
+		switch pp := p.(type) {
+		case ra.Cmp:
+			l, err := translateOp(pp.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := translateOp(pp.Right)
+			if err != nil {
+				return nil, err
+			}
+			return ra.Cmp{Left: l, Op: pp.Op, Right: r}, nil
+		case ra.And:
+			out := make([]ra.Predicate, len(pp.Preds))
+			for i, q := range pp.Preds {
+				nq, err := walk(q)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = nq
+			}
+			return ra.And{Preds: out}, nil
+		case ra.Or:
+			out := make([]ra.Predicate, len(pp.Preds))
+			for i, q := range pp.Preds {
+				nq, err := walk(q)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = nq
+			}
+			return ra.Or{Preds: out}, nil
+		case ra.Not:
+			nq, err := walk(pp.Pred)
+			if err != nil {
+				return nil, err
+			}
+			return ra.Not{Pred: nq}, nil
+		default:
+			return p, nil // True, False
+		}
+	}
+	return walk(p)
+}
+
+// cpred is a compiled predicate: attribute references are resolved to
+// tuple positions once, at compile time, so evaluation does no name
+// lookups.  A nil cpred means "always true".
+type cpred func(t table.Tuple) bool
+
+// compilePred resolves a predicate against the input schema.
+func compilePred(p ra.Predicate, rs schema.Relation) (cpred, error) {
+	switch pp := p.(type) {
+	case ra.True:
+		return nil, nil
+	case ra.False:
+		return func(table.Tuple) bool { return false }, nil
+	case ra.Cmp:
+		return compileCmp(pp, rs)
+	case ra.And:
+		kids := make([]cpred, 0, len(pp.Preds))
+		for _, q := range pp.Preds {
+			cq, err := compilePred(q, rs)
+			if err != nil {
+				return nil, err
+			}
+			if cq != nil {
+				kids = append(kids, cq)
+			}
+		}
+		switch len(kids) {
+		case 0:
+			return nil, nil
+		case 1:
+			return kids[0], nil
+		}
+		return func(t table.Tuple) bool {
+			for _, k := range kids {
+				if !k(t) {
+					return false
+				}
+			}
+			return true
+		}, nil
+	case ra.Or:
+		kids := make([]cpred, len(pp.Preds))
+		for i, q := range pp.Preds {
+			cq, err := compilePred(q, rs)
+			if err != nil {
+				return nil, err
+			}
+			if cq == nil {
+				return nil, nil // a true disjunct makes the whole ∨ true
+			}
+			kids[i] = cq
+		}
+		if len(kids) == 0 {
+			return func(table.Tuple) bool { return false }, nil
+		}
+		return func(t table.Tuple) bool {
+			for _, k := range kids {
+				if k(t) {
+					return true
+				}
+			}
+			return false
+		}, nil
+	case ra.Not:
+		inner, err := compilePred(pp.Pred, rs)
+		if err != nil {
+			return nil, err
+		}
+		if inner == nil {
+			return func(table.Tuple) bool { return false }, nil
+		}
+		return func(t table.Tuple) bool { return !inner(t) }, nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported predicate %T", p)
+	}
+}
+
+func compileCmp(c ra.Cmp, rs schema.Relation) (cpred, error) {
+	resolve := func(o ra.Operand) (int, value.Value, error) {
+		if !o.IsAttr {
+			return -1, o.Const, nil
+		}
+		pos := rs.AttrIndex(o.Attr)
+		if pos < 0 {
+			return 0, value.Value{}, fmt.Errorf("ra: unknown attribute %q in %s", o.Attr, rs)
+		}
+		return pos, value.Value{}, nil
+	}
+	li, lc, err := resolve(c.Left)
+	if err != nil {
+		return nil, err
+	}
+	ri, rc, err := resolve(c.Right)
+	if err != nil {
+		return nil, err
+	}
+	get := func(idx int, con value.Value) func(t table.Tuple) value.Value {
+		if idx < 0 {
+			return func(table.Tuple) value.Value { return con }
+		}
+		return func(t table.Tuple) value.Value { return t[idx] }
+	}
+	switch c.Op {
+	case ra.EQ:
+		switch {
+		case li >= 0 && ri >= 0:
+			return func(t table.Tuple) bool { return t[li] == t[ri] }, nil
+		case li >= 0:
+			return func(t table.Tuple) bool { return t[li] == rc }, nil
+		case ri >= 0:
+			return func(t table.Tuple) bool { return lc == t[ri] }, nil
+		default:
+			holds := lc == rc
+			return func(table.Tuple) bool { return holds }, nil
+		}
+	case ra.NEQ:
+		switch {
+		case li >= 0 && ri >= 0:
+			return func(t table.Tuple) bool { return t[li] != t[ri] }, nil
+		case li >= 0:
+			return func(t table.Tuple) bool { return t[li] != rc }, nil
+		case ri >= 0:
+			return func(t table.Tuple) bool { return lc != t[ri] }, nil
+		default:
+			holds := lc != rc
+			return func(table.Tuple) bool { return holds }, nil
+		}
+	}
+	l, r := get(li, lc), get(ri, rc)
+	switch c.Op {
+	case ra.LT:
+		return func(t table.Tuple) bool { return value.Compare(l(t), r(t)) < 0 }, nil
+	case ra.LEQ:
+		return func(t table.Tuple) bool { return value.Compare(l(t), r(t)) <= 0 }, nil
+	case ra.GT:
+		return func(t table.Tuple) bool { return value.Compare(l(t), r(t)) > 0 }, nil
+	case ra.GEQ:
+		return func(t table.Tuple) bool { return value.Compare(l(t), r(t)) >= 0 }, nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported comparison operator %v", c.Op)
+	}
+}

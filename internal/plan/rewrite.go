@@ -1,0 +1,495 @@
+package plan
+
+import (
+	"fmt"
+
+	"incdata/internal/ra"
+	"incdata/internal/schema"
+)
+
+// Logical rewrite rules.  Every rule maps an ra.Expr to an equivalent
+// ra.Expr (same output attributes, same tuple set on every database), so
+// each rule is independently testable against the naïve evaluator.  The
+// driver Rewrite applies the rule set bottom-up to a fixpoint.
+//
+// The rules:
+//
+//   - FoldPredicates: constant-folds selection predicates (1=2 → false,
+//     flattening ∧/∨, ¬¬p → p, absorbing true/false).
+//   - SplitSelections: σ[p1∧p2](E) → σ[p1](σ[p2](E)), so each conjunct can
+//     be pushed independently.
+//   - PushSelections: moves σ through π, ρ (translating attribute names),
+//     into the relevant side of × and ⋈, into both sides of ∪ (positional
+//     translation), and into the left side of −, ∩ and ÷.
+//   - PushProjections: composes π∘π, moves π through ρ and ∪, and narrows
+//     the inputs of × and ⋈ to the attributes the output and the join
+//     condition need.
+//
+// Product+Select→Join detection happens during physical compilation (see
+// compile.go): a cascade of selections over a product whose conjuncts
+// equate one attribute of each side becomes a hash equi-join.
+
+// maxRewritePasses bounds the fixpoint iteration; every rule only moves
+// operators downward or shrinks the tree, so this is a safety net, not a
+// tuning knob.
+const maxRewritePasses = 8
+
+// Rewrite applies the logical rule set to a fixpoint and returns the
+// optimized expression.  The expression must be well-formed against s.
+func Rewrite(e ra.Expr, s *schema.Schema) (ra.Expr, error) {
+	if _, err := e.OutSchema(s); err != nil {
+		return nil, err
+	}
+	prev := e.String()
+	for pass := 0; pass < maxRewritePasses; pass++ {
+		next := FoldPredicates(e)
+		next = SplitSelections(next)
+		next, err := PushSelections(next, s)
+		if err != nil {
+			return nil, err
+		}
+		next, err = PushProjections(next, s)
+		if err != nil {
+			return nil, err
+		}
+		rendered := next.String()
+		e = next
+		if rendered == prev {
+			break
+		}
+		prev = rendered
+	}
+	return e, nil
+}
+
+// mapChildren rebuilds an expression with f applied to every child.
+func mapChildren(e ra.Expr, f func(ra.Expr) ra.Expr) ra.Expr {
+	switch ex := e.(type) {
+	case ra.Select:
+		return ra.Select{Input: f(ex.Input), Pred: ex.Pred}
+	case ra.Project:
+		return ra.Project{Input: f(ex.Input), Attrs: ex.Attrs}
+	case ra.Rename:
+		return ra.Rename{Input: f(ex.Input), As: ex.As, Attrs: ex.Attrs}
+	case ra.Product:
+		return ra.Product{Left: f(ex.Left), Right: f(ex.Right)}
+	case ra.Join:
+		return ra.Join{Left: f(ex.Left), Right: f(ex.Right)}
+	case ra.Union:
+		return ra.Union{Left: f(ex.Left), Right: f(ex.Right)}
+	case ra.Diff:
+		return ra.Diff{Left: f(ex.Left), Right: f(ex.Right)}
+	case ra.Intersect:
+		return ra.Intersect{Left: f(ex.Left), Right: f(ex.Right)}
+	case ra.Division:
+		return ra.Division{Left: f(ex.Left), Right: f(ex.Right)}
+	default:
+		return e // Rel, Delta: no children
+	}
+}
+
+// FoldPredicates constant-folds every selection predicate in the tree.
+func FoldPredicates(e ra.Expr) ra.Expr {
+	e = mapChildren(e, FoldPredicates)
+	if sel, ok := e.(ra.Select); ok {
+		p := foldPred(sel.Pred)
+		if _, isTrue := p.(ra.True); isTrue {
+			return sel.Input
+		}
+		return ra.Select{Input: sel.Input, Pred: p}
+	}
+	return e
+}
+
+// foldPred simplifies a predicate tree: constant comparisons are decided,
+// ∧/∨ are flattened with true/false absorption, and ¬ is pushed into
+// constants and double negations.
+func foldPred(p ra.Predicate) ra.Predicate {
+	switch pp := p.(type) {
+	case ra.Cmp:
+		if !pp.Left.IsAttr && !pp.Right.IsAttr {
+			// Holds ignores the tuple when both operands are constants.
+			if pp.Holds(nil, schema.Relation{}) {
+				return ra.True{}
+			}
+			return ra.False{}
+		}
+		return pp
+	case ra.And:
+		var kept []ra.Predicate
+		for _, q := range pp.Preds {
+			fq := foldPred(q)
+			switch fq := fq.(type) {
+			case ra.True:
+			case ra.False:
+				return ra.False{}
+			case ra.And:
+				kept = append(kept, fq.Preds...)
+			default:
+				kept = append(kept, fq)
+			}
+		}
+		switch len(kept) {
+		case 0:
+			return ra.True{}
+		case 1:
+			return kept[0]
+		}
+		return ra.And{Preds: kept}
+	case ra.Or:
+		var kept []ra.Predicate
+		for _, q := range pp.Preds {
+			fq := foldPred(q)
+			switch fq := fq.(type) {
+			case ra.False:
+			case ra.True:
+				return ra.True{}
+			case ra.Or:
+				kept = append(kept, fq.Preds...)
+			default:
+				kept = append(kept, fq)
+			}
+		}
+		switch len(kept) {
+		case 0:
+			return ra.False{}
+		case 1:
+			return kept[0]
+		}
+		return ra.Or{Preds: kept}
+	case ra.Not:
+		inner := foldPred(pp.Pred)
+		switch inner := inner.(type) {
+		case ra.True:
+			return ra.False{}
+		case ra.False:
+			return ra.True{}
+		case ra.Not:
+			return inner.Pred
+		}
+		return ra.Not{Pred: inner}
+	default:
+		return p
+	}
+}
+
+// SplitSelections turns σ[p1∧…∧pn](E) into a cascade of single-conjunct
+// selections so that PushSelections can route each conjunct independently.
+func SplitSelections(e ra.Expr) ra.Expr {
+	e = mapChildren(e, SplitSelections)
+	if sel, ok := e.(ra.Select); ok {
+		if and, ok := sel.Pred.(ra.And); ok && len(and.Preds) > 1 {
+			out := sel.Input
+			for i := len(and.Preds) - 1; i >= 0; i-- {
+				out = ra.Select{Input: out, Pred: and.Preds[i]}
+			}
+			return out
+		}
+	}
+	return e
+}
+
+// PushSelections pushes every selection as deep as its attributes allow.
+func PushSelections(e ra.Expr, s *schema.Schema) (ra.Expr, error) {
+	var rec func(e ra.Expr) (ra.Expr, error)
+	rec = func(e ra.Expr) (ra.Expr, error) {
+		var err error
+		e = mapChildren(e, func(c ra.Expr) ra.Expr {
+			if err != nil {
+				return c
+			}
+			var nc ra.Expr
+			nc, err = rec(c)
+			if err != nil {
+				return c
+			}
+			return nc
+		})
+		if err != nil {
+			return nil, err
+		}
+		sel, ok := e.(ra.Select)
+		if !ok {
+			return e, nil
+		}
+		pushed, changed, err := pushOneSelect(sel, s)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return pushed, nil
+		}
+		// The selection moved down one level; recurse into the new tree so a
+		// single pass pushes it as far as it can go.
+		return rec(pushed)
+	}
+	return rec(e)
+}
+
+// pushOneSelect moves a single selection one operator downward when sound.
+func pushOneSelect(sel ra.Select, s *schema.Schema) (ra.Expr, bool, error) {
+	attrs := predAttrs(sel.Pred)
+	switch in := sel.Input.(type) {
+	case ra.Project:
+		// p only references projected attributes, all of which exist below.
+		return ra.Project{Input: ra.Select{Input: in.Input, Pred: sel.Pred}, Attrs: in.Attrs}, true, nil
+	case ra.Rename:
+		inSchema, err := in.Input.OutSchema(s)
+		if err != nil {
+			return nil, false, err
+		}
+		outSchema, err := in.OutSchema(s)
+		if err != nil {
+			return nil, false, err
+		}
+		p, err := translatePred(sel.Pred, outSchema, inSchema)
+		if err != nil {
+			return nil, false, err
+		}
+		return ra.Rename{Input: ra.Select{Input: in.Input, Pred: p}, As: in.As, Attrs: in.Attrs}, true, nil
+	case ra.Product:
+		side, err := routeToSide(attrs, in.Left, in.Right, s)
+		if err != nil {
+			return nil, false, err
+		}
+		switch side {
+		case sideLeft:
+			return ra.Product{Left: ra.Select{Input: in.Left, Pred: sel.Pred}, Right: in.Right}, true, nil
+		case sideRight:
+			return ra.Product{Left: in.Left, Right: ra.Select{Input: in.Right, Pred: sel.Pred}}, true, nil
+		}
+		return sel, false, nil
+	case ra.Join:
+		side, err := routeToSide(attrs, in.Left, in.Right, s)
+		if err != nil {
+			return nil, false, err
+		}
+		switch side {
+		case sideLeft:
+			return ra.Join{Left: ra.Select{Input: in.Left, Pred: sel.Pred}, Right: in.Right}, true, nil
+		case sideRight:
+			return ra.Join{Left: in.Left, Right: ra.Select{Input: in.Right, Pred: sel.Pred}}, true, nil
+		}
+		return sel, false, nil
+	case ra.Union:
+		ls, err := in.Left.OutSchema(s)
+		if err != nil {
+			return nil, false, err
+		}
+		rs, err := in.Right.OutSchema(s)
+		if err != nil {
+			return nil, false, err
+		}
+		// The union's schema is the left schema; translate positionally for
+		// the right arm.
+		rp, err := translatePred(sel.Pred, ls, rs)
+		if err != nil {
+			return nil, false, err
+		}
+		return ra.Union{
+			Left:  ra.Select{Input: in.Left, Pred: sel.Pred},
+			Right: ra.Select{Input: in.Right, Pred: rp},
+		}, true, nil
+	case ra.Diff:
+		return ra.Diff{Left: ra.Select{Input: in.Left, Pred: sel.Pred}, Right: in.Right}, true, nil
+	case ra.Intersect:
+		return ra.Intersect{Left: ra.Select{Input: in.Left, Pred: sel.Pred}, Right: in.Right}, true, nil
+	case ra.Division:
+		// The division's output attributes are dividend attributes, so the
+		// predicate applies verbatim to the dividend; it filters whole groups.
+		return ra.Division{Left: ra.Select{Input: in.Left, Pred: sel.Pred}, Right: in.Right}, true, nil
+	default:
+		return sel, false, nil
+	}
+}
+
+type side int
+
+const (
+	sideNone side = iota
+	sideLeft
+	sideRight
+)
+
+// routeToSide decides which side of a binary product/join covers all the
+// predicate's attributes; shared join attributes prefer the left side.
+func routeToSide(attrs []string, l, r ra.Expr, s *schema.Schema) (side, error) {
+	ls, err := l.OutSchema(s)
+	if err != nil {
+		return sideNone, err
+	}
+	rs, err := r.OutSchema(s)
+	if err != nil {
+		return sideNone, err
+	}
+	inLeft, inRight := true, true
+	for _, a := range attrs {
+		if !ls.HasAttr(a) {
+			inLeft = false
+		}
+		if !rs.HasAttr(a) {
+			inRight = false
+		}
+	}
+	switch {
+	case inLeft:
+		return sideLeft, nil
+	case inRight:
+		return sideRight, nil
+	default:
+		return sideNone, nil
+	}
+}
+
+// PushProjections narrows inputs early: composes π∘π, moves π through ρ
+// and ∪, and prunes the columns of × and ⋈ inputs to what the output and
+// the join condition need.
+func PushProjections(e ra.Expr, s *schema.Schema) (ra.Expr, error) {
+	var err error
+	rewrote := func(c ra.Expr) ra.Expr {
+		if err != nil {
+			return c
+		}
+		var nc ra.Expr
+		nc, err = PushProjections(c, s)
+		if err != nil {
+			return c
+		}
+		return nc
+	}
+	e = mapChildren(e, rewrote)
+	if err != nil {
+		return nil, err
+	}
+	proj, ok := e.(ra.Project)
+	if !ok {
+		return e, nil
+	}
+	switch in := proj.Input.(type) {
+	case ra.Project:
+		return ra.Project{Input: in.Input, Attrs: proj.Attrs}, nil
+	case ra.Rename:
+		if len(in.Attrs) == 0 {
+			// Name-only rename: project below it.
+			return ra.Rename{Input: ra.Project{Input: in.Input, Attrs: proj.Attrs}, As: in.As}, nil
+		}
+		inSchema, err := in.Input.OutSchema(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(proj.Attrs) == len(in.Attrs) {
+			return e, nil // nothing to prune
+		}
+		// Translate the projected attributes back to pre-rename names and
+		// rename only the surviving columns.
+		orig := make([]string, len(proj.Attrs))
+		for i, a := range proj.Attrs {
+			pos := indexOf(in.Attrs, a)
+			if pos < 0 {
+				return nil, fmt.Errorf("plan: projection attribute %q not in rename %s", a, in)
+			}
+			orig[i] = inSchema.Attrs[pos]
+		}
+		return ra.Rename{Input: ra.Project{Input: in.Input, Attrs: orig}, As: in.As, Attrs: proj.Attrs}, nil
+	case ra.Union:
+		ls, err := in.Left.OutSchema(s)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := in.Right.OutSchema(s)
+		if err != nil {
+			return nil, err
+		}
+		rAttrs := make([]string, len(proj.Attrs))
+		for i, a := range proj.Attrs {
+			pos := ls.AttrIndex(a)
+			if pos < 0 {
+				return nil, fmt.Errorf("plan: projection attribute %q not in %s", a, ls)
+			}
+			rAttrs[i] = rs.Attrs[pos]
+		}
+		return ra.Union{
+			Left:  ra.Project{Input: in.Left, Attrs: proj.Attrs},
+			Right: ra.Project{Input: in.Right, Attrs: rAttrs},
+		}, nil
+	case ra.Product:
+		return pushProjectProduct(proj, in.Left, in.Right, nil, s, false)
+	case ra.Join:
+		ls, err := in.Left.OutSchema(s)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := in.Right.OutSchema(s)
+		if err != nil {
+			return nil, err
+		}
+		var joinAttrs []string
+		for _, a := range rs.Attrs {
+			if ls.HasAttr(a) {
+				joinAttrs = append(joinAttrs, a)
+			}
+		}
+		return pushProjectProduct(proj, in.Left, in.Right, joinAttrs, s, true)
+	default:
+		return e, nil
+	}
+}
+
+// pushProjectProduct narrows the two sides of a product or natural join to
+// the attributes needed by the outer projection (plus the join attributes,
+// which both sides must keep).  It leaves the expression unchanged when a
+// side would lose nothing — or everything, since π onto zero attributes is
+// not expressible and dropping a side would change cardinality.
+func pushProjectProduct(proj ra.Project, l, r ra.Expr, joinAttrs []string, s *schema.Schema, isJoin bool) (ra.Expr, error) {
+	ls, err := l.OutSchema(s)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := r.OutSchema(s)
+	if err != nil {
+		return nil, err
+	}
+	need := map[string]bool{}
+	for _, a := range proj.Attrs {
+		need[a] = true
+	}
+	for _, a := range joinAttrs {
+		need[a] = true
+	}
+	keep := func(sc schema.Relation) []string {
+		var out []string
+		for _, a := range sc.Attrs {
+			if need[a] {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	lKeep, rKeep := keep(ls), keep(rs)
+	if len(lKeep) == 0 || len(rKeep) == 0 {
+		return proj, nil
+	}
+	if len(lKeep) == ls.Arity() && len(rKeep) == rs.Arity() {
+		return proj, nil
+	}
+	nl, nr := l, r
+	if len(lKeep) < ls.Arity() {
+		nl = ra.Project{Input: l, Attrs: lKeep}
+	}
+	if len(rKeep) < rs.Arity() {
+		nr = ra.Project{Input: r, Attrs: rKeep}
+	}
+	if isJoin {
+		return ra.Project{Input: ra.Join{Left: nl, Right: nr}, Attrs: proj.Attrs}, nil
+	}
+	return ra.Project{Input: ra.Product{Left: nl, Right: nr}, Attrs: proj.Attrs}, nil
+}
+
+func indexOf(attrs []string, a string) int {
+	for i, x := range attrs {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}

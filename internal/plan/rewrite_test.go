@@ -1,0 +1,245 @@
+package plan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"incdata/internal/ra"
+)
+
+// assertEquivalent asserts that a rewritten expression evaluates
+// bit-identically to the original on several random incomplete databases.
+func assertEquivalent(t *testing.T, orig, rewritten ra.Expr, label string) {
+	t.Helper()
+	for seed := int64(0); seed < 5; seed++ {
+		d := fuzzDB(seed)
+		want, err1 := ra.Eval(orig, d)
+		got, err2 := ra.Eval(rewritten, d)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v\norig: %s\nrewritten: %s", label, err1, err2, orig, rewritten)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: rewrite changed the result on seed %d\norig:      %s = %s\nrewritten: %s = %s",
+				label, seed, orig, want, rewritten, got)
+		}
+	}
+}
+
+func TestFoldPredicatesRule(t *testing.T) {
+	q := ra.Select{
+		Input: ra.Base("R"),
+		Pred: ra.AllOf(
+			ra.Eq(ra.LitInt(1), ra.LitInt(1)), // true: drops
+			ra.AnyOf(
+				ra.Eq(ra.LitInt(1), ra.LitInt(2)), // false: drops from ∨
+				ra.Eq(ra.Attr("a"), ra.LitInt(3)),
+			),
+			ra.Negate(ra.Negate(ra.Eq(ra.Attr("b"), ra.Attr("a")))), // ¬¬p → p
+		),
+	}
+	folded := FoldPredicates(q)
+	rendered := folded.String()
+	if strings.Contains(rendered, "1=1") || strings.Contains(rendered, "1=2") || strings.Contains(rendered, "¬") {
+		t.Fatalf("constants or double negation survived folding: %s", rendered)
+	}
+	assertEquivalent(t, q, folded, "fold")
+
+	alwaysFalse := ra.Select{Input: ra.Base("R"), Pred: ra.AllOf(
+		ra.Eq(ra.Attr("a"), ra.LitInt(1)),
+		ra.Eq(ra.LitInt(1), ra.LitInt(2)),
+	)}
+	folded = FoldPredicates(alwaysFalse)
+	if _, ok := folded.(ra.Select); !ok {
+		t.Fatalf("expected a Select, got %T", folded)
+	}
+	if _, ok := folded.(ra.Select).Pred.(ra.False); !ok {
+		t.Fatalf("expected σ[false], got %s", folded)
+	}
+	assertEquivalent(t, alwaysFalse, folded, "fold-false")
+}
+
+func TestSplitSelectionsRule(t *testing.T) {
+	q := ra.Select{Input: ra.Base("R"), Pred: ra.AllOf(
+		ra.Eq(ra.Attr("a"), ra.LitInt(1)),
+		ra.Eq(ra.Attr("b"), ra.LitInt(2)),
+		ra.Neq(ra.Attr("a"), ra.Attr("b")),
+	)}
+	split := SplitSelections(q)
+	// Expect a cascade of three single-conjunct selections.
+	depth := 0
+	cur := split
+	for {
+		sel, ok := cur.(ra.Select)
+		if !ok {
+			break
+		}
+		if _, isAnd := sel.Pred.(ra.And); isAnd {
+			t.Fatalf("conjunction survived splitting: %s", split)
+		}
+		depth++
+		cur = sel.Input
+	}
+	if depth != 3 {
+		t.Fatalf("expected a cascade of 3 selections, got %d in %s", depth, split)
+	}
+	assertEquivalent(t, q, split, "split")
+}
+
+func TestPushSelectionsRule(t *testing.T) {
+	s := fuzzSchema()
+	cases := []struct {
+		name string
+		q    ra.Expr
+		want string // substring of the rewritten rendering
+	}{
+		{
+			name: "through-project",
+			q: ra.Select{
+				Input: ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}},
+				Pred:  ra.Eq(ra.Attr("a"), ra.LitInt(1)),
+			},
+			want: "π[a](σ[a=1](R))",
+		},
+		{
+			name: "through-rename",
+			q: ra.Select{
+				Input: ra.Rename{Input: ra.Base("R"), As: "X", Attrs: []string{"x", "y"}},
+				Pred:  ra.Eq(ra.Attr("x"), ra.LitInt(1)),
+			},
+			want: "σ[a=1](R)",
+		},
+		{
+			name: "into-join-side",
+			q: ra.Select{
+				Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")},
+				Pred:  ra.Eq(ra.Attr("c"), ra.LitInt(2)),
+			},
+			want: "R ⋈ σ[c=2](S)",
+		},
+		{
+			name: "into-union-both-arms",
+			q: ra.Select{
+				Input: ra.Union{Left: ra.Base("R"), Right: ra.Base("S")},
+				Pred:  ra.Eq(ra.Attr("a"), ra.LitInt(1)),
+			},
+			want: "(σ[a=1](R) ∪ σ[b=1](S))",
+		},
+		{
+			name: "into-diff-left",
+			q: ra.Select{
+				Input: ra.Diff{Left: ra.Base("R"), Right: ra.Base("T")},
+				Pred:  ra.Eq(ra.Attr("a"), ra.LitInt(1)),
+			},
+			want: "(σ[a=1](R) − T)",
+		},
+	}
+	for _, tc := range cases {
+		pushed, err := PushSelections(tc.q, s)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !strings.Contains(pushed.String(), tc.want) {
+			t.Fatalf("%s: rewrite %s does not contain %q", tc.name, pushed, tc.want)
+		}
+		assertEquivalent(t, tc.q, pushed, tc.name)
+	}
+}
+
+func TestPushProjectionsRule(t *testing.T) {
+	s := fuzzSchema()
+	// π[a](R ⋈ S): the join needs b; S's c column can be pruned.
+	q := ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a"}}
+	pushed, err := PushProjections(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pushed.String(), "π[b](S)") {
+		t.Fatalf("expected S pruned to its join column: %s", pushed)
+	}
+	assertEquivalent(t, q, pushed, "project-join")
+
+	// π∘π composes.
+	pp := ra.Project{Input: ra.Project{Input: ra.Base("R"), Attrs: []string{"a", "b"}}, Attrs: []string{"b"}}
+	pushed, err = PushProjections(pp, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(pushed.String(), "π") != 1 {
+		t.Fatalf("π∘π not composed: %s", pushed)
+	}
+	assertEquivalent(t, pp, pushed, "project-project")
+}
+
+func TestProductSelectBecomesJoin(t *testing.T) {
+	// σ[a=xc](R × ρ[Z(xc,xd)]S) must compile to a hash equi-join.
+	renamed := ra.Rename{Input: ra.Base("S"), As: "Z", Attrs: []string{"xc", "xd"}}
+	q := ra.Select{
+		Input: ra.Product{Left: ra.Base("R"), Right: renamed},
+		Pred:  ra.Eq(ra.Attr("a"), ra.Attr("xc")),
+	}
+	p, err := Compile(q, fuzzSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Describe(), "hash-join") {
+		t.Fatalf("expected a hash join in the physical plan:\n%s", p.Describe())
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		mustSame(t, q, fuzzDB(seed), "product-select-join")
+	}
+}
+
+// TestRewriteFuzz checks the full rewrite pipeline for equivalence on
+// random expressions (the physical layer is covered by the planned-eval
+// fuzz; this isolates the logical rules).
+func TestRewriteFuzz(t *testing.T) {
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	s := fuzzSchema()
+	for i := 0; i < trials; i++ {
+		g := &exprGen{rnd: rand.New(rand.NewSource(int64(5000 + i))), s: s}
+		q := g.expr(3)
+		rw, err := Rewrite(q, s)
+		if err != nil {
+			t.Fatalf("rewrite failed for %s: %v", q, err)
+		}
+		assertEquivalent(t, q, rw, "rewrite-fuzz")
+		// The rewrite must preserve the output schema's attributes.
+		origSchema, err := q.OutSchema(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rwSchema, err := rw.OutSchema(s)
+		if err != nil {
+			t.Fatalf("rewritten expression %s has invalid schema: %v", rw, err)
+		}
+		if origSchema.Arity() != rwSchema.Arity() {
+			t.Fatalf("rewrite changed arity: %s vs %s", origSchema, rwSchema)
+		}
+	}
+}
+
+// TestSelectFalseCompilesEmpty pins the σ[false] → empty-relation path.
+func TestSelectFalseCompilesEmpty(t *testing.T) {
+	q := ra.Select{Input: ra.Base("R"), Pred: ra.Cmp{Left: ra.LitInt(1), Op: ra.EQ, Right: ra.LitInt(2)}}
+	p, err := Compile(q, fuzzSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Describe(), "empty") {
+		t.Fatalf("expected an empty operator:\n%s", p.Describe())
+	}
+	out, err := p.Eval(fuzzDB(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("σ[false] returned %d tuples", out.Len())
+	}
+}

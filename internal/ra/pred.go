@@ -281,3 +281,18 @@ func (True) Holds(table.Tuple, schema.Relation) bool { return true }
 func (True) String() string { return "true" }
 
 func (True) positive() bool { return true }
+
+// False is the always-false predicate.  It arises from constant folding
+// (e.g. σ[1=2]) in the query planner; σ[false](E) is the empty relation
+// over E's schema.
+type False struct{}
+
+func (False) validate(schema.Relation) error { return nil }
+
+// Holds implements Predicate.
+func (False) Holds(table.Tuple, schema.Relation) bool { return false }
+
+// String implements Predicate.
+func (False) String() string { return "false" }
+
+func (False) positive() bool { return false }

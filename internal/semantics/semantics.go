@@ -17,6 +17,8 @@ package semantics
 
 import (
 	"fmt"
+	"slices"
+	"strconv"
 
 	"incdata/internal/hom"
 	"incdata/internal/table"
@@ -107,23 +109,49 @@ func DomainOf(d *table.Database, extraFresh int, extra ...value.Value) Domain {
 			dom = append(dom, v)
 		}
 	}
-	for _, c := range d.SortedConsts() {
-		add(c)
+	// Collect the database constants in a single pass (equivalent to
+	// SortedConsts, without the per-relation set allocations).
+	for _, name := range d.RelationNames() {
+		d.Relation(name).Each(func(t table.Tuple) bool {
+			for _, v := range t {
+				add(v)
+			}
+			return true
+		})
 	}
+	slices.SortFunc(dom, value.Compare)
 	for _, c := range extra {
 		add(c)
 	}
 	next := 0
 	for added := 0; added < extraFresh; added++ {
-		c := value.String(fmt.Sprintf("@w%d", next))
+		c := freshConst(next)
 		next++
 		for seen[c] {
-			c = value.String(fmt.Sprintf("@w%d", next))
+			c = freshConst(next)
 			next++
 		}
 		add(c)
 	}
 	return dom
+}
+
+// freshConsts caches the first few fresh world constants so the common
+// case (one or two fresh constants per enumeration) allocates nothing.
+var freshConsts = func() [16]value.Value {
+	var out [16]value.Value
+	for i := range out {
+		out[i] = value.String("@w" + strconv.Itoa(i))
+	}
+	return out
+}()
+
+// freshConst returns the k-th fresh world constant "@w<k>".
+func freshConst(k int) value.Value {
+	if k < len(freshConsts) {
+		return freshConsts[k]
+	}
+	return value.String("@w" + strconv.Itoa(k))
 }
 
 // Values returns the domain as a plain slice.
@@ -231,7 +259,10 @@ func allTuples(dom Domain, arity int) []table.Tuple {
 }
 
 // WorldCount returns the number of valuations that EnumerateCWA will try:
-// |dom|^|Null(d)| (worlds may be fewer after deduplication).
+// |dom|^|Null(d)| (worlds may be fewer after deduplication).  When the
+// true count exceeds math.MaxInt the result saturates there, so
+// comparisons against enumeration bounds (certain.Options.MaxWorlds)
+// still trip instead of wrapping around.
 func WorldCount(d *table.Database, dom Domain) int {
 	return valuation.Count(len(d.Nulls()), len(dom))
 }

@@ -1,6 +1,7 @@
 package semantics
 
 import (
+	"math"
 	"testing"
 
 	"incdata/internal/schema"
@@ -214,5 +215,25 @@ func TestEnumerateOWAWithNullsAndEarlyStop(t *testing.T) {
 	completed := EnumerateOWA(d, dom, 1, func(*table.Database) bool { count++; return false })
 	if completed || count != 1 {
 		t.Errorf("early stop failed: %v %d", completed, count)
+	}
+}
+
+// TestWorldCountSaturates pins the overflow guard: an instance whose
+// |dom|^#nulls exceeds math.MaxInt reports a saturated (not wrapped)
+// world count, so enumeration bounds still trip.
+func TestWorldCountSaturates(t *testing.T) {
+	d := table.NewDatabase(schema.MustNew(schema.WithArity("R", 2)))
+	// 48 distinct nulls over a domain that, with one fresh constant,
+	// has ~25 values: 25^48 overflows int64 by a wide margin.
+	for i := 0; i < 48; i++ {
+		d.MustAdd("R", table.NewTuple(value.Int(int64(i%24)), value.Null(uint64(i+1))))
+	}
+	dom := DomainOf(d, 1)
+	got := WorldCount(d, dom)
+	if got != math.MaxInt {
+		t.Fatalf("WorldCount = %d, want math.MaxInt", got)
+	}
+	if got <= 1<<40 {
+		t.Fatalf("saturated WorldCount %d does not dominate large bounds", got)
 	}
 }

@@ -3,6 +3,7 @@ package table
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -276,6 +277,6 @@ func SortedValues(set map[value.Value]bool) []value.Value {
 	for v := range set {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return value.Less(out[i], out[j]) })
+	slices.SortFunc(out, value.Compare)
 	return out
 }

@@ -3,6 +3,7 @@ package table
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -21,9 +22,11 @@ import (
 // tuple passed to Add is adopted by the relation and must not be mutated by
 // the caller afterwards.
 type Relation struct {
-	schema schema.Relation
-	tuples map[string]Tuple // keyed by Tuple.Key
-	shared atomic.Bool      // tuple map shared with another Relation
+	schema  schema.Relation
+	tuples  map[string]Tuple         // keyed by Tuple.Key
+	shared  atomic.Bool              // tuple map shared with another Relation
+	indexes atomic.Pointer[[]*Index] // lazily built hash indexes (see index.go)
+	version uint64                   // bumped on every mutation (plan-cache validation)
 }
 
 // NewRelation creates an empty relation with the given schema.
@@ -75,10 +78,19 @@ func (r *Relation) Len() int {
 	return len(r.tuples)
 }
 
+// Version returns a counter that changes on every mutation of the
+// relation (not on copy-on-write shares).  Query-plan caches use it to
+// detect staleness; it is not synchronized, so concurrent readers are only
+// safe while no goroutine mutates the relation — the same contract as
+// reading the relation itself.
+func (r *Relation) Version() uint64 { return r.version }
+
 // mutable ensures r exclusively owns its tuple map, copying it first when it
 // is shared with another relation (the copy shares the stored tuples and
 // their keys, which are immutable).
 func (r *Relation) mutable() {
+	r.version++
+	r.invalidateIndexes()
 	if r.tuples == nil {
 		r.tuples = make(map[string]Tuple)
 		return
@@ -164,6 +176,38 @@ func (r *Relation) Contains(t Tuple) bool {
 	return ok
 }
 
+// ContainsKey reports whether a tuple with the given binary key (as built
+// by Tuple.AppendKey) is present.  Query plans probe with reusable key
+// buffers, so this never allocates.
+func (r *Relation) ContainsKey(key []byte) bool {
+	if r == nil {
+		return false
+	}
+	_, ok := r.tuples[string(key)]
+	return ok
+}
+
+// ContainsKeyString is ContainsKey for an already-interned key string.
+func (r *Relation) ContainsKeyString(key string) bool {
+	if r == nil {
+		return false
+	}
+	_, ok := r.tuples[key]
+	return ok
+}
+
+// EachKeyed is Each, additionally passing each tuple's stored key.
+func (r *Relation) EachKeyed(f func(key string, t Tuple) bool) {
+	if r == nil {
+		return
+	}
+	for k, t := range r.tuples {
+		if !f(k, t) {
+			return
+		}
+	}
+}
+
 // Tuples returns the tuples in canonical (sorted) order.  The returned
 // slice and its tuples are copies; mutating them does not affect r.
 func (r *Relation) Tuples() []Tuple {
@@ -174,7 +218,24 @@ func (r *Relation) Tuples() []Tuple {
 	for _, t := range r.tuples {
 		out = append(out, t.Clone())
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	slices.SortFunc(out, Tuple.Compare)
+	return out
+}
+
+// SortedTuples returns the stored tuples in canonical (sorted) order
+// without copying them.  The tuples are shared with the relation and must
+// not be mutated; the slice itself is fresh.  Deterministic-order
+// consumers that only read (core computation, direct products) use this
+// instead of Tuples to avoid the per-tuple clones.
+func (r *Relation) SortedTuples() []Tuple {
+	if r == nil {
+		return nil
+	}
+	out := make([]Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	slices.SortFunc(out, Tuple.Compare)
 	return out
 }
 
@@ -317,14 +378,23 @@ func (r *Relation) Map(f func(value.Value) value.Value) *Relation {
 // shared, which lets world-enumeration workers apply one valuation after
 // another without reallocating.
 func (r *Relation) FillMapped(src *Relation, f func(value.Value) value.Value) {
-	r.schema = src.schema
+	r.Reset(src.schema)
+	r.fillMapped(src, f)
+}
+
+// Reset clears r in place to the empty relation over rs, reusing the tuple
+// map storage when r owns it exclusively.  World enumeration uses it to
+// recycle per-world scratch relations.
+func (r *Relation) Reset(rs schema.Relation) {
+	r.schema = rs
+	r.version++
+	r.invalidateIndexes()
 	if r.tuples == nil || r.shared.Load() {
-		r.tuples = make(map[string]Tuple, len(src.tuples))
+		r.tuples = make(map[string]Tuple)
 		r.shared.Store(false)
 	} else {
 		clear(r.tuples)
 	}
-	r.fillMapped(src, f)
 }
 
 func (r *Relation) fillMapped(src *Relation, f func(value.Value) value.Value) {

@@ -11,7 +11,8 @@ package valuation
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 
 	"incdata/internal/table"
 	"incdata/internal/value"
@@ -101,7 +102,7 @@ func (v Valuation) Domain() []value.Value {
 	for k := range v {
 		out = append(out, k)
 	}
-	sort.Slice(out, func(i, j int) bool { return value.Less(out[i], out[j]) })
+	slices.SortFunc(out, value.Compare)
 	return out
 }
 
@@ -162,7 +163,7 @@ func Fresh(nulls []value.Value, avoid map[value.Value]bool) Valuation {
 		return false
 	}
 	sorted := append([]value.Value(nil), nulls...)
-	sort.Slice(sorted, func(i, j int) bool { return value.Less(sorted[i], sorted[j]) })
+	slices.SortFunc(sorted, value.Compare)
 	for _, n := range sorted {
 		if !n.IsNull() {
 			continue
@@ -199,7 +200,7 @@ func Enumerate(nulls []value.Value, domain []value.Value, fn func(Valuation) boo
 			ns = append(ns, n)
 		}
 	}
-	sort.Slice(ns, func(i, j int) bool { return value.Less(ns[i], ns[j]) })
+	slices.SortFunc(ns, value.Compare)
 
 	dom := make([]value.Value, 0, len(domain))
 	for _, c := range domain {
@@ -207,7 +208,7 @@ func Enumerate(nulls []value.Value, domain []value.Value, fn func(Valuation) boo
 			dom = append(dom, c)
 		}
 	}
-	sort.Slice(dom, func(i, j int) bool { return value.Less(dom[i], dom[j]) })
+	slices.SortFunc(dom, value.Compare)
 
 	if len(ns) == 0 {
 		return fn(New())
@@ -234,7 +235,10 @@ func Enumerate(nulls []value.Value, domain []value.Value, fn func(Valuation) boo
 }
 
 // Count returns the number of total valuations of k nulls into a domain of
-// size d (d^k), saturating at maxInt to avoid overflow for large inputs.
+// size d (d^k), saturating at math.MaxInt when the true count would
+// overflow.  Saturation keeps world-count bounds meaningful: any positive
+// MaxWorlds-style limit still trips, because math.MaxInt exceeds every
+// representable bound.
 func Count(k, d int) int {
 	if k == 0 {
 		return 1
@@ -244,8 +248,8 @@ func Count(k, d int) int {
 	}
 	n := 1
 	for i := 0; i < k; i++ {
-		if n > (1<<62)/d {
-			return 1 << 62
+		if n > math.MaxInt/d {
+			return math.MaxInt
 		}
 		n *= d
 	}

@@ -1,6 +1,7 @@
 package valuation
 
 import (
+	"math"
 	"testing"
 
 	"incdata/internal/schema"
@@ -217,7 +218,23 @@ func TestCount(t *testing.T) {
 	if Count(0, 5) != 1 || Count(3, 0) != 0 || Count(2, 3) != 9 || Count(10, 2) != 1024 {
 		t.Error("Count wrong")
 	}
-	if Count(100, 100) != 1<<62 {
-		t.Error("Count should saturate")
+}
+
+func TestCountSaturatesAtMaxInt(t *testing.T) {
+	cases := []struct{ k, d int }{
+		{100, 100},       // astronomically large
+		{63, 2},          // one doubling past the int63 range
+		{2, math.MaxInt}, // d itself at the limit
+		{40, 1000},       // |dom|^#nulls with many nulls
+		{math.MaxInt, 2}, // pathological null count
+	}
+	for _, c := range cases {
+		if got := Count(c.k, c.d); got != math.MaxInt {
+			t.Errorf("Count(%d,%d) = %d, want math.MaxInt", c.k, c.d, got)
+		}
+	}
+	// Saturated counts must still exceed any positive bound.
+	if Count(40, 1000) <= 1<<40 {
+		t.Error("saturated count does not dominate large bounds")
 	}
 }
