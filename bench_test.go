@@ -10,6 +10,7 @@ import (
 	"incdata/internal/certain"
 	"incdata/internal/cq"
 	"incdata/internal/ctable"
+	"incdata/internal/engine"
 	"incdata/internal/exchange"
 	"incdata/internal/experiments"
 	"incdata/internal/order"
@@ -263,8 +264,54 @@ func BenchmarkE10Exchange(b *testing.B) {
 
 func BenchmarkE11Theorem(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.E11Theorem(5)
+		experiments.Harness{}.E11Theorem(5)
 	}
+}
+
+// BenchmarkE13EngineBatch measures the engine's concurrent batch path: a
+// mixed SQL/certain-answer batch served against one snapshot, serial vs a
+// worker pool (the CI bench smoke covers this path).
+func BenchmarkE13EngineBatch(b *testing.B) {
+	d := ordersDB(b, 500, 0.3)
+	eng := engine.New(d)
+	sqlQ := sqlx.Query{
+		Select: []string{"o_id"},
+		From:   "Order",
+		Where: sqlx.Exists{
+			Sub:    sqlx.Subquery{From: "Pay", Correlate: []sqlx.Correlation{{Inner: "order", Outer: "o_id"}}},
+			Negate: true,
+		},
+	}
+	raQ := ra.Diff{
+		Left:  ra.Rename{Input: ra.Project{Input: ra.Base("Order"), Attrs: []string{"o_id"}}, As: "O", Attrs: []string{"id"}},
+		Right: ra.Rename{Input: ra.Project{Input: ra.Base("Pay"), Attrs: []string{"order"}}, As: "P", Attrs: []string{"id"}},
+	}
+	reqs := make([]engine.Request, 64)
+	for i := range reqs {
+		if i%2 == 0 {
+			reqs[i] = engine.Request{SQL: &sqlQ}
+		} else {
+			reqs[i] = engine.Request{Query: raQ, Opts: engine.Options{Mode: engine.ModeCertain}}
+		}
+	}
+	check := func(b *testing.B, resp []engine.Response) {
+		b.Helper()
+		for _, r := range resp {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			check(b, eng.Serve(reqs, 1))
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			check(b, eng.Serve(reqs, 0))
+		}
+	})
 }
 
 func BenchmarkE12Orderings(b *testing.B) {

@@ -1,13 +1,16 @@
-// Command incbench runs the reproduction experiments E1–E12 (see the
-// "Experiments" section of README.md) and prints one text table per
-// experiment, or a single machine-readable JSON document with -json so
-// that successive runs can be archived (BENCH_*.json) and compared.
+// Command incbench runs the reproduction experiments E1–E13 (see the
+// "Experiments" section of README.md) through the engine facade and prints
+// one text table per experiment, or a single machine-readable JSON
+// document with -json so that successive runs can be archived
+// (BENCH_*.json) and compared.
 //
-// The -planner flag selects the evaluation path: "on" (the query planner:
-// planned one-shot evaluation plus world-invariant subplan hoisting),
-// "off" (the naïve-evaluation oracle, the seed path), or "both", which
-// runs the suite twice and reports per-experiment timings for each —
-// the planner-on vs planner-off comparison archived in BENCH_*.json.
+// The -planner flag selects the engine's evaluation path: "on" (the query
+// planner: planned one-shot evaluation plus world-invariant subplan
+// hoisting), "off" (the naïve-evaluation oracle, the seed path), or
+// "both", which runs the suite twice and reports per-experiment timings
+// for each — the planner-on vs planner-off comparison archived in
+// BENCH_*.json.  E13 exercises the engine's snapshot-isolated concurrent
+// batch path and reports its parallel speedup.
 //
 // Usage:
 //
@@ -27,7 +30,7 @@ import (
 	"strings"
 	"time"
 
-	"incdata/internal/certain"
+	"incdata/internal/engine"
 	"incdata/internal/experiments"
 )
 
@@ -52,11 +55,13 @@ type report struct {
 	PlannerOff *plannerTimings `json:"planner_off,omitempty"`
 }
 
-// runSuite executes the experiment suite under the given planner setting
-// and returns the kept results plus timing summary.
+// runSuite executes the experiment suite through the engine under the
+// given planner setting and returns the kept results plus timing summary.
 func runSuite(cfg experiments.Config, filter map[string]bool, plannerOn bool) ([]experiments.Result, plannerTimings) {
-	prev := certain.EnablePlanner(plannerOn)
-	defer certain.EnablePlanner(prev)
+	cfg.Planner = engine.PlannerOn
+	if !plannerOn {
+		cfg.Planner = engine.PlannerOff
+	}
 	start := time.Now()
 	kept := experiments.Run(cfg, filter)
 	timings := plannerTimings{Experiments: map[string]float64{}}

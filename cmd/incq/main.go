@@ -1,13 +1,18 @@
 // Command incq evaluates a relational-algebra query over CSV relations
-// under the different evaluation modes the library implements:
+// through the engine facade, under any of the evaluation modes the library
+// implements:
 //
-//	naive        naïve evaluation (nulls as values), raw answer
-//	certain      naïve evaluation + null stripping (sound for positive/RAcwa)
-//	certain-cwa  intersection-based certain answers by CWA world enumeration
-//	sql          not available here (use the sqlx package); see examples/
+//	naive           naïve evaluation (nulls as values), raw answer
+//	certain         naïve evaluation + null stripping (sound for positive/RAcwa)
+//	certain-cwa     intersection-based certain answers by CWA world enumeration
+//	certain-owa     intersection-based certain answers over the OWA world set
+//	certain-object  certainO: the GLB of the answer set (Section 5.3)
 //
 // The data directory must contain one <Relation>.csv file per relation, with
 // a header row of attribute names and ⊥i / NULL markers for nulls.
+//
+// Exit codes distinguish failure classes: 2 for parse errors (bad flags,
+// unknown mode, malformed query), 1 for data and evaluation errors.
 //
 // Example:
 //
@@ -15,45 +20,92 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
-	"incdata/internal/certain"
 	"incdata/internal/csvio"
+	"incdata/internal/engine"
 	"incdata/internal/queryparse"
 	"incdata/internal/ra"
 )
 
+// errParse marks failures to understand the invocation — flag errors,
+// unknown modes, query syntax — as opposed to data and evaluation errors.
+// main maps it to exit code 2, everything else to 1.
+var errParse = errors.New("parse error")
+
+// exitCode classifies an error from run.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if errors.Is(err, errParse) {
+		return 2
+	}
+	return 1
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "incq:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("incq", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // errors are reported (and classified) by main
 	dataDir := fs.String("data", ".", "directory of <Relation>.csv files")
-	mode := fs.String("mode", "certain", "evaluation mode: naive | certain | certain-cwa")
-	extraFresh := fs.Int("fresh", 1, "fresh constants for world enumeration (certain-cwa)")
-	maxWorlds := fs.Int("max-worlds", 1<<20, "abort certain-cwa when more valuations would be needed")
+	mode := fs.String("mode", "certain", "evaluation mode: naive | certain | certain-cwa | certain-owa | certain-object")
+	planner := fs.String("planner", "on", "evaluation path: on (query planner) or off (naïve-evaluation oracle)")
+	extraFresh := fs.Int("fresh", 1, "fresh constants for world enumeration (certain-cwa/-owa/-object)")
+	maxWorlds := fs.Int("max-worlds", 1<<20, "abort world enumeration when more valuations would be needed")
 	workers := fs.Int("workers", 4, "parallel workers for world enumeration")
+	parallel := fs.Bool("parallel", false, "use all CPUs for world enumeration (overrides -workers)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(os.Stderr)
+			fs.Usage()
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errParse, err)
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("expected exactly one query argument, got %d", fs.NArg())
+		return fmt.Errorf("%w: expected exactly one query argument, got %d", errParse, fs.NArg())
 	}
 	queryText := fs.Arg(0)
+
+	m, err := engine.ParseMode(*mode)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
+	ps, err := engine.ParsePlanner(*planner)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
+	expr, err := queryparse.Parse(queryText)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
 
 	db, err := csvio.ReadDatabaseDir(*dataDir)
 	if err != nil {
 		return err
 	}
-	expr, err := queryparse.Parse(queryText)
-	if err != nil {
-		return err
+
+	opts := engine.Options{
+		Mode:       m,
+		Planner:    ps,
+		ExtraFresh: *extraFresh,
+		MaxWorlds:  *maxWorlds,
+		Workers:    *workers,
+	}
+	if *parallel {
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 
 	fmt.Printf("query: %s\n", expr)
@@ -61,33 +113,10 @@ func run(args []string) error {
 	fmt.Printf("naïve evaluation sound for certain answers: owa=%v cwa=%v\n",
 		ra.NaiveEvalSound(expr, false), ra.NaiveEvalSound(expr, true))
 
-	var out interface{ String() string }
-	switch *mode {
-	case "naive":
-		rel, err := certain.NaiveRaw(expr, db)
-		if err != nil {
-			return err
-		}
-		out = rel
-	case "certain":
-		rel, err := certain.Naive(expr, db)
-		if err != nil {
-			return err
-		}
-		out = rel
-	case "certain-cwa":
-		rel, err := certain.ByWorldsCWA(expr, db, certain.Options{
-			ExtraFresh: *extraFresh,
-			MaxWorlds:  *maxWorlds,
-			Workers:    *workers,
-		})
-		if err != nil {
-			return err
-		}
-		out = rel
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+	rel, err := engine.New(db).Eval(expr, opts)
+	if err != nil {
+		return err
 	}
-	fmt.Println(out.String())
+	fmt.Println(rel.String())
 	return nil
 }

@@ -23,29 +23,60 @@ func writeData(t *testing.T) string {
 func TestRunModes(t *testing.T) {
 	dir := writeData(t)
 	query := "diff(project(Order; o_id), project(Pay; order))"
-	for _, mode := range []string{"naive", "certain", "certain-cwa"} {
+	for _, mode := range []string{"naive", "certain", "certain-cwa", "certain-owa", "certain-object"} {
 		if err := run([]string{"-data", dir, "-mode", mode, query}); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
 }
 
-func TestRunErrors(t *testing.T) {
+func TestRunPlannerAndParallelFlags(t *testing.T) {
 	dir := writeData(t)
-	cases := [][]string{
-		{},                              // missing query
-		{"-data", dir, "a", "b"},        // too many args
-		{"-data", "/nope", "Order"},     // bad data dir
-		{"-data", dir, "project(Order"}, // parse error
-		{"-data", dir, "-mode", "bogus", "Order"},      // bad mode
-		{"-data", dir, "Nope"},                         // unknown relation (naive default mode)
-		{"-data", dir, "-mode", "naive", "Nope"},       // unknown relation
-		{"-data", dir, "-mode", "certain-cwa", "Nope"}, // unknown relation under enumeration
-		{"-badflag"}, // flag parse error
-	}
-	for _, args := range cases {
-		if err := run(args); err == nil {
-			t.Errorf("run(%v) should fail", args)
+	query := "diff(project(Order; o_id), project(Pay; order))"
+	for _, args := range [][]string{
+		{"-data", dir, "-planner", "on", query},
+		{"-data", dir, "-planner", "off", query},
+		{"-data", dir, "-mode", "certain-cwa", "-parallel", query},
+		{"-data", dir, "-mode", "certain-cwa", "-planner", "off", "-parallel", query},
+		{"-data", dir, "-mode", "certain-cwa", "-workers", "2", query},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
 		}
+	}
+}
+
+// TestExitCodes pins the failure classification: parse errors (bad flags,
+// unknown modes, malformed queries) exit with 2, data and evaluation
+// errors with 1.
+func TestExitCodes(t *testing.T) {
+	dir := writeData(t)
+	cases := []struct {
+		args []string
+		code int
+	}{
+		{[]string{}, 2},                                             // missing query
+		{[]string{"-data", dir, "a", "b"}, 2},                       // too many args
+		{[]string{"-badflag"}, 2},                                   // flag parse error
+		{[]string{"-data", dir, "project(Order"}, 2},                // query parse error
+		{[]string{"-data", dir, "-mode", "bogus", "Order"}, 2},      // bad mode
+		{[]string{"-data", dir, "-planner", "maybe", "Order"}, 2},   // bad planner
+		{[]string{"-data", "/nope", "Order"}, 1},                    // bad data dir
+		{[]string{"-data", dir, "Nope"}, 1},                         // unknown relation
+		{[]string{"-data", dir, "-mode", "naive", "Nope"}, 1},       // unknown relation
+		{[]string{"-data", dir, "-mode", "certain-cwa", "Nope"}, 1}, // unknown relation under enumeration
+	}
+	for _, c := range cases {
+		err := run(c.args)
+		if err == nil {
+			t.Errorf("run(%v) should fail", c.args)
+			continue
+		}
+		if got := exitCode(err); got != c.code {
+			t.Errorf("run(%v): exit code %d, want %d (err: %v)", c.args, got, c.code, err)
+		}
+	}
+	if exitCode(nil) != 0 {
+		t.Error("nil error must exit 0")
 	}
 }

@@ -1,14 +1,18 @@
 // Data exchange: the schema-mapping scenario of the paper's introduction.
 // The rule Order(i,p) → ∃x Cust(x) ∧ Pref(x,p) is chased over a source
 // database, inventing marked nulls for the unknown customers, and certain
-// answers are computed over the exchanged (incomplete) target instance.
+// answers are computed over the exchanged (incomplete) target instance —
+// the chase builds the canonical universal solution, and the engine facade
+// evaluates the queries over it.
 package main
 
 import (
 	"fmt"
 
 	"incdata/internal/cq"
+	"incdata/internal/engine"
 	"incdata/internal/exchange"
+	"incdata/internal/ra"
 	"incdata/internal/schema"
 	"incdata/internal/table"
 )
@@ -47,27 +51,32 @@ func main() {
 	fmt.Println("\ncanonical universal solution (note the shared marked nulls):")
 	fmt.Println(solution)
 
-	// Certain answers over the exchanged data.
-	prefs := cq.Single(cq.Query{
-		Name: "prefs",
-		Head: []string{"p"},
-		Body: []cq.Atom{cq.NewAtom("Pref", cq.V("x"), cq.V("p"))},
-	})
-	ans, err := mapping.CertainAnswers(prefs, src)
+	// Certain answers over the exchanged data: evaluate on the canonical
+	// universal solution and keep the null-free part — ModeCertain of the
+	// engine, which is exactly what makes chase-then-evaluate compute the
+	// certain answers of the mapping.
+	eng := engine.New(solution)
+
+	prefs := ra.Project{Input: ra.Base("Pref"), Attrs: []string{"product"}}
+	ans, err := eng.Eval(prefs, engine.Options{Mode: engine.ModeCertain})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("\ncertain answers to prefs(p) :- Pref(x,p):")
 	fmt.Println(ans)
 
-	customers := cq.Single(cq.Query{
-		Name: "customers",
-		Head: []string{"x"},
-		Body: []cq.Atom{cq.NewAtom("Cust", cq.V("x"))},
-	})
-	ans2, err := mapping.CertainAnswers(customers, src)
+	customers := ra.Project{Input: ra.Base("Cust"), Attrs: []string{"cust"}}
+	ans2, err := eng.Eval(customers, engine.Options{Mode: engine.ModeCertain})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("certain answers to customers(x) :- Cust(x):", ans2, "(no customer id is known)")
+
+	// The naïve answers keep the invented nulls — the engine's ModeNaive
+	// shows what null stripping removed.
+	raw, err := eng.Eval(customers, engine.Options{Mode: engine.ModeNaive})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("naïve answers with invented nulls:", raw)
 }

@@ -1,13 +1,14 @@
 // Division under the closed-world assumption: the RAcwa fragment of
 // Section 6.2.  "Students who take all courses" is a division query;
 // cwa-naïve evaluation computes its certain answers correctly, which the
-// example verifies against explicit world enumeration.
+// example verifies against explicit world enumeration — both modes
+// evaluated through the engine facade.
 package main
 
 import (
 	"fmt"
 
-	"incdata/internal/certain"
+	"incdata/internal/engine"
 	"incdata/internal/ra"
 	"incdata/internal/table"
 	"incdata/internal/workload"
@@ -27,17 +28,19 @@ func main() {
 	}
 	fmt.Println(db)
 
+	eng := engine.New(db)
+
 	q := ra.Division{Left: ra.Base("Enroll"), Right: ra.Base("Course")}
 	fmt.Println("\nquery:", q)
 	fmt.Println("fragment:", ra.Classify(q), "— naïve evaluation sound under CWA:", ra.NaiveEvalSound(q, true))
 
-	naive, err := certain.Naive(q, db)
+	naive, err := eng.Eval(q, engine.Options{Mode: engine.ModeCertain})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("cwa-naïve certain answers:", naive)
 
-	truth, err := certain.ByWorldsCWA(q, db, certain.Options{ExtraFresh: 1})
+	truth, err := eng.Eval(q, engine.Options{Mode: engine.ModeCertainCWA, ExtraFresh: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -51,7 +54,7 @@ func main() {
 
 	// At scale (experiment E9 uses the same generator).
 	big, _ := workload.Enroll(workload.EnrollConfig{Students: 2000, Courses: 4, EnrollRate: 0.85, NullRate: 0.02, Seed: 5})
-	ans, err := certain.Naive(q, big)
+	ans, err := engine.New(big).Eval(q, engine.Options{Mode: engine.ModeCertain})
 	if err != nil {
 		panic(err)
 	}

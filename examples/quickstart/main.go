@@ -1,12 +1,12 @@
-// Quickstart: build a small incomplete database, evaluate a query under the
-// evaluation modes the library provides, and see where SQL-style evaluation
-// and certain answers part ways.
+// Quickstart: build a small incomplete database, evaluate a query through
+// the engine facade under the evaluation modes the library provides, and
+// see where SQL-style evaluation and certain answers part ways.
 package main
 
 import (
 	"fmt"
 
-	"incdata/internal/certain"
+	"incdata/internal/engine"
 	"incdata/internal/ra"
 	"incdata/internal/schema"
 	"incdata/internal/table"
@@ -27,6 +27,10 @@ func main() {
 	fmt.Printf("complete: %v, Codd table: %v, nulls: %d\n\n",
 		db.IsComplete(), db.IsCodd(), len(db.Nulls()))
 
+	// The engine owns evaluation: one instance per logical database, every
+	// mode behind one Options struct.
+	eng := engine.New(db)
+
 	// A positive query: π_a(σ_{b=2}(R)).
 	q := ra.Project{
 		Input: ra.Select{Input: ra.Base("R"), Pred: ra.Eq(ra.Attr("b"), ra.LitInt(2))},
@@ -35,21 +39,38 @@ func main() {
 	fmt.Println("query:", q)
 	fmt.Println("fragment:", ra.Classify(q))
 
-	naive := ra.MustEval(q, db)
+	naive, err := eng.Eval(q, engine.Options{Mode: engine.ModeNaive})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("naïve evaluation:        ", naive)
 
-	certainAns, err := certain.Naive(q, db)
+	certainAns, err := eng.Eval(q, engine.Options{Mode: engine.ModeCertain})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("certain (naïve+strip):   ", certainAns)
 
-	truth, err := certain.ByWorldsCWA(q, db, certain.Options{ExtraFresh: 2})
+	truth, err := eng.Eval(q, engine.Options{Mode: engine.ModeCertainCWA, ExtraFresh: 2})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("certain (world enum):    ", truth)
 	fmt.Println("naïve route agrees with ground truth:", certainAns.Equal(truth))
+
+	// Writers and readers can overlap: a snapshot keeps answering from the
+	// state it was taken at, while updates land on the live database.
+	snap := eng.Snapshot()
+	if err := eng.Update(func(d *table.Database) error {
+		return d.Add("R", table.MustParseTuple("5", "2"))
+	}); err != nil {
+		panic(err)
+	}
+	before, _ := snap.Eval(q, engine.Options{Mode: engine.ModeCertain})
+	after, _ := eng.Eval(q, engine.Options{Mode: engine.ModeCertain})
+	fmt.Println("\nafter inserting R(5,2):")
+	fmt.Println("  old snapshot still answers:", before)
+	fmt.Println("  current state answers:     ", after)
 
 	// A non-positive query: the same idea with a difference inside shows why
 	// the fragment check matters.

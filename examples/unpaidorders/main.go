@@ -1,12 +1,14 @@
 // Unpaid orders: the running example of the paper's introduction.  A
 // payment references an unknown order (a null); the SQL NOT IN query claims
 // no order is unpaid, while certain-answer evaluation tells the truth.
+// Every evaluation — SQL semantics included — goes through the engine
+// facade.
 package main
 
 import (
 	"fmt"
 
-	"incdata/internal/certain"
+	"incdata/internal/engine"
 	"incdata/internal/ra"
 	"incdata/internal/sqlx"
 	"incdata/internal/table"
@@ -23,6 +25,8 @@ func main() {
 	fmt.Println(db)
 	fmt.Println()
 
+	eng := engine.New(db)
+
 	// SQL, as a student would write it.
 	sqlQuery := sqlx.Query{
 		Select: []string{"o_id"},
@@ -33,8 +37,12 @@ func main() {
 			Negate: true,
 		},
 	}
+	sqlAns, err := eng.SQL(sqlQuery)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("SQL:", sqlQuery)
-	fmt.Println("SQL answer (3-valued logic):", sqlx.MustEval(sqlQuery, db))
+	fmt.Println("SQL answer (3-valued logic):", sqlAns)
 	fmt.Println("  -> the empty answer: SQL claims every order is paid!")
 	fmt.Println()
 
@@ -45,7 +53,7 @@ func main() {
 	}
 	// Tuple-level certainty: no specific order is certainly unpaid, because
 	// the unknown payment could be for either one.
-	tupleCertain, err := certain.ByWorldsCWA(unpaid, db, certain.Options{ExtraFresh: 1})
+	tupleCertain, err := eng.Eval(unpaid, engine.Options{Mode: engine.ModeCertainCWA, ExtraFresh: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -53,16 +61,26 @@ func main() {
 
 	// Boolean certainty: it IS certain that some order is unpaid, because
 	// two orders cannot both be covered by a single payment.
-	someUnpaid, err := certain.BoolCertainCWA(unpaid, db, certain.Options{ExtraFresh: 1})
+	someUnpaid, err := eng.EvalBool(unpaid, engine.Options{ExtraFresh: 1})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("\"some order is unpaid\" is certain:", someUnpaid)
 	fmt.Println()
 
-	// At scale: the generated workload used by experiment E1.
+	// At scale: the generated workload used by experiment E1, served as one
+	// concurrent batch against a consistent snapshot.
 	gen, trulyUnpaid := workload.Orders(workload.OrdersConfig{Orders: 1000, PaidFraction: 0.7, NullRate: 0.3, Seed: 1})
-	sqlAns := sqlx.MustEval(sqlQuery, gen)
-	fmt.Printf("generated workload: %d orders, %d truly unpaid, SQL NOT IN reports %d\n",
-		gen.Relation("Order").Len(), len(trulyUnpaid), sqlAns.Len())
+	genEng := engine.New(gen)
+	resp := genEng.Serve([]engine.Request{
+		{SQL: &sqlQuery},
+		{Query: unpaid, Opts: engine.Options{Mode: engine.ModeCertain}},
+	}, 2)
+	for _, r := range resp {
+		if r.Err != nil {
+			panic(r.Err)
+		}
+	}
+	fmt.Printf("generated workload: %d orders, %d truly unpaid, SQL NOT IN reports %d, certain answers report %d\n",
+		gen.Relation("Order").Len(), len(trulyUnpaid), resp[0].Rel.Len(), resp[1].Rel.Len())
 }

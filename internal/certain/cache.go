@@ -15,81 +15,150 @@ import (
 // over.  One-shot plans depend only on (schema, query) and are immutable,
 // so they are cached unconditionally.  World plans additionally bake in
 // the database contents (null parts, cached stable results and their hash
-// indexes), so each cache entry records a per-relation version snapshot
-// and is invalidated when any relation of the database has been mutated
-// since (see table.Relation.Version).
+// indexes), so each cache entry records a content stamp (table.Stamp:
+// storage generation + mutation counter) for every base relation the query
+// references and is reused exactly when those stamps still match.
+//
+// Because stamps are carried across copy-on-write shares, reuse works
+// across database snapshots: every snapshot of an unmutated database — and
+// every snapshot whose writes only touched relations the query does not
+// read — validates against the same entry, so repeated certain-answer
+// calls pay the invariant evaluation once, total.  The caches are
+// per-Evaluator; the engine facade owns the evaluators, so plan caching is
+// per-engine state, not process-global.
 
 const planCacheLimit = 128
 
-type planCacheKey struct {
+type planKey struct {
 	sc *schema.Schema
 	q  string
 }
 
-var oneShotPlans struct {
+type oneShotCache struct {
 	sync.Mutex
-	m map[planCacheKey]*plan.Plan
+	m map[planKey]*plan.Plan
 }
 
 // cachedCompile returns a (possibly shared) compiled plan for q over sc.
 // Compiled plans are stateless with respect to the data and safe for
 // concurrent evaluation.
-func cachedCompile(q ra.Expr, sc *schema.Schema) (*plan.Plan, error) {
-	key := planCacheKey{sc: sc, q: q.String()}
-	oneShotPlans.Lock()
-	p := oneShotPlans.m[key]
-	oneShotPlans.Unlock()
+func (ev *Evaluator) cachedCompile(q ra.Expr, sc *schema.Schema) (*plan.Plan, error) {
+	key := planKey{sc: sc, q: q.String()}
+	ev.oneShot.Lock()
+	p := ev.oneShot.m[key]
+	ev.oneShot.Unlock()
 	if p != nil {
+		ev.oneShotHits.Add(1)
 		return p, nil
 	}
+	ev.oneShotMisses.Add(1)
 	p, err := plan.Compile(q, sc)
 	if err != nil {
 		return nil, err
 	}
-	oneShotPlans.Lock()
-	if oneShotPlans.m == nil || len(oneShotPlans.m) >= planCacheLimit {
-		oneShotPlans.m = make(map[planCacheKey]*plan.Plan, planCacheLimit)
+	ev.oneShot.Lock()
+	if ev.oneShot.m == nil || len(ev.oneShot.m) >= planCacheLimit {
+		ev.oneShot.m = make(map[planKey]*plan.Plan, planCacheLimit)
 	}
-	oneShotPlans.m[key] = p
-	oneShotPlans.Unlock()
+	ev.oneShot.m[key] = p
+	ev.oneShot.Unlock()
 	return p, nil
 }
 
-type relSnapshot struct {
-	name string
-	rel  *table.Relation
-	ver  uint64
+// relDep is one relation a world plan was built from, with the content
+// stamp observed at build time.
+type relDep struct {
+	name  string
+	stamp table.Stamp
 }
 
-type worldCacheKey struct {
-	d *table.Database
-	q string
-}
-
-type worldCacheEntry struct {
+type worldEntry struct {
 	wp   *plan.WorldPlan
-	snap []relSnapshot
+	deps []relDep
 }
 
-var worldPlans struct {
+type worldCache struct {
 	sync.Mutex
-	m map[worldCacheKey]*worldCacheEntry
+	m map[planKey]*worldEntry
 }
 
-func snapshotDB(d *table.Database) []relSnapshot {
-	names := d.RelationNames()
-	snap := make([]relSnapshot, len(names))
-	for i, name := range names {
-		rel := d.Relation(name)
-		snap[i] = relSnapshot{name: name, rel: rel, ver: rel.Version()}
+// queryDeps returns the base relations the expression reads.  wholeDB is
+// set when the result depends on more than those relations' contents
+// (ra.Delta bakes in the active domain of the whole database, and unknown
+// operators are treated conservatively); the caller then records a stamp
+// for every relation.
+func queryDeps(e ra.Expr) (names []string, wholeDB bool) {
+	seen := map[string]bool{}
+	var walk func(e ra.Expr)
+	walk = func(e ra.Expr) {
+		switch ex := e.(type) {
+		case ra.Rel:
+			if !seen[ex.Name] {
+				seen[ex.Name] = true
+				names = append(names, ex.Name)
+			}
+		case ra.Select:
+			walk(ex.Input)
+		case ra.Project:
+			walk(ex.Input)
+		case ra.Rename:
+			walk(ex.Input)
+		case ra.Product:
+			walk(ex.Left)
+			walk(ex.Right)
+		case ra.Join:
+			walk(ex.Left)
+			walk(ex.Right)
+		case ra.Union:
+			walk(ex.Left)
+			walk(ex.Right)
+		case ra.Diff:
+			walk(ex.Left)
+			walk(ex.Right)
+		case ra.Intersect:
+			walk(ex.Left)
+			walk(ex.Right)
+		case ra.Division:
+			walk(ex.Left)
+			walk(ex.Right)
+		default:
+			wholeDB = true
+		}
 	}
-	return snap
+	walk(e)
+	return names, wholeDB
 }
 
-func snapshotValid(d *table.Database, snap []relSnapshot) bool {
-	for _, s := range snap {
-		rel := d.Relation(s.name)
-		if rel != s.rel || rel.Version() != s.ver {
+// worldDeps captures the stamps a world plan for q over d depends on, or
+// ok=false when a referenced relation does not exist (the caller lets plan
+// construction produce the error).
+func worldDeps(q ra.Expr, d *table.Database) (deps []relDep, ok bool) {
+	names, wholeDB := queryDeps(q)
+	if wholeDB {
+		names = d.RelationNames()
+	}
+	deps = make([]relDep, 0, len(names))
+	for _, name := range names {
+		rel := d.Relation(name)
+		if rel == nil {
+			return nil, false
+		}
+		deps = append(deps, relDep{name: name, stamp: rel.Stamp()})
+	}
+	return deps, true
+}
+
+// depsValid reports whether every dependency's relation still holds the
+// stamped content in d.  Stamps with a zero generation never validate
+// (they belong to no storage).
+func depsValid(d *table.Database, deps []relDep) bool {
+	for _, dep := range deps {
+		rel := d.Relation(dep.name)
+		if rel == nil {
+			return false
+		}
+		st := rel.Stamp()
+		if st.Gen == 0 || st != dep.stamp {
 			return false
 		}
 	}
@@ -97,27 +166,34 @@ func snapshotValid(d *table.Database, snap []relSnapshot) bool {
 }
 
 // cachedForWorlds returns a world plan for q over d, reusing a cached one
-// when no relation of d has been mutated since it was built.  A reused
-// plan keeps its stable subplan results and hash indexes, so repeated
-// certain-answer calls pay the invariant evaluation once, total.
-func cachedForWorlds(q ra.Expr, d *table.Database) (*plan.WorldPlan, error) {
-	key := worldCacheKey{d: d, q: q.String()}
-	worldPlans.Lock()
-	e := worldPlans.m[key]
-	worldPlans.Unlock()
-	if e != nil && snapshotValid(d, e.snap) {
+// when every relation the query reads still matches the stamp it was built
+// against — including across snapshots of the same database.  A reused
+// plan keeps its stable subplan results and hash indexes.
+func (ev *Evaluator) cachedForWorlds(q ra.Expr, d *table.Database) (*plan.WorldPlan, error) {
+	key := planKey{sc: d.Schema(), q: q.String()}
+	ev.worlds.Lock()
+	e := ev.worlds.m[key]
+	ev.worlds.Unlock()
+	if e != nil && depsValid(d, e.deps) {
+		ev.worldHits.Add(1)
 		return e.wp, nil
 	}
-	snap := snapshotDB(d)
+	ev.worldMisses.Add(1)
 	wp, err := plan.ForWorlds(q, d)
 	if err != nil {
 		return nil, err
 	}
-	worldPlans.Lock()
-	if worldPlans.m == nil || len(worldPlans.m) >= planCacheLimit {
-		worldPlans.m = make(map[worldCacheKey]*worldCacheEntry, planCacheLimit)
+	deps, ok := worldDeps(q, d)
+	if !ok {
+		// A referenced relation is missing; ForWorlds should have failed,
+		// but never cache an unvalidatable plan.
+		return wp, nil
 	}
-	worldPlans.m[key] = &worldCacheEntry{wp: wp, snap: snap}
-	worldPlans.Unlock()
+	ev.worlds.Lock()
+	if ev.worlds.m == nil || len(ev.worlds.m) >= planCacheLimit {
+		ev.worlds.m = make(map[planKey]*worldEntry, planCacheLimit)
+	}
+	ev.worlds.m[key] = &worldEntry{wp: wp, deps: deps}
+	ev.worlds.Unlock()
 	return wp, nil
 }

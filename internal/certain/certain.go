@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"incdata/internal/order"
 	"incdata/internal/ra"
 	"incdata/internal/semantics"
 	"incdata/internal/table"
@@ -28,10 +27,13 @@ import (
 )
 
 // plannerEnabled gates the query-planner fast paths (planned one-shot
-// evaluation and world-invariant subplan hoisting).  It is on by default;
-// cmd/incbench and the differential tests flip it to compare the planner
-// against the naïve-evaluation oracle, which remains the reference
-// implementation for every path.
+// evaluation and world-invariant subplan hoisting) of the package-level
+// entry points.  It is on by default; the differential tests flip it to
+// compare the planner against the naïve-evaluation oracle, which remains
+// the reference implementation for every path.  Production callers go
+// through internal/engine, whose per-engine Evaluators carry their own
+// planner setting and plan caches — this switch only selects between the
+// two shared default evaluators below.
 var plannerEnabled atomic.Bool
 
 func init() { plannerEnabled.Store(true) }
@@ -43,8 +45,22 @@ func EnablePlanner(on bool) (previous bool) {
 	return plannerEnabled.Swap(on)
 }
 
-// usePlanner reports whether the planner paths are active.
-func usePlanner() bool { return plannerEnabled.Load() }
+// The default evaluators behind the package-level entry points: one with
+// the planner, one oracle.  Their caches are shared process-wide, exactly
+// like the package-level plan caches they replace.
+var (
+	defaultPlanned = NewEvaluator(true)
+	defaultOracle  = NewEvaluator(false)
+)
+
+// defaultEvaluator picks the default instance for the current
+// EnablePlanner setting.
+func defaultEvaluator() *Evaluator {
+	if plannerEnabled.Load() {
+		return defaultPlanned
+	}
+	return defaultOracle
+}
 
 // Options controls world enumeration.
 type Options struct {
@@ -165,7 +181,7 @@ func (o Options) withQueryConstants(q ra.Expr) Options {
 // compiled to a physical plan (pushdown, indexed joins); results are
 // bit-identical to ra.Eval.
 func NaiveRaw(q ra.Expr, d *table.Database) (*table.Relation, error) {
-	return evalMaybePlanned(q, d)
+	return defaultEvaluator().NaiveRaw(q, d)
 }
 
 // Naive computes certain answers by naïve evaluation followed by dropping
@@ -173,29 +189,7 @@ func NaiveRaw(q ra.Expr, d *table.Database) (*table.Relation, error) {
 // results guarantee this equals the intersection-based certain answers for
 // positive queries (under OWA and CWA) and for RAcwa queries (under CWA).
 func Naive(q ra.Expr, d *table.Database) (*table.Relation, error) {
-	if usePlanner() {
-		if p, err := cachedCompile(q, d.Schema()); err == nil {
-			return p.EvalCertain(d)
-		}
-	}
-	r, err := ra.Eval(q, d)
-	if err != nil {
-		return nil, err
-	}
-	return ra.StripNulls(r), nil
-}
-
-// evalMaybePlanned evaluates through the query planner when it is enabled
-// and the expression compiles, falling back to the naïve-evaluation oracle
-// otherwise (so unsupported expressions and error cases behave exactly as
-// before).
-func evalMaybePlanned(q ra.Expr, d *table.Database) (*table.Relation, error) {
-	if usePlanner() {
-		if p, err := cachedCompile(q, d.Schema()); err == nil {
-			return p.Eval(d)
-		}
-	}
-	return ra.Eval(q, d)
+	return defaultEvaluator().Naive(q, d)
 }
 
 // ErrTooManyWorlds is returned when world enumeration would exceed
@@ -239,12 +233,7 @@ func collectWorldsOWA(d *table.Database, opts Options) ([]*table.Database, error
 // view of the base database, a running intersection is maintained, and the
 // enumeration aborts as soon as the intersection is empty.
 func ByWorldsCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
-	opts = opts.withDefaults(d).withQueryConstants(q)
-	dom := opts.domain(d)
-	if err := opts.checkWorldBound(d, dom); err != nil {
-		return nil, err
-	}
-	return intersectWorldsCWA(q, d, dom, opts.Workers)
+	return defaultEvaluator().ByWorldsCWA(q, d, opts)
 }
 
 // ByWorldsOWA computes intersection-based certain answers under OWA over
@@ -254,25 +243,7 @@ func ByWorldsCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, e
 // the true OWA certain answers (which are undecidable in general), and
 // increasing MaxExtraTuples tightens it.
 func ByWorldsOWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
-	opts = opts.withDefaults(d).withQueryConstants(q)
-	if opts.MaxExtraTuples <= 0 {
-		// The minimal OWA worlds are exactly the CWA worlds; use the
-		// streaming valuation-view path.
-		dom := opts.domain(d)
-		if err := opts.checkWorldBound(d, dom); err != nil {
-			return nil, err
-		}
-		return intersectWorldsCWA(q, d, dom, opts.Workers)
-	}
-	worlds, err := collectWorldsOWA(d, opts)
-	if err != nil {
-		return nil, err
-	}
-	answers, err := answersOnWorlds(q, worlds, opts.Workers)
-	if err != nil {
-		return nil, err
-	}
-	return order.IntersectionRelations(answers)
+	return defaultEvaluator().ByWorldsOWA(q, d, opts)
 }
 
 // CertainObjectCWA computes certainO(Q,D) under CWA: the greatest lower
@@ -281,16 +252,7 @@ func ByWorldsOWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, e
 // Section 6.1 says this equals Q(D) itself (naïve evaluation, nulls kept);
 // experiment E8/E11 verify the equality.
 func CertainObjectCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relation, error) {
-	opts = opts.withDefaults(d).withQueryConstants(q)
-	dom := opts.domain(d)
-	if err := opts.checkWorldBound(d, dom); err != nil {
-		return nil, err
-	}
-	answers, err := collectAnswersCWA(q, d, dom, opts.Workers)
-	if err != nil {
-		return nil, err
-	}
-	return order.GLBRelationsOWA(answers)
+	return defaultEvaluator().CertainObjectCWA(q, d, opts)
 }
 
 // BoolCertainCWA computes the certain answer of a Boolean query under CWA
@@ -298,26 +260,7 @@ func CertainObjectCWA(q ra.Expr, d *table.Database, opts Options) (*table.Relati
 // evaluates through a valuation view (no world materialization) and stops
 // at the first counterexample world.
 func BoolCertainCWA(q ra.Expr, d *table.Database, opts Options) (bool, error) {
-	opts = opts.withDefaults(d).withQueryConstants(q)
-	dom := opts.domain(d)
-	if err := opts.checkWorldBound(d, dom); err != nil {
-		return false, err
-	}
-	if wp := worldPlanFor(q, d); wp != nil {
-		return boolCertainPlanned(wp, d, dom)
-	}
-	certain := true
-	err := forEachWorldAnswer(q, d, dom, func(ans *table.Relation) bool {
-		if ans.Len() == 0 {
-			certain = false
-			return false
-		}
-		return true
-	})
-	if err != nil {
-		return false, err
-	}
-	return certain, nil
+	return defaultEvaluator().BoolCertainCWA(q, d, opts)
 }
 
 // Comparison is the outcome of comparing naïve-evaluation certain answers
@@ -336,15 +279,7 @@ type Comparison struct {
 // Compare checks naïve-evaluation certain answers against the
 // world-enumeration ground truth under CWA.
 func Compare(q ra.Expr, d *table.Database, opts Options) (Comparison, error) {
-	naive, err := Naive(q, d)
-	if err != nil {
-		return Comparison{}, err
-	}
-	truth, err := ByWorldsCWA(q, d, opts)
-	if err != nil {
-		return Comparison{}, err
-	}
-	return diffRelations(naive, truth), nil
+	return defaultEvaluator().Compare(q, d, opts)
 }
 
 func diffRelations(naive, truth *table.Relation) Comparison {

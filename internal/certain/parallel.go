@@ -103,8 +103,8 @@ func forEachWorldAnswer(q ra.Expr, d *table.Database, dom semantics.Domain, fn f
 // part and per-valuation deltas, and only the deltas are intersected (see
 // planned.go); this oracle path remains for planner-off runs and for
 // expressions the planner rejects.
-func intersectWorldsCWA(q ra.Expr, d *table.Database, dom semantics.Domain, workers int) (*table.Relation, error) {
-	if wp := worldPlanFor(q, d); wp != nil {
+func (ev *Evaluator) intersectWorldsCWA(q ra.Expr, d *table.Database, dom semantics.Domain, workers int) (*table.Relation, error) {
+	if wp := ev.worldPlanFor(q, d); wp != nil {
 		return intersectWorldsPlanned(wp, d, dom, workers)
 	}
 	if workers > 1 {
@@ -132,8 +132,8 @@ func intersectWorldsCWA(q ra.Expr, d *table.Database, dom semantics.Domain, work
 // distinct answers (deduplicated by canonical key; duplicate worlds and
 // worlds with equal answers collapse).  The GLB construction is invariant
 // under duplicates, so deduplication is purely an optimization.
-func collectAnswersCWA(q ra.Expr, d *table.Database, dom semantics.Domain, workers int) ([]*table.Relation, error) {
-	if wp := worldPlanFor(q, d); wp != nil {
+func (ev *Evaluator) collectAnswersCWA(q ra.Expr, d *table.Database, dom semantics.Domain, workers int) ([]*table.Relation, error) {
+	if wp := ev.worldPlanFor(q, d); wp != nil {
 		return collectAnswersPlanned(wp, d, dom, workers)
 	}
 	if workers > 1 {

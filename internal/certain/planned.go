@@ -32,11 +32,11 @@ import (
 // worldPlanFor returns the factored world plan for q over d, or nil when
 // the planner is disabled or cannot compile the expression (the caller
 // then uses the oracle path, preserving error behavior exactly).
-func worldPlanFor(q ra.Expr, d *table.Database) *plan.WorldPlan {
-	if !usePlanner() {
+func (ev *Evaluator) worldPlanFor(q ra.Expr, d *table.Database) *plan.WorldPlan {
+	if !ev.planner {
 		return nil
 	}
-	wp, err := cachedForWorlds(q, d)
+	wp, err := ev.cachedForWorlds(q, d)
 	if err != nil {
 		return nil
 	}

@@ -142,7 +142,7 @@ func TestPlannerDifferentialCertainPaths(t *testing.T) {
 					o.owa = relFingerprint(r4)
 					// The distinct per-world answer set (certainO's input).
 					collectOpts := opts.withDefaults(d).withQueryConstants(q)
-					answers, err := collectAnswersCWA(q, d, collectOpts.domain(d), workers)
+					answers, err := defaultEvaluator().collectAnswersCWA(q, d, collectOpts.domain(d), workers)
 					o.errs[5] = err
 					for _, a := range answers {
 						o.answers = append(o.answers, relFingerprint(a))

@@ -9,6 +9,7 @@ import (
 
 	"incdata/internal/schema"
 	"incdata/internal/table"
+	"incdata/internal/value"
 	"incdata/internal/workload"
 )
 
@@ -50,6 +51,68 @@ func TestReadRelationErrors(t *testing.T) {
 	// A parseable file with a bad value literal.
 	if _, err := ReadRelation(strings.NewReader("a\n⊥x\n"), "R"); err == nil {
 		t.Error("bad null literal should error")
+	}
+}
+
+// TestNullMarkerCollision is the regression test for the duplicate-null-
+// marker bug: an unlabelled NULL is assigned a fresh id by the process-wide
+// counter, and when that id coincides with an explicit ⊥i elsewhere in the
+// read, the two columns — which the user meant as distinct unknowns —
+// silently became the SAME marked null.  Such reads must fail instead.
+func TestNullMarkerCollision(t *testing.T) {
+	// Explicit marker first, colliding NULL later.  After a counter reset
+	// the first unlabelled NULL is assigned id 1, clashing with ⊥1.
+	value.ResetFreshNulls()
+	_, err := ReadRelation(strings.NewReader("a,b\n⊥1,x\nNULL,y\n"), "R")
+	if err == nil {
+		t.Fatal("NULL colliding with an explicit ⊥1 must be rejected")
+	}
+	if !strings.Contains(err.Error(), "⊥1") || !strings.Contains(err.Error(), "collid") {
+		t.Errorf("collision error should name the marker, got: %v", err)
+	}
+
+	// The other order: NULL first, explicit marker after.
+	value.ResetFreshNulls()
+	_, err = ReadRelation(strings.NewReader("a,b\nNULL,x\n⊥1,y\n"), "R")
+	if err == nil {
+		t.Fatal("explicit ⊥1 colliding with an earlier NULL must be rejected")
+	}
+
+	// Repeated explicit markers are the point of marked nulls — fine.
+	value.ResetFreshNulls()
+	rel, err := ReadRelation(strings.NewReader("a,b\n⊥1,x\n⊥1,y\n"), "R")
+	if err != nil {
+		t.Fatalf("repeated explicit markers must stay legal: %v", err)
+	}
+	if len(rel.Nulls()) != 1 {
+		t.Errorf("⊥1 used twice is one null, got %d", len(rel.Nulls()))
+	}
+
+	// Non-colliding mixes stay legal and keep the nulls distinct.
+	value.ResetFreshNulls()
+	rel, err = ReadRelation(strings.NewReader("a,b\n⊥7,x\nNULL,y\n"), "R")
+	if err != nil {
+		t.Fatalf("non-colliding NULL and ⊥7 must be accepted: %v", err)
+	}
+	if len(rel.Nulls()) != 2 {
+		t.Errorf("expected 2 distinct nulls, got %d", len(rel.Nulls()))
+	}
+}
+
+// TestNullMarkerCollisionAcrossFiles checks the database-wide scope of the
+// collision check: nulls are shared across relations, so a NULL in one
+// file clashing with a ⊥i in another must fail the whole directory read.
+func TestNullMarkerCollisionAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "R.csv"), []byte("a\n⊥1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "S.csv"), []byte("b\nNULL\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	value.ResetFreshNulls()
+	if _, err := ReadDatabaseDir(dir); err == nil {
+		t.Fatal("cross-file marker collision must be rejected")
 	}
 }
 

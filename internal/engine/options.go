@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"fmt"
+
+	"incdata/internal/certain"
+	"incdata/internal/value"
+)
+
+// Mode selects how a query is evaluated.  The zero value is ModeCertain,
+// the sound cheap route the paper's Section 6 results justify.
+type Mode uint8
+
+// Evaluation modes, one per certain-answer notion the library implements.
+const (
+	// ModeCertain is naïve evaluation followed by null stripping
+	// (equation (4)): correct for positive queries under OWA/CWA and for
+	// RAcwa queries under CWA.
+	ModeCertain Mode = iota
+	// ModeNaive is naïve evaluation with nulls kept in the answer (the
+	// certainO representation for monotone generic queries).
+	ModeNaive
+	// ModeCertainCWA is intersection-based certain answers by CWA world
+	// enumeration — the exact (exponential) ground truth.
+	ModeCertainCWA
+	// ModeCertainOWA is intersection-based certain answers over the
+	// enumerated OWA world set (exact for monotone queries when
+	// MaxExtraTuples is 0).
+	ModeCertainOWA
+	// ModeCertainObject is certainO under CWA: the greatest lower bound of
+	// the answer set in the information ordering (Section 5.3).
+	ModeCertainObject
+)
+
+// modeNames maps the textual mode names (as used by the incq CLI) to
+// modes.
+var modeNames = map[string]Mode{
+	"certain":        ModeCertain,
+	"naive":          ModeNaive,
+	"certain-cwa":    ModeCertainCWA,
+	"certain-owa":    ModeCertainOWA,
+	"certain-object": ModeCertainObject,
+}
+
+// String returns the textual name of the mode.
+func (m Mode) String() string {
+	for name, mode := range modeNames {
+		if mode == m {
+			return name
+		}
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode converts a textual mode name into a Mode.
+func ParseMode(s string) (Mode, error) {
+	if m, ok := modeNames[s]; ok {
+		return m, nil
+	}
+	return 0, fmt.Errorf("engine: unknown mode %q (want naive, certain, certain-cwa, certain-owa or certain-object)", s)
+}
+
+// PlannerSetting selects the evaluation path: the query planner (planned
+// one-shot evaluation and world-invariant subplan hoisting) or the
+// naïve-evaluation oracle, which computes identical results, only slower.
+type PlannerSetting uint8
+
+// Planner settings.  The zero value defaults to the planner being on.
+const (
+	PlannerAuto PlannerSetting = iota
+	PlannerOn
+	PlannerOff
+)
+
+// ParsePlanner converts "on" or "off" (or "", meaning the default) into a
+// PlannerSetting.
+func ParsePlanner(s string) (PlannerSetting, error) {
+	switch s {
+	case "", "auto":
+		return PlannerAuto, nil
+	case "on":
+		return PlannerOn, nil
+	case "off":
+		return PlannerOff, nil
+	default:
+		return 0, fmt.Errorf("engine: planner must be on or off (got %q)", s)
+	}
+}
+
+// Options is the unified evaluation-options struct of the engine facade,
+// replacing the per-package option structs the entry points used to take.
+// The zero value asks for certain answers via null stripping with the
+// planner on — the cheapest sound configuration.
+type Options struct {
+	// Mode selects the certain-answer notion to compute.
+	Mode Mode
+
+	// Planner selects the planned fast paths or the oracle; PlannerAuto
+	// (the zero value) means on.
+	Planner PlannerSetting
+
+	// ExtraFresh is the number of fresh constants (outside adom and the
+	// query constants) added to the world-enumeration domain; 0 defaults
+	// to 1 when the database has nulls.  Only the world-enumeration modes
+	// read it.
+	ExtraFresh int
+
+	// MaxExtraTuples bounds the additional tuples considered in OWA world
+	// enumeration (ModeCertainOWA; 0 enumerates only minimal worlds).
+	MaxExtraTuples int
+
+	// ExtraConstants are added to the enumeration domain on top of adom
+	// and the constants mentioned by the query.
+	ExtraConstants []value.Value
+
+	// Workers > 1 evaluates worlds on a pool of that many goroutines;
+	// <= 1 is serial.  (This parallelizes a single world enumeration;
+	// Engine.Serve parallelizes across queries.)
+	Workers int
+
+	// MaxWorlds aborts world enumeration when more valuations would be
+	// needed (0 means no bound).
+	MaxWorlds int
+}
+
+// certainOptions converts the world-enumeration knobs for package certain.
+func (o Options) certainOptions() certain.Options {
+	return certain.Options{
+		ExtraFresh:     o.ExtraFresh,
+		MaxExtraTuples: o.MaxExtraTuples,
+		ExtraConstants: o.ExtraConstants,
+		Workers:        o.Workers,
+		MaxWorlds:      o.MaxWorlds,
+	}
+}

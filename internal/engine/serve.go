@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"incdata/internal/ra"
+	"incdata/internal/sqlx"
+	"incdata/internal/table"
+)
+
+// Request is one query of a Serve batch: either a relational-algebra
+// expression evaluated under Opts, or a SQL-semantics query (when SQL is
+// non-nil, it wins and Opts is ignored except for the planner setting,
+// which SQL evaluation does not use).
+type Request struct {
+	Query ra.Expr
+	SQL   *sqlx.Query
+	Opts  Options
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	Rel *table.Relation
+	Err error
+}
+
+// Serve evaluates a batch of requests against this snapshot on a pool of
+// workers and returns the responses in request order.  workers <= 0 uses
+// GOMAXPROCS.  Every request sees the same database state — the snapshot's
+// — regardless of concurrent writers.
+func (s *Snapshot) Serve(reqs []Request, workers int) []Response {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers == 1 {
+		for i := range reqs {
+			out[i] = s.serveOne(reqs[i])
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = s.serveOne(reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+func (s *Snapshot) serveOne(req Request) Response {
+	switch {
+	case req.SQL != nil:
+		rel, err := s.SQL(*req.SQL)
+		return Response{Rel: rel, Err: err}
+	case req.Query != nil:
+		rel, err := s.Eval(req.Query, req.Opts)
+		return Response{Rel: rel, Err: err}
+	default:
+		return Response{Err: fmt.Errorf("engine: request has neither Query nor SQL")}
+	}
+}
+
+// Serve takes a snapshot and evaluates the batch against it; see
+// Snapshot.Serve.  Writers may keep updating the engine while the batch
+// runs — the batch is evaluated against a single consistent state.
+func (e *Engine) Serve(reqs []Request, workers int) []Response {
+	return e.Snapshot().Serve(reqs, workers)
+}

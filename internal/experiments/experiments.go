@@ -1,9 +1,13 @@
-// Package experiments implements the reproduction experiments E1–E12
+// Package experiments implements the reproduction experiments E1–E13
 // indexed in the "Experiments" section of README.md.  The paper (a theory keynote) has no numbered
 // tables or figures; each experiment regenerates one of its worked examples
 // or checkable claims, at parameterised scale, and prints the rows recorded
 // in README.md.  The same code backs cmd/incbench (human-readable
 // output) and the root-level Go benchmarks (one Benchmark per experiment).
+//
+// All query evaluation goes through the engine facade (internal/engine): a
+// Harness carries the evaluation settings (planner on/off) and spins up
+// one engine per generated database, exactly as a serving workload would.
 package experiments
 
 import (
@@ -11,9 +15,9 @@ import (
 	"strings"
 	"time"
 
-	"incdata/internal/certain"
 	"incdata/internal/cq"
 	"incdata/internal/ctable"
+	"incdata/internal/engine"
 	"incdata/internal/hom"
 	"incdata/internal/order"
 	"incdata/internal/ra"
@@ -23,6 +27,31 @@ import (
 	"incdata/internal/value"
 	"incdata/internal/workload"
 )
+
+// Harness carries the evaluation settings shared by every experiment; the
+// zero value evaluates through the engine with the planner on.
+type Harness struct {
+	// Planner selects the engine's evaluation path for every query the
+	// experiments run.
+	Planner engine.PlannerSetting
+}
+
+// engine builds the evaluation engine for one generated database.
+func (h Harness) engine(d *table.Database) *engine.Engine { return engine.New(d) }
+
+// opts is the engine options for a mode under the harness's settings.
+func (h Harness) opts(m engine.Mode) engine.Options {
+	return engine.Options{Mode: m, Planner: h.Planner}
+}
+
+// mustRel unwraps an engine evaluation that cannot fail in a healthy
+// experiment run.
+func mustRel(r *table.Relation, err error) *table.Relation {
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
 
 // Result is the printable outcome of one experiment.
 type Result struct {
@@ -127,7 +156,7 @@ func certainUnpaid(d *table.Database) int {
 // rates and compares the SQL NOT IN answer, the SQL NOT EXISTS rewrite
 // (the sound "possibly unpaid" over-approximation), and tuple-level certain
 // answers against the generator's ground truth.
-func E1UnpaidOrders(sizes []int, nullRates []float64) Result {
+func (h Harness) E1UnpaidOrders(sizes []int, nullRates []float64) Result {
 	res := Result{
 		ID:     "E1",
 		Title:  "Unpaid-orders anomaly: SQL 3VL vs certain answers (§1)",
@@ -138,8 +167,9 @@ func E1UnpaidOrders(sizes []int, nullRates []float64) Result {
 	for _, n := range sizes {
 		for _, rate := range nullRates {
 			d, unpaid := workload.Orders(workload.OrdersConfig{Orders: n, PaidFraction: 0.7, NullRate: rate, Seed: 42})
-			notIn := sqlx.MustEval(sqlNotIn(), d)
-			notExists := sqlx.MustEval(sqlNotExists(), d)
+			eng := h.engine(d)
+			notIn := mustRel(eng.SQL(sqlNotIn()))
+			notExists := mustRel(eng.SQL(sqlNotExists()))
 			cert := certainUnpaid(d)
 			falseNeg := len(unpaid) - notIn.Len()
 			if falseNeg < 0 {
@@ -156,7 +186,7 @@ func E1UnpaidOrders(sizes []int, nullRates []float64) Result {
 // E2Difference reproduces the R − S anomaly: SQL returns ∅ whenever S
 // contains a null although |R| > |S| forces nonemptiness; the Boolean
 // certain answer "R − S is nonempty" is computed from the cardinalities.
-func E2Difference(rSizes []int) Result {
+func (h Harness) E2Difference(rSizes []int) Result {
 	res := Result{
 		ID:     "E2",
 		Title:  "R − S with a null in S: SQL vs certainty (§1)",
@@ -165,13 +195,14 @@ func E2Difference(rSizes []int) Result {
 	}
 	for _, n := range rSizes {
 		d := workload.Pairs(workload.PairsConfig{RSize: n, SSize: 1, SNulls: 1, DomainSize: 10 * n, Seed: 7})
+		eng := h.engine(d)
 		q := sqlx.Query{
 			Select: []string{"A"},
 			From:   "R",
 			Where:  sqlx.In{Term: sqlx.Col("A"), Sub: sqlx.Subquery{Select: "A", From: "S"}, Negate: true},
 		}
-		sqlAns := sqlx.MustEval(q, d)
-		naive, _ := certain.Naive(ra.Diff{Left: ra.Base("R"), Right: ra.Base("S")}, d)
+		sqlAns := mustRel(eng.SQL(q))
+		naive, _ := eng.Eval(ra.Diff{Left: ra.Base("R"), Right: ra.Base("S")}, h.opts(engine.ModeCertain))
 		rLen := d.Relation("R").Len()
 		sLen := d.Relation("S").Len()
 		res.Rows = append(res.Rows, []string{
@@ -183,11 +214,12 @@ func E2Difference(rSizes []int) Result {
 
 // E3Tautology reproduces Grant's example: the tautological selection drops
 // the null row under SQL 3VL but is certain under every interpretation.
-func E3Tautology() Result {
+func (h Harness) E3Tautology() Result {
 	d := table.NewDatabase(workload.OrdersSchema())
 	d.MustAddRow("Order", "oid1", "pr1")
 	d.MustAddRow("Order", "oid2", "pr2")
 	d.MustAddRow("Pay", "pid1", "⊥1", "100")
+	eng := h.engine(d)
 
 	sqlQ := sqlx.Query{
 		Select: []string{"p_id"},
@@ -197,7 +229,7 @@ func E3Tautology() Result {
 			sqlx.Neq(sqlx.Col("order"), sqlx.ValString("oid1")),
 		),
 	}
-	sqlAns := sqlx.MustEval(sqlQ, d)
+	sqlAns := mustRel(eng.SQL(sqlQ))
 
 	raQ := ra.Project{
 		Input: ra.Select{
@@ -209,7 +241,9 @@ func E3Tautology() Result {
 		},
 		Attrs: []string{"p_id"},
 	}
-	truth, _ := certain.ByWorldsCWA(raQ, d, certain.Options{ExtraFresh: 1})
+	cwaOpts := h.opts(engine.ModeCertainCWA)
+	cwaOpts.ExtraFresh = 1
+	truth, _ := eng.Eval(raQ, cwaOpts)
 
 	return Result{
 		ID:     "E3",
@@ -226,7 +260,7 @@ func E3Tautology() Result {
 // E4CTables verifies the strong-representation-system property of c-tables
 // on R − S instances of growing size: the worlds of the computed c-table
 // coincide with the direct images {v(R) − v(S)}.
-func E4CTables(rSizes []int) Result {
+func (h Harness) E4CTables(rSizes []int) Result {
 	res := Result{
 		ID:     "E4",
 		Title:  "Conditional tables as a strong representation system for R − S (§2)",
@@ -276,7 +310,7 @@ func E4CTables(rSizes []int) Result {
 // E5NaiveUCQ checks equation (4) — naïve evaluation computes certain
 // answers for UCQs — on random naïve databases, and exhibits the π(R−S)
 // counterexample outside the fragment.
-func E5NaiveUCQ(trials int, nullCounts []int) Result {
+func (h Harness) E5NaiveUCQ(trials int, nullCounts []int) Result {
 	res := Result{
 		ID:     "E5",
 		Title:  "Naïve evaluation = certain answers for UCQs; failure beyond (§2, eq. 4)",
@@ -301,7 +335,11 @@ func E5NaiveUCQ(trials int, nullCounts []int) Result {
 				NullRate:          0.35,
 				Seed:              int64(1000*k + trial),
 			})
-			cmp, err := certain.Compare(ucq, d, certain.Options{ExtraFresh: 1, MaxWorlds: 200000})
+			eng := h.engine(d)
+			cmpOpts := h.opts(engine.ModeCertainCWA)
+			cmpOpts.ExtraFresh = 1
+			cmpOpts.MaxWorlds = 200000
+			cmp, err := eng.Compare(ucq, cmpOpts)
 			if err != nil {
 				continue
 			}
@@ -310,7 +348,7 @@ func E5NaiveUCQ(trials int, nullCounts []int) Result {
 			} else {
 				disagree++
 			}
-			cmp2, err := certain.Compare(projDiff, d, certain.Options{ExtraFresh: 1, MaxWorlds: 200000})
+			cmp2, err := eng.Compare(projDiff, cmpOpts)
 			if err == nil && len(cmp2.SpuriousInNaive) > 0 {
 				spurious++
 			}
@@ -325,7 +363,7 @@ func E5NaiveUCQ(trials int, nullCounts []int) Result {
 // E6Complexity exhibits the complexity separation: naïve evaluation scales
 // with the database, world enumeration scales exponentially with the number
 // of nulls.
-func E6Complexity(dbSizes []int, nullCounts []int) Result {
+func (h Harness) E6Complexity(dbSizes []int, nullCounts []int) Result {
 	res := Result{
 		ID:     "E6",
 		Title:  "Data-complexity separation: naïve evaluation vs world enumeration (§2)",
@@ -348,15 +386,20 @@ func E6Complexity(dbSizes []int, nullCounts []int) Result {
 				NullRate:          0.2,
 				Seed:              int64(size + k),
 			})
+			eng := h.engine(d)
 			start := time.Now()
-			if _, err := certain.Naive(q, d); err != nil {
+			if _, err := eng.Eval(q, h.opts(engine.ModeCertain)); err != nil {
 				continue
 			}
 			naiveTime := time.Since(start)
 
+			cwaOpts := h.opts(engine.ModeCertainCWA)
+			cwaOpts.ExtraFresh = 1
+			cwaOpts.MaxWorlds = 1 << 17
+			cwaOpts.Workers = 4
 			start = time.Now()
 			worlds := 0
-			_, err := certain.ByWorldsCWA(q, d, certain.Options{ExtraFresh: 1, MaxWorlds: 1 << 17, Workers: 4})
+			_, err := eng.Eval(q, cwaOpts)
 			worldTime := time.Since(start)
 			worldCell := "skipped"
 			if err == nil {
@@ -378,7 +421,7 @@ func E6Complexity(dbSizes []int, nullCounts []int) Result {
 // E7Duality cross-checks the three equivalent ways of computing certain
 // answers to Boolean CQs under OWA (§4): naïve evaluation D ⊨ Q, the
 // containment Q_D ⊆ Q, and the homomorphism test.
-func E7Duality(atomCounts []int, trials int) Result {
+func (h Harness) E7Duality(atomCounts []int, trials int) Result {
 	res := Result{
 		ID:     "E7",
 		Title:  "Duality: certain CQ answers = containment = naïve evaluation (§4)",
@@ -429,16 +472,21 @@ func E7Duality(atomCounts []int, trials int) Result {
 // E8CertainO reproduces the Section 5.3 example: the intersection-based
 // certain answer is not a ⪯cwa lower bound of the answer set, while
 // certainO (the GLB) is, and certainO coincides with the naïve answer.
-func E8CertainO() Result {
+func (h Harness) E8CertainO() Result {
 	s := schema.MustNew(schema.WithArity("R", 2))
 	d := table.NewDatabase(s)
 	d.MustAddRow("R", "1", "2")
 	d.MustAddRow("R", "2", "⊥1")
 	q := ra.Base("R")
+	eng := h.engine(d)
 
-	inter, _ := certain.ByWorldsCWA(q, d, certain.Options{ExtraFresh: 2})
-	glb, _ := certain.CertainObjectCWA(q, d, certain.Options{ExtraFresh: 2})
-	naiveRaw, _ := certain.NaiveRaw(q, d)
+	cwaOpts := h.opts(engine.ModeCertainCWA)
+	cwaOpts.ExtraFresh = 2
+	glbOpts := h.opts(engine.ModeCertainObject)
+	glbOpts.ExtraFresh = 2
+	inter, _ := eng.Eval(q, cwaOpts)
+	glb, _ := eng.Eval(q, glbOpts)
+	naiveRaw, _ := eng.Eval(q, h.opts(engine.ModeNaive))
 
 	// Collect the answer relations over the worlds as databases for the
 	// lower-bound checks.
@@ -477,7 +525,7 @@ func E8CertainO() Result {
 
 // E9Division verifies that cwa-naïve evaluation works for division (RAcwa)
 // queries on generated enrolment databases of growing size.
-func E9Division(studentCounts []int, nullRates []float64) Result {
+func (h Harness) E9Division(studentCounts []int, nullRates []float64) Result {
 	res := Result{
 		ID:     "E9",
 		Title:  "Division (RAcwa) under CWA: naïve evaluation is correct (§6.2)",
@@ -487,15 +535,20 @@ func E9Division(studentCounts []int, nullRates []float64) Result {
 	for _, n := range studentCounts {
 		for _, rate := range nullRates {
 			d, _ := workload.Enroll(workload.EnrollConfig{Students: n, Courses: 3, EnrollRate: 0.8, NullRate: rate, Seed: int64(n)})
+			eng := h.engine(d)
 			start := time.Now()
-			naive, err := certain.Naive(q, d)
+			naive, err := eng.Eval(q, h.opts(engine.ModeCertain))
 			naiveTime := time.Since(start)
 			if err != nil {
 				continue
 			}
 			agreeCell := "skipped"
 			if len(d.Nulls()) <= 3 {
-				truth, err := certain.ByWorldsCWA(q, d, certain.Options{ExtraFresh: 1, MaxWorlds: 1 << 17, Workers: 4})
+				cwaOpts := h.opts(engine.ModeCertainCWA)
+				cwaOpts.ExtraFresh = 1
+				cwaOpts.MaxWorlds = 1 << 17
+				cwaOpts.Workers = 4
+				truth, err := eng.Eval(q, cwaOpts)
 				if err == nil {
 					agreeCell = fmt.Sprintf("%v", naive.Equal(truth))
 				}
@@ -510,7 +563,7 @@ func E9Division(studentCounts []int, nullRates []float64) Result {
 
 // E10Exchange chases the introduction's schema mapping at scale and answers
 // a UCQ over the exchanged data.
-func E10Exchange(orderCounts []int) Result {
+func (h Harness) E10Exchange(orderCounts []int) Result {
 	res := Result{
 		ID:     "E10",
 		Title:  "Schema mappings and the chase: Order(i,p) → Cust(x), Pref(x,p) (§1, §7)",
@@ -541,8 +594,7 @@ func E10Exchange(orderCounts []int) Result {
 // E11Theorem runs the naïve-evaluation theorem harness over families of
 // small instances: equation (9) must hold for monotone generic queries and
 // fail for the non-monotone counterexample.
-func E11Theorem(instanceCount int) Result {
-	s := schema.MustNew(schema.WithArity("R", 2), schema.WithArity("S", 2))
+func (h Harness) E11Theorem(instanceCount int) Result {
 	monotone := ra.Project{
 		Input: ra.Join{
 			Left:  ra.Rename{Input: ra.Base("R"), As: "R1", Attrs: []string{"a", "b"}},
@@ -564,10 +616,10 @@ func E11Theorem(instanceCount int) Result {
 			Seed:              int64(i),
 		})
 		total++
-		if theoremHolds(monotone, d, s) {
+		if h.theoremHolds(monotone, d) {
 			holdsMono++
 		}
-		if theoremHolds(nonMonotone, d, s) {
+		if h.theoremHolds(nonMonotone, d) {
 			holdsNon++
 		}
 	}
@@ -584,12 +636,16 @@ func E11Theorem(instanceCount int) Result {
 	}
 }
 
-func theoremHolds(q ra.Expr, d *table.Database, s *schema.Schema) bool {
-	glb, err := certain.CertainObjectCWA(q, d, certain.Options{ExtraFresh: 2, MaxWorlds: 1 << 20})
+func (h Harness) theoremHolds(q ra.Expr, d *table.Database) bool {
+	eng := h.engine(d)
+	glbOpts := h.opts(engine.ModeCertainObject)
+	glbOpts.ExtraFresh = 2
+	glbOpts.MaxWorlds = 1 << 20
+	glb, err := eng.Eval(q, glbOpts)
 	if err != nil {
 		return false
 	}
-	naiveRaw, err := certain.NaiveRaw(q, d)
+	naiveRaw, err := eng.Eval(q, h.opts(engine.ModeNaive))
 	if err != nil {
 		return false
 	}
@@ -605,9 +661,92 @@ func relToDB(r *table.Relation) *table.Database {
 	return d
 }
 
+// E13EngineBatch measures the engine's concurrent batch API: a mixed batch
+// of SQL and certain-answer queries served against one consistent snapshot
+// on worker pools of growing size, while a writer keeps committing updates
+// to the live database.  The speedup column is the tentpole number: how
+// much throughput the snapshot-isolated worker pool buys over serial
+// evaluation of the same batch (bounded by the core count — on one CPU it
+// hovers around 1x).
+func (h Harness) E13EngineBatch(queries int, workerCounts []int) Result {
+	res := Result{
+		ID:     "E13",
+		Title:  "Engine batch throughput: snapshot-isolated worker pool (engine facade)",
+		Header: []string{"workers", "queries", "seconds", "qps", "speedup", "agree"},
+		Notes: "All sweeps serve one consistent snapshot while a writer commits to the live database;\n" +
+			"agree checks every answer against the workers=1 sweep of the same snapshot.",
+	}
+	if len(workerCounts) == 0 || workerCounts[0] != 1 {
+		workerCounts = append([]int{1}, workerCounts...)
+	}
+	d, _ := workload.Orders(workload.OrdersConfig{Orders: 500, PaidFraction: 0.7, NullRate: 0.3, Seed: 42})
+	eng := h.engine(d)
+
+	unpaidRA := ra.Diff{
+		Left:  ra.Rename{Input: ra.Project{Input: ra.Base("Order"), Attrs: []string{"o_id"}}, As: "O", Attrs: []string{"id"}},
+		Right: ra.Rename{Input: ra.Project{Input: ra.Base("Pay"), Attrs: []string{"order"}}, As: "P", Attrs: []string{"id"}},
+	}
+	notExists := sqlNotExists()
+	reqs := make([]engine.Request, queries)
+	for i := range reqs {
+		switch i % 3 {
+		case 0:
+			reqs[i] = engine.Request{SQL: &notExists}
+		case 1:
+			reqs[i] = engine.Request{Query: unpaidRA, Opts: h.opts(engine.ModeCertain)}
+		default:
+			reqs[i] = engine.Request{Query: unpaidRA, Opts: h.opts(engine.ModeNaive)}
+		}
+	}
+
+	// Every sweep reads this snapshot; the writes below must never show up
+	// in any answer.
+	snap := eng.Snapshot()
+	var baseline []engine.Response
+	var serialSecs float64
+	for _, workers := range workerCounts {
+		// Commit a write between sweeps: snapshot isolation is what keeps
+		// the sweeps comparable.
+		if err := eng.Update(func(db *table.Database) error {
+			return db.Add("Order", table.NewTuple(value.String(fmt.Sprintf("oid-w%d", workers)), value.String("pr-extra")))
+		}); err != nil {
+			continue
+		}
+		start := time.Now()
+		resp := snap.Serve(reqs, workers)
+		elapsed := time.Since(start)
+
+		agree := true
+		if baseline == nil {
+			baseline = resp
+			serialSecs = elapsed.Seconds()
+		} else {
+			for i := range resp {
+				if (resp[i].Err == nil) != (baseline[i].Err == nil) {
+					agree = false
+					break
+				}
+				if resp[i].Err == nil && !resp[i].Rel.Equal(baseline[i].Rel) {
+					agree = false
+					break
+				}
+			}
+		}
+		speedup := "-"
+		if serialSecs > 0 && elapsed.Seconds() > 0 && workers != 1 {
+			speedup = fmt.Sprintf("%.2fx", serialSecs/elapsed.Seconds())
+		}
+		res.Rows = append(res.Rows, []string{
+			itoa(workers), itoa(queries), fmt.Sprintf("%.4f", elapsed.Seconds()),
+			fmt.Sprintf("%.0f", float64(queries)/elapsed.Seconds()), speedup, fmt.Sprintf("%v", agree),
+		})
+	}
+	return res
+}
+
 // E12Orderings measures the homomorphism-based orderings and GLB machinery
 // on random database pairs.
-func E12Orderings(sizes []int, pairs int) Result {
+func (h Harness) E12Orderings(sizes []int, pairs int) Result {
 	res := Result{
 		ID:     "E12",
 		Title:  "Information orderings ⪯owa/⪯cwa and GLBs on random pairs (§5.2, §5.3)",

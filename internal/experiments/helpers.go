@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"incdata/internal/cq"
+	"incdata/internal/engine"
 	"incdata/internal/exchange"
 	"incdata/internal/schema"
 	"incdata/internal/table"
@@ -47,6 +48,10 @@ func projectOrders(d *table.Database) *table.Database {
 // Config bundles the sweep parameters of all experiments so that the CLI
 // and the benchmarks can choose between a quick and a full run.
 type Config struct {
+	// Planner selects the engine evaluation path for every query the
+	// experiments run (the incbench -planner flag).
+	Planner engine.PlannerSetting
+
 	E1Sizes      []int
 	E1NullRates  []float64
 	E2Sizes      []int
@@ -63,6 +68,8 @@ type Config struct {
 	E11Instances int
 	E12Sizes     []int
 	E12Pairs     int
+	E13Queries   int
+	E13Workers   []int
 }
 
 // QuickConfig keeps every experiment under a few seconds; it is the default
@@ -85,6 +92,8 @@ func QuickConfig() Config {
 		E11Instances: 40,
 		E12Sizes:     []int{4, 8},
 		E12Pairs:     10,
+		E13Queries:   400,
+		E13Workers:   []int{1, 2, 4},
 	}
 }
 
@@ -108,6 +117,8 @@ func FullConfig() Config {
 		E11Instances: 200,
 		E12Sizes:     []int{4, 8, 16},
 		E12Pairs:     25,
+		E13Queries:   2000,
+		E13Workers:   []int{1, 2, 4, 8},
 	}
 }
 
@@ -116,24 +127,27 @@ func FullConfig() Config {
 func All(cfg Config) []Result { return Run(cfg, nil) }
 
 // Run executes the selected experiments (nil or empty selects all) in
-// order, stamping each result with its wall-clock duration.
+// order through a Harness with the config's evaluation settings, stamping
+// each result with its wall-clock duration.
 func Run(cfg Config, ids map[string]bool) []Result {
+	h := Harness{Planner: cfg.Planner}
 	runs := []struct {
 		id  string
 		run func() Result
 	}{
-		{"E1", func() Result { return E1UnpaidOrders(cfg.E1Sizes, cfg.E1NullRates) }},
-		{"E2", func() Result { return E2Difference(cfg.E2Sizes) }},
-		{"E3", func() Result { return E3Tautology() }},
-		{"E4", func() Result { return E4CTables(cfg.E4Sizes) }},
-		{"E5", func() Result { return E5NaiveUCQ(cfg.E5Trials, cfg.E5NullCounts) }},
-		{"E6", func() Result { return E6Complexity(cfg.E6DBSizes, cfg.E6NullCounts) }},
-		{"E7", func() Result { return E7Duality(cfg.E7AtomCounts, cfg.E7Trials) }},
-		{"E8", func() Result { return E8CertainO() }},
-		{"E9", func() Result { return E9Division(cfg.E9Students, cfg.E9NullRates) }},
-		{"E10", func() Result { return E10Exchange(cfg.E10Orders) }},
-		{"E11", func() Result { return E11Theorem(cfg.E11Instances) }},
-		{"E12", func() Result { return E12Orderings(cfg.E12Sizes, cfg.E12Pairs) }},
+		{"E1", func() Result { return h.E1UnpaidOrders(cfg.E1Sizes, cfg.E1NullRates) }},
+		{"E2", func() Result { return h.E2Difference(cfg.E2Sizes) }},
+		{"E3", func() Result { return h.E3Tautology() }},
+		{"E4", func() Result { return h.E4CTables(cfg.E4Sizes) }},
+		{"E5", func() Result { return h.E5NaiveUCQ(cfg.E5Trials, cfg.E5NullCounts) }},
+		{"E6", func() Result { return h.E6Complexity(cfg.E6DBSizes, cfg.E6NullCounts) }},
+		{"E7", func() Result { return h.E7Duality(cfg.E7AtomCounts, cfg.E7Trials) }},
+		{"E8", func() Result { return h.E8CertainO() }},
+		{"E9", func() Result { return h.E9Division(cfg.E9Students, cfg.E9NullRates) }},
+		{"E10", func() Result { return h.E10Exchange(cfg.E10Orders) }},
+		{"E11", func() Result { return h.E11Theorem(cfg.E11Instances) }},
+		{"E12", func() Result { return h.E12Orderings(cfg.E12Sizes, cfg.E12Pairs) }},
+		{"E13", func() Result { return h.E13EngineBatch(cfg.E13Queries, cfg.E13Workers) }},
 	}
 	var out []Result
 	for _, r := range runs {

@@ -115,6 +115,26 @@ func (d *Database) Clone() *Database {
 	return out
 }
 
+// Snapshot returns an immutable view of the database for snapshot-isolated
+// reads: the view shares every relation's tuple storage copy-on-write, so
+// taking it costs O(#relations), and subsequent mutations of the original
+// copy the mutated relation's map first and never disturb the view.  Any
+// number of goroutines may evaluate queries against the returned database
+// concurrently, also while writers keep mutating the original.
+//
+// Snapshot itself must not race with writers (it reads each relation's
+// stamp while marking the storage shared); callers serialize the two, which
+// is what engine.Engine does with its mutex.  The returned database is a
+// view, not a fork: mutating it violates the isolation contract — use
+// Clone for a mutable copy.
+func (d *Database) Snapshot() *Database {
+	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels))}
+	for n, r := range d.rels {
+		out.rels[n] = r.share()
+	}
+	return out
+}
+
 // Equal reports whether two databases over the same relation names have
 // identical relations (set equality of tuples per relation).
 func (d *Database) Equal(o *Database) bool {

@@ -27,11 +27,20 @@ type Relation struct {
 	shared  atomic.Bool              // tuple map shared with another Relation
 	indexes atomic.Pointer[[]*Index] // lazily built hash indexes (see index.go)
 	version uint64                   // bumped on every mutation (plan-cache validation)
+	gen     uint64                   // storage generation, see Stamp
 }
+
+// storageGen issues a process-unique generation id for every tuple map a
+// relation ever owns.  Copy-on-write shares carry the generation over, so
+// two relations with the same generation read the same storage lineage.
+var storageGen atomic.Uint64
+
+// nextGen returns a fresh, never-before-issued storage generation.
+func nextGen() uint64 { return storageGen.Add(1) }
 
 // NewRelation creates an empty relation with the given schema.
 func NewRelation(rs schema.Relation) *Relation {
-	return &Relation{schema: rs, tuples: make(map[string]Tuple)}
+	return &Relation{schema: rs, tuples: make(map[string]Tuple), gen: nextGen()}
 }
 
 // NewRelationArity creates an empty relation named name with auto-named
@@ -78,12 +87,27 @@ func (r *Relation) Len() int {
 	return len(r.tuples)
 }
 
-// Version returns a counter that changes on every mutation of the
-// relation (not on copy-on-write shares).  Query-plan caches use it to
-// detect staleness; it is not synchronized, so concurrent readers are only
-// safe while no goroutine mutates the relation — the same contract as
+// Stamp identifies the content of a relation's tuple storage: the storage
+// generation (process-unique per tuple map, carried across copy-on-write
+// shares) plus the mutation counter.  Two relations whose stamps are equal
+// hold identical tuple sets — either they share the same frozen map, or
+// the stamp belongs to the single exclusive owner — which is what lets
+// plan caches validate entries across database snapshots without pointer
+// identity.
+type Stamp struct {
+	Gen uint64
+	Ver uint64
+}
+
+// Stamp returns the relation's content stamp.  It is not synchronized:
+// it must not race with mutations of the relation — the same contract as
 // reading the relation itself.
-func (r *Relation) Version() uint64 { return r.version }
+func (r *Relation) Stamp() Stamp {
+	if r == nil {
+		return Stamp{}
+	}
+	return Stamp{Gen: r.gen, Ver: r.version}
+}
 
 // mutable ensures r exclusively owns its tuple map, copying it first when it
 // is shared with another relation (the copy shares the stored tuples and
@@ -93,6 +117,7 @@ func (r *Relation) mutable() {
 	r.invalidateIndexes()
 	if r.tuples == nil {
 		r.tuples = make(map[string]Tuple)
+		r.gen = nextGen()
 		return
 	}
 	if r.shared.Load() {
@@ -101,6 +126,7 @@ func (r *Relation) mutable() {
 			m[k] = t
 		}
 		r.tuples = m
+		r.gen = nextGen()
 		r.shared.Store(false)
 	}
 }
@@ -109,7 +135,7 @@ func (r *Relation) mutable() {
 // sides copy the map before their next mutation.
 func (r *Relation) share() *Relation {
 	r.shared.Store(true)
-	out := &Relation{schema: r.schema, tuples: r.tuples}
+	out := &Relation{schema: r.schema, tuples: r.tuples, version: r.version, gen: r.gen}
 	out.shared.Store(true)
 	return out
 }
@@ -368,7 +394,7 @@ func (r *Relation) ActiveDomain() map[value.Value]bool {
 // relation (useful for applying valuations and homomorphisms).  Tuples that
 // f leaves unchanged are shared together with their stored keys.
 func (r *Relation) Map(f func(value.Value) value.Value) *Relation {
-	out := &Relation{schema: r.schema, tuples: make(map[string]Tuple, len(r.tuples))}
+	out := &Relation{schema: r.schema, tuples: make(map[string]Tuple, len(r.tuples)), gen: nextGen()}
 	out.fillMapped(r, f)
 	return out
 }
@@ -391,6 +417,7 @@ func (r *Relation) Reset(rs schema.Relation) {
 	r.invalidateIndexes()
 	if r.tuples == nil || r.shared.Load() {
 		r.tuples = make(map[string]Tuple)
+		r.gen = nextGen()
 		r.shared.Store(false)
 	} else {
 		clear(r.tuples)
@@ -415,7 +442,7 @@ func (r *Relation) fillMapped(src *Relation, f func(value.Value) value.Value) {
 // Filter returns the sub-relation of tuples satisfying pred.  Tuples and
 // their stored keys are shared with r, not copied.
 func (r *Relation) Filter(pred func(Tuple) bool) *Relation {
-	out := &Relation{schema: r.schema, tuples: make(map[string]Tuple)}
+	out := &Relation{schema: r.schema, tuples: make(map[string]Tuple), gen: nextGen()}
 	for k, t := range r.tuples {
 		if pred(t) {
 			out.tuples[k] = t

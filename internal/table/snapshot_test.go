@@ -1,0 +1,92 @@
+package table
+
+import (
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/value"
+)
+
+func twoRelDB(t *testing.T) *Database {
+	t.Helper()
+	s := schema.MustNew(schema.NewRelation("R", "a", "b"), schema.NewRelation("S", "b"))
+	d := NewDatabase(s)
+	d.MustAddRow("R", "1", "⊥1")
+	d.MustAddRow("R", "3", "4")
+	d.MustAddRow("S", "2")
+	return d
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	d := twoRelDB(t)
+	snap := d.Snapshot()
+	before := snap.Relation("R").Tuples()
+
+	// Mutations of the original must not leak into the snapshot.
+	d.MustAddRow("R", "5", "6")
+	if !d.Relation("R").Contains(MustParseTuple("5", "6")) {
+		t.Fatal("original lost the write")
+	}
+	if snap.Relation("R").Len() != len(before) {
+		t.Fatalf("snapshot grew to %d tuples", snap.Relation("R").Len())
+	}
+	if snap.Relation("R").Contains(MustParseTuple("5", "6")) {
+		t.Fatal("write leaked into the snapshot")
+	}
+
+	// A snapshot taken after the write sees it; the old one still does not.
+	snap2 := d.Snapshot()
+	if !snap2.Relation("R").Contains(MustParseTuple("5", "6")) {
+		t.Fatal("fresh snapshot misses the write")
+	}
+	if snap.Relation("R").Contains(MustParseTuple("5", "6")) {
+		t.Fatal("old snapshot changed retroactively")
+	}
+}
+
+func TestStampIdentifiesContent(t *testing.T) {
+	d := twoRelDB(t)
+	r := d.Relation("R")
+
+	// Snapshots carry the stamp of the storage they share.
+	s1 := d.Snapshot()
+	s2 := d.Snapshot()
+	if s1.Relation("R").Stamp() != r.Stamp() || s2.Relation("R").Stamp() != r.Stamp() {
+		t.Fatal("snapshot relations must share the base stamp")
+	}
+	if s1.Relation("R").Stamp().Gen == 0 {
+		t.Fatal("stamps must have a nonzero generation")
+	}
+
+	// Mutating the base changes its stamp but freezes the snapshots'.
+	old := s1.Relation("R").Stamp()
+	d.MustAddRow("R", "7", "8")
+	if r.Stamp() == old {
+		t.Fatal("mutation must change the base stamp")
+	}
+	if s1.Relation("R").Stamp() != old {
+		t.Fatal("snapshot stamp changed under mutation of the base")
+	}
+
+	// Unrelated relations keep their stamp across snapshots, which is what
+	// lets plan caches survive writes to other relations.
+	s3 := d.Snapshot()
+	if s3.Relation("S").Stamp() != s1.Relation("S").Stamp() {
+		t.Fatal("untouched relation should keep its stamp across snapshots")
+	}
+
+	// Fresh relations never share a stamp, even when empty and identical.
+	a := NewRelation(schema.WithArity("T", 1))
+	b := NewRelation(schema.WithArity("T", 1))
+	if a.Stamp() == b.Stamp() {
+		t.Fatal("independent relations must have distinct stamps")
+	}
+
+	// In-place mutations (exclusive owner) bump the stamp too.
+	a.MustAdd(NewTuple(value.Int(1)))
+	st := a.Stamp()
+	a.MustAdd(NewTuple(value.Int(2)))
+	if a.Stamp() == st {
+		t.Fatal("in-place mutation must bump the stamp")
+	}
+}
