@@ -1,5 +1,5 @@
 // Package incdata's root-level benchmarks: one Benchmark per reproduction
-// experiment (E1–E12, see the "Experiments" section of README.md).  Each benchmark
+// experiment (E1–E14, see the "Experiments" section of README.md).  Each benchmark
 // re-runs the corresponding experiment's workload at a representative
 // parameter point; cmd/incbench prints the full sweeps as tables.
 package incdata_test
@@ -310,6 +310,48 @@ func BenchmarkE13EngineBatch(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			check(b, eng.Serve(reqs, 0))
+		}
+	})
+}
+
+// BenchmarkE14IncrementalViews measures the maintained-view refresh path
+// against per-update full re-evaluation on the same update stream (the CI
+// bench smoke covers this path).
+func BenchmarkE14IncrementalViews(b *testing.B) {
+	unpaid := ra.Diff{
+		Left:  ra.Rename{Input: ra.Project{Input: ra.Base("Order"), Attrs: []string{"o_id"}}, As: "O", Attrs: []string{"id"}},
+		Right: ra.Rename{Input: ra.Project{Input: ra.Base("Pay"), Attrs: []string{"order"}}, As: "P", Attrs: []string{"id"}},
+	}
+	update := func(b *testing.B, eng *engine.Engine, i int) {
+		b.Helper()
+		err := eng.Update(func(db *table.Database) error {
+			return db.Add("Order", table.NewTuple(value.String("bench-o"+itoa5(i)), value.String("pr1")))
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		eng := engine.New(ordersDB(b, 500, 0.3))
+		if err := eng.Register("unpaid", unpaid, engine.Options{Mode: engine.ModeCertain}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			update(b, eng, i)
+			if _, err := eng.Answers("unpaid"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		eng := engine.New(ordersDB(b, 500, 0.3))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			update(b, eng, i)
+			if _, err := eng.Eval(unpaid, engine.Options{Mode: engine.ModeCertain}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

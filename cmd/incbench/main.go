@@ -1,4 +1,4 @@
-// Command incbench runs the reproduction experiments E1–E13 (see the
+// Command incbench runs the reproduction experiments E1–E14 (see the
 // "Experiments" section of README.md) through the engine facade and prints
 // one text table per experiment, or a single machine-readable JSON
 // document with -json so that successive runs can be archived
@@ -10,7 +10,9 @@
 // "both", which runs the suite twice and reports per-experiment timings
 // for each — the planner-on vs planner-off comparison archived in
 // BENCH_*.json.  E13 exercises the engine's snapshot-isolated concurrent
-// batch path and reports its parallel speedup.
+// batch path and reports its parallel speedup; E14 exercises maintained
+// views and reports the incremental-refresh vs full-recompute speedup on
+// an update stream.
 //
 // Usage:
 //

@@ -82,58 +82,11 @@ type worldCache struct {
 	m map[planKey]*worldEntry
 }
 
-// queryDeps returns the base relations the expression reads.  wholeDB is
-// set when the result depends on more than those relations' contents
-// (ra.Delta bakes in the active domain of the whole database, and unknown
-// operators are treated conservatively); the caller then records a stamp
-// for every relation.
-func queryDeps(e ra.Expr) (names []string, wholeDB bool) {
-	seen := map[string]bool{}
-	var walk func(e ra.Expr)
-	walk = func(e ra.Expr) {
-		switch ex := e.(type) {
-		case ra.Rel:
-			if !seen[ex.Name] {
-				seen[ex.Name] = true
-				names = append(names, ex.Name)
-			}
-		case ra.Select:
-			walk(ex.Input)
-		case ra.Project:
-			walk(ex.Input)
-		case ra.Rename:
-			walk(ex.Input)
-		case ra.Product:
-			walk(ex.Left)
-			walk(ex.Right)
-		case ra.Join:
-			walk(ex.Left)
-			walk(ex.Right)
-		case ra.Union:
-			walk(ex.Left)
-			walk(ex.Right)
-		case ra.Diff:
-			walk(ex.Left)
-			walk(ex.Right)
-		case ra.Intersect:
-			walk(ex.Left)
-			walk(ex.Right)
-		case ra.Division:
-			walk(ex.Left)
-			walk(ex.Right)
-		default:
-			wholeDB = true
-		}
-	}
-	walk(e)
-	return names, wholeDB
-}
-
 // worldDeps captures the stamps a world plan for q over d depends on, or
 // ok=false when a referenced relation does not exist (the caller lets plan
 // construction produce the error).
 func worldDeps(q ra.Expr, d *table.Database) (deps []relDep, ok bool) {
-	names, wholeDB := queryDeps(q)
+	names, wholeDB := ra.BaseRelations(q)
 	if wholeDB {
 		names = d.RelationNames()
 	}

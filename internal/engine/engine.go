@@ -26,10 +26,12 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"incdata/internal/certain"
+	"incdata/internal/inc"
 	"incdata/internal/ra"
 	"incdata/internal/sqlx"
 	"incdata/internal/table"
@@ -37,7 +39,8 @@ import (
 
 // Engine owns one logical database and everything needed to evaluate
 // queries against it concurrently: the planner and oracle evaluators (each
-// with its own plan caches and session pools) and the current snapshot.
+// with its own plan caches and session pools), the current snapshot, and
+// the registered maintained views (see views.go).
 type Engine struct {
 	mu   sync.Mutex
 	db   *table.Database
@@ -45,6 +48,8 @@ type Engine struct {
 
 	planned *certain.Evaluator
 	oracle  *certain.Evaluator
+
+	views map[string]*inc.View // maintained views, refreshed inside Update
 }
 
 // New creates an engine over db.  The engine adopts the database: all
@@ -64,10 +69,31 @@ func New(db *table.Database) *Engine {
 // relation copies its tuple map, never the snapshots' view of it.  The
 // cached current snapshot is invalidated whether or not fn fails, since a
 // failing fn may have partially mutated the database.
-func (e *Engine) Update(fn func(db *table.Database) error) error {
+//
+// While maintained views are registered, the update's net tuple deltas are
+// captured (table.Tracker) and every view is refreshed before Update
+// returns — incrementally where the view's delta network allows, by
+// re-evaluation otherwise, and not at all when the delta misses every
+// relation the view reads.  Views are refreshed even when fn fails or
+// panics, since fn may have committed partial mutations the views must
+// track; a panic is re-raised after the tracker is detached and the views
+// are consistent again.
+func (e *Engine) Update(fn func(db *table.Database) error) (err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.snap = nil
+	if len(e.views) == 0 {
+		return fn(e.db)
+	}
+	tr := e.db.Track()
+	defer func() {
+		cs := tr.Stop()
+		for _, name := range e.viewNamesLocked() {
+			if verr := e.views[name].Apply(cs, e.db); verr != nil {
+				err = errors.Join(err, verr)
+			}
+		}
+	}()
 	return fn(e.db)
 }
 
@@ -144,18 +170,25 @@ func (s *Snapshot) Database() *table.Database { return s.db }
 // Eval evaluates the relational-algebra query under the options' mode and
 // returns the answer relation.
 func (s *Snapshot) Eval(q ra.Expr, opts Options) (*table.Relation, error) {
-	ev := s.eng.evaluator(opts)
+	return evalMode(s.eng.evaluator(opts), q, s.db, opts)
+}
+
+// evalMode dispatches one evaluation on an explicit evaluator and database
+// state.  It is shared by Snapshot.Eval and the recompute path of
+// maintained views (which runs under the engine lock and therefore must
+// not go back through Snapshot).
+func evalMode(ev *certain.Evaluator, q ra.Expr, db *table.Database, opts Options) (*table.Relation, error) {
 	switch opts.Mode {
 	case ModeCertain:
-		return ev.Naive(q, s.db)
+		return ev.Naive(q, db)
 	case ModeNaive:
-		return ev.NaiveRaw(q, s.db)
+		return ev.NaiveRaw(q, db)
 	case ModeCertainCWA:
-		return ev.ByWorldsCWA(q, s.db, opts.certainOptions())
+		return ev.ByWorldsCWA(q, db, opts.certainOptions())
 	case ModeCertainOWA:
-		return ev.ByWorldsOWA(q, s.db, opts.certainOptions())
+		return ev.ByWorldsOWA(q, db, opts.certainOptions())
 	case ModeCertainObject:
-		return ev.CertainObjectCWA(q, s.db, opts.certainOptions())
+		return ev.CertainObjectCWA(q, db, opts.certainOptions())
 	default:
 		return nil, fmt.Errorf("engine: unknown mode %v", opts.Mode)
 	}

@@ -65,10 +65,12 @@ func ParseMode(s string) (Mode, error) {
 // naïve-evaluation oracle, which computes identical results, only slower.
 type PlannerSetting uint8
 
-// Planner settings.  The zero value defaults to the planner being on.
 const (
+	// PlannerAuto is the zero value and defaults to the planner being on.
 	PlannerAuto PlannerSetting = iota
+	// PlannerOn selects the planned fast paths.
 	PlannerOn
+	// PlannerOff selects the naïve-evaluation oracle.
 	PlannerOff
 )
 

@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incdata/internal/ra"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+func TestViewLifecycle(t *testing.T) {
+	eng := New(testDB(1))
+	q := ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}}
+	if err := eng.Register("v", q, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register("v", q, Options{}); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if err := eng.Register("", q, Options{}); err == nil {
+		t.Fatal("empty view name must fail")
+	}
+	if names := eng.Views(); len(names) != 1 || names[0] != "v" {
+		t.Fatalf("Views() = %v", names)
+	}
+	if _, err := eng.Answers("nope"); err == nil {
+		t.Fatal("unknown view must fail")
+	}
+	if _, err := eng.ViewStats("nope"); err == nil {
+		t.Fatal("unknown view must fail")
+	}
+	ans, err := eng.Answers("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Eval(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Equal(want) {
+		t.Fatalf("initial answer %v, want %v", ans, want)
+	}
+	if !eng.Unregister("v") || eng.Unregister("v") {
+		t.Fatal("Unregister must report presence exactly once")
+	}
+	if err := eng.Register("bad", ra.Base("Nope"), Options{}); err == nil {
+		t.Fatal("registering a query over an unknown relation must fail")
+	}
+}
+
+// mutateEngine commits one random update: inserts and deletes over random
+// relations, tuples drawn from a small domain with occasional marked
+// nulls so that collisions and null-carrying deletions are frequent.
+func mutateEngine(t *testing.T, rng *rand.Rand, eng *Engine) {
+	t.Helper()
+	err := eng.Update(func(db *table.Database) error {
+		names := db.RelationNames()
+		for i, steps := 0, 1+rng.Intn(3); i < steps; i++ {
+			rel := db.Relation(names[rng.Intn(len(names))])
+			if rng.Intn(3) < 2 {
+				tp := make(table.Tuple, rel.Arity())
+				for j := range tp {
+					if rng.Intn(4) == 0 {
+						tp[j] = value.Null(uint64(rng.Intn(2) + 1))
+					} else {
+						tp[j] = value.Int(int64(rng.Intn(3)))
+					}
+				}
+				rel.MustAdd(tp)
+			} else if ts := rel.SortedTuples(); len(ts) > 0 {
+				rel.Remove(ts[rng.Intn(len(ts))])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewDifferential is the acceptance differential: every registered
+// view — the full operator corpus in ModeCertain with the planner on and
+// off, a raw naïve view, and a world-enumeration (CWA) view — must be
+// bit-identical to from-scratch evaluation under both planner settings
+// after each of 120 randomized update steps.
+func TestViewDifferential(t *testing.T) {
+	eng := New(testDB(3))
+
+	type reg struct {
+		q    ra.Expr
+		opts Options
+	}
+	views := map[string]reg{}
+	for name, q := range testQueries() {
+		views["cert-on/"+name] = reg{q, Options{Mode: ModeCertain, Planner: PlannerOn}}
+		views["cert-off/"+name] = reg{q, Options{Mode: ModeCertain, Planner: PlannerOff}}
+	}
+	views["naive/ucq"] = reg{testQueries()["ucq"], Options{Mode: ModeNaive}}
+	views["cwa/select"] = reg{testQueries()["select"], Options{Mode: ModeCertainCWA, MaxWorlds: 1 << 20}}
+	for name, r := range views {
+		if err := eng.Register(name, r.q, r.opts); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+
+	check := func(step int) {
+		t.Helper()
+		for name, r := range views {
+			got, err := eng.Answers(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, planner := range []PlannerSetting{PlannerOn, PlannerOff} {
+				opts := r.opts
+				opts.Planner = planner
+				want, err := eng.Eval(r.q, opts)
+				if err != nil {
+					t.Fatalf("step %d, view %s: %v", step, name, err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("step %d: view %s diverged from full re-evaluation (planner=%v)\ngot  %v\nwant %v",
+						step, name, planner, got, want)
+				}
+			}
+		}
+	}
+
+	check(-1)
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 120; step++ {
+		mutateEngine(t, rng, eng)
+		check(step)
+	}
+
+	// The operator-corpus certain views must actually have exercised the
+	// incremental path; division and Δ legitimately recompute.
+	for name := range testQueries() {
+		if name == "division" || name == "delta" {
+			continue
+		}
+		inc, err := eng.ViewIncremental("cert-on/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inc {
+			t.Errorf("view cert-on/%s should be incrementally maintained", name)
+		}
+		st, err := eng.ViewStats("cert-on/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Incremental == 0 || st.Recomputed != 0 {
+			t.Errorf("view cert-on/%s stats = %+v, want only incremental refreshes", name, st)
+		}
+	}
+	for _, name := range []string{"cert-on/division", "cert-on/delta", "cwa/select"} {
+		inc, err := eng.ViewIncremental(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inc {
+			t.Errorf("view %s should use the recompute strategy", name)
+		}
+	}
+	// PlannerOff views recompute by design (the oracle has no network).
+	if inc, _ := eng.ViewIncremental("cert-off/ucq"); inc {
+		t.Error("planner-off views must use the oracle recompute strategy")
+	}
+}
+
+// TestViewSkipsUnreadRelation pins the stamp-validated no-op at the engine
+// level: an Update touching only a relation the view does not read must
+// not refresh the view, and a view answer handed out before the update
+// must stay stable (copy-on-write isolation).
+func TestViewSkipsUnreadRelation(t *testing.T) {
+	eng := New(testDB(5))
+	q := ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}}
+	if err := eng.Register("ra", q, Options{Mode: ModeCertain}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := eng.Answers("ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := eng.Update(func(db *table.Database) error {
+		return db.Add("S", table.NewTuple(value.Int(7), value.Int(7)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.ViewStats("ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates != 1 || st.Skipped != 1 || st.Incremental != 0 || st.Recomputed != 0 {
+		t.Fatalf("stats after unread-relation update = %+v, want exactly one skip", st)
+	}
+
+	// Now a relevant update; the old answer relation must not move.
+	if err := eng.Update(func(db *table.Database) error {
+		return db.Add("R", table.NewTuple(value.Int(42), value.Int(42)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := eng.Answers("ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Contains(table.NewTuple(value.Int(42))) {
+		t.Fatalf("view missed the relevant update: %v", after)
+	}
+	if before.Contains(table.NewTuple(value.Int(42))) {
+		t.Fatal("previously handed-out answer observed a later refresh")
+	}
+	if st, _ := eng.ViewStats("ra"); st.Updates != 2 || st.Incremental != 1 {
+		t.Fatalf("stats after relevant update = %+v", st)
+	}
+}
+
+// TestViewDeleteNullTuple covers the delta-capture edge case through the
+// whole stack: deleting a null-carrying tuple must drop the corresponding
+// raw answer and leave the certain answer's stripped form intact.
+func TestViewDeleteNullTuple(t *testing.T) {
+	d := table.NewDatabase(testSchema())
+	d.MustAddRow("R", "1", "⊥1")
+	d.MustAddRow("R", "2", "3")
+	eng := New(d)
+	q := ra.Project{Input: ra.Base("R"), Attrs: []string{"b"}}
+	if err := eng.Register("raw", q, Options{Mode: ModeNaive}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register("cert", q, Options{Mode: ModeCertain}); err != nil {
+		t.Fatal(err)
+	}
+	nullB := table.NewTuple(value.Null(1))
+	if ans, _ := eng.Answers("raw"); !ans.Contains(nullB) {
+		t.Fatal("raw view must contain the null before the delete")
+	}
+	if err := eng.Update(func(db *table.Database) error {
+		if !db.Relation("R").Remove(table.MustParseTuple("1", "⊥1")) {
+			return fmt.Errorf("tuple missing")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ans, _ := eng.Answers("raw"); ans.Contains(nullB) || ans.Len() != 1 {
+		t.Fatalf("raw view after null delete = %v", ans)
+	}
+	if ans, _ := eng.Answers("cert"); ans.Len() != 1 || !ans.Contains(table.MustParseTuple("3")) {
+		t.Fatalf("certain view after null delete = %v", ans)
+	}
+}
+
+// TestWorldModeViewRefreshesOnUnreadRelation is the regression test for
+// the enumeration-domain dependency: a CWA view's answer can change when a
+// constant is inserted into a relation the query never reads (the domain
+// is built from the whole database), so world-mode views must refresh on
+// every net-nonempty update instead of skipping unread relations.
+func TestWorldModeViewRefreshesOnUnreadRelation(t *testing.T) {
+	d := table.NewDatabase(testSchema())
+	// R holds a single all-null tuple; with adom = {⊥1,⊥2} and one fresh
+	// constant, every world maps both nulls to the same constant, so
+	// σ_{a=b}(R) is certainly nonempty — until a second constant exists.
+	d.MustAddRow("R", "⊥1", "⊥2")
+	eng := New(d)
+	q := ra.Select{Input: ra.Base("R"), Pred: ra.Eq(ra.Attr("a"), ra.Attr("b"))}
+	opts := Options{Mode: ModeCertainCWA, MaxWorlds: 1 << 20}
+	if err := eng.Register("cwa", q, opts); err != nil {
+		t.Fatal(err)
+	}
+	if ans, _ := eng.Answers("cwa"); ans.Len() != 1 {
+		t.Fatalf("initial CWA answer = %v, want one tuple", ans)
+	}
+
+	// Insert a constant into S (unread by q): the enumeration domain now
+	// has two constants, worlds with ⊥1 ≠ ⊥2 appear, the answer empties.
+	if err := eng.Update(func(db *table.Database) error {
+		return db.Add("S", table.NewTuple(value.Int(99), value.Int(99)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Answers("cwa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Eval(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("CWA view diverged after unread-relation insert:\ngot  %v\nwant %v", got, want)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("CWA answer should empty out once a second constant exists, got %v", got)
+	}
+	if st, _ := eng.ViewStats("cwa"); st.Skipped != 0 || st.Recomputed != 1 {
+		t.Fatalf("stats = %+v, want the update recomputed, not skipped", st)
+	}
+}
+
+// TestUpdatePanicDetachesTracker pins panic safety: a panicking Update
+// callback must still detach the delta tracker and refresh the views with
+// whatever was committed, leaving the engine fully usable.
+func TestUpdatePanicDetachesTracker(t *testing.T) {
+	eng := New(testDB(9))
+	q := ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}}
+	if err := eng.Register("ra", q, Options{Mode: ModeCertain}); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic should propagate out of Update")
+			}
+		}()
+		_ = eng.Update(func(db *table.Database) error {
+			db.MustAdd("R", table.NewTuple(value.Int(77), value.Int(77)))
+			panic("boom")
+		})
+	}()
+	// The partial mutation must have reached the view...
+	if ans, _ := eng.Answers("ra"); !ans.Contains(table.NewTuple(value.Int(77))) {
+		t.Fatalf("view missed the pre-panic mutation: %v", ans)
+	}
+	// ...and the engine must keep working (tracker detached).
+	if err := eng.Update(func(db *table.Database) error {
+		return db.Add("R", table.NewTuple(value.Int(78), value.Int(78)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := eng.Answers("ra")
+	want, err := eng.Eval(q, Options{Mode: ModeCertain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("view diverged after panic recovery:\ngot  %v\nwant %v", got, want)
+	}
+}

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiments E1–E13
+// Package experiments implements the reproduction experiments E1–E14
 // indexed in the "Experiments" section of README.md.  The paper (a theory keynote) has no numbered
 // tables or figures; each experiment regenerates one of its worked examples
 // or checkable claims, at parameterised scale, and prints the rows recorded
@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -739,6 +740,144 @@ func (h Harness) E13EngineBatch(queries int, workerCounts []int) Result {
 		res.Rows = append(res.Rows, []string{
 			itoa(workers), itoa(queries), fmt.Sprintf("%.4f", elapsed.Seconds()),
 			fmt.Sprintf("%.0f", float64(queries)/elapsed.Seconds()), speedup, fmt.Sprintf("%v", agree),
+		})
+	}
+	return res
+}
+
+// viewUpdate is one pre-generated update step of the E14 stream, expressed
+// as concrete tuples so the identical mutation can be committed to the
+// maintained-view engine and the full-recompute baseline engine.
+type viewUpdate struct {
+	rel string
+	add bool
+	t   table.Tuple
+}
+
+// commit applies the update through an engine's write path.
+func (u viewUpdate) commit(eng *engine.Engine) error {
+	return eng.Update(func(db *table.Database) error {
+		if u.add {
+			return db.Add(u.rel, u.t)
+		}
+		db.Relation(u.rel).Remove(u.t)
+		return nil
+	})
+}
+
+// e14Stream pre-generates a deterministic update stream over the orders
+// workload: order and payment inserts (some payments with fresh marked
+// nulls for their order reference) and deletions of previously present
+// tuples.
+func e14Stream(d *table.Database, updates int, seed int64) []viewUpdate {
+	rng := rand.New(rand.NewSource(seed))
+	orders := d.Relation("Order").SortedTuples()
+	pays := d.Relation("Pay").SortedTuples()
+	nextNull := uint64(1 << 20) // clear of the generator's null ids
+	out := make([]viewUpdate, 0, updates)
+	for i := 0; i < updates; i++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // new order
+			t := table.NewTuple(value.String(fmt.Sprintf("new-o%d", i)), value.String(fmt.Sprintf("pr%d", rng.Intn(50))))
+			orders = append(orders, t)
+			out = append(out, viewUpdate{rel: "Order", add: true, t: t})
+		case r < 7: // new payment, sometimes with a null order reference
+			ref := value.Value(value.String(fmt.Sprintf("new-o%d", rng.Intn(i+1))))
+			if rng.Intn(4) == 0 {
+				ref = value.Null(nextNull)
+				nextNull++
+			}
+			t := table.NewTuple(value.String(fmt.Sprintf("new-p%d", i)), ref, value.Int(int64(10+rng.Intn(990))))
+			pays = append(pays, t)
+			out = append(out, viewUpdate{rel: "Pay", add: true, t: t})
+		case r < 9 && len(orders) > 0: // delete an order
+			j := rng.Intn(len(orders))
+			out = append(out, viewUpdate{rel: "Order", add: false, t: orders[j]})
+			orders[j] = orders[len(orders)-1]
+			orders = orders[:len(orders)-1]
+		case len(pays) > 0: // delete a payment
+			j := rng.Intn(len(pays))
+			out = append(out, viewUpdate{rel: "Pay", add: false, t: pays[j]})
+			pays[j] = pays[len(pays)-1]
+			pays = pays[:len(pays)-1]
+		}
+	}
+	return out
+}
+
+// E14IncrementalViews measures maintained certain-answer views on an
+// update stream: one engine registers the unpaid-orders difference and a
+// paid-orders join as views (refreshed from the captured tuple deltas on
+// every commit), the baseline engine re-evaluates both queries from
+// scratch after every commit.  Both sides commit the identical stream;
+// the speedup column is the tentpole number — how much cheaper serving
+// the maintained answer is than recomputing it, growing with the database
+// size since refresh cost tracks the delta, not the data.
+func (h Harness) E14IncrementalViews(orderCounts []int, updates int) Result {
+	res := Result{
+		ID:     "E14",
+		Title:  "Incremental certain-answer views: per-update refresh vs full re-evaluation",
+		Header: []string{"orders", "updates", "incremental", "full", "speedup", "perRefresh", "agree"},
+		Notes: "Each update commits to both engines; the view engine additionally refreshes both\n" +
+			"registered views, the baseline re-evaluates both queries; agree compares the\n" +
+			"maintained answers against full re-evaluation at the end of the stream.",
+	}
+	unpaid := ra.Diff{
+		Left:  ra.Rename{Input: ra.Project{Input: ra.Base("Order"), Attrs: []string{"o_id"}}, As: "O", Attrs: []string{"id"}},
+		Right: ra.Rename{Input: ra.Project{Input: ra.Base("Pay"), Attrs: []string{"order"}}, As: "P", Attrs: []string{"id"}},
+	}
+	paid := ra.Project{
+		Input: ra.Join{Left: ra.Base("Order"), Right: ra.Rename{Input: ra.Base("Pay"), As: "P", Attrs: []string{"p_id", "o_id", "amount"}}},
+		Attrs: []string{"o_id", "amount"},
+	}
+	queries := map[string]ra.Expr{"unpaid": unpaid, "paid": paid}
+
+	for _, n := range orderCounts {
+		d, _ := workload.Orders(workload.OrdersConfig{Orders: n, PaidFraction: 0.7, NullRate: 0.1, Seed: 42})
+		viewEng := h.engine(d.Clone())
+		fullEng := h.engine(d.Clone())
+		for name, q := range queries {
+			if err := viewEng.Register(name, q, h.opts(engine.ModeCertain)); err != nil {
+				panic(err)
+			}
+		}
+		stream := e14Stream(d, updates, 7)
+
+		var incDur, fullDur time.Duration
+		for _, u := range stream {
+			start := time.Now()
+			if err := u.commit(viewEng); err != nil {
+				panic(err)
+			}
+			for name := range queries {
+				mustRel(viewEng.Answers(name))
+			}
+			incDur += time.Since(start)
+
+			start = time.Now()
+			if err := u.commit(fullEng); err != nil {
+				panic(err)
+			}
+			for _, q := range queries {
+				mustRel(fullEng.Eval(q, h.opts(engine.ModeCertain)))
+			}
+			fullDur += time.Since(start)
+		}
+
+		agree := true
+		for name, q := range queries {
+			got := mustRel(viewEng.Answers(name))
+			want := mustRel(fullEng.Eval(q, h.opts(engine.ModeCertain)))
+			if !got.Equal(want) {
+				agree = false
+			}
+		}
+		res.Rows = append(res.Rows, []string{
+			itoa(n), itoa(len(stream)),
+			fmt.Sprintf("%.4fs", incDur.Seconds()), fmt.Sprintf("%.4fs", fullDur.Seconds()),
+			fmt.Sprintf("%.1fx", fullDur.Seconds()/incDur.Seconds()),
+			dtoa(incDur / time.Duration(len(stream))),
+			fmt.Sprintf("%v", agree),
 		})
 	}
 	return res

@@ -179,10 +179,11 @@ func TestConfigsAndAll(t *testing.T) {
 		E10Orders: []int{10}, E11Instances: 3,
 		E12Sizes: []int{3}, E12Pairs: 2,
 		E13Queries: 16, E13Workers: []int{1, 2},
+		E14Orders: []int{30}, E14Updates: 20,
 	}
 	results := All(tiny)
-	if len(results) != 13 {
-		t.Fatalf("All should run 13 experiments, got %d", len(results))
+	if len(results) != 14 {
+		t.Fatalf("All should run 14 experiments, got %d", len(results))
 	}
 	ids := map[string]bool{}
 	for _, r := range results {
@@ -194,7 +195,7 @@ func TestConfigsAndAll(t *testing.T) {
 			t.Errorf("String of %s malformed", r.ID)
 		}
 	}
-	for i := 1; i <= 13; i++ {
+	for i := 1; i <= 14; i++ {
 		if !ids["E"+strconv.Itoa(i)] {
 			t.Errorf("missing experiment E%d", i)
 		}

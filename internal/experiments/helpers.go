@@ -70,6 +70,8 @@ type Config struct {
 	E12Pairs     int
 	E13Queries   int
 	E13Workers   []int
+	E14Orders    []int
+	E14Updates   int
 }
 
 // QuickConfig keeps every experiment under a few seconds; it is the default
@@ -94,6 +96,8 @@ func QuickConfig() Config {
 		E12Pairs:     10,
 		E13Queries:   400,
 		E13Workers:   []int{1, 2, 4},
+		E14Orders:    []int{500, 2000},
+		E14Updates:   300,
 	}
 }
 
@@ -119,6 +123,8 @@ func FullConfig() Config {
 		E12Pairs:     25,
 		E13Queries:   2000,
 		E13Workers:   []int{1, 2, 4, 8},
+		E14Orders:    []int{2000, 10000, 50000},
+		E14Updates:   1000,
 	}
 }
 
@@ -148,6 +154,7 @@ func Run(cfg Config, ids map[string]bool) []Result {
 		{"E11", func() Result { return h.E11Theorem(cfg.E11Instances) }},
 		{"E12", func() Result { return h.E12Orderings(cfg.E12Sizes, cfg.E12Pairs) }},
 		{"E13", func() Result { return h.E13EngineBatch(cfg.E13Queries, cfg.E13Workers) }},
+		{"E14", func() Result { return h.E14IncrementalViews(cfg.E14Orders, cfg.E14Updates) }},
 	}
 	var out []Result
 	for _, r := range runs {

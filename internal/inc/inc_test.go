@@ -1,0 +1,360 @@
+package inc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incdata/internal/ra"
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// testSchema is two joinable binary relations plus a unary one, enough to
+// exercise every operator the network supports.
+func testSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.NewRelation("R", "a", "b"),
+		schema.NewRelation("S", "b", "c"),
+		schema.NewRelation("T", "a"),
+		schema.NewRelation("U", "a", "b"),
+	)
+}
+
+// testQueries is the fixture of maintainable query shapes the differential
+// tests sweep: one per operator plus composed trees.
+func testQueries() map[string]ra.Expr {
+	r, s, u := ra.Base("R"), ra.Base("S"), ra.Base("U")
+	return map[string]ra.Expr{
+		"select":      ra.Select{Input: r, Pred: ra.Cmp{Left: ra.Attr("a"), Op: ra.NEQ, Right: ra.Lit(value.MustParse("3"))}},
+		"project":     ra.Project{Input: r, Attrs: []string{"b"}},
+		"rename":      ra.Rename{Input: r, As: "RR", Attrs: []string{"x", "y"}},
+		"join":        ra.Join{Left: r, Right: s},
+		"product":     ra.Product{Left: ra.Rename{Input: r, As: "R1", Attrs: []string{"a1", "b1"}}, Right: ra.Rename{Input: s, As: "S1", Attrs: []string{"b2", "c2"}}},
+		"equijoin":    ra.Select{Input: ra.Product{Left: ra.Rename{Input: r, As: "R1", Attrs: []string{"a1", "b1"}}, Right: ra.Rename{Input: s, As: "S1", Attrs: []string{"b2", "c2"}}}, Pred: ra.Cmp{Left: ra.Attr("b1"), Op: ra.EQ, Right: ra.Attr("b2")}},
+		"union":       ra.Union{Left: r, Right: u},
+		"intersect":   ra.Intersect{Left: r, Right: u},
+		"diff":        ra.Diff{Left: r, Right: u},
+		"selfjoin":    ra.Join{Left: ra.Project{Input: r, Attrs: []string{"b"}}, Right: ra.Project{Input: s, Attrs: []string{"b"}}},
+		"composed":    ra.Project{Input: ra.Join{Left: r, Right: s}, Attrs: []string{"a", "c"}},
+		"diff-nested": ra.Diff{Left: ra.Project{Input: r, Attrs: []string{"a"}}, Right: ra.Project{Input: ra.Join{Left: r, Right: s}, Attrs: []string{"a"}}},
+	}
+}
+
+// naiveRecompute is the oracle both strategies are compared against.
+func naiveRecompute(q ra.Expr, completeOnly bool) RecomputeFunc {
+	return func(db *table.Database) (*table.Relation, error) {
+		r, err := ra.Eval(q, db)
+		if err != nil {
+			return nil, err
+		}
+		if completeOnly {
+			return ra.StripNulls(r), nil
+		}
+		return r, nil
+	}
+}
+
+// randomTuple draws a tuple over a small domain with occasional nulls, so
+// collisions (and thus deletions that matter) are common.
+func randomTuple(rng *rand.Rand, arity int) table.Tuple {
+	t := make(table.Tuple, arity)
+	for i := range t {
+		if rng.Intn(6) == 0 {
+			t[i] = value.Null(uint64(1 + rng.Intn(3)))
+		} else {
+			t[i] = value.MustParse(fmt.Sprint(rng.Intn(5)))
+		}
+	}
+	return t
+}
+
+// mutate applies one random update step to the database under tracking and
+// returns the captured change set.
+func mutate(rng *rand.Rand, d *table.Database) *table.ChangeSet {
+	tr := d.Track()
+	names := d.RelationNames()
+	steps := 1 + rng.Intn(4)
+	for i := 0; i < steps; i++ {
+		rel := d.Relation(names[rng.Intn(len(names))])
+		switch rng.Intn(3) {
+		case 0, 1:
+			rel.MustAdd(randomTuple(rng, rel.Arity()))
+		default:
+			// Delete a random existing tuple (if any).
+			ts := rel.SortedTuples()
+			if len(ts) > 0 {
+				rel.Remove(ts[rng.Intn(len(ts))])
+			}
+		}
+	}
+	return tr.Stop()
+}
+
+// TestNetworkDifferential drives every fixture query through 300 random
+// update steps and pins the maintained answer to from-scratch naïve
+// evaluation (and its null-stripped certain variant) after every step.
+func TestNetworkDifferential(t *testing.T) {
+	for name, q := range testQueries() {
+		for _, completeOnly := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/completeOnly=%v", name, completeOnly), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(7))
+				d := table.NewDatabase(testSchema())
+				for i := 0; i < 10; i++ {
+					d.MustAdd("R", randomTuple(rng, 2))
+					d.MustAdd("S", randomTuple(rng, 2))
+					d.MustAdd("U", randomTuple(rng, 2))
+				}
+				v, err := New(name, q, d, Config{
+					CompleteOnly: completeOnly,
+					Recompute:    naiveRecompute(q, completeOnly),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !v.Incremental() {
+					t.Fatalf("query %s should compile to a delta network", name)
+				}
+				check := func(step int) {
+					want, err := naiveRecompute(q, completeOnly)(d)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := v.Answer()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !got.Equal(want) {
+						t.Fatalf("step %d: maintained answer diverged\ngot  %v\nwant %v", step, got, want)
+					}
+				}
+				check(-1)
+				for step := 0; step < 300; step++ {
+					cs := mutate(rng, d)
+					if err := v.Apply(cs, d); err != nil {
+						t.Fatal(err)
+					}
+					check(step)
+				}
+				st := v.Stats()
+				if st.Incremental == 0 {
+					t.Error("expected incremental refreshes")
+				}
+				if st.Recomputed != 0 {
+					t.Errorf("incremental view recomputed %d times", st.Recomputed)
+				}
+			})
+		}
+	}
+}
+
+// TestRecomputeFallback covers the strategies the network cannot maintain:
+// division and the Δ operator (whole-database dependency).
+func TestRecomputeFallback(t *testing.T) {
+	sc := schema.MustNew(
+		schema.NewRelation("Takes", "student", "course"),
+		schema.NewRelation("Req", "course"),
+	)
+	div := ra.Division{Left: ra.Base("Takes"), Right: ra.Base("Req")}
+	d := table.NewDatabase(sc)
+	d.MustAddRow("Takes", "ann", "db")
+	d.MustAddRow("Takes", "ann", "os")
+	d.MustAddRow("Takes", "bob", "db")
+	d.MustAddRow("Req", "db")
+	d.MustAddRow("Req", "os")
+
+	v, err := New("grads", div, d, Config{CompleteOnly: true, Recompute: naiveRecompute(div, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Incremental() {
+		t.Fatal("division must fall back to recomputation")
+	}
+	if got := mustAnswer(t, v); got.Len() != 1 || !got.Contains(table.MustParseTuple("ann")) {
+		t.Fatalf("initial answer = %v", got)
+	}
+
+	tr := d.Track()
+	d.MustAddRow("Takes", "bob", "os")
+	cs := tr.Stop()
+	if err := v.Apply(cs, d); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustAnswer(t, v); got.Len() != 2 || !got.Contains(table.MustParseTuple("bob")) {
+		t.Fatalf("post-update answer = %v", got)
+	}
+	if st := v.Stats(); st.Recomputed != 1 || st.Incremental != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSkipIrrelevantUpdate pins the stamp-validated no-op: an update that
+// only touches an unread relation must not refresh the view at all.
+func TestSkipIrrelevantUpdate(t *testing.T) {
+	d := table.NewDatabase(testSchema())
+	d.MustAddRow("R", "1", "2")
+	q := ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}}
+	v, err := New("ra", q, d, Config{CompleteOnly: true, Recompute: naiveRecompute(q, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := d.Track()
+	d.MustAddRow("S", "9", "9") // unread by the view
+	cs := tr.Stop()
+	if err := v.Apply(cs, d); err != nil {
+		t.Fatal(err)
+	}
+	st := v.Stats()
+	if st.Skipped != 1 || st.Incremental != 0 || st.Recomputed != 0 {
+		t.Fatalf("stats = %+v, want one skip and no refresh", st)
+	}
+
+	// A cancelled update (net-empty delta) is also a no-op.
+	tr = d.Track()
+	d.MustAddRow("R", "7", "7")
+	d.Relation("R").Remove(table.MustParseTuple("7", "7"))
+	cs = tr.Stop()
+	if err := v.Apply(cs, d); err != nil {
+		t.Fatal(err)
+	}
+	if st := v.Stats(); st.Skipped != 2 {
+		t.Fatalf("stats = %+v, want the cancelled update skipped", st)
+	}
+}
+
+// TestDeleteNullCarryingTuple pins delta capture and maintenance across a
+// deletion of a tuple that mentions a marked null.
+func TestDeleteNullCarryingTuple(t *testing.T) {
+	d := table.NewDatabase(testSchema())
+	d.MustAddRow("R", "1", "⊥1")
+	d.MustAddRow("R", "1", "2")
+	q := ra.Project{Input: ra.Base("R"), Attrs: []string{"b"}}
+
+	// Raw view: the null is in the answer until its tuple is deleted.
+	raw, err := New("raw", q, d, Config{Recompute: naiveRecompute(q, false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Certain view: the null never appears.
+	cert, err := New("cert", q, d, Config{CompleteOnly: true, Recompute: naiveRecompute(q, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nullB := table.NewTuple(value.Null(1))
+	if !mustAnswer(t, raw).Contains(nullB) {
+		t.Fatal("raw view must carry the null tuple")
+	}
+	if mustAnswer(t, cert).Contains(nullB) {
+		t.Fatal("certain view must strip the null tuple")
+	}
+
+	tr := d.Track()
+	if !d.Relation("R").Remove(table.MustParseTuple("1", "⊥1")) {
+		t.Fatal("null-carrying tuple should exist")
+	}
+	cs := tr.Stop()
+	rd := cs.Delta("R")
+	if len(rd.Deleted) != 1 {
+		t.Fatalf("delta = %+v, want exactly the null-carrying delete", rd)
+	}
+	for _, v := range []*View{raw, cert} {
+		if err := v.Apply(cs, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mustAnswer(t, raw).Contains(nullB) {
+		t.Fatal("raw view still carries the deleted null tuple")
+	}
+	if got, want := mustAnswer(t, raw).Len(), 1; got != want {
+		t.Fatalf("raw answer size = %d, want %d", got, want)
+	}
+	if got := mustAnswer(t, cert); got.Len() != 1 || !got.Contains(table.MustParseTuple("2")) {
+		t.Fatalf("certain answer = %v", got)
+	}
+}
+
+// mustAnswer unwraps a view answer that must be fresh.
+func mustAnswer(t *testing.T, v *View) *table.Relation {
+	t.Helper()
+	r, err := v.Answer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFailedRefreshMarksStale pins the staleness contract: when a
+// recompute refresh errors, the view must refuse to serve its pre-update
+// answer, must not skip later updates, and must recover on the next
+// successful refresh.
+func TestFailedRefreshMarksStale(t *testing.T) {
+	d := table.NewDatabase(testSchema())
+	d.MustAddRow("R", "1", "2")
+	q := ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}}
+	fail := fmt.Errorf("transient evaluator failure")
+	failing := true
+	v, err := New("flaky", q, d, Config{
+		ForceRecompute: true,
+		Recompute: func(db *table.Database) (*table.Relation, error) {
+			if failing {
+				return nil, fail
+			}
+			return naiveRecompute(q, true)(db)
+		},
+	})
+	if err == nil || v != nil {
+		t.Fatal("initial materialization must surface the recompute error")
+	}
+
+	failing = false
+	v, err = New("flaky", q, d, Config{
+		ForceRecompute: true,
+		Recompute: func(db *table.Database) (*table.Relation, error) {
+			if failing {
+				return nil, fail
+			}
+			return naiveRecompute(q, true)(db)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAnswer(t, v)
+
+	// A refresh that fails poisons Answer...
+	failing = true
+	tr := d.Track()
+	d.MustAddRow("R", "9", "9")
+	if err := v.Apply(tr.Stop(), d); err == nil {
+		t.Fatal("failed refresh must surface its error")
+	}
+	if _, err := v.Answer(); err == nil {
+		t.Fatal("stale view must not serve the pre-update answer")
+	}
+	if st := v.Stats(); st.Failed != 1 {
+		t.Fatalf("stats = %+v, want one failed refresh", st)
+	}
+
+	// ...an irrelevant update must not be skipped while stale...
+	failing = false
+	tr = d.Track()
+	d.MustAddRow("S", "5", "5") // unread by q
+	if err := v.Apply(tr.Stop(), d); err != nil {
+		t.Fatal(err)
+	}
+	if st := v.Stats(); st.Skipped != 0 {
+		t.Fatalf("stats = %+v: a stale view must not skip", st)
+	}
+
+	// ...and the successful recompute clears the staleness.
+	got := mustAnswer(t, v)
+	want, err := naiveRecompute(q, true)(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("recovered answer = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,566 @@
+package inc
+
+import (
+	"fmt"
+
+	"incdata/internal/plan"
+	"incdata/internal/ra"
+	"incdata/internal/schema"
+	"incdata/internal/table"
+)
+
+// The delta-propagation network.  A maintained view compiles its
+// (rewritten) query into a tree of nodes, one per operator, each holding
+// exactly the auxiliary state its delta rule needs:
+//
+//	σ, ρ        stateless — deltas filter / pass through
+//	π           derivation counts per output tuple
+//	∪           per-tuple side counts (0..2)
+//	⋈, ×        incrementally maintained hash indexes of both inputs
+//	∩, −        membership sets of both inputs
+//
+// A refresh feeds the base-relation deltas captured by table.Tracker into
+// the leaves and propagates set-level transitions (a tuple entering or
+// leaving an operator's output) upward, so the work per update is
+// proportional to the delta sizes, not to the database.  The delta rules
+// are the classic counting rules for non-recursive view maintenance,
+// specialised to set semantics:
+//
+//	Δ(σp(E))  = σp(ΔE)
+//	Δ(π(E))   : count derivations, emit on 0↔+ transitions
+//	Δ(L ⋈ R)  = (ΔL ⋈ R_old) ∪ (L_new ⋈ ΔR)        — probes the indexes
+//	Δ(L ∪ R)  : side counts, emit on 0↔+ transitions
+//	Δ(L ∩ R)  = (ΔL ∩ R_old) ∪ (L_new ∩ ΔR)
+//	Δ(L − R)  = (ΔL − R_old) ∪ inverse(ΔR ∩ L_new)
+//
+// Sequencing is what makes the signed rules exact: each binary node
+// processes ΔL against its pre-refresh right state, applies ΔL to its left
+// state, then processes ΔR against the post-refresh left state.  Output
+// tuples of ⋈/×/∩/− have unique derivations, so per-key net accumulation
+// (the emitter) suffices; π and ∪ count derivations explicitly.
+
+// errUnsupported marks query shapes the network cannot maintain
+// incrementally (division, the Δ active-domain operator); the view falls
+// back to stamp-gated recomputation.
+var errUnsupported = fmt.Errorf("inc: query shape not incrementally maintainable")
+
+// change is one set-level transition of a node's output: tuple t (whose
+// canonical key is key) entered (add) or left (!add) the result.
+type change struct {
+	key string
+	t   table.Tuple
+	add bool
+}
+
+// nkind discriminates network operators.
+type nkind uint8
+
+const (
+	nRel nkind = iota
+	nSelect
+	nProject
+	nRename
+	nJoin // Product compiles to a join with no key columns
+	nUnion
+	nIntersect
+	nDiff
+)
+
+// node is one operator of a view's delta network.
+type node struct {
+	kind nkind
+	l, r *node
+	rs   schema.Relation
+
+	relName string                 // nRel
+	pred    func(table.Tuple) bool // nSelect
+	projIdx []int                  // nProject
+
+	// nJoin: key positions per side and right positions appended to the
+	// output (empty lpos makes it a product).
+	lpos, rpos, extraIdx []int
+
+	counts         map[string]*centry     // nProject, nUnion: derivation counts
+	lIndex, rIndex *sideIndex             // nJoin
+	lSet, rSet     map[string]table.Tuple // nIntersect, nDiff
+}
+
+// centry is one counted output tuple.
+type centry struct {
+	t table.Tuple
+	c int
+}
+
+// sideIndex is an incrementally maintained hash index of one join input:
+// join-key → tuple-key → tuple.  Unlike table.Index it is updated in place
+// on every delta, so refreshes never rebuild it.
+type sideIndex struct {
+	pos []int
+	m   map[string]map[string]table.Tuple
+}
+
+func newSideIndex(pos []int) *sideIndex {
+	return &sideIndex{pos: pos, m: map[string]map[string]table.Tuple{}}
+}
+
+// joinKey appends the index's key columns of t to buf.
+func (ix *sideIndex) joinKey(t table.Tuple, buf []byte) []byte {
+	for _, p := range ix.pos {
+		buf = t[p].AppendKey(buf)
+	}
+	return buf
+}
+
+func (ix *sideIndex) apply(c change, jk string) {
+	bucket := ix.m[jk]
+	if c.add {
+		if bucket == nil {
+			bucket = map[string]table.Tuple{}
+			ix.m[jk] = bucket
+		}
+		bucket[c.key] = c.t
+		return
+	}
+	delete(bucket, c.key)
+	if len(bucket) == 0 {
+		delete(ix.m, jk)
+	}
+}
+
+// network is a compiled delta network plus its refresh scratch.
+type network struct {
+	root   *node
+	keyBuf []byte
+}
+
+// buildNetwork compiles a (rewritten) expression over the schema, or
+// returns errUnsupported when some operator has no delta rule.
+func buildNetwork(e ra.Expr, sc *schema.Schema) (*network, error) {
+	root, err := build(e, sc)
+	if err != nil {
+		return nil, err
+	}
+	return &network{root: root}, nil
+}
+
+func build(e ra.Expr, sc *schema.Schema) (*node, error) {
+	switch ex := e.(type) {
+	case ra.Rel:
+		rs, err := ex.OutSchema(sc)
+		if err != nil {
+			return nil, err
+		}
+		return &node{kind: nRel, rs: rs, relName: ex.Name}, nil
+
+	case ra.Select:
+		// Gather the selection cascade; a cascade over a product whose
+		// conjuncts equate one attribute of each side becomes an indexed
+		// equi-join, exactly like the planner's compilers.
+		var preds []ra.Predicate
+		var inExpr ra.Expr = ex
+		for {
+			cur, ok := inExpr.(ra.Select)
+			if !ok {
+				break
+			}
+			preds = append(preds, cur.Pred)
+			inExpr = cur.Input
+		}
+		if prod, ok := inExpr.(ra.Product); ok {
+			return buildSelectProduct(preds, prod, sc)
+		}
+		in, err := build(inExpr, sc)
+		if err != nil {
+			return nil, err
+		}
+		return wrapSelects(in, preds)
+
+	case ra.Project:
+		in, err := build(ex.Input, sc)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, len(ex.Attrs))
+		for i, a := range ex.Attrs {
+			p := in.rs.AttrIndex(a)
+			if p < 0 {
+				return nil, fmt.Errorf("ra: projection attribute %q not in %s", a, in.rs)
+			}
+			idx[i] = p
+		}
+		return &node{
+			kind: nProject, l: in, projIdx: idx,
+			rs:     schema.NewRelation("π("+in.rs.Name+")", ex.Attrs...),
+			counts: map[string]*centry{},
+		}, nil
+
+	case ra.Rename:
+		in, err := build(ex.Input, sc)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := ex.OutSchemaFromInput(in.rs)
+		if err != nil {
+			return nil, err
+		}
+		return &node{kind: nRename, l: in, rs: rs}, nil
+
+	case ra.Product:
+		l, r, err := buildPair(ex.Left, ex.Right, sc)
+		if err != nil {
+			return nil, err
+		}
+		return newJoin(l, r, nil, nil), nil
+
+	case ra.Join:
+		l, r, err := buildPair(ex.Left, ex.Right, sc)
+		if err != nil {
+			return nil, err
+		}
+		lpos, rpos, extraIdx, rs := plan.NaturalJoin(l.rs, r.rs)
+		n := newJoin(l, r, lpos, rpos)
+		n.extraIdx, n.rs = extraIdx, rs
+		return n, nil
+
+	case ra.Union:
+		l, r, err := buildSetOp(ex.Left, ex.Right, "∪", sc)
+		if err != nil {
+			return nil, err
+		}
+		return &node{
+			kind: nUnion, l: l, r: r,
+			rs:     schema.NewRelation("("+l.rs.Name+"∪"+r.rs.Name+")", l.rs.Attrs...),
+			counts: map[string]*centry{},
+		}, nil
+
+	case ra.Intersect:
+		l, r, err := buildSetOp(ex.Left, ex.Right, "∩", sc)
+		if err != nil {
+			return nil, err
+		}
+		return &node{
+			kind: nIntersect, l: l, r: r,
+			rs:   schema.NewRelation("("+l.rs.Name+"∩"+r.rs.Name+")", l.rs.Attrs...),
+			lSet: map[string]table.Tuple{}, rSet: map[string]table.Tuple{},
+		}, nil
+
+	case ra.Diff:
+		l, r, err := buildSetOp(ex.Left, ex.Right, "−", sc)
+		if err != nil {
+			return nil, err
+		}
+		return &node{
+			kind: nDiff, l: l, r: r,
+			rs:   schema.NewRelation("("+l.rs.Name+"−"+r.rs.Name+")", l.rs.Attrs...),
+			lSet: map[string]table.Tuple{}, rSet: map[string]table.Tuple{},
+		}, nil
+
+	default:
+		// ra.Division needs group-support counting, ra.Delta the whole
+		// active domain; both views fall back to recomputation.
+		return nil, errUnsupported
+	}
+}
+
+// newJoin builds a join node over its inputs; extraIdx and rs default to
+// the product shape (all right columns appended).
+func newJoin(l, r *node, lpos, rpos []int) *node {
+	attrs := append(append([]string{}, l.rs.Attrs...), r.rs.Attrs...)
+	extra := make([]int, r.rs.Arity())
+	for i := range extra {
+		extra[i] = i
+	}
+	return &node{
+		kind: nJoin, l: l, r: r,
+		rs:       schema.NewRelation("("+l.rs.Name+"×"+r.rs.Name+")", attrs...),
+		lpos:     lpos,
+		rpos:     rpos,
+		extraIdx: extra,
+		lIndex:   newSideIndex(lpos),
+		rIndex:   newSideIndex(rpos),
+	}
+}
+
+// buildSelectProduct is the network's Product+Select→Join rule: cross-side
+// equality conjuncts key the join indexes, the rest stay as filters.
+func buildSelectProduct(preds []ra.Predicate, prod ra.Product, sc *schema.Schema) (*node, error) {
+	l, r, err := buildPair(prod.Left, prod.Right, sc)
+	if err != nil {
+		return nil, err
+	}
+	lpos, rpos, residual := plan.PartitionEquiJoin(preds, l.rs, r.rs)
+	return wrapSelects(newJoin(l, r, lpos, rpos), residual)
+}
+
+// wrapSelects stacks compiled selection filters over in, innermost
+// predicate first (preds is collected outermost-first; conjunction order
+// is immaterial).
+func wrapSelects(in *node, preds []ra.Predicate) (*node, error) {
+	n := in
+	for i := len(preds) - 1; i >= 0; i-- {
+		cp, err := plan.CompilePredicate(preds[i], n.rs)
+		if err != nil {
+			return nil, err
+		}
+		n = &node{kind: nSelect, l: n, rs: n.rs, pred: cp}
+	}
+	return n, nil
+}
+
+func buildPair(le, re ra.Expr, sc *schema.Schema) (*node, *node, error) {
+	l, err := build(le, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := build(re, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+func buildSetOp(le, re ra.Expr, op string, sc *schema.Schema) (*node, *node, error) {
+	l, r, err := buildPair(le, re, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if l.rs.Arity() != r.rs.Arity() {
+		return nil, nil, fmt.Errorf("ra: %s of arities %d and %d", op, l.rs.Arity(), r.rs.Arity())
+	}
+	return l, r, nil
+}
+
+// emitter accumulates per-key net transitions; flush emits each key at
+// most once, with transient add+delete pairs cancelled.
+type emitter struct {
+	m map[string]*echange
+}
+
+type echange struct {
+	t   table.Tuple
+	net int
+}
+
+func (e *emitter) init() {
+	if e.m == nil {
+		e.m = map[string]*echange{}
+	}
+}
+
+func (e *emitter) note(key string, t table.Tuple, add bool) {
+	e.init()
+	ec := e.m[key]
+	if ec == nil {
+		ec = &echange{t: t}
+		e.m[key] = ec
+	}
+	if add {
+		ec.net++
+	} else {
+		ec.net--
+	}
+}
+
+func (e *emitter) flush() []change {
+	if len(e.m) == 0 {
+		return nil
+	}
+	out := make([]change, 0, len(e.m))
+	for k, ec := range e.m {
+		switch {
+		case ec.net > 0:
+			out = append(out, change{key: k, t: ec.t, add: true})
+		case ec.net < 0:
+			out = append(out, change{key: k, t: ec.t, add: false})
+		}
+	}
+	e.m = nil
+	return out
+}
+
+// refresh propagates the base-relation deltas through the network and
+// returns the root's set-level output transitions.
+func (nw *network) refresh(base map[string][]change) []change {
+	return nw.node(nw.root, base)
+}
+
+func (nw *network) node(n *node, base map[string][]change) []change {
+	switch n.kind {
+	case nRel:
+		return base[n.relName]
+
+	case nSelect:
+		in := nw.node(n.l, base)
+		var out []change
+		for _, c := range in {
+			if n.pred(c.t) {
+				out = append(out, c)
+			}
+		}
+		return out
+
+	case nRename:
+		return nw.node(n.l, base)
+
+	case nProject:
+		in := nw.node(n.l, base)
+		if len(in) == 0 {
+			return nil
+		}
+		touched := map[string]int{}
+		for _, c := range in {
+			pt := c.t.Project(n.projIdx...)
+			nw.keyBuf = pt.AppendKey(nw.keyBuf[:0])
+			n.bump(string(nw.keyBuf), pt, delta(c.add), touched)
+		}
+		return n.transitions(touched)
+
+	case nUnion:
+		dl := nw.node(n.l, base)
+		dr := nw.node(n.r, base)
+		if len(dl) == 0 && len(dr) == 0 {
+			return nil
+		}
+		touched := map[string]int{}
+		for _, c := range dl {
+			n.bump(c.key, c.t, delta(c.add), touched)
+		}
+		for _, c := range dr {
+			n.bump(c.key, c.t, delta(c.add), touched)
+		}
+		return n.transitions(touched)
+
+	case nJoin:
+		return nw.join(n, base)
+
+	case nIntersect:
+		dl := nw.node(n.l, base)
+		dr := nw.node(n.r, base)
+		var em emitter
+		// ΔL against the pre-refresh right side…
+		for _, c := range dl {
+			if _, inR := n.rSet[c.key]; inR {
+				em.note(c.key, c.t, c.add)
+			}
+			applySet(n.lSet, c)
+		}
+		// …then ΔR against the post-refresh left side.
+		for _, c := range dr {
+			if _, inL := n.lSet[c.key]; inL {
+				em.note(c.key, c.t, c.add)
+			}
+			applySet(n.rSet, c)
+		}
+		return em.flush()
+
+	case nDiff:
+		dl := nw.node(n.l, base)
+		dr := nw.node(n.r, base)
+		var em emitter
+		// ΔL passes through where the pre-refresh right side has no match…
+		for _, c := range dl {
+			if _, inR := n.rSet[c.key]; !inR {
+				em.note(c.key, c.t, c.add)
+			}
+			applySet(n.lSet, c)
+		}
+		// …and ΔR inverts against the post-refresh left side: a tuple
+		// entering R suppresses it, a tuple leaving R re-exposes it.
+		for _, c := range dr {
+			if _, inL := n.lSet[c.key]; inL {
+				em.note(c.key, c.t, !c.add)
+			}
+			applySet(n.rSet, c)
+		}
+		return em.flush()
+
+	default:
+		panic(fmt.Sprintf("inc: unknown network operator %d", n.kind))
+	}
+}
+
+// join runs the two-phase delta-join: ΔL probes the pre-refresh right
+// index, is applied to the left index, then ΔR probes the post-refresh
+// left index.  Output derivations are unique, so net accumulation is
+// exact.
+func (nw *network) join(n *node, base map[string][]change) []change {
+	dl := nw.node(n.l, base)
+	dr := nw.node(n.r, base)
+	var em emitter
+	for _, c := range dl {
+		nw.keyBuf = n.lIndex.joinKey(c.t, nw.keyBuf[:0])
+		jk := string(nw.keyBuf)
+		for _, rt := range n.rIndex.m[jk] {
+			out := concatExtra(c.t, rt, n.extraIdx)
+			em.note(out.Key(), out, c.add)
+		}
+		n.lIndex.apply(c, jk)
+	}
+	for _, c := range dr {
+		nw.keyBuf = n.rIndex.joinKey(c.t, nw.keyBuf[:0])
+		jk := string(nw.keyBuf)
+		for _, lt := range n.lIndex.m[jk] {
+			out := concatExtra(lt, c.t, n.extraIdx)
+			em.note(out.Key(), out, c.add)
+		}
+		n.rIndex.apply(c, jk)
+	}
+	return em.flush()
+}
+
+// bump adjusts a counted node's derivation count, remembering the
+// pre-refresh count of each touched key.
+func (n *node) bump(key string, t table.Tuple, d int, touched map[string]int) {
+	e := n.counts[key]
+	if e == nil {
+		e = &centry{t: t}
+		n.counts[key] = e
+	}
+	if _, seen := touched[key]; !seen {
+		touched[key] = e.c
+	}
+	e.c += d
+}
+
+// transitions emits the 0↔+ transitions of the touched keys and drops
+// zero-count entries.
+func (n *node) transitions(touched map[string]int) []change {
+	var out []change
+	for k, old := range touched {
+		e := n.counts[k]
+		switch {
+		case old == 0 && e.c > 0:
+			out = append(out, change{key: k, t: e.t, add: true})
+		case old > 0 && e.c <= 0:
+			out = append(out, change{key: k, t: e.t, add: false})
+		}
+		if e.c <= 0 {
+			delete(n.counts, k)
+		}
+	}
+	return out
+}
+
+func applySet(set map[string]table.Tuple, c change) {
+	if c.add {
+		set[c.key] = c.t
+	} else {
+		delete(set, c.key)
+	}
+}
+
+func concatExtra(lt, rt table.Tuple, extraIdx []int) table.Tuple {
+	out := make(table.Tuple, len(lt), len(lt)+len(extraIdx))
+	copy(out, lt)
+	for _, ri := range extraIdx {
+		out = append(out, rt[ri])
+	}
+	return out
+}
+
+func delta(add bool) int {
+	if add {
+		return 1
+	}
+	return -1
+}

@@ -360,6 +360,27 @@ func partitionEquiJoin(preds []ra.Predicate, ls, rsch schema.Relation) (lpos, rp
 	return lpos, rpos, residual
 }
 
+// PartitionEquiJoin splits a selection conjunction over a product into the
+// cross-side equality pairs that can drive a hash equi-join — returned as
+// positions into the left and right schemas — and the residual predicates
+// that remain as filters above the join.  It is the exported form of the
+// Product+Select→Join rule, shared with incremental view maintenance
+// (internal/inc) so maintained views detect joins exactly like the
+// planner's physical and world compilers do.
+func PartitionEquiJoin(preds []ra.Predicate, l, r schema.Relation) (lpos, rpos []int, residual []ra.Predicate) {
+	return partitionEquiJoin(preds, l, r)
+}
+
+// NaturalJoin resolves a natural join's column roles for the two input
+// schemas: the shared (join-key) positions on each side, the right-side
+// positions appended to the output, and the output schema.  It is the
+// exported form of the split shared by the one-shot and world-plan
+// compilers, reused by incremental view maintenance (internal/inc).
+func NaturalJoin(l, r schema.Relation) (lpos, rpos, extraIdx []int, out schema.Relation) {
+	sp := splitNaturalJoin(l, r)
+	return sp.lShared, sp.rShared, sp.extraIdx, sp.rs
+}
+
 // divisionSplit resolves a division's column roles: the divisor attribute
 // positions inside the dividend, the kept positions, and the output
 // schema.  Shared by both compilers.

@@ -107,6 +107,25 @@ func translatePred(p ra.Predicate, from, to schema.Relation) (ra.Predicate, erro
 // lookups.  A nil cpred means "always true".
 type cpred func(t table.Tuple) bool
 
+// CompilePredicate resolves a predicate against the input schema into a
+// closed evaluation function over tuples, with exactly the semantics the
+// physical operators and the naïve evaluator agree on: marked-null
+// identity for = and ≠, value.Compare for the order comparisons.  Unlike
+// the internal compiled form, a constant-true predicate compiles to a
+// non-nil always-true function.  Incremental view maintenance
+// (internal/inc) uses this to filter deltas through selection nodes with
+// the same semantics as full evaluation.
+func CompilePredicate(p ra.Predicate, rs schema.Relation) (func(table.Tuple) bool, error) {
+	cp, err := compilePred(p, rs)
+	if err != nil {
+		return nil, err
+	}
+	if cp == nil {
+		return func(table.Tuple) bool { return true }, nil
+	}
+	return cp, nil
+}
+
 // compilePred resolves a predicate against the input schema.
 func compilePred(p ra.Predicate, rs schema.Relation) (cpred, error) {
 	switch pp := p.(type) {

@@ -156,3 +156,52 @@ func NaiveEvalSound(e Expr, closedWorld bool) bool {
 	}
 	return false
 }
+
+// BaseRelations returns the names of the base relations the expression
+// reads, in first-mention order.  wholeDB is set when the answer depends
+// on more than those relations' contents: the Δ operator bakes in the
+// active domain of the whole database, and unknown operators are treated
+// conservatively.  Plan-cache validation (package certain) and maintained
+// views (package inc) share this walker to decide which updates can
+// affect a query.
+func BaseRelations(e Expr) (names []string, wholeDB bool) {
+	seen := map[string]bool{}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch ex := e.(type) {
+		case Rel:
+			if !seen[ex.Name] {
+				seen[ex.Name] = true
+				names = append(names, ex.Name)
+			}
+		case Select:
+			walk(ex.Input)
+		case Project:
+			walk(ex.Input)
+		case Rename:
+			walk(ex.Input)
+		case Product:
+			walk(ex.Left)
+			walk(ex.Right)
+		case Join:
+			walk(ex.Left)
+			walk(ex.Right)
+		case Union:
+			walk(ex.Left)
+			walk(ex.Right)
+		case Diff:
+			walk(ex.Left)
+			walk(ex.Right)
+		case Intersect:
+			walk(ex.Left)
+			walk(ex.Right)
+		case Division:
+			walk(ex.Left)
+			walk(ex.Right)
+		default:
+			wholeDB = true
+		}
+	}
+	walk(e)
+	return names, wholeDB
+}

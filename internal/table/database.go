@@ -72,7 +72,9 @@ func (d *Database) MustAddRow(rel string, fields ...string) {
 }
 
 // SetRelation replaces the named relation wholesale (the arity must match
-// the schema).
+// the schema).  Under delta tracking the replacement is recorded as the
+// exact tuple diff between the old and new contents, so an equal
+// replacement produces an empty delta.
 func (d *Database) SetRelation(rel string, r *Relation) error {
 	rs, ok := d.schema.Relation(rel)
 	if !ok {
@@ -83,6 +85,19 @@ func (d *Database) SetRelation(rel string, r *Relation) error {
 	}
 	cp := r.Clone()
 	cp.schema = rs
+	if old := d.rels[rel]; old.tracked() {
+		for k, t := range old.tuples {
+			if _, ok := cp.tuples[k]; !ok {
+				old.rec.get().noteDelete(k, t)
+			}
+		}
+		for k, t := range cp.tuples {
+			if _, ok := old.tuples[k]; !ok {
+				old.rec.get().noteInsert(k, t)
+			}
+		}
+		cp.rec, old.rec = old.rec, nil
+	}
 	d.rels[rel] = cp
 	return nil
 }

@@ -1,0 +1,193 @@
+package table
+
+// Delta capture: the signal that drives incremental view maintenance
+// (internal/inc).  A Tracker attached to a Database records, for every
+// relation, the net set of tuples inserted and deleted since tracking
+// started — normalized against the starting state, so an insert followed
+// by a delete of the same tuple (or vice versa) cancels out and an update
+// that ends where it began produces an empty delta.
+//
+// Tracking piggybacks on the existing mutation paths: every in-place
+// mutator of Relation (Add, AddAll, Remove, Retain, Reset, FillMapped)
+// notes the tuples it actually changes, and Database.SetRelation diffs the
+// old and new contents.  Untracked relations — scratch relations inside
+// plan sessions, snapshots, clones — carry a nil recorder and pay only a
+// nil check.
+
+// Delta is the net change of one relation between two points in time:
+// Inserted holds tuples present now but not then, Deleted tuples present
+// then but not now.  Both are keyed by the canonical tuple key
+// (Tuple.Key); the two maps are always disjoint.
+type Delta struct {
+	Inserted map[string]Tuple
+	Deleted  map[string]Tuple
+}
+
+// Empty reports whether the delta records no net change.
+func (d *Delta) Empty() bool {
+	return d == nil || (len(d.Inserted) == 0 && len(d.Deleted) == 0)
+}
+
+// Size returns the total number of inserted plus deleted tuples.
+func (d *Delta) Size() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.Inserted) + len(d.Deleted)
+}
+
+// noteInsert records that the tuple keyed k became present.  A pending
+// deletion of the same tuple cancels instead (the tuple is back where it
+// started).
+func (d *Delta) noteInsert(k string, t Tuple) {
+	if _, ok := d.Deleted[k]; ok {
+		delete(d.Deleted, k)
+		return
+	}
+	d.Inserted[k] = t
+}
+
+// noteDelete records that the tuple keyed k became absent, cancelling a
+// pending insertion of the same tuple.
+func (d *Delta) noteDelete(k string, t Tuple) {
+	if _, ok := d.Inserted[k]; ok {
+		delete(d.Inserted, k)
+		return
+	}
+	d.Deleted[k] = t
+}
+
+// ChangeSet is the net change of a whole database between two points in
+// time: one Delta per relation that was actually mutated.  Relations whose
+// net change is empty may appear with an empty Delta (the mutation was
+// undone) or not at all.
+type ChangeSet struct {
+	Rels map[string]*Delta
+}
+
+// Empty reports whether no relation has a net change.
+func (cs *ChangeSet) Empty() bool {
+	if cs == nil {
+		return true
+	}
+	for _, d := range cs.Rels {
+		if !d.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Delta returns the named relation's delta, or nil when the relation was
+// not mutated.
+func (cs *ChangeSet) Delta(name string) *Delta {
+	if cs == nil {
+		return nil
+	}
+	return cs.Rels[name]
+}
+
+// Size returns the total number of inserted plus deleted tuples across all
+// relations.
+func (cs *ChangeSet) Size() int {
+	n := 0
+	if cs != nil {
+		for _, d := range cs.Rels {
+			n += d.Size()
+		}
+	}
+	return n
+}
+
+// recorder is the per-relation capture hook.  It lives on the Relation so
+// the in-place mutators can note changes without knowing about databases;
+// the Tracker owns it and detaches it on Stop.  The Delta is allocated on
+// the first actual change and registered in the change set at that point,
+// so an update that never touches a relation costs nothing beyond the
+// recorder itself (one slice slot, allocated in bulk by Track).
+type recorder struct {
+	cs    *ChangeSet
+	name  string
+	delta *Delta // nil until the first change
+}
+
+// get returns the recorder's delta, allocating and registering it on
+// first use.
+func (rec *recorder) get() *Delta {
+	if rec.delta == nil {
+		rec.delta = &Delta{Inserted: map[string]Tuple{}, Deleted: map[string]Tuple{}}
+		rec.cs.Rels[rec.name] = rec.delta
+	}
+	return rec.delta
+}
+
+// tracked reports whether changes must be recorded; mutators call it
+// before doing per-tuple bookkeeping so untracked relations skip the work.
+func (r *Relation) tracked() bool { return r != nil && r.rec != nil }
+
+func (r *Relation) noteInsert(k string, t Tuple) {
+	if r.rec != nil {
+		r.rec.get().noteInsert(k, t)
+	}
+}
+
+func (r *Relation) noteDelete(k string, t Tuple) {
+	if r.rec != nil {
+		r.rec.get().noteDelete(k, t)
+	}
+}
+
+// noteDeleteAll records the deletion of every current tuple (Reset).
+func (r *Relation) noteDeleteAll() {
+	if r.rec == nil || len(r.tuples) == 0 {
+		return
+	}
+	d := r.rec.get()
+	for k, t := range r.tuples {
+		d.noteDelete(k, t)
+	}
+}
+
+// Tracker captures the net tuple changes of a database's relations from
+// Track until Stop.  At most one tracker may be attached to a database at
+// a time, and the database must not be mutated concurrently with Track or
+// Stop (the same single-writer contract as mutation itself — the engine
+// serializes updates under its lock).
+type Tracker struct {
+	db *Database
+	cs *ChangeSet
+}
+
+// Track attaches a tracker to every relation of the database and returns
+// it.  It panics if a tracker is already attached.  Attaching is cheap:
+// deltas are allocated lazily on the first actual change per relation.
+func (d *Database) Track() *Tracker {
+	cs := &ChangeSet{Rels: make(map[string]*Delta)}
+	tr := &Tracker{db: d, cs: cs}
+	recs := make([]recorder, len(d.rels)) // one bulk allocation
+	i := 0
+	for name, r := range d.rels {
+		if r.rec != nil {
+			panic("table: database is already tracked")
+		}
+		recs[i] = recorder{cs: cs, name: name}
+		r.rec = &recs[i]
+		i++
+	}
+	return tr
+}
+
+// Stop detaches the tracker and returns the captured change set, dropping
+// relations whose net change cancelled out.  The tracker must not be used
+// afterwards.
+func (tr *Tracker) Stop() *ChangeSet {
+	for _, r := range tr.db.rels {
+		r.rec = nil
+	}
+	for name, d := range tr.cs.Rels {
+		if d.Empty() {
+			delete(tr.cs.Rels, name)
+		}
+	}
+	return tr.cs
+}

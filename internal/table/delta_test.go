@@ -1,0 +1,171 @@
+package table
+
+import (
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/value"
+)
+
+func trackTestDB(t *testing.T) *Database {
+	t.Helper()
+	s := schema.MustNew(
+		schema.NewRelation("R", "a", "b"),
+		schema.NewRelation("S", "x"),
+	)
+	d := NewDatabase(s)
+	d.MustAddRow("R", "1", "2")
+	d.MustAddRow("R", "3", "⊥1")
+	d.MustAddRow("S", "u")
+	return d
+}
+
+func TestTrackerInsertDelete(t *testing.T) {
+	d := trackTestDB(t)
+	tr := d.Track()
+	d.MustAddRow("R", "5", "6")
+	d.Relation("R").Remove(MustParseTuple("1", "2"))
+	cs := tr.Stop()
+
+	rd := cs.Delta("R")
+	if rd == nil || len(rd.Inserted) != 1 || len(rd.Deleted) != 1 {
+		t.Fatalf("R delta = %+v, want 1 insert + 1 delete", rd)
+	}
+	if cs.Delta("S") != nil {
+		t.Fatalf("S was not mutated, delta = %+v", cs.Delta("S"))
+	}
+	if cs.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", cs.Size())
+	}
+}
+
+func TestTrackerCancellation(t *testing.T) {
+	d := trackTestDB(t)
+	tr := d.Track()
+	// Insert then delete a fresh tuple: net nothing.
+	d.MustAddRow("R", "9", "9")
+	d.Relation("R").Remove(MustParseTuple("9", "9"))
+	// Delete then re-insert an existing tuple: net nothing.
+	d.Relation("R").Remove(MustParseTuple("1", "2"))
+	d.MustAddRow("R", "1", "2")
+	cs := tr.Stop()
+	if !cs.Empty() {
+		t.Fatalf("expected empty change set, got %+v", cs.Rels)
+	}
+}
+
+func TestTrackerDuplicateAddNotRecorded(t *testing.T) {
+	d := trackTestDB(t)
+	tr := d.Track()
+	d.MustAddRow("R", "1", "2") // already present
+	cs := tr.Stop()
+	if !cs.Empty() {
+		t.Fatalf("duplicate add must not record a change, got %+v", cs.Rels)
+	}
+}
+
+func TestTrackerAddAllAndRetain(t *testing.T) {
+	d := trackTestDB(t)
+	extra := NewRelation(schema.NewRelation("X", "a", "b"))
+	extra.MustAdd(MustParseTuple("1", "2")) // duplicate of existing
+	extra.MustAdd(MustParseTuple("7", "8")) // new
+
+	tr := d.Track()
+	if err := d.Relation("R").AddAll(extra); err != nil {
+		t.Fatal(err)
+	}
+	d.Relation("R").Retain(func(tp Tuple) bool { return tp[0] != value.MustParse("3") })
+	cs := tr.Stop()
+
+	rd := cs.Delta("R")
+	if len(rd.Inserted) != 1 || !rd.Inserted[MustParseTuple("7", "8").Key()].Equal(MustParseTuple("7", "8")) {
+		t.Fatalf("Inserted = %v, want exactly (7,8)", rd.Inserted)
+	}
+	if len(rd.Deleted) != 1 || !rd.Deleted[MustParseTuple("3", "⊥1").Key()].Equal(MustParseTuple("3", "⊥1")) {
+		t.Fatalf("Deleted = %v, want exactly (3,⊥1)", rd.Deleted)
+	}
+}
+
+func TestTrackerSetRelationDiffs(t *testing.T) {
+	d := trackTestDB(t)
+	repl := NewRelation(schema.NewRelation("R", "a", "b"))
+	repl.MustAdd(MustParseTuple("1", "2")) // kept
+	repl.MustAdd(MustParseTuple("9", "9")) // new
+
+	tr := d.Track()
+	if err := d.SetRelation("R", repl); err != nil {
+		t.Fatal(err)
+	}
+	cs := tr.Stop()
+	rd := cs.Delta("R")
+	if len(rd.Inserted) != 1 || len(rd.Deleted) != 1 {
+		t.Fatalf("delta = %+v, want insert (9,9) and delete (3,⊥1)", rd)
+	}
+
+	// The replacement relation keeps recording until Stop; after Stop the
+	// database is fully detached and mutations go unrecorded.
+	d.MustAddRow("R", "55", "66")
+	if len(rd.Inserted) != 1 {
+		t.Fatalf("mutation after Stop was recorded: %+v", rd)
+	}
+}
+
+func TestTrackerSetRelationThenMutate(t *testing.T) {
+	d := trackTestDB(t)
+	tr := d.Track()
+	repl := NewRelation(schema.NewRelation("R", "a", "b"))
+	repl.MustAdd(MustParseTuple("1", "2"))
+	if err := d.SetRelation("R", repl); err != nil {
+		t.Fatal(err)
+	}
+	// The recorder must have moved to the replacement: further mutations
+	// through the database are still captured.
+	d.MustAddRow("R", "42", "42")
+	cs := tr.Stop()
+	rd := cs.Delta("R")
+	if _, ok := rd.Inserted[MustParseTuple("42", "42").Key()]; !ok {
+		t.Fatalf("post-SetRelation insert lost: %+v", rd)
+	}
+}
+
+func TestTrackerResetRecordsDeletes(t *testing.T) {
+	d := trackTestDB(t)
+	tr := d.Track()
+	r := d.Relation("R")
+	r.Reset(r.Schema())
+	cs := tr.Stop()
+	rd := cs.Delta("R")
+	if len(rd.Deleted) != 2 || len(rd.Inserted) != 0 {
+		t.Fatalf("Reset delta = %+v, want 2 deletes", rd)
+	}
+}
+
+func TestTrackerSnapshotIsolated(t *testing.T) {
+	d := trackTestDB(t)
+	tr := d.Track()
+	snap := d.Snapshot()
+	// Mutating the live database is recorded; the snapshot stays frozen and
+	// untracked.
+	d.MustAddRow("R", "5", "5")
+	if snap.Relation("R").Contains(MustParseTuple("5", "5")) {
+		t.Fatal("snapshot observed a post-snapshot write")
+	}
+	if snap.Relation("R").tracked() {
+		t.Fatal("snapshot relations must not carry the recorder")
+	}
+	cs := tr.Stop()
+	if cs.Delta("R").Size() != 1 {
+		t.Fatalf("delta = %+v", cs.Delta("R"))
+	}
+}
+
+func TestTrackerDoubleTrackPanics(t *testing.T) {
+	d := trackTestDB(t)
+	_ = d.Track()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Track must panic")
+		}
+	}()
+	_ = d.Track()
+}

@@ -28,6 +28,7 @@ type Relation struct {
 	indexes atomic.Pointer[[]*Index] // lazily built hash indexes (see index.go)
 	version uint64                   // bumped on every mutation (plan-cache validation)
 	gen     uint64                   // storage generation, see Stamp
+	rec     *recorder                // delta capture hook, nil unless tracked (see delta.go)
 }
 
 // storageGen issues a process-unique generation id for every tuple map a
@@ -152,6 +153,7 @@ func (r *Relation) Add(t Tuple) error {
 	k := t.AppendKey(buf[:0])
 	if _, ok := r.tuples[string(k)]; !ok {
 		r.tuples[string(k)] = t
+		r.noteInsert(string(k), t)
 	}
 	return nil
 }
@@ -174,6 +176,15 @@ func (r *Relation) AddAll(o *Relation) error {
 			o.Arity(), r.schema.Name, r.schema.Arity())
 	}
 	r.mutable()
+	if r.tracked() {
+		for k, t := range o.tuples {
+			if _, ok := r.tuples[k]; !ok {
+				r.tuples[k] = t
+				r.noteInsert(k, t)
+			}
+		}
+		return nil
+	}
 	for k, t := range o.tuples {
 		r.tuples[k] = t
 	}
@@ -184,9 +195,10 @@ func (r *Relation) AddAll(o *Relation) error {
 func (r *Relation) Remove(t Tuple) bool {
 	var buf [keyBufSize]byte
 	k := t.AppendKey(buf[:0])
-	if _, ok := r.tuples[string(k)]; ok {
+	if old, ok := r.tuples[string(k)]; ok {
 		r.mutable()
 		delete(r.tuples, string(k))
+		r.noteDelete(string(k), old)
 		return true
 	}
 	return false
@@ -415,6 +427,7 @@ func (r *Relation) Reset(rs schema.Relation) {
 	r.schema = rs
 	r.version++
 	r.invalidateIndexes()
+	r.noteDeleteAll()
 	if r.tuples == nil || r.shared.Load() {
 		r.tuples = make(map[string]Tuple)
 		r.gen = nextGen()
@@ -426,15 +439,24 @@ func (r *Relation) Reset(rs schema.Relation) {
 
 func (r *Relation) fillMapped(src *Relation, f func(value.Value) value.Value) {
 	var buf [keyBufSize]byte
+	tracked := r.tracked()
 	for k, t := range src.tuples {
 		nt, changed := t.mapChanged(f)
 		if !changed {
+			if tracked {
+				if _, ok := r.tuples[k]; !ok {
+					r.noteInsert(k, t)
+				}
+			}
 			r.tuples[k] = t
 			continue
 		}
 		nk := nt.AppendKey(buf[:0])
 		if _, ok := r.tuples[string(nk)]; !ok {
 			r.tuples[string(nk)] = nt
+			if tracked {
+				r.noteInsert(string(nk), nt)
+			}
 		}
 	}
 }
@@ -458,6 +480,7 @@ func (r *Relation) Retain(pred func(Tuple) bool) {
 	for k, t := range r.tuples {
 		if !pred(t) {
 			delete(r.tuples, k)
+			r.noteDelete(k, t)
 		}
 	}
 }
