@@ -1,5 +1,5 @@
 // Package incdata's root-level benchmarks: one Benchmark per reproduction
-// experiment (E1–E14, see the "Experiments" section of README.md).  Each benchmark
+// experiment (E1–E15, see the "Experiments" section of README.md).  Each benchmark
 // re-runs the corresponding experiment's workload at a representative
 // parameter point; cmd/incbench prints the full sweeps as tables.
 package incdata_test
@@ -391,4 +391,12 @@ func itoa5(i int) string {
 		i /= 10
 	}
 	return string(out)
+}
+
+// BenchmarkE15VersionHistory measures the version subsystem's commit and
+// time-travel path on a small stream (the CI bench smoke covers it).
+func BenchmarkE15VersionHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Harness{}.E15VersionHistory(30, 4, []int{8}, 50)
+	}
 }

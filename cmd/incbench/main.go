@@ -1,4 +1,4 @@
-// Command incbench runs the reproduction experiments E1–E14 (see the
+// Command incbench runs the reproduction experiments E1–E15 (see the
 // "Experiments" section of README.md) through the engine facade and prints
 // one text table per experiment, or a single machine-readable JSON
 // document with -json so that successive runs can be archived

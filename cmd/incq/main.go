@@ -11,8 +11,26 @@
 // The data directory must contain one <Relation>.csv file per relation, with
 // a header row of attribute names and ⊥i / NULL markers for nulls.
 //
+// # Version history
+//
+// A data directory whose entries are subdirectories of CSV states (one
+// database state per subdirectory, applied in sorted name order) is loaded
+// as a commit history: the first state is the root commit and every
+// further state commits its net tuple diff, each commit tagged with its
+// directory name.  Queries then evaluate at the head by default, or at any
+// historical commit with -as-of; -log prints the commit log and -diff
+// prints the net change between two commits (both work without a query):
+//
+//	incq -data ./versioned -log
+//	incq -data ./versioned -as-of v2 'project(Order; o_id)'
+//	incq -data ./versioned -diff v1..v3
+//
+// Commits are referenced by id, unique id prefix, or directory name.
+//
 // Exit codes distinguish failure classes: 2 for parse errors (bad flags,
-// unknown mode, malformed query), 1 for data and evaluation errors.
+// unknown mode, malformed query, malformed -diff spec), 1 for data and
+// evaluation errors (including unknown commit references and history flags
+// on an unversioned directory).
 //
 // Example:
 //
@@ -25,12 +43,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"slices"
+	"sort"
+	"strings"
 
 	"incdata/internal/csvio"
 	"incdata/internal/engine"
 	"incdata/internal/queryparse"
 	"incdata/internal/ra"
+	"incdata/internal/table"
+	"incdata/internal/version"
 )
 
 // errParse marks failures to understand the invocation — flag errors,
@@ -56,16 +80,91 @@ func main() {
 	}
 }
 
+// versionDirs returns the subdirectories of dir that contain CSV files, in
+// sorted (commit) order; an empty result means the directory is a plain
+// single-state layout.  A directory with top-level CSV files is always
+// treated as a plain layout — a stray CSV-bearing subdirectory (a backup,
+// say) must not silently hijack an existing flat data directory.
+func versionDirs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			if strings.HasSuffix(e.Name(), ".csv") {
+				return nil, nil
+			}
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range sub {
+			if !f.IsDir() && strings.HasSuffix(f.Name(), ".csv") {
+				out = append(out, e.Name())
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// loadVersioned builds an engine whose history holds one commit per state
+// subdirectory: the first state is the root, every later one commits its
+// net tuple diff under the directory's name.
+func loadVersioned(dir string, vers []string) (*engine.Engine, error) {
+	db, err := csvio.ReadDatabaseDir(filepath.Join(dir, vers[0]))
+	if err != nil {
+		return nil, fmt.Errorf("state %s: %w", vers[0], err)
+	}
+	eng := engine.New(db)
+	if _, err := eng.EnableHistory(engine.HistoryOptions{Message: vers[0]}); err != nil {
+		return nil, err
+	}
+	names := db.RelationNames()
+	for _, v := range vers[1:] {
+		next, err := csvio.ReadDatabaseDir(filepath.Join(dir, v))
+		if err != nil {
+			return nil, fmt.Errorf("state %s: %w", v, err)
+		}
+		if !slices.Equal(next.RelationNames(), names) {
+			return nil, fmt.Errorf("state %s: relations %v, want %v (every state must cover the same relations)",
+				v, next.RelationNames(), names)
+		}
+		if err := eng.Update(func(live *table.Database) error {
+			for _, name := range names {
+				if err := live.SetRelation(name, next.Relation(name)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("state %s: %w", v, err)
+		}
+		if _, err := eng.Commit(v); err != nil {
+			return nil, fmt.Errorf("state %s: %w", v, err)
+		}
+	}
+	return eng, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("incq", flag.ContinueOnError)
 	fs.SetOutput(io.Discard) // errors are reported (and classified) by main
-	dataDir := fs.String("data", ".", "directory of <Relation>.csv files")
+	dataDir := fs.String("data", ".", "directory of <Relation>.csv files, or of versioned state subdirectories")
 	mode := fs.String("mode", "certain", "evaluation mode: naive | certain | certain-cwa | certain-owa | certain-object")
 	planner := fs.String("planner", "on", "evaluation path: on (query planner) or off (naïve-evaluation oracle)")
 	extraFresh := fs.Int("fresh", 1, "fresh constants for world enumeration (certain-cwa/-owa/-object)")
 	maxWorlds := fs.Int("max-worlds", 1<<20, "abort world enumeration when more valuations would be needed")
 	workers := fs.Int("workers", 4, "parallel workers for world enumeration")
 	parallel := fs.Bool("parallel", false, "use all CPUs for world enumeration (overrides -workers)")
+	asOf := fs.String("as-of", "", "evaluate at a historical commit (id, unique prefix, or state-directory name)")
+	showLog := fs.Bool("log", false, "print the commit log of a versioned data directory")
+	diffSpec := fs.String("diff", "", "print the net change between two commits, as <a>..<b>")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(os.Stderr)
@@ -74,10 +173,12 @@ func run(args []string) error {
 		}
 		return fmt.Errorf("%w: %v", errParse, err)
 	}
-	if fs.NArg() != 1 {
+	// -log and -diff are reports and need no query; everything else wants
+	// exactly one.
+	queryOptional := *showLog || *diffSpec != ""
+	if fs.NArg() != 1 && !(fs.NArg() == 0 && queryOptional) {
 		return fmt.Errorf("%w: expected exactly one query argument, got %d", errParse, fs.NArg())
 	}
-	queryText := fs.Arg(0)
 
 	m, err := engine.ParseMode(*mode)
 	if err != nil {
@@ -87,14 +188,75 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", errParse, err)
 	}
-	expr, err := queryparse.Parse(queryText)
-	if err != nil {
-		return fmt.Errorf("%w: %v", errParse, err)
+	var diffA, diffB string
+	if *diffSpec != "" {
+		a, b, ok := strings.Cut(*diffSpec, "..")
+		if !ok || a == "" || b == "" {
+			return fmt.Errorf("%w: -diff wants <a>..<b>, got %q", errParse, *diffSpec)
+		}
+		diffA, diffB = a, b
+	}
+	var expr ra.Expr
+	if fs.NArg() == 1 {
+		expr, err = queryparse.Parse(fs.Arg(0))
+		if err != nil {
+			return fmt.Errorf("%w: %v", errParse, err)
+		}
 	}
 
-	db, err := csvio.ReadDatabaseDir(*dataDir)
+	vers, err := versionDirs(*dataDir)
 	if err != nil {
 		return err
+	}
+	historyWanted := *asOf != "" || *showLog || *diffSpec != ""
+	if historyWanted && len(vers) == 0 {
+		return fmt.Errorf("history flags need a versioned data directory (state subdirectories of CSV files); %s has none", *dataDir)
+	}
+
+	var eng *engine.Engine
+	if len(vers) > 0 {
+		eng, err = loadVersioned(*dataDir, vers)
+	} else {
+		var db *table.Database
+		db, err = csvio.ReadDatabaseDir(*dataDir)
+		if err == nil {
+			eng = engine.New(db)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	if *showLog {
+		log, err := eng.Log()
+		if err != nil {
+			return err
+		}
+		for _, c := range log {
+			extra := ""
+			if len(c.Parents) > 1 {
+				extra = fmt.Sprintf("  (merges %s)", c.Parents[1])
+			}
+			fmt.Printf("%s  %s  (+%d -%d)%s\n", c.ID, c.Message, insertedCount(c), deletedCount(c), extra)
+		}
+	}
+	if *diffSpec != "" {
+		a, err := eng.ResolveCommit(diffA)
+		if err != nil {
+			return err
+		}
+		b, err := eng.ResolveCommit(diffB)
+		if err != nil {
+			return err
+		}
+		cs, err := eng.DiffVersions(a, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("diff %s..%s\n%s", a, b, cs)
+	}
+	if expr == nil {
+		return nil
 	}
 
 	opts := engine.Options{
@@ -113,10 +275,43 @@ func run(args []string) error {
 	fmt.Printf("naïve evaluation sound for certain answers: owa=%v cwa=%v\n",
 		ra.NaiveEvalSound(expr, false), ra.NaiveEvalSound(expr, true))
 
-	rel, err := engine.New(db).Eval(expr, opts)
+	rel, err := evalMaybeAsOf(eng, *asOf, expr, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Println(rel.String())
 	return nil
+}
+
+// evalMaybeAsOf evaluates at the head, or at the -as-of commit when given.
+func evalMaybeAsOf(eng *engine.Engine, asOf string, expr ra.Expr, opts engine.Options) (*table.Relation, error) {
+	if asOf == "" {
+		return eng.Eval(expr, opts)
+	}
+	id, err := eng.ResolveCommit(asOf)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := eng.AsOf(id)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("as of: %s\n", id)
+	return snap.Eval(expr, opts)
+}
+
+func insertedCount(c *version.Commit) int {
+	n := 0
+	for _, d := range c.Delta.Rels {
+		n += len(d.Inserted)
+	}
+	return n
+}
+
+func deletedCount(c *version.Commit) int {
+	n := 0
+	for _, d := range c.Delta.Rels {
+		n += len(d.Deleted)
+	}
+	return n
 }

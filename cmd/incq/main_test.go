@@ -20,6 +20,59 @@ func writeData(t *testing.T) string {
 	return dir
 }
 
+// writeVersionedData lays out three successive database states as
+// subdirectories, the versioned layout the history flags load.
+func writeVersionedData(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	states := map[string]map[string]string{
+		"v1": {
+			"Order.csv": "o_id,product\noid1,pr1\noid2,pr2\n",
+			"Pay.csv":   "p_id,order,amount\npid1,⊥1,100\n",
+		},
+		"v2": {
+			"Order.csv": "o_id,product\noid1,pr1\noid2,pr2\noid3,pr3\n",
+			"Pay.csv":   "p_id,order,amount\npid1,oid1,100\n",
+		},
+		"v3": {
+			"Order.csv": "o_id,product\noid2,pr2\noid3,pr3\n",
+			"Pay.csv":   "p_id,order,amount\npid1,oid1,100\npid2,oid3,50\n",
+		},
+	}
+	for state, files := range states {
+		if err := os.MkdirAll(filepath.Join(dir, state), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, content := range files {
+			if err := os.WriteFile(filepath.Join(dir, state, name), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return dir
+}
+
+// TestFlatLayoutWinsOverStraySubdir pins that a data directory with
+// top-level CSV files stays a plain layout even when a stray subdirectory
+// also holds CSVs (e.g. a backup) — it must not be reinterpreted as a
+// versioned layout.
+func TestFlatLayoutWinsOverStraySubdir(t *testing.T) {
+	dir := writeData(t)
+	if err := os.MkdirAll(filepath.Join(dir, "backup"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "backup", "X.csv"), []byte("a\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", dir, "project(Order; o_id)"}); err != nil {
+		t.Errorf("flat layout with stray subdir: %v", err)
+	}
+	// History flags still refuse: the directory is flat.
+	if err := run([]string{"-data", dir, "-log"}); err == nil || exitCode(err) != 1 {
+		t.Errorf("history flag on flat layout must exit 1, got %v", err)
+	}
+}
+
 func TestRunModes(t *testing.T) {
 	dir := writeData(t)
 	query := "diff(project(Order; o_id), project(Pay; order))"
@@ -46,11 +99,35 @@ func TestRunPlannerAndParallelFlags(t *testing.T) {
 	}
 }
 
+// TestRunHistoryFlags covers the happy paths of the version-history
+// flags on a versioned data directory: -log and -diff as standalone
+// reports, -as-of combined with a query, and head evaluation.
+func TestRunHistoryFlags(t *testing.T) {
+	dir := writeVersionedData(t)
+	query := "project(Order; o_id)"
+	for _, args := range [][]string{
+		{"-data", dir, "-log"},
+		{"-data", dir, "-diff", "v1..v3"},
+		{"-data", dir, "-diff", "v3..v1"},
+		{"-data", dir, "-log", "-diff", "v1..v2", query},
+		{"-data", dir, "-as-of", "v1", query},
+		{"-data", dir, "-as-of", "v2", "-mode", "certain-cwa", query},
+		{"-data", dir, "-as-of", "v3", "-planner", "off", query},
+		{"-data", dir, query}, // head evaluation of a versioned layout
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
 // TestExitCodes pins the failure classification: parse errors (bad flags,
-// unknown modes, malformed queries) exit with 2, data and evaluation
-// errors with 1.
+// unknown modes, malformed queries, malformed -diff specs) exit with 2,
+// data and evaluation errors (including unknown commits and history flags
+// on unversioned directories) with 1.
 func TestExitCodes(t *testing.T) {
 	dir := writeData(t)
+	vdir := writeVersionedData(t)
 	cases := []struct {
 		args []string
 		code int
@@ -65,6 +142,15 @@ func TestExitCodes(t *testing.T) {
 		{[]string{"-data", dir, "Nope"}, 1},                         // unknown relation
 		{[]string{"-data", dir, "-mode", "naive", "Nope"}, 1},       // unknown relation
 		{[]string{"-data", dir, "-mode", "certain-cwa", "Nope"}, 1}, // unknown relation under enumeration
+		{[]string{"-data", vdir, "-diff", "v1", "Order"}, 2},        // malformed -diff spec
+		{[]string{"-data", vdir, "-diff", "..v1"}, 2},               // malformed -diff spec
+		{[]string{"-data", vdir, "-as-of", "v1"}, 2},                // -as-of still needs a query
+		{[]string{"-data", dir, "-as-of", "v1", "Order"}, 1},        // history flag on unversioned dir
+		{[]string{"-data", dir, "-log"}, 1},                         // history flag on unversioned dir
+		{[]string{"-data", dir, "-diff", "v1..v2"}, 1},              // history flag on unversioned dir
+		{[]string{"-data", vdir, "-as-of", "nope", "Order"}, 1},     // unknown commit
+		{[]string{"-data", vdir, "-as-of", "v", "Order"}, 1},        // unresolvable commit reference
+		{[]string{"-data", vdir, "-diff", "v1..nope"}, 1},           // unknown commit in -diff
 	}
 	for _, c := range cases {
 		err := run(c.args)

@@ -1,6 +1,7 @@
 package certain
 
 import (
+	"container/list"
 	"sync"
 
 	"incdata/internal/plan"
@@ -12,8 +13,12 @@ import (
 // Plan caches.  Compiling a query or factoring it for world enumeration is
 // cheap but not free; callers like the experiment sweeps and a serving
 // workload evaluate the same query against the same database over and
-// over.  One-shot plans depend only on (schema, query) and are immutable,
-// so they are cached unconditionally.  World plans additionally bake in
+// over.  Both caches are bounded LRUs (planCacheLimit entries): a workload
+// streaming many distinct queries evicts its least-recently-used plans
+// instead of growing without limit, and evictions are counted in
+// CacheStats.  One-shot plans depend only on (schema, query) and are
+// immutable, so they are cached unconditionally.  World plans additionally
+// bake in
 // the database contents (null parts, cached stable results and their hash
 // indexes), so each cache entry records a content stamp (table.Stamp:
 // storage generation + mutation counter) for every base relation the query
@@ -27,6 +32,10 @@ import (
 // per-Evaluator; the engine facade owns the evaluators, so plan caching is
 // per-engine state, not process-global.
 
+// planCacheLimit caps each cache: the least-recently-used entry is evicted
+// when a new one would exceed it, so an engine serving many distinct
+// queries (or time-traveling across many commits) holds at most this many
+// plans per cache instead of growing without bound.
 const planCacheLimit = 128
 
 type planKey struct {
@@ -34,20 +43,70 @@ type planKey struct {
 	q  string
 }
 
-type oneShotCache struct {
+// lru is a mutex-guarded LRU map from plan keys to cached values, used by
+// both plan caches.  The zero value is ready to use.
+type lru[V any] struct {
 	sync.Mutex
-	m map[planKey]*plan.Plan
+	ll    *list.List // front = most recently used
+	items map[planKey]*list.Element
 }
+
+type lruEntry[V any] struct {
+	key planKey
+	val V
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lru[V]) get(key planKey) (V, bool) {
+	c.Lock()
+	defer c.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts (or replaces) a cached value and reports how many entries
+// were evicted to stay within the cap.
+func (c *lru[V]) add(key planKey, val V) (evicted uint64) {
+	c.Lock()
+	defer c.Unlock()
+	if c.items == nil {
+		c.items = make(map[planKey]*list.Element, planCacheLimit)
+		c.ll = list.New()
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value = lruEntry[V]{key: key, val: val}
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(lruEntry[V]{key: key, val: val})
+	for len(c.items) > planCacheLimit {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(lruEntry[V]).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the number of cached entries.
+func (c *lru[V]) len() int {
+	c.Lock()
+	defer c.Unlock()
+	return len(c.items)
+}
+
+type oneShotCache = lru[*plan.Plan]
 
 // cachedCompile returns a (possibly shared) compiled plan for q over sc.
 // Compiled plans are stateless with respect to the data and safe for
 // concurrent evaluation.
 func (ev *Evaluator) cachedCompile(q ra.Expr, sc *schema.Schema) (*plan.Plan, error) {
 	key := planKey{sc: sc, q: q.String()}
-	ev.oneShot.Lock()
-	p := ev.oneShot.m[key]
-	ev.oneShot.Unlock()
-	if p != nil {
+	if p, ok := ev.oneShot.get(key); ok {
 		ev.oneShotHits.Add(1)
 		return p, nil
 	}
@@ -56,12 +115,7 @@ func (ev *Evaluator) cachedCompile(q ra.Expr, sc *schema.Schema) (*plan.Plan, er
 	if err != nil {
 		return nil, err
 	}
-	ev.oneShot.Lock()
-	if ev.oneShot.m == nil || len(ev.oneShot.m) >= planCacheLimit {
-		ev.oneShot.m = make(map[planKey]*plan.Plan, planCacheLimit)
-	}
-	ev.oneShot.m[key] = p
-	ev.oneShot.Unlock()
+	ev.oneShotEvictions.Add(ev.oneShot.add(key, p))
 	return p, nil
 }
 
@@ -77,10 +131,7 @@ type worldEntry struct {
 	deps []relDep
 }
 
-type worldCache struct {
-	sync.Mutex
-	m map[planKey]*worldEntry
-}
+type worldCache = lru[*worldEntry]
 
 // worldDeps captures the stamps a world plan for q over d depends on, or
 // ok=false when a referenced relation does not exist (the caller lets plan
@@ -124,10 +175,7 @@ func depsValid(d *table.Database, deps []relDep) bool {
 // plan keeps its stable subplan results and hash indexes.
 func (ev *Evaluator) cachedForWorlds(q ra.Expr, d *table.Database) (*plan.WorldPlan, error) {
 	key := planKey{sc: d.Schema(), q: q.String()}
-	ev.worlds.Lock()
-	e := ev.worlds.m[key]
-	ev.worlds.Unlock()
-	if e != nil && depsValid(d, e.deps) {
+	if e, ok := ev.worlds.get(key); ok && depsValid(d, e.deps) {
 		ev.worldHits.Add(1)
 		return e.wp, nil
 	}
@@ -142,11 +190,6 @@ func (ev *Evaluator) cachedForWorlds(q ra.Expr, d *table.Database) (*plan.WorldP
 		// but never cache an unvalidatable plan.
 		return wp, nil
 	}
-	ev.worlds.Lock()
-	if ev.worlds.m == nil || len(ev.worlds.m) >= planCacheLimit {
-		ev.worlds.m = make(map[planKey]*worldEntry, planCacheLimit)
-	}
-	ev.worlds.m[key] = &worldEntry{wp: wp, deps: deps}
-	ev.worlds.Unlock()
+	ev.worldEvictions.Add(ev.worlds.add(key, &worldEntry{wp: wp, deps: deps}))
 	return wp, nil
 }

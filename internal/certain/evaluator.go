@@ -28,10 +28,12 @@ type Evaluator struct {
 	oneShot oneShotCache
 	worlds  worldCache
 
-	oneShotHits   atomic.Uint64
-	oneShotMisses atomic.Uint64
-	worldHits     atomic.Uint64
-	worldMisses   atomic.Uint64
+	oneShotHits      atomic.Uint64
+	oneShotMisses    atomic.Uint64
+	oneShotEvictions atomic.Uint64
+	worldHits        atomic.Uint64
+	worldMisses      atomic.Uint64
+	worldEvictions   atomic.Uint64
 }
 
 // NewEvaluator returns an evaluator with empty caches.  With planner set,
@@ -47,21 +49,27 @@ func (ev *Evaluator) PlannerEnabled() bool { return ev.planner }
 
 // CacheStats counts plan-cache traffic.  A world "hit" means a factored
 // world plan — including its stable subplan results and their hash
-// indexes — was reused, possibly across database snapshots.
+// indexes — was reused, possibly across database snapshots.  Evictions
+// count entries dropped by the caches' LRU cap under many distinct
+// queries.
 type CacheStats struct {
-	OneShotHits   uint64
-	OneShotMisses uint64
-	WorldHits     uint64
-	WorldMisses   uint64
+	OneShotHits      uint64
+	OneShotMisses    uint64
+	OneShotEvictions uint64
+	WorldHits        uint64
+	WorldMisses      uint64
+	WorldEvictions   uint64
 }
 
 // Stats returns a point-in-time copy of the cache counters.
 func (ev *Evaluator) Stats() CacheStats {
 	return CacheStats{
-		OneShotHits:   ev.oneShotHits.Load(),
-		OneShotMisses: ev.oneShotMisses.Load(),
-		WorldHits:     ev.worldHits.Load(),
-		WorldMisses:   ev.worldMisses.Load(),
+		OneShotHits:      ev.oneShotHits.Load(),
+		OneShotMisses:    ev.oneShotMisses.Load(),
+		OneShotEvictions: ev.oneShotEvictions.Load(),
+		WorldHits:        ev.worldHits.Load(),
+		WorldMisses:      ev.worldMisses.Load(),
+		WorldEvictions:   ev.worldEvictions.Load(),
 	}
 }
 

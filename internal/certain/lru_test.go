@@ -1,0 +1,70 @@
+package certain
+
+import (
+	"fmt"
+	"testing"
+
+	"incdata/internal/ra"
+	"incdata/internal/schema"
+	"incdata/internal/table"
+)
+
+// TestLRUBound pins the plan caches' LRU behavior directly: the cache
+// never exceeds its cap, evicts least-recently-used first, and get
+// refreshes recency.
+func TestLRUBound(t *testing.T) {
+	var c lru[int]
+	sc := &schema.Schema{}
+	key := func(i int) planKey { return planKey{sc: sc, q: fmt.Sprintf("q%d", i)} }
+
+	evicted := uint64(0)
+	for i := 0; i < planCacheLimit+10; i++ {
+		// Keep key(0) hot so it survives every eviction round.
+		if _, ok := c.get(key(0)); !ok && i > 0 {
+			t.Fatalf("hot entry evicted at %d", i)
+		}
+		evicted += c.add(key(i), i)
+		if c.len() > planCacheLimit {
+			t.Fatalf("cache grew to %d > cap %d", c.len(), planCacheLimit)
+		}
+	}
+	if evicted != 10 {
+		t.Fatalf("evicted = %d, want 10", evicted)
+	}
+	if _, ok := c.get(key(0)); !ok {
+		t.Fatal("most-recently-used entry was evicted")
+	}
+	if _, ok := c.get(key(1)); ok {
+		t.Fatal("least-recently-used entry survived past the cap")
+	}
+	// Replacing an existing key must not evict.
+	if n := c.add(key(0), 99); n != 0 {
+		t.Fatalf("replacement evicted %d entries", n)
+	}
+	if v, _ := c.get(key(0)); v != 99 {
+		t.Fatalf("replacement not visible: %d", v)
+	}
+}
+
+// TestEvaluatorEvictionStats pins that streaming more distinct queries
+// than the cap surfaces evictions in the evaluator's stats while results
+// stay correct.
+func TestEvaluatorEvictionStats(t *testing.T) {
+	sc := schema.MustNew(schema.NewRelation("R", "a", "b"))
+	d := table.NewDatabase(sc)
+	d.MustAddRow("R", "1", "2")
+	ev := NewEvaluator(true)
+	for i := 0; i < planCacheLimit+50; i++ {
+		q := ra.Select{Input: ra.Base("R"), Pred: ra.Eq(ra.Attr("a"), ra.LitInt(int64(i)))}
+		if _, err := ev.Naive(q, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ev.Stats()
+	if st.OneShotEvictions == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+	if st.OneShotMisses != uint64(planCacheLimit+50) {
+		t.Fatalf("misses = %d, want %d", st.OneShotMisses, planCacheLimit+50)
+	}
+}

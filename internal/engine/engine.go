@@ -35,6 +35,7 @@ import (
 	"incdata/internal/ra"
 	"incdata/internal/sqlx"
 	"incdata/internal/table"
+	"incdata/internal/version"
 )
 
 // Engine owns one logical database and everything needed to evaluate
@@ -49,7 +50,16 @@ type Engine struct {
 	planned *certain.Evaluator
 	oracle  *certain.Evaluator
 
-	views map[string]*inc.View // maintained views, refreshed inside Update
+	views    map[string]*inc.View // maintained views, refreshed inside Update
+	viewRegs map[string]viewReg   // registration info, to rebuild views on Checkout/Merge
+
+	// Version history (see history.go): nil until EnableHistory.  The
+	// history has its own lock, so AsOf readers reconstruct historical
+	// states without holding the engine lock; branch and pending are
+	// engine-lock state.
+	hist    *version.History
+	branch  string           // checked-out branch
+	pending *table.ChangeSet // net uncommitted changes since the last commit
 }
 
 // New creates an engine over db.  The engine adopts the database: all
@@ -77,17 +87,22 @@ func New(db *table.Database) *Engine {
 // relation the view reads.  Views are refreshed even when fn fails or
 // panics, since fn may have committed partial mutations the views must
 // track; a panic is re-raised after the tracker is detached and the views
-// are consistent again.
+// are consistent again.  While version history is enabled (EnableHistory)
+// the same captured deltas also accumulate as the pending change set the
+// next Commit turns into a commit.
 func (e *Engine) Update(fn func(db *table.Database) error) (err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.snap = nil
-	if len(e.views) == 0 {
+	if len(e.views) == 0 && e.hist == nil {
 		return fn(e.db)
 	}
 	tr := e.db.Track()
 	defer func() {
 		cs := tr.Stop()
+		if e.hist != nil {
+			e.pending.Compose(cs)
+		}
 		for _, name := range e.viewNamesLocked() {
 			if verr := e.views[name].Apply(cs, e.db); verr != nil {
 				err = errors.Join(err, verr)

@@ -1,0 +1,254 @@
+package engine
+
+// Version history on the engine facade: EnableHistory attaches an
+// internal/version commit DAG to the engine, after which every Update's
+// captured deltas accumulate as the pending change set, Commit turns the
+// pending changes into a commit on the checked-out branch, and the
+// history operations — Branch, Checkout, AsOf, DiffVersions, Merge, Log —
+// operate on the DAG.  AsOf hands back a regular Snapshot, so certain-
+// answer queries in every mode, planner on or off, run against historical
+// commits through exactly the evaluation paths live snapshots use,
+// including the stamp-keyed plan caches (repeated AsOf of one commit
+// returns the identical reconstructed database, so its relation stamps
+// keep validating cache entries).  Registered views always track the live
+// head: Checkout and Merge rebuild them against the new head state.
+
+import (
+	"fmt"
+
+	"incdata/internal/table"
+	"incdata/internal/version"
+)
+
+// HistoryOptions configures EnableHistory.
+type HistoryOptions struct {
+	// Branch names the initial branch; "" means "main".
+	Branch string
+	// Message is the root commit's message; "" means "init".
+	Message string
+	// CheckpointEvery materializes a full checkpoint every K commits so
+	// AsOf replays at most K deltas; 0 means
+	// version.DefaultCheckpointEvery, negative checkpoints only the root.
+	CheckpointEvery int
+}
+
+// EnableHistory attaches a commit history to the engine, rooted at the
+// database's current state, and returns the root commit id.  From then on
+// every Update captures its net deltas into the pending change set; Commit
+// appends them to the checked-out branch.  Enabling twice is an error.
+func (e *Engine) EnableHistory(opts HistoryOptions) (version.CommitID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.hist != nil {
+		return "", fmt.Errorf("engine: history already enabled")
+	}
+	if opts.Branch == "" {
+		opts.Branch = "main"
+	}
+	if opts.Message == "" {
+		opts.Message = "init"
+	}
+	hist, root := version.New(e.db, opts.Branch, opts.Message, version.Options{CheckpointEvery: opts.CheckpointEvery})
+	e.hist = hist
+	e.branch = opts.Branch
+	e.pending = table.NewChangeSet()
+	return root, nil
+}
+
+// HistoryEnabled reports whether EnableHistory has been called.
+func (e *Engine) HistoryEnabled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hist != nil
+}
+
+// historyLocked returns the attached history or an error; the caller
+// holds e.mu.
+func (e *Engine) historyLocked() (*version.History, error) {
+	if e.hist == nil {
+		return nil, fmt.Errorf("engine: history not enabled")
+	}
+	return e.hist, nil
+}
+
+// Commit appends the pending change set (the net deltas of every Update
+// since the last commit) as a commit on the checked-out branch and returns
+// its id.  With nothing pending it returns the current head unchanged —
+// the history stays free of empty commits.
+func (e *Engine) Commit(message string) (version.CommitID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	hist, err := e.historyLocked()
+	if err != nil {
+		return "", err
+	}
+	if e.pending.Empty() {
+		return hist.Head(e.branch)
+	}
+	id, err := hist.Commit(e.branch, message, e.pending, e.db)
+	if err != nil {
+		return "", err
+	}
+	e.pending = table.NewChangeSet()
+	return id, nil
+}
+
+// Head returns the checked-out branch name and its head commit.
+func (e *Engine) Head() (string, version.CommitID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	hist, err := e.historyLocked()
+	if err != nil {
+		return "", "", err
+	}
+	id, err := hist.Head(e.branch)
+	return e.branch, id, err
+}
+
+// Branch creates a new branch pointing at the current head.  It does not
+// check the branch out.
+func (e *Engine) Branch(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	hist, err := e.historyLocked()
+	if err != nil {
+		return err
+	}
+	head, err := hist.Head(e.branch)
+	if err != nil {
+		return err
+	}
+	return hist.Branch(name, head)
+}
+
+// Branches returns the branch refs.
+func (e *Engine) Branches() (map[string]version.CommitID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	hist, err := e.historyLocked()
+	if err != nil {
+		return nil, err
+	}
+	return hist.Branches(), nil
+}
+
+// Checkout switches the live database to another branch's head state.
+// Uncommitted changes (a non-empty pending change set) block the switch —
+// commit first.  Registered views are rebuilt against the new head (their
+// refresh counters restart); concurrent readers keep whatever snapshots
+// they hold.
+func (e *Engine) Checkout(branch string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	hist, err := e.historyLocked()
+	if err != nil {
+		return err
+	}
+	if !e.pending.Empty() {
+		return fmt.Errorf("engine: checkout with uncommitted changes (commit first)")
+	}
+	head, err := hist.Head(branch)
+	if err != nil {
+		return err
+	}
+	state, err := hist.AsOf(head)
+	if err != nil {
+		return err
+	}
+	e.db = state.Clone()
+	e.snap = nil
+	e.branch = branch
+	return e.rebuildViewsLocked()
+}
+
+// AsOf returns a read-only snapshot of the database state at a commit.
+// All evaluation modes, planner on or off, work exactly as on a live
+// snapshot; repeated calls for one commit share the reconstructed state,
+// so plan-cache entries validated by its relation stamps are reused.
+func (e *Engine) AsOf(id version.CommitID) (*Snapshot, error) {
+	e.mu.Lock()
+	hist, err := e.historyLocked()
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	// Reconstruction runs under the history's own lock: AsOf readers do
+	// not block engine writers (and vice versa) beyond the replay itself.
+	db, err := hist.AsOf(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{eng: e, db: db}, nil
+}
+
+// ResolveCommit turns a commit reference — full id, unique id prefix,
+// branch name, or unique commit message — into a commit id.
+func (e *Engine) ResolveCommit(ref string) (version.CommitID, error) {
+	e.mu.Lock()
+	hist, err := e.historyLocked()
+	e.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	return hist.Resolve(ref)
+}
+
+// DiffVersions returns the net per-relation change from commit a to
+// commit b, composed from the stored per-commit deltas through their
+// first-parent base.
+func (e *Engine) DiffVersions(a, b version.CommitID) (*table.ChangeSet, error) {
+	e.mu.Lock()
+	hist, err := e.historyLocked()
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return hist.Diff(a, b)
+}
+
+// Log returns the checked-out branch's history, newest first (first-parent
+// chain down to the root commit).
+func (e *Engine) Log() ([]*version.Commit, error) {
+	e.mu.Lock()
+	hist, err := e.historyLocked()
+	branch := e.branch
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	head, err := hist.Head(branch)
+	if err != nil {
+		return nil, err
+	}
+	return hist.Log(head)
+}
+
+// Merge merges another branch's head into the checked-out branch: a
+// three-way merge against their first-parent base in which tuples both
+// branches refined in conflicting null/constant ways are reconciled by
+// the tuple-level greatest lower bound of the informativeness order
+// (preserving exactly the certainty the branches share), with every
+// non-silent reconciliation reported in the result.  The live database
+// switches to the merged state and registered views are rebuilt against
+// it.  Uncommitted changes block the merge.
+func (e *Engine) Merge(other, message string) (*version.MergeResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	hist, err := e.historyLocked()
+	if err != nil {
+		return nil, err
+	}
+	if !e.pending.Empty() {
+		return nil, fmt.Errorf("engine: merge with uncommitted changes (commit first)")
+	}
+	res, err := hist.Merge(e.branch, other, message)
+	if err != nil {
+		return nil, err
+	}
+	e.db = res.State.Clone()
+	e.snap = nil
+	if err := e.rebuildViewsLocked(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incdata/internal/ra"
+	"incdata/internal/table"
+	"incdata/internal/value"
+	"incdata/internal/version"
+)
+
+// histStep is one concrete mutation of a randomized history stream,
+// replayable onto a fresh database for the from-scratch baseline.
+type histStep struct {
+	rel string
+	add bool
+	t   table.Tuple
+}
+
+func randomHistStream(rng *rand.Rand, n int) []histStep {
+	var present []histStep
+	perRel := map[string]int{}
+	out := make([]histStep, 0, n)
+	rels := []string{"R", "S", "T"}
+	for i := 0; i < n; i++ {
+		rel := rels[rng.Intn(len(rels))]
+		// Deletions keep every relation at testDB scale (at most four
+		// tuples) so the GLB and world-enumeration modes stay tractable.
+		if len(present) > 0 && (rng.Intn(3) == 0 || perRel[rel] >= 4) {
+			j := rng.Intn(len(present))
+			out = append(out, histStep{rel: present[j].rel, add: false, t: present[j].t})
+			perRel[present[j].rel]--
+			present = append(present[:j], present[j+1:]...)
+			continue
+		}
+		t := make(table.Tuple, 2)
+		for k := range t {
+			// Nulls come from a pool of two (as in testDB) so the world
+			// count stays tractable for the enumeration and GLB modes.
+			if rng.Intn(4) == 0 {
+				t[k] = value.Null(uint64(rng.Intn(2) + 1))
+			} else {
+				t[k] = value.Int(int64(rng.Intn(4)))
+			}
+		}
+		s := histStep{rel: rel, add: true, t: t}
+		present = append(present, s)
+		perRel[rel]++
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestHistoryDifferential is the acceptance pin of the version subsystem:
+// certain answers at every historical commit — in every mode, with the
+// planner on and off — are bit-identical to evaluating a from-scratch
+// database built by replaying the update stream up to that commit.
+func TestHistoryDifferential(t *testing.T) {
+	worldOpts := Options{ExtraFresh: 1, MaxWorlds: 1 << 13}
+	modes := []Mode{ModeNaive, ModeCertain, ModeCertainCWA, ModeCertainOWA, ModeCertainObject}
+	for _, checkpointEvery := range []int{-1, 2, 16} {
+		rng := rand.New(rand.NewSource(int64(7 + checkpointEvery)))
+		eng := New(table.NewDatabase(testSchema()))
+		if _, err := eng.EnableHistory(HistoryOptions{CheckpointEvery: checkpointEvery}); err != nil {
+			t.Fatal(err)
+		}
+		stream := randomHistStream(rng, 40)
+		prefixAt := map[version.CommitID]int{}
+		var ids []version.CommitID
+		i := 0
+		for i < len(stream) {
+			n := 1 + rng.Intn(5)
+			if i+n > len(stream) {
+				n = len(stream) - i
+			}
+			batch := stream[i : i+n]
+			if err := eng.Update(func(db *table.Database) error {
+				for _, s := range batch {
+					if s.add {
+						db.MustAdd(s.rel, s.t)
+					} else {
+						db.Relation(s.rel).Remove(s.t)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			id, err := eng.Commit(fmt.Sprintf("c%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			i += n
+			prefixAt[id] = i
+			ids = append(ids, id)
+		}
+
+		// The reconstructed state must equal the from-scratch replay at
+		// EVERY commit; the full query differential (all modes × planner
+		// settings, world enumeration included) samples a handful of
+		// commits to stay fast.
+		sampled := map[version.CommitID]bool{ids[0]: true, ids[len(ids)-1]: true}
+		for len(sampled) < 4 && len(sampled) < len(ids) {
+			sampled[ids[rng.Intn(len(ids))]] = true
+		}
+		for _, id := range ids {
+			snap, err := eng.AsOf(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// From-scratch replay baseline, evaluated by a fresh engine.
+			base := table.NewDatabase(testSchema())
+			for _, s := range stream[:prefixAt[id]] {
+				if s.add {
+					base.MustAdd(s.rel, s.t)
+				} else {
+					base.Relation(s.rel).Remove(s.t)
+				}
+			}
+			if !snap.Database().Equal(base) {
+				t.Fatalf("AsOf(%s) state differs from replay", id)
+			}
+			if !sampled[id] {
+				continue
+			}
+			scratch := New(base)
+			for qname, q := range testQueries() {
+				for _, planner := range []PlannerSetting{PlannerOn, PlannerOff} {
+					for _, mode := range modes {
+						// certainO's GLB cost explodes with the number of
+						// distinct per-world answers; as in
+						// TestEngineDifferential it runs on the tiny-answer
+						// queries only.
+						if mode == ModeCertainObject && qname != "base" && qname != "select" && qname != "delta" {
+							continue
+						}
+						opts := worldOpts
+						opts.Mode = mode
+						opts.Planner = planner
+						got, gerr := snap.Eval(q, opts)
+						want, werr := scratch.Eval(q, opts)
+						if (gerr == nil) != (werr == nil) {
+							t.Fatalf("commit %s %s mode=%v planner=%v: err %v vs %v", id, qname, mode, planner, gerr, werr)
+						}
+						if gerr == nil && fp(got) != fp(want) {
+							t.Fatalf("commit %s %s mode=%v planner=%v: answers differ\ngot:  %s\nwant: %s",
+								id, qname, mode, planner, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHistoryCommitBasics covers the facade plumbing: empty commits
+// collapse to the head, pending changes block checkout/merge, and
+// unknown branches error.
+func TestHistoryCommitBasics(t *testing.T) {
+	eng := New(testDB(1))
+	if _, err := eng.Commit("x"); err == nil {
+		t.Fatal("Commit without history must fail")
+	}
+	root, err := eng.EnableHistory(HistoryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.EnableHistory(HistoryOptions{}); err == nil {
+		t.Fatal("double EnableHistory must fail")
+	}
+	// Nothing pending: Commit returns the head (the root) unchanged.
+	if id, err := eng.Commit("empty"); err != nil || id != root {
+		t.Fatalf("empty commit = %v, %v; want root %v", id, err, root)
+	}
+	if err := eng.Update(func(db *table.Database) error {
+		return db.Add("R", table.NewTuple(value.Int(9), value.Int(9)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Checkout("main"); err == nil {
+		t.Fatal("checkout with uncommitted changes must fail")
+	}
+	if _, err := eng.Merge("main", "m"); err == nil {
+		t.Fatal("merge with uncommitted changes must fail")
+	}
+	c1, err := eng.Commit("first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == root {
+		t.Fatal("non-empty commit must advance the head")
+	}
+	branch, head, err := eng.Head()
+	if err != nil || branch != "main" || head != c1 {
+		t.Fatalf("Head = %s %v %v", branch, head, err)
+	}
+	log, err := eng.Log()
+	if err != nil || len(log) != 2 || log[0].ID != c1 {
+		t.Fatalf("Log = %v, %v", log, err)
+	}
+	if err := eng.Checkout("nope"); err == nil {
+		t.Fatal("checkout of unknown branch must fail")
+	}
+	if _, err := eng.AsOf("bogus"); err == nil {
+		t.Fatal("AsOf of unknown commit must fail")
+	}
+
+	// DiffVersions between root and head is exactly the committed insert.
+	cs, err := eng.DiffVersions(root, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Size() != 1 || len(cs.Delta("R").Inserted) != 1 {
+		t.Fatalf("diff root..c1 = %s", cs)
+	}
+}
+
+// TestHistoryBranchCheckoutViews pins the branch workflow end to end and
+// that registered views survive Checkout and Merge, tracking the head
+// branch's state.
+func TestHistoryBranchCheckoutViews(t *testing.T) {
+	eng := New(testDB(2))
+	if _, err := eng.EnableHistory(HistoryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	q := ra.Base("R")
+	if err := eng.Register("v", q, Options{Mode: ModeCertain}); err != nil {
+		t.Fatal(err)
+	}
+
+	insert := func(a, b int64) {
+		if err := eng.Update(func(db *table.Database) error {
+			return db.Add("R", table.NewTuple(value.Int(a), value.Int(b)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantView := func(context string) {
+		t.Helper()
+		got, err := eng.Answers("v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eng.Eval(q, Options{Mode: ModeCertain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: view answer %s, want %s", context, got, want)
+		}
+	}
+
+	insert(10, 10)
+	if _, err := eng.Commit("base"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Branch("side"); err != nil {
+		t.Fatal(err)
+	}
+	insert(11, 11)
+	if _, err := eng.Commit("main work"); err != nil {
+		t.Fatal(err)
+	}
+	wantView("on main")
+
+	if err := eng.Checkout("side"); err != nil {
+		t.Fatal(err)
+	}
+	// The side branch must not see main's (11,11) insert.
+	r, err := eng.Eval(ra.Base("R"), Options{Mode: ModeNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Contains(table.NewTuple(value.Int(11), value.Int(11))) {
+		t.Fatal("side branch sees main's commit")
+	}
+	wantView("after checkout")
+
+	insert(12, 12)
+	if _, err := eng.Commit("side work"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Checkout("main"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Merge("side", "merge side")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("disjoint merge conflicts: %v", res.Conflicts)
+	}
+	// The merged head holds both branches' inserts, and the view tracks it.
+	r, err = eng.Eval(ra.Base("R"), Options{Mode: ModeNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{10, 11, 12} {
+		if !r.Contains(table.NewTuple(value.Int(v), value.Int(v))) {
+			t.Fatalf("merged state misses (%d,%d): %s", v, v, r)
+		}
+	}
+	wantView("after merge")
+
+	// Updates keep committing on the merged head.
+	insert(13, 13)
+	if _, err := eng.Commit("post-merge"); err != nil {
+		t.Fatal(err)
+	}
+	wantView("after post-merge commit")
+}
+
+// TestHistoryPlanCacheReuse pins that repeated AsOf reads of one commit
+// share the reconstructed state and therefore hit the plan caches.
+func TestHistoryPlanCacheReuse(t *testing.T) {
+	eng := New(testDB(3))
+	if _, err := eng.EnableHistory(HistoryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Update(func(db *table.Database) error {
+		return db.Add("R", table.NewTuple(value.Int(5), value.Int(5)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := eng.Commit("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Update(func(db *table.Database) error {
+		return db.Add("S", table.NewTuple(value.Int(6), value.Int(6)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Commit("c2"); err != nil {
+		t.Fatal(err)
+	}
+
+	q := ra.Base("R")
+	opts := Options{Mode: ModeCertainCWA, ExtraFresh: 1, MaxWorlds: 1 << 16}
+	for i := 0; i < 3; i++ {
+		snap, err := eng.AsOf(c1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := snap.Eval(q, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats().Planned
+	if st.WorldHits < 2 {
+		t.Fatalf("world cache hits = %d, want >= 2 (stats: %+v)", st.WorldHits, st)
+	}
+}
+
+// TestPlanCacheEvictions pins the LRU bound: streaming more distinct
+// queries than the cache cap evicts old entries and surfaces the count in
+// Engine.Stats.
+func TestPlanCacheEvictions(t *testing.T) {
+	eng := New(testDB(4))
+	for i := 0; i < 200; i++ {
+		q := ra.Select{Input: ra.Base("R"), Pred: ra.Eq(ra.Attr("a"), ra.LitInt(int64(i)))}
+		if _, err := eng.Eval(q, Options{Mode: ModeCertain}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats().Planned
+	if st.OneShotEvictions == 0 {
+		t.Fatalf("expected one-shot evictions after 200 distinct queries: %+v", st)
+	}
+	// Evicted entries re-miss: the cache stayed bounded.
+	if st.OneShotMisses < 200 {
+		t.Fatalf("misses = %d, want 200 (each query distinct): %+v", st.OneShotMisses, st)
+	}
+}

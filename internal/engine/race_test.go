@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"incdata/internal/schema"
 	"incdata/internal/table"
 	"incdata/internal/value"
+	"incdata/internal/version"
 )
 
 // TestConcurrentSnapshotReadersWithWriter is the snapshot-isolation stress
@@ -264,5 +266,142 @@ func TestConcurrentViewReadersWithWriter(t *testing.T) {
 		if !got.Equal(want) {
 			t.Errorf("view %s diverged after concurrent run:\ngot  %v\nwant %v", name, got, want)
 		}
+	}
+}
+
+// TestConcurrentAsOfReadersWithCommitter is the version-history stress
+// test: one writer keeps updating and committing while readers time-travel
+// to random historical commits and evaluate queries there (planned and
+// oracle paths).  Run under -race it checks the history's internal
+// locking, the shared reconstructed states and the stamp-validated plan
+// caches; in any mode it checks that a historical read is repeatable — the
+// same commit always yields the same answer, no matter how far the head
+// has moved.
+func TestConcurrentAsOfReadersWithCommitter(t *testing.T) {
+	s := schema.MustNew(
+		schema.NewRelation("R", "a", "b"),
+		schema.NewRelation("S", "b", "c"),
+	)
+	d := table.NewDatabase(s)
+	d.MustAddRow("R", "1", "⊥1")
+	d.MustAddRow("S", "3", "4")
+	eng := New(d)
+	root, err := eng.EnableHistory(HistoryOptions{CheckpointEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []ra.Expr{
+		ra.Base("R"),
+		ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a", "c"}},
+	}
+	modes := []Options{
+		{Mode: ModeCertain},
+		{Mode: ModeNaive, Planner: PlannerOff},
+		{Mode: ModeCertainCWA, ExtraFresh: 1, MaxWorlds: 1 << 16},
+	}
+
+	const (
+		commits        = 40
+		readers        = 4
+		readsPerReader = 60
+	)
+
+	// answers[i] is the fingerprint each query/mode produced at ids[i],
+	// recorded by the writer right after committing; readers must
+	// reproduce it exactly via AsOf.
+	type recorded struct {
+		id  version.CommitID
+		fps []string
+	}
+	var (
+		mu      sync.Mutex
+		history = []recorded{}
+	)
+	record := func(id version.CommitID) error {
+		snap, err := eng.AsOf(id)
+		if err != nil {
+			return err
+		}
+		var fps []string
+		for _, q := range queries {
+			for _, opts := range modes {
+				rel, err := snap.Eval(q, opts)
+				if err != nil {
+					return err
+				}
+				fps = append(fps, fp(rel))
+			}
+		}
+		mu.Lock()
+		history = append(history, recorded{id: id, fps: fps})
+		mu.Unlock()
+		return nil
+	}
+	if err := record(root); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1 + readers)
+	errs := make(chan error, readers+1)
+
+	go func() {
+		defer wg.Done()
+		for i := 0; i < commits; i++ {
+			if err := eng.Update(func(db *table.Database) error {
+				return db.Add("R", table.NewTuple(value.String(fmt.Sprintf("w%d", i)), value.Int(int64(i%5))))
+			}); err != nil {
+				errs <- err
+				return
+			}
+			id, err := eng.Commit(fmt.Sprintf("c%d", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := record(id); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < readsPerReader; i++ {
+				mu.Lock()
+				rec := history[rng.Intn(len(history))]
+				mu.Unlock()
+				snap, err := eng.AsOf(rec.id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				j := 0
+				for _, q := range queries {
+					for _, opts := range modes {
+						rel, err := snap.Eval(q, opts)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if got := fp(rel); got != rec.fps[j] {
+							errs <- fmt.Errorf("historical read of %s changed: query %d mode %d", rec.id, j/len(modes), j%len(modes))
+							return
+						}
+						j++
+					}
+				}
+			}
+		}(int64(r))
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

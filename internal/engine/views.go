@@ -37,6 +37,29 @@ func (e *Engine) Register(name string, q ra.Expr, opts Options) error {
 	if _, dup := e.views[name]; dup {
 		return fmt.Errorf("engine: view %q is already registered", name)
 	}
+	v, err := e.buildViewLocked(name, q, opts)
+	if err != nil {
+		return err
+	}
+	if e.views == nil {
+		e.views = map[string]*inc.View{}
+		e.viewRegs = map[string]viewReg{}
+	}
+	e.views[name] = v
+	e.viewRegs[name] = viewReg{q: q, opts: opts}
+	return nil
+}
+
+// viewReg remembers how a view was registered so Checkout and Merge can
+// rebuild it against a new head state.
+type viewReg struct {
+	q    ra.Expr
+	opts Options
+}
+
+// buildViewLocked compiles and materializes a view against the current
+// live database; the caller holds e.mu.
+func (e *Engine) buildViewLocked(name string, q ra.Expr, opts Options) (*inc.View, error) {
 	ev := e.evaluator(opts)
 	incremental := opts.Mode == ModeCertain || opts.Mode == ModeNaive
 	cfg := inc.Config{
@@ -49,13 +72,29 @@ func (e *Engine) Register(name string, q ra.Expr, opts Options) error {
 	}
 	v, err := inc.New(name, q, e.db, cfg)
 	if err != nil {
-		return fmt.Errorf("engine: register %q: %w", name, err)
+		return nil, fmt.Errorf("engine: register %q: %w", name, err)
 	}
-	if e.views == nil {
-		e.views = map[string]*inc.View{}
+	return v, nil
+}
+
+// rebuildViewsLocked re-materializes every registered view against the
+// current live database (after Checkout or Merge swapped it).  The views
+// stay registered under their names; their refresh counters restart.  The
+// caller holds e.mu.
+func (e *Engine) rebuildViewsLocked() error {
+	var firstErr error
+	for _, name := range e.viewNamesLocked() {
+		reg := e.viewRegs[name]
+		v, err := e.buildViewLocked(name, reg.q, reg.opts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.views[name] = v
 	}
-	e.views[name] = v
-	return nil
+	return firstErr
 }
 
 // Unregister drops a maintained view, reporting whether it existed.
@@ -64,6 +103,7 @@ func (e *Engine) Unregister(name string) bool {
 	defer e.mu.Unlock()
 	_, ok := e.views[name]
 	delete(e.views, name)
+	delete(e.viewRegs, name)
 	return ok
 }
 

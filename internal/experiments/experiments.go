@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiments E1–E14
+// Package experiments implements the reproduction experiments E1–E15
 // indexed in the "Experiments" section of README.md.  The paper (a theory keynote) has no numbered
 // tables or figures; each experiment regenerates one of its worked examples
 // or checkable claims, at parameterised scale, and prints the rows recorded
@@ -26,6 +26,7 @@ import (
 	"incdata/internal/sqlx"
 	"incdata/internal/table"
 	"incdata/internal/value"
+	"incdata/internal/version"
 	"incdata/internal/workload"
 )
 
@@ -913,6 +914,145 @@ func (h Harness) E12Orderings(sizes []int, pairs int) Result {
 		res.Rows = append(res.Rows, []string{
 			itoa(size), itoa(pairs), itoa(owaRelated), itoa(cwaRelated),
 			dtoa(orderTotal / time.Duration(pairs)), dtoa(glbTotal / time.Duration(pairs)),
+		})
+	}
+	return res
+}
+
+// E15VersionHistory measures the version subsystem end to end: a commit
+// stream over the orders workload (a batch of captured updates per
+// commit, checkpoints every K commits), a time-travel sweep evaluating
+// certain answers at random historical commits through the engine's
+// AsOf snapshots, and a branch/checkout/merge exercise.  The commit/s and
+// asof/s columns are the tentpole throughput numbers; agree verifies that
+// sampled historical answers are bit-identical to a from-scratch replay
+// of the update stream, and that the merge unified both branches.
+func (h Harness) E15VersionHistory(commits, batch int, checkpoints []int, asofQueries int) Result {
+	res := Result{
+		ID:     "E15",
+		Title:  "Version history: commit throughput, time-travel certain answers, merge (commit DAG over deltas)",
+		Header: []string{"checkpointK", "commits", "commit/s", "asof", "asof/s", "merge", "conflicts", "agree"},
+		Notes: "Each commit captures one batch of update deltas; AsOf replays from the nearest checkpoint;\n" +
+			"agree compares sampled historical certain answers against a from-scratch replay engine\n" +
+			"and checks the branch merge; merge times a divergent branch/checkout/merge cycle.",
+	}
+	unpaid := ra.Diff{
+		Left:  ra.Rename{Input: ra.Project{Input: ra.Base("Order"), Attrs: []string{"o_id"}}, As: "O", Attrs: []string{"id"}},
+		Right: ra.Rename{Input: ra.Project{Input: ra.Base("Pay"), Attrs: []string{"order"}}, As: "P", Attrs: []string{"id"}},
+	}
+	certOpts := h.opts(engine.ModeCertain)
+
+	for _, k := range checkpoints {
+		d, _ := workload.Orders(workload.OrdersConfig{Orders: 500, PaidFraction: 0.7, NullRate: 0.1, Seed: 42})
+		stream := e14Stream(d.Clone(), commits*batch, 11)
+		eng := h.engine(d)
+		if _, err := eng.EnableHistory(engine.HistoryOptions{CheckpointEvery: k}); err != nil {
+			panic(err)
+		}
+
+		// Commit stream: one batch of updates per commit.
+		var ids []version.CommitID
+		start := time.Now()
+		for i := 0; i < commits; i++ {
+			chunk := stream[i*batch : (i+1)*batch]
+			if err := eng.Update(func(db *table.Database) error {
+				for _, u := range chunk {
+					if u.add {
+						if err := db.Add(u.rel, u.t); err != nil {
+							return err
+						}
+					} else {
+						db.Relation(u.rel).Remove(u.t)
+					}
+				}
+				return nil
+			}); err != nil {
+				panic(err)
+			}
+			id, err := eng.Commit(fmt.Sprintf("batch %d", i))
+			if err != nil {
+				panic(err)
+			}
+			ids = append(ids, id)
+		}
+		commitSecs := time.Since(start).Seconds()
+
+		// Time-travel sweep: certain answers at random historical commits.
+		rng := rand.New(rand.NewSource(99))
+		start = time.Now()
+		for i := 0; i < asofQueries; i++ {
+			snap, err := eng.AsOf(ids[rng.Intn(len(ids))])
+			if err != nil {
+				panic(err)
+			}
+			mustRel(snap.Eval(unpaid, certOpts))
+		}
+		asofSecs := time.Since(start).Seconds()
+
+		// Agree: sampled historical answers vs a from-scratch replay.
+		agree := true
+		for _, i := range []int{0, commits / 2, commits - 1} {
+			replay, _ := workload.Orders(workload.OrdersConfig{Orders: 500, PaidFraction: 0.7, NullRate: 0.1, Seed: 42})
+			for _, u := range stream[:(i+1)*batch] {
+				if u.add {
+					replay.MustAdd(u.rel, u.t)
+				} else {
+					replay.Relation(u.rel).Remove(u.t)
+				}
+			}
+			snap, err := eng.AsOf(ids[i])
+			if err != nil {
+				panic(err)
+			}
+			if !snap.Database().Equal(replay) {
+				agree = false
+				continue
+			}
+			got := mustRel(snap.Eval(unpaid, certOpts))
+			want := mustRel(h.engine(replay).Eval(unpaid, certOpts))
+			if !got.Equal(want) {
+				agree = false
+			}
+		}
+
+		// Branch / checkout / merge cycle: divergent edits on both sides.
+		if err := eng.Branch("side"); err != nil {
+			panic(err)
+		}
+		commitOne := func(rel string, t table.Tuple, msg string) {
+			if err := eng.Update(func(db *table.Database) error { return db.Add(rel, t) }); err != nil {
+				panic(err)
+			}
+			if _, err := eng.Commit(msg); err != nil {
+				panic(err)
+			}
+		}
+		start = time.Now()
+		commitOne("Order", table.NewTuple(value.String("main-oid"), value.String("pr-main")), "main edit")
+		if err := eng.Checkout("side"); err != nil {
+			panic(err)
+		}
+		commitOne("Order", table.NewTuple(value.String("side-oid"), value.String("pr-side")), "side edit")
+		if err := eng.Checkout("main"); err != nil {
+			panic(err)
+		}
+		mres, err := eng.Merge("side", "merge side")
+		if err != nil {
+			panic(err)
+		}
+		mergeDur := time.Since(start)
+		merged := mres.State.Relation("Order")
+		if !merged.Contains(table.NewTuple(value.String("main-oid"), value.String("pr-main"))) ||
+			!merged.Contains(table.NewTuple(value.String("side-oid"), value.String("pr-side"))) {
+			agree = false
+		}
+
+		res.Rows = append(res.Rows, []string{
+			itoa(k), itoa(commits),
+			fmt.Sprintf("%.0f", float64(commits)/commitSecs),
+			itoa(asofQueries),
+			fmt.Sprintf("%.0f", float64(asofQueries)/asofSecs),
+			dtoa(mergeDur), itoa(len(mres.Conflicts)), fmt.Sprintf("%v", agree),
 		})
 	}
 	return res

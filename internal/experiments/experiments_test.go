@@ -180,10 +180,11 @@ func TestConfigsAndAll(t *testing.T) {
 		E12Sizes: []int{3}, E12Pairs: 2,
 		E13Queries: 16, E13Workers: []int{1, 2},
 		E14Orders: []int{30}, E14Updates: 20,
+		E15Commits: 6, E15Batch: 2, E15Checkpoints: []int{2}, E15AsOf: 10,
 	}
 	results := All(tiny)
-	if len(results) != 14 {
-		t.Fatalf("All should run 14 experiments, got %d", len(results))
+	if len(results) != 15 {
+		t.Fatalf("All should run 15 experiments, got %d", len(results))
 	}
 	ids := map[string]bool{}
 	for _, r := range results {
@@ -195,7 +196,7 @@ func TestConfigsAndAll(t *testing.T) {
 			t.Errorf("String of %s malformed", r.ID)
 		}
 	}
-	for i := 1; i <= 14; i++ {
+	for i := 1; i <= 15; i++ {
 		if !ids["E"+strconv.Itoa(i)] {
 			t.Errorf("missing experiment E%d", i)
 		}

@@ -52,52 +52,60 @@ type Config struct {
 	// experiments run (the incbench -planner flag).
 	Planner engine.PlannerSetting
 
-	E1Sizes      []int
-	E1NullRates  []float64
-	E2Sizes      []int
-	E4Sizes      []int
-	E5Trials     int
-	E5NullCounts []int
-	E6DBSizes    []int
-	E6NullCounts []int
-	E7AtomCounts []int
-	E7Trials     int
-	E9Students   []int
-	E9NullRates  []float64
-	E10Orders    []int
-	E11Instances int
-	E12Sizes     []int
-	E12Pairs     int
-	E13Queries   int
-	E13Workers   []int
-	E14Orders    []int
-	E14Updates   int
+	E1Sizes        []int
+	E1NullRates    []float64
+	E2Sizes        []int
+	E4Sizes        []int
+	E5Trials       int
+	E5NullCounts   []int
+	E6DBSizes      []int
+	E6NullCounts   []int
+	E7AtomCounts   []int
+	E7Trials       int
+	E9Students     []int
+	E9NullRates    []float64
+	E10Orders      []int
+	E11Instances   int
+	E12Sizes       []int
+	E12Pairs       int
+	E13Queries     int
+	E13Workers     []int
+	E14Orders      []int
+	E14Updates     int
+	E15Commits     int
+	E15Batch       int
+	E15Checkpoints []int
+	E15AsOf        int
 }
 
 // QuickConfig keeps every experiment under a few seconds; it is the default
 // for cmd/incbench and for the Go benchmarks.
 func QuickConfig() Config {
 	return Config{
-		E1Sizes:      []int{100, 500, 2000},
-		E1NullRates:  []float64{0, 0.1, 0.3, 0.5},
-		E2Sizes:      []int{10, 100, 1000, 5000},
-		E4Sizes:      []int{2, 4, 8, 16},
-		E5Trials:     20,
-		E5NullCounts: []int{1, 2, 3},
-		E6DBSizes:    []int{20, 80},
-		E6NullCounts: []int{1, 2, 3, 4},
-		E7AtomCounts: []int{2, 4, 8},
-		E7Trials:     10,
-		E9Students:   []int{50, 200, 1000},
-		E9NullRates:  []float64{0, 0.05},
-		E10Orders:    []int{100, 1000, 10000},
-		E11Instances: 40,
-		E12Sizes:     []int{4, 8},
-		E12Pairs:     10,
-		E13Queries:   400,
-		E13Workers:   []int{1, 2, 4},
-		E14Orders:    []int{500, 2000},
-		E14Updates:   300,
+		E1Sizes:        []int{100, 500, 2000},
+		E1NullRates:    []float64{0, 0.1, 0.3, 0.5},
+		E2Sizes:        []int{10, 100, 1000, 5000},
+		E4Sizes:        []int{2, 4, 8, 16},
+		E5Trials:       20,
+		E5NullCounts:   []int{1, 2, 3},
+		E6DBSizes:      []int{20, 80},
+		E6NullCounts:   []int{1, 2, 3, 4},
+		E7AtomCounts:   []int{2, 4, 8},
+		E7Trials:       10,
+		E9Students:     []int{50, 200, 1000},
+		E9NullRates:    []float64{0, 0.05},
+		E10Orders:      []int{100, 1000, 10000},
+		E11Instances:   40,
+		E12Sizes:       []int{4, 8},
+		E12Pairs:       10,
+		E13Queries:     400,
+		E13Workers:     []int{1, 2, 4},
+		E14Orders:      []int{500, 2000},
+		E14Updates:     300,
+		E15Commits:     60,
+		E15Batch:       4,
+		E15Checkpoints: []int{1, 8, 32},
+		E15AsOf:        150,
 	}
 }
 
@@ -105,26 +113,30 @@ func QuickConfig() Config {
 // records QuickConfig numbers so results are reproducible everywhere.
 func FullConfig() Config {
 	return Config{
-		E1Sizes:      []int{100, 1000, 10000, 50000},
-		E1NullRates:  []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
-		E2Sizes:      []int{10, 100, 1000, 10000, 100000},
-		E4Sizes:      []int{2, 4, 8, 16, 32},
-		E5Trials:     100,
-		E5NullCounts: []int{1, 2, 3, 4},
-		E6DBSizes:    []int{20, 80, 320},
-		E6NullCounts: []int{1, 2, 3, 4, 5, 6},
-		E7AtomCounts: []int{2, 4, 8, 12},
-		E7Trials:     50,
-		E9Students:   []int{50, 200, 1000, 5000},
-		E9NullRates:  []float64{0, 0.05, 0.1},
-		E10Orders:    []int{100, 1000, 10000, 100000},
-		E11Instances: 200,
-		E12Sizes:     []int{4, 8, 16},
-		E12Pairs:     25,
-		E13Queries:   2000,
-		E13Workers:   []int{1, 2, 4, 8},
-		E14Orders:    []int{2000, 10000, 50000},
-		E14Updates:   1000,
+		E1Sizes:        []int{100, 1000, 10000, 50000},
+		E1NullRates:    []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
+		E2Sizes:        []int{10, 100, 1000, 10000, 100000},
+		E4Sizes:        []int{2, 4, 8, 16, 32},
+		E5Trials:       100,
+		E5NullCounts:   []int{1, 2, 3, 4},
+		E6DBSizes:      []int{20, 80, 320},
+		E6NullCounts:   []int{1, 2, 3, 4, 5, 6},
+		E7AtomCounts:   []int{2, 4, 8, 12},
+		E7Trials:       50,
+		E9Students:     []int{50, 200, 1000, 5000},
+		E9NullRates:    []float64{0, 0.05, 0.1},
+		E10Orders:      []int{100, 1000, 10000, 100000},
+		E11Instances:   200,
+		E12Sizes:       []int{4, 8, 16},
+		E12Pairs:       25,
+		E13Queries:     2000,
+		E13Workers:     []int{1, 2, 4, 8},
+		E14Orders:      []int{2000, 10000, 50000},
+		E14Updates:     1000,
+		E15Commits:     400,
+		E15Batch:       5,
+		E15Checkpoints: []int{1, 16, 64},
+		E15AsOf:        1000,
 	}
 }
 
@@ -155,6 +167,9 @@ func Run(cfg Config, ids map[string]bool) []Result {
 		{"E12", func() Result { return h.E12Orderings(cfg.E12Sizes, cfg.E12Pairs) }},
 		{"E13", func() Result { return h.E13EngineBatch(cfg.E13Queries, cfg.E13Workers) }},
 		{"E14", func() Result { return h.E14IncrementalViews(cfg.E14Orders, cfg.E14Updates) }},
+		{"E15", func() Result {
+			return h.E15VersionHistory(cfg.E15Commits, cfg.E15Batch, cfg.E15Checkpoints, cfg.E15AsOf)
+		}},
 	}
 	var out []Result
 	for _, r := range runs {

@@ -1,0 +1,113 @@
+package order
+
+// Tuple-level informativeness: the orderings of Section 3 restricted to
+// single tuples, which is what version merges (internal/version) reconcile
+// with.  A tuple t is below a tuple u — u is a refinement of t — when a
+// mapping of t's marked nulls onto u's values turns t into u position by
+// position; constants must match exactly and a null occurring twice in t
+// must map to one value.  Greatest lower bounds of two tuples always exist
+// and are computed position-wise exactly like GLBOWA's direct product:
+// positions where both sides agree keep their value, disagreeing positions
+// become a marked null identified by the pair of component values, so the
+// same disagreement yields the same null everywhere in one merge.
+
+import (
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// TupleLeq reports t ⪯ u in the tuple-level informativeness order: some
+// mapping of t's nulls to values sends t to u position-wise.  Tuples of
+// different arities are unrelated.
+func TupleLeq(t, u table.Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	var h map[value.Value]value.Value
+	for i, v := range t {
+		if v.IsConst() {
+			if v != u[i] {
+				return false
+			}
+			continue
+		}
+		if h == nil {
+			h = make(map[value.Value]value.Value, len(t))
+		}
+		if img, ok := h[v]; ok {
+			if img != u[i] {
+				return false
+			}
+			continue
+		}
+		h[v] = u[i]
+	}
+	return true
+}
+
+// TuplesComparable reports whether t and u are related (in either
+// direction) by the tuple-level informativeness order.
+func TuplesComparable(t, u table.Tuple) bool {
+	return TupleLeq(t, u) || TupleLeq(u, t)
+}
+
+// GLBAlloc allocates the combination nulls of tuple-level GLBs with
+// consistent identities: within one allocator, the same pair of disagreeing
+// component values always yields the same marked null.  Version merges keep
+// one allocator per merge so reconciled tuples share nulls exactly when
+// their disagreements coincide.
+type GLBAlloc struct {
+	next    uint64
+	nullFor map[string]value.Value
+	keyBuf  []byte
+}
+
+// NewGLBAlloc returns an allocator issuing null ids starting at next (the
+// caller passes one past the largest null id in scope, e.g.
+// value.MaxNullID over both databases being merged).
+func NewGLBAlloc(next uint64) *GLBAlloc {
+	return &GLBAlloc{next: next, nullFor: map[string]value.Value{}}
+}
+
+// combinationNull returns the marked null identified by the component pair
+// (a, b), allocating it on first use.
+func (al *GLBAlloc) combinationNull(a, b value.Value) value.Value {
+	al.keyBuf = b.AppendKey(a.AppendKey(al.keyBuf[:0]))
+	key := string(al.keyBuf)
+	if n, ok := al.nullFor[key]; ok {
+		return n
+	}
+	n := value.Null(al.next)
+	al.next++
+	al.nullFor[key] = n
+	return n
+}
+
+// TupleGLB returns the greatest lower bound of t and u in the tuple-level
+// informativeness order.  Comparable tuples return the less informative
+// side unchanged (the exact minimum, no fresh nulls); incomparable tuples
+// get the position-wise product: agreeing positions keep their value,
+// disagreeing positions become the allocator's combination null for the
+// pair.  The result is below both inputs, and any tuple below both maps
+// into it.  It panics on arity mismatch — callers pair tuples of one
+// relation.
+func (al *GLBAlloc) TupleGLB(t, u table.Tuple) table.Tuple {
+	if len(t) != len(u) {
+		panic("order: TupleGLB of different arities")
+	}
+	if TupleLeq(t, u) {
+		return t
+	}
+	if TupleLeq(u, t) {
+		return u
+	}
+	out := make(table.Tuple, len(t))
+	for i := range t {
+		if t[i] == u[i] {
+			out[i] = t[i]
+			continue
+		}
+		out[i] = al.combinationNull(t[i], u[i])
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package order
+
+import (
+	"testing"
+
+	"incdata/internal/table"
+)
+
+func tup(fields ...string) table.Tuple { return table.MustParseTuple(fields...) }
+
+func TestTupleLeq(t *testing.T) {
+	cases := []struct {
+		a, b table.Tuple
+		want bool
+	}{
+		{tup("1", "2"), tup("1", "2"), true},     // reflexive on constants
+		{tup("⊥1", "2"), tup("1", "2"), true},    // null refines to constant
+		{tup("⊥1", "⊥2"), tup("1", "2"), true},   // independent nulls
+		{tup("⊥1", "⊥1"), tup("1", "1"), true},   // repeated null, consistent image
+		{tup("⊥1", "⊥1"), tup("1", "2"), false},  // repeated null, inconsistent image
+		{tup("1", "2"), tup("⊥1", "2"), false},   // constants never map to nulls
+		{tup("⊥1", "2"), tup("⊥7", "2"), true},   // null renames to another null
+		{tup("1"), tup("1", "2"), false},         // arity mismatch
+		{tup("⊥1", "5"), tup("1", "6"), false},   // constant mismatch
+		{tup("⊥1", "⊥2"), tup("⊥2", "⊥1"), true}, // null swap both ways
+		{tup("⊥2", "⊥1"), tup("⊥1", "⊥2"), true}, // ... is an equivalence
+	}
+	for _, c := range cases {
+		if got := TupleLeq(c.a, c.b); got != c.want {
+			t.Errorf("TupleLeq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTupleGLBComparable(t *testing.T) {
+	al := NewGLBAlloc(100)
+	a, b := tup("⊥1", "2"), tup("1", "2")
+	g := al.TupleGLB(a, b)
+	if !g.Equal(a) {
+		t.Fatalf("GLB of comparable tuples = %v, want the smaller %v", g, a)
+	}
+	if g2 := al.TupleGLB(b, a); !g2.Equal(a) {
+		t.Fatalf("GLB must be symmetric: %v, want %v", g2, a)
+	}
+}
+
+func TestTupleGLBIncomparable(t *testing.T) {
+	al := NewGLBAlloc(100)
+	a, b := tup("1", "⊥1"), tup("⊥1", "2")
+	g := al.TupleGLB(a, b)
+	// The GLB must be below both sides and keep nothing they disagree on.
+	if !TupleLeq(g, a) || !TupleLeq(g, b) {
+		t.Fatalf("GLB %v is not below both %v and %v", g, a, b)
+	}
+	for i, v := range g {
+		if v.IsConst() && (v != a[i] || v != b[i]) {
+			t.Fatalf("GLB %v keeps constant the sides disagree on at %d", g, i)
+		}
+	}
+}
+
+// TestTupleGLBSharedDisagreement pins the allocator's consistency: the
+// same pair of disagreeing component values yields the same fresh null
+// across positions and across tuples.
+func TestTupleGLBSharedDisagreement(t *testing.T) {
+	al := NewGLBAlloc(500)
+	// Both pairs are incomparable (each side keeps a constant the other
+	// lacks) and disagree with the same (100, ⊥2) pair in position 0.
+	g1 := al.TupleGLB(tup("100", "⊥9"), tup("⊥2", "7"))
+	g2 := al.TupleGLB(tup("100", "⊥8"), tup("⊥2", "5"))
+	if !g1[0].IsNull() || g1[0] != g2[0] {
+		t.Fatalf("same disagreement pair must share a null: %v vs %v", g1[0], g2[0])
+	}
+	if g1[0].NullID() < 500 {
+		t.Fatalf("fresh null id %d collides with the reserved range", g1[0].NullID())
+	}
+	// A different pair allocates a different null.
+	if g1[1] == g1[0] || !g1[1].IsNull() {
+		t.Fatalf("distinct disagreement pairs must get distinct nulls: %v", g1)
+	}
+}

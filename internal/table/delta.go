@@ -1,5 +1,12 @@
 package table
 
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
 // Delta capture: the signal that drives incremental view maintenance
 // (internal/inc).  A Tracker attached to a Database records, for every
 // relation, the net set of tuples inserted and deleted since tracking
@@ -21,6 +28,11 @@ package table
 type Delta struct {
 	Inserted map[string]Tuple
 	Deleted  map[string]Tuple
+}
+
+// NewDelta returns an empty delta ready for composition.
+func NewDelta() *Delta {
+	return &Delta{Inserted: map[string]Tuple{}, Deleted: map[string]Tuple{}}
 }
 
 // Empty reports whether the delta records no net change.
@@ -57,12 +69,41 @@ func (d *Delta) noteDelete(k string, t Tuple) {
 	d.Deleted[k] = t
 }
 
+// Invert returns the reverse delta: applying it undoes d.  The returned
+// delta shares d's maps (Inserted and Deleted are swapped, not copied), so
+// neither side may be mutated afterwards — version history treats captured
+// deltas as immutable, which is the intended use.
+func (d *Delta) Invert() *Delta {
+	if d == nil {
+		return nil
+	}
+	return &Delta{Inserted: d.Deleted, Deleted: d.Inserted}
+}
+
+// compose folds a subsequent delta into d: d becomes the net change of
+// applying d then next.  Because both deltas are exact (a tuple is only
+// recorded deleted when present, inserted when absent), insert-then-delete
+// and delete-then-insert of the same tuple cancel to no net change.
+func (d *Delta) compose(next *Delta) {
+	for k, t := range next.Deleted {
+		d.noteDelete(k, t)
+	}
+	for k, t := range next.Inserted {
+		d.noteInsert(k, t)
+	}
+}
+
 // ChangeSet is the net change of a whole database between two points in
 // time: one Delta per relation that was actually mutated.  Relations whose
 // net change is empty may appear with an empty Delta (the mutation was
 // undone) or not at all.
 type ChangeSet struct {
 	Rels map[string]*Delta
+}
+
+// NewChangeSet returns an empty change set ready for Compose.
+func NewChangeSet() *ChangeSet {
+	return &ChangeSet{Rels: map[string]*Delta{}}
 }
 
 // Empty reports whether no relation has a net change.
@@ -97,6 +138,130 @@ func (cs *ChangeSet) Size() int {
 		}
 	}
 	return n
+}
+
+// Compose folds a subsequent change set into cs: cs becomes the net change
+// of applying cs then next.  The receiver must own its maps (start from
+// NewChangeSet and only ever Compose into it); next is only read.  This is
+// the replay primitive of version history: a chain of per-commit deltas
+// composes into the net diff between two commits.
+func (cs *ChangeSet) Compose(next *ChangeSet) {
+	if next == nil {
+		return
+	}
+	for name, nd := range next.Rels {
+		if nd.Empty() {
+			continue
+		}
+		d := cs.Rels[name]
+		if d == nil {
+			d = NewDelta()
+			cs.Rels[name] = d
+		}
+		d.compose(nd)
+	}
+}
+
+// Invert returns the reverse change set: applying it undoes cs.  Like
+// Delta.Invert it shares the underlying maps, so both sides must be treated
+// as immutable afterwards.
+func (cs *ChangeSet) Invert() *ChangeSet {
+	if cs == nil {
+		return nil
+	}
+	out := &ChangeSet{Rels: make(map[string]*Delta, len(cs.Rels))}
+	for name, d := range cs.Rels {
+		out.Rels[name] = d.Invert()
+	}
+	return out
+}
+
+// RelationNames returns the names of relations with a non-empty net change,
+// sorted.
+func (cs *ChangeSet) RelationNames() []string {
+	if cs == nil {
+		return nil
+	}
+	names := make([]string, 0, len(cs.Rels))
+	for n, d := range cs.Rels {
+		if !d.Empty() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the change set relation by relation in sorted order, each
+// delta as -deleted and +inserted tuples in canonical order — the format
+// cmd/incq's -diff flag prints.
+func (cs *ChangeSet) String() string {
+	var b strings.Builder
+	for _, name := range cs.RelationNames() {
+		d := cs.Rels[name]
+		fmt.Fprintf(&b, "%s (+%d -%d)\n", name, len(d.Inserted), len(d.Deleted))
+		for _, t := range sortedDeltaTuples(d.Deleted) {
+			fmt.Fprintf(&b, "  - %s\n", t)
+		}
+		for _, t := range sortedDeltaTuples(d.Inserted) {
+			fmt.Fprintf(&b, "  + %s\n", t)
+		}
+	}
+	return b.String()
+}
+
+// sortedDeltaTuples returns one side of a delta in canonical tuple order.
+func sortedDeltaTuples(m map[string]Tuple) []Tuple {
+	out := make([]Tuple, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
+	}
+	slices.SortFunc(out, Tuple.Compare)
+	return out
+}
+
+// ApplyDelta replays a captured delta onto the relation in place: deleted
+// tuples are removed, inserted tuples added (idempotently — tuples already
+// in their target state are skipped).  The delta's tuples are adopted, not
+// copied; they must come from the same schema lineage (arity is not
+// re-checked).  Delta capture keeps working: a tracked relation notes the
+// changes ApplyDelta makes, which is how version merges record their own
+// commit delta.
+func (r *Relation) ApplyDelta(d *Delta) {
+	if d.Empty() {
+		return
+	}
+	r.mutable()
+	for k, t := range d.Deleted {
+		if _, ok := r.tuples[k]; ok {
+			delete(r.tuples, k)
+			r.noteDelete(k, t)
+		}
+	}
+	for k, t := range d.Inserted {
+		if _, ok := r.tuples[k]; !ok {
+			r.tuples[k] = t
+			r.noteInsert(k, t)
+		}
+	}
+}
+
+// Apply replays a change set onto the database in place, relation by
+// relation.  It is the checkpoint-replay hook of version history: a state
+// equals its nearest checkpoint plus the composition of the deltas after
+// it.  A delta for a relation the schema does not have is an error.
+func (d *Database) Apply(cs *ChangeSet) error {
+	if cs == nil {
+		return nil
+	}
+	for name, delta := range cs.Rels {
+		r := d.rels[name]
+		if r == nil {
+			return fmt.Errorf("table: apply: unknown relation %q", name)
+		}
+		r.ApplyDelta(delta)
+	}
+	return nil
 }
 
 // recorder is the per-relation capture hook.  It lives on the Relation so

@@ -1,0 +1,127 @@
+package table
+
+import (
+	"testing"
+
+	"incdata/internal/schema"
+)
+
+// applyFixture builds a two-relation database and returns it.
+func applyFixture(t *testing.T) *Database {
+	t.Helper()
+	s := schema.MustNew(
+		schema.NewRelation("R", "a", "b"),
+		schema.NewRelation("S", "x"),
+	)
+	d := NewDatabase(s)
+	d.MustAddRow("R", "1", "2")
+	d.MustAddRow("R", "3", "⊥1")
+	d.MustAddRow("S", "hello")
+	return d
+}
+
+// TestApplyRoundTrip pins that a captured change set replays exactly: for
+// any mutation sequence, old.Apply(captured) == new, and applying the
+// inverted change set undoes it.
+func TestApplyRoundTrip(t *testing.T) {
+	d := applyFixture(t)
+	before := d.Clone()
+	tr := d.Track()
+	d.MustAddRow("R", "5", "6")
+	d.Relation("R").Remove(MustParseTuple("1", "2"))
+	d.MustAddRow("S", "world")
+	d.MustAddRow("S", "gone")
+	d.Relation("S").Remove(MustParseTuple("gone")) // cancels out
+	cs := tr.Stop()
+
+	replayed := before.Clone()
+	if err := replayed.Apply(cs); err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.Equal(d) {
+		t.Fatalf("replay mismatch:\n%s\nwant:\n%s", replayed, d)
+	}
+
+	undone := d.Clone()
+	if err := undone.Apply(cs.Invert()); err != nil {
+		t.Fatal(err)
+	}
+	if !undone.Equal(before) {
+		t.Fatalf("invert mismatch:\n%s\nwant:\n%s", undone, before)
+	}
+}
+
+// TestApplyUnknownRelation pins the error on replaying a delta for a
+// relation the schema does not have.
+func TestApplyUnknownRelation(t *testing.T) {
+	d := applyFixture(t)
+	cs := NewChangeSet()
+	cs.Rels["Nope"] = NewDelta()
+	cs.Rels["Nope"].Inserted["k"] = MustParseTuple("1")
+	if err := d.Apply(cs); err == nil {
+		t.Fatal("apply of unknown relation must fail")
+	}
+}
+
+// TestComposeCancels pins the composition algebra: applying two change
+// sets in sequence equals applying their composition, and a change
+// followed by its inverse composes to the empty set.
+func TestComposeCancels(t *testing.T) {
+	d := applyFixture(t)
+	start := d.Clone()
+
+	tr := d.Track()
+	d.MustAddRow("R", "5", "6")
+	d.Relation("S").Remove(MustParseTuple("hello"))
+	cs1 := tr.Stop()
+
+	tr = d.Track()
+	d.Relation("R").Remove(MustParseTuple("5", "6")) // undoes cs1's insert
+	d.MustAddRow("S", "hello")                       // undoes cs1's delete
+	d.MustAddRow("S", "fresh")
+	cs2 := tr.Stop()
+
+	net := NewChangeSet()
+	net.Compose(cs1)
+	net.Compose(cs2)
+
+	// Net must be exactly the S insert of "fresh".
+	if got := net.Size(); got != 1 {
+		t.Fatalf("net size %d, want 1:\n%s", got, net)
+	}
+	composed := start.Clone()
+	if err := composed.Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	if !composed.Equal(d) {
+		t.Fatalf("composed replay mismatch:\n%s\nwant:\n%s", composed, d)
+	}
+
+	// cs1 ∘ cs1⁻¹ is empty.
+	undo := NewChangeSet()
+	undo.Compose(cs1)
+	undo.Compose(cs1.Invert())
+	if !undo.Empty() {
+		t.Fatalf("cs ∘ cs⁻¹ not empty:\n%s", undo)
+	}
+}
+
+// TestApplyDeltaTracked pins that ApplyDelta feeds the delta capture of a
+// tracked relation — version merges rely on it to record their commit
+// delta.
+func TestApplyDeltaTracked(t *testing.T) {
+	d := applyFixture(t)
+	delta := NewDelta()
+	ins := MustParseTuple("9", "9")
+	delta.Inserted[ins.Key()] = ins
+	del := MustParseTuple("1", "2")
+	delta.Deleted[del.Key()] = del
+
+	tr := d.Track()
+	d.Relation("R").ApplyDelta(delta)
+	cs := tr.Stop()
+	got := cs.Delta("R")
+	if got.Size() != 2 || len(got.Inserted) != 1 || len(got.Deleted) != 1 {
+		t.Fatalf("captured delta %v, want the applied insert+delete", got)
+	}
+}

@@ -1,0 +1,302 @@
+package version_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+	"incdata/internal/version"
+)
+
+// mergeFixture builds a history whose root holds the given R-tuples and a
+// working clone per branch.
+func mergeFixture(t *testing.T, rows ...[]string) (*version.History, *table.Database, *table.Database) {
+	t.Helper()
+	s := schema.MustNew(schema.NewRelation("R", "a", "b"))
+	db := table.NewDatabase(s)
+	for _, r := range rows {
+		db.MustAddRow("R", r...)
+	}
+	h, root := version.New(db, "main", "root", version.Options{})
+	if err := h.Branch("side", root); err != nil {
+		t.Fatal(err)
+	}
+	return h, db, db.Clone()
+}
+
+// refine replaces old by new in the working database under delta capture
+// and commits it to the branch.
+func refine(t *testing.T, h *version.History, branch string, db *table.Database, msg, oldA, oldB, newA, newB string) version.CommitID {
+	t.Helper()
+	return commitSteps(t, h, branch, db, msg, []step{
+		{rel: "R", add: false, t: table.MustParseTuple(oldA, oldB)},
+		{rel: "R", add: true, t: table.MustParseTuple(newA, newB)},
+	})
+}
+
+func mustMerge(t *testing.T, h *version.History, branch, other string) *version.MergeResult {
+	t.Helper()
+	res, err := h.Merge(branch, other, "merge "+other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMergeComparableRefinements: both branches refine the same base
+// tuple and the refinements are comparable — the merge silently keeps
+// their GLB (the less informative side) and reports no conflict.
+func TestMergeComparableRefinements(t *testing.T) {
+	h, main, side := mergeFixture(t, []string{"o1", "⊥1"}, []string{"k", "5"})
+	refine(t, h, "main", main, "m", "o1", "⊥1", "o1", "100")
+	refine(t, h, "side", side, "s", "o1", "⊥1", "o1", "⊥7")
+	res := mustMerge(t, h, "main", "side")
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("comparable refinements must not conflict: %v", res.Conflicts)
+	}
+	rel := res.State.Relation("R")
+	if rel.Contains(table.MustParseTuple("o1", "100")) {
+		t.Fatal("merge must not keep certainty only one branch asserts")
+	}
+	// The GLB of (o1,100) and (o1,⊥7) is (o1,⊥7) up to null identity.
+	if rel.Len() != 2 {
+		t.Fatalf("merged relation: %s", rel)
+	}
+}
+
+// TestMergeIncomparableRefinements: the branches assert conflicting
+// constants for the same base null — the merge resolves to the GLB (a
+// fresh null) and reports the conflict.
+func TestMergeIncomparableRefinements(t *testing.T) {
+	h, main, side := mergeFixture(t, []string{"o1", "⊥1"}, []string{"k", "5"})
+	refine(t, h, "main", main, "m", "o1", "⊥1", "o1", "100")
+	refine(t, h, "side", side, "s", "o1", "⊥1", "o1", "200")
+	res := mustMerge(t, h, "main", "side")
+	if len(res.Conflicts) != 1 || res.Conflicts[0].Kind != version.ConflictRefineRefine {
+		t.Fatalf("conflicts = %v, want one refine/refine", res.Conflicts)
+	}
+	rel := res.State.Relation("R")
+	if rel.Contains(table.MustParseTuple("o1", "100")) || rel.Contains(table.MustParseTuple("o1", "200")) {
+		t.Fatalf("conflicting constants must not survive: %s", rel)
+	}
+	// The resolution is (o1, ⊥fresh): one tuple with a null alongside (k,5).
+	if rel.Len() != 2 || rel.IsComplete() {
+		t.Fatalf("merged relation: %s", rel)
+	}
+	c := res.Conflicts[0]
+	if c.Resolution == nil || !rel.Contains(c.Resolution) {
+		t.Fatalf("reported resolution %v must be in the merged state", c.Resolution)
+	}
+}
+
+// TestMergeRefineDelete: one branch deletes what the other refines — the
+// deletion wins and the conflict is reported, in both directions.
+func TestMergeRefineDelete(t *testing.T) {
+	// Ours refines, theirs deletes.
+	h, main, side := mergeFixture(t, []string{"o1", "⊥1"}, []string{"k", "5"})
+	refine(t, h, "main", main, "m", "o1", "⊥1", "o1", "100")
+	commitSteps(t, h, "side", side, "s", []step{{rel: "R", add: false, t: table.MustParseTuple("o1", "⊥1")}})
+	res := mustMerge(t, h, "main", "side")
+	if len(res.Conflicts) != 1 || res.Conflicts[0].Kind != version.ConflictRefineDelete {
+		t.Fatalf("conflicts = %v, want one refine/delete", res.Conflicts)
+	}
+	if got := res.State.Relation("R").Len(); got != 1 {
+		t.Fatalf("deletion must win: %s", res.State.Relation("R"))
+	}
+
+	// Ours deletes, theirs refines.
+	h2, main2, side2 := mergeFixture(t, []string{"o1", "⊥1"}, []string{"k", "5"})
+	commitSteps(t, h2, "main", main2, "m", []step{{rel: "R", add: false, t: table.MustParseTuple("o1", "⊥1")}})
+	refine(t, h2, "side", side2, "s", "o1", "⊥1", "o1", "100")
+	res2 := mustMerge(t, h2, "main", "side")
+	if len(res2.Conflicts) != 1 || res2.Conflicts[0].Kind != version.ConflictRefineDelete {
+		t.Fatalf("conflicts = %v, want one refine/delete", res2.Conflicts)
+	}
+	if got := res2.State.Relation("R").Len(); got != 1 {
+		t.Fatalf("deletion must win: %s", res2.State.Relation("R"))
+	}
+}
+
+// TestMergeDisjointEdits: edits to different tuples union without
+// conflicts, like any set-based three-way merge.
+func TestMergeDisjointEdits(t *testing.T) {
+	h, main, side := mergeFixture(t, []string{"o1", "⊥1"}, []string{"o2", "⊥2"})
+	refine(t, h, "main", main, "m", "o1", "⊥1", "o1", "100")
+	commitSteps(t, h, "side", side, "s", []step{
+		{rel: "R", add: false, t: table.MustParseTuple("o2", "⊥2")},
+		{rel: "R", add: true, t: table.MustParseTuple("o2", "7")},
+		{rel: "R", add: true, t: table.MustParseTuple("new", "1")},
+	})
+	res := mustMerge(t, h, "main", "side")
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("disjoint edits must not conflict: %v", res.Conflicts)
+	}
+	rel := res.State.Relation("R")
+	for _, want := range [][]string{{"o1", "100"}, {"o2", "7"}, {"new", "1"}} {
+		if !rel.Contains(table.MustParseTuple(want...)) {
+			t.Fatalf("merged relation misses %v: %s", want, rel)
+		}
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("merged relation: %s", rel)
+	}
+}
+
+// TestMergeFastForward covers the non-diverged cases: merging an ancestor
+// is a no-op, merging a descendant fast-forwards the ref without a merge
+// commit.
+func TestMergeFastForward(t *testing.T) {
+	h, main, _ := mergeFixture(t, []string{"o1", "⊥1"})
+	c1 := commitSteps(t, h, "main", main, "m", []step{{rel: "R", add: true, t: table.MustParseTuple("x", "1")}})
+
+	// side is behind main: merging side into main is a no-op.
+	res := mustMerge(t, h, "main", "side")
+	if !res.FastForward || res.Commit != c1 {
+		t.Fatalf("merging an ancestor: %+v", res)
+	}
+
+	// main is ahead of side: merging main into side fast-forwards.
+	res2 := mustMerge(t, h, "side", "main")
+	if !res2.FastForward || res2.Commit != c1 {
+		t.Fatalf("fast-forward: %+v", res2)
+	}
+	if id, _ := h.Head("side"); id != c1 {
+		t.Fatalf("side head = %v, want %v", id, c1)
+	}
+	if before := h.Stats().Commits; before != 2 {
+		t.Fatalf("fast-forwards must not create commits: %d", before)
+	}
+}
+
+// completeTuples returns the set of null-free tuples of a relation keyed
+// canonically — the certain answers of the identity query under naïve
+// evaluation.
+func completeTuples(r *table.Relation) map[string]bool {
+	out := map[string]bool{}
+	r.Each(func(t table.Tuple) bool {
+		if t.IsComplete() {
+			out[t.Key()] = true
+		}
+		return true
+	})
+	return out
+}
+
+// TestMergeCertaintyPreservationFuzz is the acceptance fuzz: randomized
+// branch pairs that only refine nulls (plus disjoint inserts) must merge
+// such that the certain answers of the merge contain the intersection of
+// both branches' certain answers — here instantiated with the identity
+// query per relation (certain answer: the null-free tuples) and a
+// projection witness check.
+func TestMergeCertaintyPreservationFuzz(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		s := schema.MustNew(schema.NewRelation("R", "a", "b"), schema.NewRelation("S", "x"))
+		db := table.NewDatabase(s)
+		var nullTuples []table.Tuple
+		for i := 0; i < 12; i++ {
+			var b value.Value = value.Int(int64(rng.Intn(8)))
+			if rng.Intn(2) == 0 {
+				b = value.Null(uint64(i + 1))
+			}
+			tp := table.NewTuple(value.String(fmt.Sprintf("o%d", i)), b)
+			db.MustAdd("R", tp)
+			if !tp.IsComplete() {
+				nullTuples = append(nullTuples, tp)
+			}
+		}
+		db.MustAddRow("S", "9")
+		h, root := version.New(db, "main", "root", version.Options{CheckpointEvery: 1 + rng.Intn(4)})
+		if err := h.Branch("side", root); err != nil {
+			t.Fatal(err)
+		}
+		side := db.Clone()
+
+		// Each branch refines a random subset of the null tuples (to a
+		// constant or a renamed null) and inserts a few fresh tuples.
+		branchEdit := func(branch string, work *table.Database, seed int64) {
+			r := rand.New(rand.NewSource(seed))
+			var steps []step
+			for _, tp := range nullTuples {
+				switch r.Intn(3) {
+				case 0: // refine the null to a constant
+					steps = append(steps, step{rel: "R", add: false, t: tp})
+					steps = append(steps, step{rel: "R", add: true, t: table.NewTuple(tp[0], value.Int(int64(r.Intn(8))))})
+				case 1: // rename the null
+					steps = append(steps, step{rel: "R", add: false, t: tp})
+					steps = append(steps, step{rel: "R", add: true, t: table.NewTuple(tp[0], value.Null(uint64(100+r.Intn(50))))})
+				}
+			}
+			for i := 0; i < r.Intn(3); i++ {
+				steps = append(steps, step{rel: "R", add: true, t: table.NewTuple(value.String(fmt.Sprintf("%s-new%d", branch, i)), value.Int(int64(r.Intn(8))))})
+			}
+			commitSteps(t, h, branch, work, branch, steps)
+		}
+		branchEdit("main", db, int64(1000+trial))
+		branchEdit("side", side, int64(2000+trial))
+
+		stateA, err := h.AsOf(must(h.Head("main")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stateB, err := h.AsOf(must(h.Head("side")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mustMerge(t, h, "main", "side")
+
+		for _, rel := range []string{"R", "S"} {
+			certA := completeTuples(stateA.Relation(rel))
+			certB := completeTuples(stateB.Relation(rel))
+			certM := completeTuples(res.State.Relation(rel))
+			for k := range certA {
+				if certB[k] && !certM[k] {
+					t.Fatalf("trial %d: certain tuple of both branches lost in merge (%s):\nA: %s\nB: %s\nM: %s\nconflicts: %v",
+						trial, rel, stateA.Relation(rel), stateB.Relation(rel), res.State.Relation(rel), res.Conflicts)
+				}
+			}
+		}
+
+		// Projection witness: every first-column value certain in both
+		// branches must keep a witness in the merge.
+		firstCol := func(d *table.Database) map[value.Value]bool {
+			out := map[value.Value]bool{}
+			d.Relation("R").Each(func(tp table.Tuple) bool {
+				if tp[0].IsConst() {
+					out[tp[0]] = true
+				}
+				return true
+			})
+			return out
+		}
+		pA, pB, pM := firstCol(stateA), firstCol(stateB), firstCol(res.State)
+		for v := range pA {
+			if pB[v] && !pM[v] {
+				t.Fatalf("trial %d: projected certain value %v of both branches lost in merge", trial, v)
+			}
+		}
+
+		// The merge head state must be reachable as a normal commit too.
+		head := must(h.Head("main"))
+		if head != res.Commit {
+			t.Fatalf("branch head %v, want merge commit %v", head, res.Commit)
+		}
+		viaAsOf, err := h.AsOf(head)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !viaAsOf.Equal(res.State) {
+			t.Fatalf("trial %d: AsOf(merge) differs from the returned merge state", trial)
+		}
+	}
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,433 @@
+// Package version adds a commit history to incomplete databases: an
+// append-only commit DAG over the captured update deltas of package table,
+// with named branch refs, checkpointed time travel and an order-theoretic
+// three-way merge.
+//
+// A History starts from a root database state (its first checkpoint) and
+// grows by Commit: each commit stores the net table.ChangeSet of one batch
+// of updates relative to its first parent, so the full state at any commit
+// is its nearest materialized checkpoint plus a replay of the deltas after
+// it.  Checkpoints are taken every K commits of first-parent depth
+// (Options.CheckpointEvery), bounding reconstruction to O(K·|Δ|) instead of
+// O(history); reconstructed states are memoized in a small cache, so
+// repeated AsOf calls for one commit return the identical immutable
+// database — which is what lets the engine's stamp-keyed plan caches
+// validate across historical reads.
+//
+// Diff composes per-commit deltas (inverted on the ancestor-ward leg)
+// through the first-parent base of two commits into one net change set;
+// Merge runs a three-way merge against that base, reconciling tuples the
+// two branches refined in conflicting null/constant ways via the
+// tuple-level informativeness order of package order — the greatest lower
+// bound of both sides' refinements, which preserves exactly the certainty
+// both branches share — and reporting every non-silent reconciliation as
+// an explicit Conflict (see merge.go).
+//
+// A History is safe for concurrent use: readers (AsOf, Diff, Log) take the
+// same internal mutex as writers (Commit, Branch, Merge), and every
+// database it hands out is immutable and shared — callers clone before
+// mutating.
+package version
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"incdata/internal/table"
+)
+
+// CommitID identifies a commit: a truncated hex digest of the commit's
+// parents, message and delta contents, so identical changes on identical
+// parents are content-addressed to the same id.
+type CommitID string
+
+// Commit is one node of the DAG.  Delta is the net change relative to
+// Parents[0] (empty for the root); merge commits carry the merged-in head
+// as a second parent.  Commits and their deltas are immutable once created.
+type Commit struct {
+	ID      CommitID
+	Parents []CommitID
+	Message string
+	Delta   *table.ChangeSet
+
+	depth int // first-parent depth from the root, for checkpoint placement
+}
+
+// Options configures a History.
+type Options struct {
+	// CheckpointEvery materializes a full database checkpoint every K
+	// commits of first-parent depth; 0 means DefaultCheckpointEvery,
+	// negative keeps only the root checkpoint (every AsOf replays the
+	// whole first-parent chain).
+	CheckpointEvery int
+
+	// ReconCache bounds the number of memoized reconstructed states
+	// (checkpoints are kept separately and always); 0 means
+	// DefaultReconCache, negative disables memoization.
+	ReconCache int
+}
+
+// DefaultCheckpointEvery is the checkpoint interval when Options leaves it
+// zero.
+const DefaultCheckpointEvery = 16
+
+// DefaultReconCache is the reconstruction-memo capacity when Options
+// leaves it zero.
+const DefaultReconCache = 8
+
+// Stats is a point-in-time summary of a history's size.
+type Stats struct {
+	Commits     int
+	Checkpoints int
+	Branches    int
+}
+
+// History is the commit DAG plus branch refs, checkpoints and the
+// reconstruction memo.
+type History struct {
+	mu          sync.Mutex
+	opts        Options
+	commits     map[CommitID]*Commit
+	log         []CommitID // append order, oldest first
+	branches    map[string]CommitID
+	checkpoints map[CommitID]*table.Database // immutable snapshots
+	recon       map[CommitID]*table.Database // bounded memo of replays
+	reconOrder  []CommitID                   // FIFO eviction order for recon
+}
+
+// New creates a history whose root commit holds the given database state
+// (checkpointed in full) and points the named branch at it.  The base is
+// snapshotted, not adopted: the caller may keep mutating it (the usual
+// engine write path), and the root checkpoint keeps the state as of now.
+func New(base *table.Database, branch, message string, opts Options) (*History, CommitID) {
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if opts.ReconCache == 0 {
+		opts.ReconCache = DefaultReconCache
+	}
+	snap := base.Snapshot()
+	id := commitID(nil, message, nil, snap)
+	root := &Commit{ID: id, Message: message, Delta: table.NewChangeSet()}
+	return &History{
+		opts:        opts,
+		commits:     map[CommitID]*Commit{id: root},
+		log:         []CommitID{id},
+		branches:    map[string]CommitID{branch: id},
+		checkpoints: map[CommitID]*table.Database{id: snap},
+	}, id
+}
+
+// commitID derives the content-addressed id: parents, message and the
+// canonical per-relation delta encoding (for the root, the full base state
+// instead).
+func commitID(parents []CommitID, message string, cs *table.ChangeSet, base *table.Database) CommitID {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeStr := func(s string) {
+		n := binary.PutUvarint(buf[:], uint64(len(s)))
+		h.Write(buf[:n])
+		h.Write([]byte(s))
+	}
+	for _, p := range parents {
+		writeStr(string(p))
+	}
+	writeStr(message)
+	if base != nil {
+		writeStr(base.CanonicalKey())
+	}
+	if cs != nil {
+		for _, name := range cs.RelationNames() {
+			writeStr(name)
+			d := cs.Rels[name]
+			for _, side := range []map[string]table.Tuple{d.Deleted, d.Inserted} {
+				keys := make([]string, 0, len(side))
+				for k := range side {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				writeStr(fmt.Sprintf("%d", len(keys)))
+				for _, k := range keys {
+					writeStr(k)
+				}
+			}
+		}
+	}
+	return CommitID(hex.EncodeToString(h.Sum(nil))[:16])
+}
+
+// Stats returns the history's current size counters.
+func (h *History) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Stats{Commits: len(h.commits), Checkpoints: len(h.checkpoints), Branches: len(h.branches)}
+}
+
+// Commit appends a commit holding cs (the net change since the branch
+// head) to the named branch and advances the branch ref.  The state is the
+// resulting full database, used when the commit falls on a checkpoint
+// boundary; it is snapshotted, never adopted.  Committing an identical
+// change set on the identical parent is content-addressed to the existing
+// commit.  extraParents records merged-in heads (used by Merge).
+func (h *History) Commit(branch, message string, cs *table.ChangeSet, state *table.Database, extraParents ...CommitID) (CommitID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.commitLocked(branch, message, cs, state, extraParents...)
+}
+
+func (h *History) commitLocked(branch, message string, cs *table.ChangeSet, state *table.Database, extraParents ...CommitID) (CommitID, error) {
+	parent, ok := h.branches[branch]
+	if !ok {
+		return "", fmt.Errorf("version: unknown branch %q", branch)
+	}
+	if cs == nil {
+		cs = table.NewChangeSet()
+	}
+	parents := append([]CommitID{parent}, extraParents...)
+	for _, p := range extraParents {
+		if _, ok := h.commits[p]; !ok {
+			return "", fmt.Errorf("version: unknown parent commit %q", p)
+		}
+	}
+	id := commitID(parents, message, cs, nil)
+	if _, exists := h.commits[id]; !exists {
+		c := &Commit{ID: id, Parents: parents, Message: message, Delta: cs, depth: h.commits[parent].depth + 1}
+		h.commits[id] = c
+		h.log = append(h.log, id)
+		if h.opts.CheckpointEvery > 0 && c.depth%h.opts.CheckpointEvery == 0 && state != nil {
+			h.checkpoints[id] = state.Snapshot()
+		}
+	}
+	h.branches[branch] = id
+	return id, nil
+}
+
+// Branch creates a new branch ref pointing at the given commit.
+func (h *History) Branch(name string, at CommitID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.branches[name]; dup {
+		return fmt.Errorf("version: branch %q already exists", name)
+	}
+	if _, ok := h.commits[at]; !ok {
+		return fmt.Errorf("version: unknown commit %q", at)
+	}
+	h.branches[name] = at
+	return nil
+}
+
+// Head returns the commit a branch points at.
+func (h *History) Head(branch string) (CommitID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id, ok := h.branches[branch]
+	if !ok {
+		return "", fmt.Errorf("version: unknown branch %q", branch)
+	}
+	return id, nil
+}
+
+// Branches returns a copy of the branch refs.
+func (h *History) Branches() map[string]CommitID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]CommitID, len(h.branches))
+	for n, id := range h.branches {
+		out[n] = id
+	}
+	return out
+}
+
+// Lookup returns the commit with the given id.
+func (h *History) Lookup(id CommitID) (*Commit, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.commits[id]
+	if !ok {
+		return nil, fmt.Errorf("version: unknown commit %q", id)
+	}
+	return c, nil
+}
+
+// Resolve turns a commit reference — a full id, a unique id prefix, a
+// branch name, or a unique commit message — into a commit id.
+func (h *History) Resolve(ref string) (CommitID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.commits[CommitID(ref)]; ok {
+		return CommitID(ref), nil
+	}
+	if id, ok := h.branches[ref]; ok {
+		return id, nil
+	}
+	var match CommitID
+	matches := 0
+	for _, id := range h.log {
+		if len(ref) > 0 && (strings.HasPrefix(string(id), ref) || h.commits[id].Message == ref) {
+			match = id
+			matches++
+		}
+	}
+	switch matches {
+	case 1:
+		return match, nil
+	case 0:
+		return "", fmt.Errorf("version: unknown commit %q", ref)
+	default:
+		return "", fmt.Errorf("version: ambiguous commit reference %q (%d matches)", ref, matches)
+	}
+}
+
+// Log returns the first-parent chain of the given commit, newest first,
+// down to the root.
+func (h *History) Log(from CommitID) ([]*Commit, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.commits[from]
+	if !ok {
+		return nil, fmt.Errorf("version: unknown commit %q", from)
+	}
+	out := make([]*Commit, 0, c.depth+1)
+	for {
+		out = append(out, c)
+		if len(c.Parents) == 0 {
+			return out, nil
+		}
+		c = h.commits[c.Parents[0]]
+	}
+}
+
+// AsOf reconstructs the full database state at a commit: the nearest
+// materialized checkpoint on the commit's first-parent chain plus a replay
+// of the deltas after it.  The returned database is immutable and shared —
+// repeated calls for one commit return the identical instance (checkpoint
+// or memo hit), so relation stamps, and with them the engine's plan-cache
+// entries, stay valid across historical reads.  Callers who want to mutate
+// it must Clone.
+func (h *History) AsOf(id CommitID) (*table.Database, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.asOfLocked(id)
+}
+
+func (h *History) asOfLocked(id CommitID) (*table.Database, error) {
+	if db, ok := h.checkpoints[id]; ok {
+		return db, nil
+	}
+	if db, ok := h.recon[id]; ok {
+		return db, nil
+	}
+	c, ok := h.commits[id]
+	if !ok {
+		return nil, fmt.Errorf("version: unknown commit %q", id)
+	}
+	// Walk the first-parent chain back to the nearest materialized state
+	// (checkpoint or memoized reconstruction); the root is always
+	// checkpointed, so the walk terminates.
+	var chain []*Commit
+	base := (*table.Database)(nil)
+	for {
+		chain = append(chain, c)
+		p := c.Parents[0]
+		if db, ok := h.checkpoints[p]; ok {
+			base = db
+			break
+		}
+		if db, ok := h.recon[p]; ok {
+			base = db
+			break
+		}
+		c = h.commits[p]
+	}
+	db := base.Clone()
+	for i := len(chain) - 1; i >= 0; i-- {
+		if err := db.Apply(chain[i].Delta); err != nil {
+			return nil, fmt.Errorf("version: replay to %s: %w", id, err)
+		}
+	}
+	h.memoLocked(id, db)
+	return db, nil
+}
+
+// memoLocked stores a reconstructed state in the bounded FIFO memo.
+func (h *History) memoLocked(id CommitID, db *table.Database) {
+	if h.opts.ReconCache < 0 {
+		return
+	}
+	if h.recon == nil {
+		h.recon = map[CommitID]*table.Database{}
+	}
+	if _, ok := h.recon[id]; ok {
+		return
+	}
+	for len(h.reconOrder) >= h.opts.ReconCache && len(h.reconOrder) > 0 {
+		delete(h.recon, h.reconOrder[0])
+		h.reconOrder = h.reconOrder[1:]
+	}
+	h.recon[id] = db
+	h.reconOrder = append(h.reconOrder, id)
+}
+
+// firstParentBase returns the deepest commit on both arguments'
+// first-parent chains — the three-way base used by Diff and Merge.  The
+// root is on every chain, so a base always exists.
+func (h *History) firstParentBase(a, b CommitID) (CommitID, error) {
+	ca, ok := h.commits[a]
+	if !ok {
+		return "", fmt.Errorf("version: unknown commit %q", a)
+	}
+	cb, ok := h.commits[b]
+	if !ok {
+		return "", fmt.Errorf("version: unknown commit %q", b)
+	}
+	onA := map[CommitID]bool{}
+	for c := ca; ; c = h.commits[c.Parents[0]] {
+		onA[c.ID] = true
+		if len(c.Parents) == 0 {
+			break
+		}
+	}
+	for c := cb; ; c = h.commits[c.Parents[0]] {
+		if onA[c.ID] {
+			return c.ID, nil
+		}
+		if len(c.Parents) == 0 {
+			return c.ID, nil
+		}
+	}
+}
+
+// firstParentPath returns the commits strictly after base up to and
+// including to, in application order, following first parents.  base must
+// be on to's first-parent chain.
+func (h *History) firstParentPath(base, to CommitID) ([]*Commit, error) {
+	var rev []*Commit
+	c := h.commits[to]
+	for c.ID != base {
+		rev = append(rev, c)
+		if len(c.Parents) == 0 {
+			return nil, fmt.Errorf("version: %s is not a first-parent ancestor of %s", base, to)
+		}
+		c = h.commits[c.Parents[0]]
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// Diff returns the net per-relation change from commit a to commit b,
+// composed from the per-commit deltas through their first-parent base:
+// the inverted deltas walking a back to the base, then the forward deltas
+// up to b.  When b is a first-parent descendant of a this is a pure
+// forward composition.
+func (h *History) Diff(a, b CommitID) (*table.ChangeSet, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.diffLocked(a, b)
+}

@@ -1,0 +1,270 @@
+// Package version_test exercises the commit DAG through package table
+// directly (controlled histories) and through the engine facade (the
+// integration the library ships); the engine-level differential pins live
+// in internal/engine's history tests.
+package version_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incdata/internal/schema"
+	"incdata/internal/table"
+	"incdata/internal/value"
+	"incdata/internal/version"
+)
+
+// histSchema is the two-relation schema the randomized streams mutate.
+func histSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.NewRelation("R", "a", "b"),
+		schema.NewRelation("S", "x"),
+	)
+}
+
+// step is one randomized mutation, concrete so the identical sequence can
+// be replayed onto a fresh database.
+type step struct {
+	rel string
+	add bool
+	t   table.Tuple
+}
+
+func (s step) apply(d *table.Database) {
+	if s.add {
+		d.MustAdd(s.rel, s.t)
+	} else {
+		d.Relation(s.rel).Remove(s.t)
+	}
+}
+
+// randomStream pre-generates n mutations: inserts (some with nulls) and
+// deletions of previously-present tuples.
+func randomStream(rng *rand.Rand, n int) []step {
+	var rTuples, sTuples []table.Tuple
+	nextNull := uint64(1000)
+	out := make([]step, 0, n)
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(10); {
+		case r < 4:
+			var b value.Value = value.Int(int64(rng.Intn(20)))
+			if rng.Intn(3) == 0 {
+				b = value.Null(nextNull)
+				nextNull++
+			}
+			t := table.NewTuple(value.String(fmt.Sprintf("r%d", rng.Intn(30))), b)
+			rTuples = append(rTuples, t)
+			out = append(out, step{rel: "R", add: true, t: t})
+		case r < 6:
+			t := table.NewTuple(value.Int(int64(rng.Intn(50))))
+			sTuples = append(sTuples, t)
+			out = append(out, step{rel: "S", add: true, t: t})
+		case r < 8 && len(rTuples) > 0:
+			j := rng.Intn(len(rTuples))
+			out = append(out, step{rel: "R", add: false, t: rTuples[j]})
+			rTuples = append(rTuples[:j], rTuples[j+1:]...)
+		case len(sTuples) > 0:
+			j := rng.Intn(len(sTuples))
+			out = append(out, step{rel: "S", add: false, t: sTuples[j]})
+			sTuples = append(sTuples[:j], sTuples[j+1:]...)
+		}
+	}
+	return out
+}
+
+// commitSteps applies a batch of steps to the working database under delta
+// capture and commits the captured change set.
+func commitSteps(t *testing.T, h *version.History, branch string, db *table.Database, msg string, steps []step) version.CommitID {
+	t.Helper()
+	tr := db.Track()
+	for _, s := range steps {
+		s.apply(db)
+	}
+	cs := tr.Stop()
+	id, err := h.Commit(branch, msg, cs, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestAsOfMatchesReplay is the reconstruction property test: for
+// randomized update streams and every checkpointing policy, the state
+// AsOf(c) returns for every commit c is bit-identical to replaying the
+// update sequence up to c onto a fresh database.
+func TestAsOfMatchesReplay(t *testing.T) {
+	for _, checkpointEvery := range []int{-1, 1, 3, 16} {
+		t.Run(fmt.Sprintf("checkpointEvery=%d", checkpointEvery), func(t *testing.T) {
+			for trial := 0; trial < 5; trial++ {
+				rng := rand.New(rand.NewSource(int64(100*checkpointEvery + trial)))
+				db := table.NewDatabase(histSchema())
+				// A non-empty root state.
+				db.MustAddRow("R", "seed", "1")
+				h, root := version.New(db, "main", "root", version.Options{CheckpointEvery: checkpointEvery})
+
+				stream := randomStream(rng, 120)
+				// Commit in random batch sizes; remember the stream prefix
+				// behind every commit.
+				prefixAt := map[version.CommitID]int{root: 0}
+				var ids []version.CommitID
+				i := 0
+				for i < len(stream) {
+					n := 1 + rng.Intn(7)
+					if i+n > len(stream) {
+						n = len(stream) - i
+					}
+					id := commitSteps(t, h, "main", db, fmt.Sprintf("c%d", i), stream[i:i+n])
+					i += n
+					prefixAt[id] = i
+					ids = append(ids, id)
+				}
+
+				// Every commit, visited twice (the second visit exercises
+				// the reconstruction memo), must equal the from-scratch
+				// replay of its prefix.
+				for pass := 0; pass < 2; pass++ {
+					for _, id := range append([]version.CommitID{root}, ids...) {
+						got, err := h.AsOf(id)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want := table.NewDatabase(histSchema())
+						want.MustAddRow("R", "seed", "1")
+						for _, s := range stream[:prefixAt[id]] {
+							s.apply(want)
+						}
+						if !got.Equal(want) {
+							t.Fatalf("checkpointEvery=%d trial=%d: AsOf(%s) differs from replay of %d steps:\n%s\nwant:\n%s",
+								checkpointEvery, trial, id, prefixAt[id], got, want)
+						}
+					}
+				}
+
+				// Diff pin: the composed delta from any commit to any other,
+				// applied to the source state, lands on the target state.
+				for trial2 := 0; trial2 < 10; trial2++ {
+					all := append([]version.CommitID{root}, ids...)
+					a := all[rng.Intn(len(all))]
+					b := all[rng.Intn(len(all))]
+					cs, err := h.Diff(a, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					src, _ := h.AsOf(a)
+					dst, _ := h.AsOf(b)
+					moved := src.Clone()
+					if err := moved.Apply(cs); err != nil {
+						t.Fatal(err)
+					}
+					if !moved.Equal(dst) {
+						t.Fatalf("Diff(%s,%s) applied to source does not reach target:\n%s\nwant:\n%s", a, b, moved, dst)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointPolicy pins that checkpointing actually follows the
+// configured interval (beyond the always-present root checkpoint).
+func TestCheckpointPolicy(t *testing.T) {
+	db := table.NewDatabase(histSchema())
+	h, _ := version.New(db, "main", "root", version.Options{CheckpointEvery: 4})
+	for i := 0; i < 10; i++ {
+		commitSteps(t, h, "main", db, fmt.Sprintf("c%d", i), []step{{rel: "S", add: true, t: table.NewTuple(value.Int(int64(i)))}})
+	}
+	st := h.Stats()
+	if st.Commits != 11 {
+		t.Fatalf("commits = %d, want 11", st.Commits)
+	}
+	// Root (depth 0) plus depths 4 and 8.
+	if st.Checkpoints != 3 {
+		t.Fatalf("checkpoints = %d, want 3", st.Checkpoints)
+	}
+
+	// With checkpointing disabled only the root is materialized.
+	db2 := table.NewDatabase(histSchema())
+	h2, _ := version.New(db2, "main", "root", version.Options{CheckpointEvery: -1})
+	for i := 0; i < 10; i++ {
+		commitSteps(t, h2, "main", db2, fmt.Sprintf("c%d", i), []step{{rel: "S", add: true, t: table.NewTuple(value.Int(int64(i)))}})
+	}
+	if got := h2.Stats().Checkpoints; got != 1 {
+		t.Fatalf("checkpoints = %d, want 1 (root only)", got)
+	}
+}
+
+// TestAsOfShared pins the memoization contract: repeated AsOf calls for
+// one commit return the identical database instance, so relation stamps
+// (and with them plan-cache entries) stay valid across historical reads.
+func TestAsOfShared(t *testing.T) {
+	db := table.NewDatabase(histSchema())
+	h, _ := version.New(db, "main", "root", version.Options{})
+	var last version.CommitID
+	for i := 0; i < 3; i++ {
+		last = commitSteps(t, h, "main", db, fmt.Sprintf("c%d", i), []step{{rel: "S", add: true, t: table.NewTuple(value.Int(int64(i)))}})
+	}
+	a, err := h.AsOf(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.AsOf(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("AsOf must return the identical reconstructed instance on repeat calls")
+	}
+	if a.Relation("S").Stamp() != b.Relation("S").Stamp() {
+		t.Fatal("stamps must match across repeated AsOf")
+	}
+}
+
+// TestLogResolveBranch covers the log order, reference resolution and
+// branch creation errors.
+func TestLogResolveBranch(t *testing.T) {
+	db := table.NewDatabase(histSchema())
+	h, root := version.New(db, "main", "root", version.Options{})
+	c1 := commitSteps(t, h, "main", db, "first", []step{{rel: "S", add: true, t: table.NewTuple(value.Int(1))}})
+	c2 := commitSteps(t, h, "main", db, "second", []step{{rel: "S", add: true, t: table.NewTuple(value.Int(2))}})
+
+	log, err := h.Log(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 3 || log[0].ID != c2 || log[1].ID != c1 || log[2].ID != root {
+		t.Fatalf("log order wrong: %v", log)
+	}
+
+	for ref, want := range map[string]version.CommitID{
+		string(c1):     c1,
+		string(c1)[:6]: c1,
+		"second":       c2,
+		"main":         c2,
+		"root":         root,
+	} {
+		got, err := h.Resolve(ref)
+		if err != nil || got != want {
+			t.Errorf("Resolve(%q) = %v, %v; want %v", ref, got, err, want)
+		}
+	}
+	if _, err := h.Resolve("nope"); err == nil {
+		t.Error("Resolve of unknown ref must fail")
+	}
+
+	if err := h.Branch("dev", c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Branch("dev", c1); err == nil {
+		t.Error("duplicate branch must fail")
+	}
+	if err := h.Branch("x", "nope"); err == nil {
+		t.Error("branch at unknown commit must fail")
+	}
+	if id, err := h.Head("dev"); err != nil || id != c1 {
+		t.Errorf("Head(dev) = %v, %v; want %v", id, err, c1)
+	}
+	if _, err := h.Commit("ghost", "m", table.NewChangeSet(), db); err == nil {
+		t.Error("commit on unknown branch must fail")
+	}
+}
