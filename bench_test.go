@@ -1,5 +1,5 @@
 // Package incdata's root-level benchmarks: one Benchmark per reproduction
-// experiment (E1–E15, see the "Experiments" section of README.md).  Each benchmark
+// experiment (E1–E16, see the "Experiments" section of README.md).  Each benchmark
 // re-runs the corresponding experiment's workload at a representative
 // parameter point; cmd/incbench prints the full sweeps as tables.
 package incdata_test
@@ -398,5 +398,41 @@ func itoa5(i int) string {
 func BenchmarkE15VersionHistory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.Harness{}.E15VersionHistory(30, 4, []int{8}, 50)
+	}
+}
+
+// BenchmarkE16ParallelScaling measures intra-query morsel parallelism: an
+// E5-style join-project UCQ at a size well past the plan layer's parallel
+// cutoff, evaluated serially (Workers: 1, the differential oracle the
+// parallel path is pinned against) and on a full worker pool (Workers: 0 =
+// GOMAXPROCS).  Run with -cpu 1,2,4 the parallel variant shows core-count
+// scaling; under -cpu 1 both variants must coincide, which bounds the
+// pool's overhead (the CI bench smoke checks exactly that).
+func BenchmarkE16ParallelScaling(b *testing.B) {
+	d := workload.Random(workload.RandomConfig{
+		Relations: map[string]int{"R": 2, "S": 2}, TuplesPerRelation: 4000,
+		DomainSize: 504, Nulls: 3, NullRate: 0.02, Seed: 16,
+	})
+	q := ra.Project{
+		Input: ra.Join{
+			Left:  ra.Rename{Input: ra.Base("R"), As: "R1", Attrs: []string{"a", "b"}},
+			Right: ra.Rename{Input: ra.Base("S"), As: "S1", Attrs: []string{"b", "c"}},
+		},
+		Attrs: []string{"a", "c"},
+	}
+	eng := engine.New(d)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			opts := engine.Options{Mode: engine.ModeCertain, Workers: tc.workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Eval(q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

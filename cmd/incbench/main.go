@@ -1,4 +1,4 @@
-// Command incbench runs the reproduction experiments E1–E15 (see the
+// Command incbench runs the reproduction experiments E1–E16 (see the
 // "Experiments" section of README.md) through the engine facade and prints
 // one text table per experiment, or a single machine-readable JSON
 // document with -json so that successive runs can be archived
@@ -12,7 +12,11 @@
 // BENCH_*.json.  E13 exercises the engine's snapshot-isolated concurrent
 // batch path and reports its parallel speedup; E14 exercises maintained
 // views and reports the incremental-refresh vs full-recompute speedup on
-// an update stream.
+// an update stream; E16 sweeps the intra-query worker budget
+// (engine.Options.Workers, the -workers flag) over morsel-parallel
+// evaluation.  With -json the report records GOMAXPROCS, the CPU count and
+// the -workers setting, so archived speedups stay interpretable across
+// hosts.
 //
 // Usage:
 //
@@ -29,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -43,10 +48,23 @@ type plannerTimings struct {
 	Experiments map[string]float64 `json:"experiment_seconds"`
 }
 
+// environment records the hardware/scheduler context a run executed under,
+// so archived BENCH_*.json documents stay comparable across hosts: parallel
+// speedups (E13, E16) are bounded by GOMAXPROCS, and a ~1x speedup on a
+// GOMAXPROCS=1 host is expected, not a regression.
+type environment struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Workers is the -workers flag: the intra-query worker budget every
+	// evaluation ran under (0 means it resolved to GOMAXPROCS).
+	Workers int `json:"workers"`
+}
+
 // report is the -json output document.
 type report struct {
 	Config      string               `json:"config"`
 	Planner     string               `json:"planner"`
+	Env         environment          `json:"env"`
 	Experiments []experiments.Result `json:"experiments"`
 	Ran         int                  `json:"ran"`
 	Seconds     float64              `json:"seconds"`
@@ -79,6 +97,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E8)")
 	asJSON := flag.Bool("json", false, "emit one JSON document instead of text tables")
 	planner := flag.String("planner", "on", "evaluation path: on, off, or both (runs twice and compares timings)")
+	workers := flag.Int("workers", 0, "intra-query worker budget for every evaluation (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	cfg := experiments.QuickConfig()
@@ -87,6 +106,7 @@ func main() {
 		cfg = experiments.FullConfig()
 		cfgName = "full"
 	}
+	cfg.Workers = *workers
 	filter := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -112,8 +132,13 @@ func main() {
 
 	if *asJSON {
 		rep := report{
-			Config:      cfgName,
-			Planner:     *planner,
+			Config:  cfgName,
+			Planner: *planner,
+			Env: environment{
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+				NumCPU:     runtime.NumCPU(),
+				Workers:    *workers,
+			},
 			Experiments: kept,
 			Ran:         len(kept),
 			Seconds:     primary.Seconds,

@@ -160,8 +160,8 @@ func run(args []string) error {
 	planner := fs.String("planner", "on", "evaluation path: on (query planner) or off (naïve-evaluation oracle)")
 	extraFresh := fs.Int("fresh", 1, "fresh constants for world enumeration (certain-cwa/-owa/-object)")
 	maxWorlds := fs.Int("max-worlds", 1<<20, "abort world enumeration when more valuations would be needed")
-	workers := fs.Int("workers", 4, "parallel workers for world enumeration")
-	parallel := fs.Bool("parallel", false, "use all CPUs for world enumeration (overrides -workers)")
+	workers := fs.Int("workers", 0, "intra-query worker budget: morsel-parallel evaluation and world enumeration (0 = GOMAXPROCS, 1 = serial)")
+	parallel := fs.Bool("parallel", false, "use all CPUs (same as the -workers default; overrides an explicit -workers)")
 	asOf := fs.String("as-of", "", "evaluate at a historical commit (id, unique prefix, or state-directory name)")
 	showLog := fs.Bool("log", false, "print the commit log of a versioned data directory")
 	diffSpec := fs.String("diff", "", "print the net change between two commits, as <a>..<b>")

@@ -94,6 +94,30 @@ func (ev *Evaluator) Naive(q ra.Expr, d *table.Database) (*table.Relation, error
 	return ra.StripNulls(r), nil
 }
 
+// NaiveWorkers is Naive with a worker budget: with the planner on, the
+// compiled plan is evaluated morsel-parallel across the pool (partitioned
+// hash joins, see plan.EvalCertainWorkers), producing a result bit-identical
+// to Naive's.  workers <= 1 and the oracle path are exactly Naive.
+func (ev *Evaluator) NaiveWorkers(q ra.Expr, d *table.Database, workers int) (*table.Relation, error) {
+	if ev.planner && workers > 1 {
+		if p, err := ev.cachedCompile(q, d.Schema()); err == nil {
+			return p.EvalCertainWorkers(d, workers)
+		}
+	}
+	return ev.Naive(q, d)
+}
+
+// NaiveRawWorkers is NaiveRaw with a worker budget, the raw (nulls kept)
+// counterpart of NaiveWorkers; the result is bit-identical to NaiveRaw's.
+func (ev *Evaluator) NaiveRawWorkers(q ra.Expr, d *table.Database, workers int) (*table.Relation, error) {
+	if ev.planner && workers > 1 {
+		if p, err := ev.cachedCompile(q, d.Schema()); err == nil {
+			return p.EvalWorkers(d, workers)
+		}
+	}
+	return ev.NaiveRaw(q, d)
+}
+
 // evalMaybePlanned evaluates through the query planner when it is enabled
 // and the expression compiles, falling back to the naïve-evaluation oracle
 // otherwise (so unsupported expressions and error cases behave exactly as
@@ -166,7 +190,7 @@ func (ev *Evaluator) BoolCertainCWA(q ra.Expr, d *table.Database, opts Options) 
 		return false, err
 	}
 	if wp := ev.worldPlanFor(q, d); wp != nil {
-		return boolCertainPlanned(wp, d, dom)
+		return boolCertainPlanned(wp, d, dom, opts.Workers)
 	}
 	certain := true
 	err := forEachWorldAnswer(q, d, dom, func(ans *table.Relation) bool {

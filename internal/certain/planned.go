@@ -46,6 +46,7 @@ func (ev *Evaluator) worldPlanFor(q ra.Expr, d *table.Database) *plan.WorldPlan 
 // intersectWorldsPlanned computes ⋂ { Q(v(D)) | v } through the factored
 // plan.
 func intersectWorldsPlanned(wp *plan.WorldPlan, d *table.Database, dom semantics.Domain, workers int) (*table.Relation, error) {
+	wp.SetWorkers(workers) // stable parts compute partition-parallel
 	if workers > 1 {
 		return parallelIntersectPlanned(wp, d, dom, workers)
 	}
@@ -148,7 +149,8 @@ func mergeStableDelta(wp *plan.WorldPlan, stable, delta *table.Relation) (*table
 }
 
 // boolCertainPlanned decides Boolean certainty through the factored plan.
-func boolCertainPlanned(wp *plan.WorldPlan, d *table.Database, dom semantics.Domain) (bool, error) {
+func boolCertainPlanned(wp *plan.WorldPlan, d *table.Database, dom semantics.Domain, workers int) (bool, error) {
+	wp.SetWorkers(workers) // stable parts compute partition-parallel
 	if wp.Splittable() {
 		stable, err := wp.Stable()
 		if err != nil {
@@ -205,6 +207,7 @@ func boolCertainPlanned(wp *plan.WorldPlan, d *table.Database, dom semantics.Dom
 // collectAnswersPlanned gathers the distinct per-world answers through the
 // factored plan (for the certainO GLB).
 func collectAnswersPlanned(wp *plan.WorldPlan, d *table.Database, dom semantics.Domain, workers int) ([]*table.Relation, error) {
+	wp.SetWorkers(workers) // stable parts compute partition-parallel
 	if workers > 1 {
 		return parallelCollectPlanned(wp, d, dom, workers)
 	}

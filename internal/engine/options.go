@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"incdata/internal/certain"
 	"incdata/internal/value"
@@ -115,14 +116,30 @@ type Options struct {
 	// and the constants mentioned by the query.
 	ExtraConstants []value.Value
 
-	// Workers > 1 evaluates worlds on a pool of that many goroutines;
-	// <= 1 is serial.  (This parallelizes a single world enumeration;
-	// Engine.Serve parallelizes across queries.)
+	// Workers is the intra-query worker budget: morsel-parallel plan
+	// evaluation (partitioned hash joins), partition-parallel stable parts
+	// of world plans, and the per-world enumeration pool all share it.  The
+	// zero value resolves to GOMAXPROCS; 1 forces the serial path (the
+	// differential oracle every parallel result is pinned against); > 1
+	// uses a pool of exactly that many goroutines.  (Engine.Serve
+	// additionally parallelizes across the queries of a batch.)
 	Workers int
 
 	// MaxWorlds aborts world enumeration when more valuations would be
 	// needed (0 means no bound).
 	MaxWorlds int
+}
+
+// resolvedWorkers resolves the Workers knob: 0 (the zero value) means
+// GOMAXPROCS, anything below 1 clamps to serial.
+func (o Options) resolvedWorkers() int {
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // certainOptions converts the world-enumeration knobs for package certain.
@@ -131,7 +148,7 @@ func (o Options) certainOptions() certain.Options {
 		ExtraFresh:     o.ExtraFresh,
 		MaxExtraTuples: o.MaxExtraTuples,
 		ExtraConstants: o.ExtraConstants,
-		Workers:        o.Workers,
+		Workers:        o.resolvedWorkers(),
 		MaxWorlds:      o.MaxWorlds,
 	}
 }

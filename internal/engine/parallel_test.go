@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"incdata/internal/ra"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// parallelTestDB builds a database large enough to clear the plan layer's
+// parallel cutoff, so Workers > 1 really exercises the morsel and
+// partitioned-join paths at the engine level.  nullIDs marked nulls are
+// sprinkled in (reused, so world enumeration stays bounded) and values are
+// drawn from [0, domain).
+func parallelTestDB(tuples, domain, nullIDs int, seed int64) *table.Database {
+	rnd := rand.New(rand.NewSource(seed))
+	d := table.NewDatabase(testSchema())
+	for _, name := range []string{"R", "S", "T"} {
+		for i := 0; i < tuples; i++ {
+			t := make(table.Tuple, 2)
+			for j := range t {
+				if nullIDs > 0 && rnd.Intn(60) == 0 {
+					t[j] = value.Null(uint64(rnd.Intn(nullIDs) + 1))
+				} else {
+					t[j] = value.Int(int64(rnd.Intn(domain)))
+				}
+			}
+			d.MustAdd(name, t)
+		}
+	}
+	return d
+}
+
+// TestEngineWorkersBitIdentical pins the engine's parallel paths against
+// the serial oracle: for every query, mode and planner setting, Workers: 4
+// must produce exactly the fingerprint Workers: 1 does.
+func TestEngineWorkersBitIdentical(t *testing.T) {
+	// Large relations with a wide domain: the one-shot modes go through
+	// morsel-parallel plan evaluation (partitioned hash joins).
+	big := New(parallelTestDB(1200, 40, 3, 1))
+	// Smaller relations with a narrow domain: the world-enumeration modes
+	// stay within a few dozen worlds while the per-world pool runs.
+	med := New(parallelTestDB(250, 3, 2, 2))
+
+	queries := map[string]ra.Expr{
+		"base":   ra.Base("R"),
+		"select": ra.Select{Input: ra.Base("R"), Pred: ra.Neq(ra.Attr("a"), ra.Attr("b"))},
+		"join":   ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a", "c"}},
+		"diff":   ra.Diff{Left: ra.Base("R"), Right: ra.Base("T")},
+		"union": ra.Union{
+			Left:  ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a"}},
+			Right: ra.Project{Input: ra.Base("T"), Attrs: []string{"a"}},
+		},
+	}
+
+	check := func(eng *Engine, mode Mode, extra Options) {
+		t.Helper()
+		for name, q := range queries {
+			for _, planner := range []PlannerSetting{PlannerOn, PlannerOff} {
+				opts := extra
+				opts.Mode = mode
+				opts.Planner = planner
+				opts.Workers = 1
+				want, err := eng.Eval(q, opts)
+				if err != nil {
+					t.Fatalf("%s/%v/planner=%v workers=1: %v", name, mode, planner, err)
+				}
+				for _, workers := range []int{2, 4} {
+					opts.Workers = workers
+					got, err := eng.Eval(q, opts)
+					if err != nil {
+						t.Fatalf("%s/%v/planner=%v workers=%d: %v", name, mode, planner, workers, err)
+					}
+					if fp(got) != fp(want) {
+						t.Fatalf("%s/%v/planner=%v: workers=%d differs from serial", name, mode, planner, workers)
+					}
+				}
+			}
+		}
+	}
+
+	check(big, ModeCertain, Options{})
+	check(big, ModeNaive, Options{})
+	worldOpts := Options{ExtraFresh: 1, MaxWorlds: 1 << 18}
+	check(med, ModeCertainCWA, worldOpts)
+	check(med, ModeCertainOWA, worldOpts)
+
+	// Boolean certainty through the same worker knob.
+	q := ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a", "c"}}
+	for _, planner := range []PlannerSetting{PlannerOn, PlannerOff} {
+		opts := worldOpts
+		opts.Planner = planner
+		opts.Workers = 1
+		want, err := med.EvalBool(q, opts)
+		if err != nil {
+			t.Fatalf("EvalBool serial: %v", err)
+		}
+		opts.Workers = 4
+		got, err := med.EvalBool(q, opts)
+		if err != nil {
+			t.Fatalf("EvalBool workers=4: %v", err)
+		}
+		if got != want {
+			t.Fatalf("EvalBool planner=%v: workers=4 got %v, serial %v", planner, got, want)
+		}
+	}
+}
+
+// TestConcurrentParallelQueriesWithWriter stresses morsel-parallel
+// evaluation under concurrent commits: readers take snapshots and require
+// the Workers: 4 answer to match the serial answer on the same snapshot,
+// while a writer keeps mutating the live database.  Run under -race this
+// checks the per-partition index caches, the shared prepare-phase
+// materializations and the chunk pools for data races.
+func TestConcurrentParallelQueriesWithWriter(t *testing.T) {
+	eng := New(parallelTestDB(600, 30, 2, 7))
+	queries := []ra.Expr{
+		ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a", "c"}},
+		ra.Diff{Left: ra.Base("R"), Right: ra.Base("T")},
+		ra.Select{Input: ra.Base("R"), Pred: ra.Neq(ra.Attr("a"), ra.Attr("b"))},
+	}
+	modes := []Mode{ModeCertain, ModeNaive}
+
+	const (
+		writes         = 60
+		readers        = 4
+		readsPerReader = 25
+	)
+	var wg sync.WaitGroup
+	wg.Add(1 + readers)
+	errs := make(chan error, readers+1)
+
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			i := i
+			err := eng.Update(func(db *table.Database) error {
+				switch i % 3 {
+				case 0:
+					return db.Add("R", table.NewTuple(value.Int(int64(1000+i)), value.Int(int64(i%30))))
+				case 1:
+					return db.Add("S", table.NewTuple(value.Int(int64(i%30)), value.Int(int64(1000+i))))
+				default:
+					ts := db.Relation("T").SortedTuples()
+					if len(ts) > 0 {
+						db.Relation("T").Remove(ts[i%len(ts)])
+					}
+					return nil
+				}
+			})
+			if err != nil {
+				errs <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		r := r
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsPerReader; i++ {
+				snap := eng.Snapshot()
+				q := queries[(r+i)%len(queries)]
+				opts := Options{Mode: modes[i%len(modes)]}
+				if (r+i)%4 == 0 {
+					opts.Planner = PlannerOff
+				}
+				opts.Workers = 4
+				par, err := snap.Eval(q, opts)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d parallel: %w", r, err)
+					return
+				}
+				opts.Workers = 1
+				ser, err := snap.Eval(q, opts)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d serial: %w", r, err)
+					return
+				}
+				if fp(par) != fp(ser) {
+					errs <- fmt.Errorf("reader %d: parallel answer differs from serial on one snapshot", r)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

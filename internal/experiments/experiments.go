@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiments E1–E15
+// Package experiments implements the reproduction experiments E1–E16
 // indexed in the "Experiments" section of README.md.  The paper (a theory keynote) has no numbered
 // tables or figures; each experiment regenerates one of its worked examples
 // or checkable claims, at parameterised scale, and prints the rows recorded
@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,6 +37,11 @@ type Harness struct {
 	// Planner selects the engine's evaluation path for every query the
 	// experiments run.
 	Planner engine.PlannerSetting
+
+	// Workers is the intra-query worker budget passed to every evaluation
+	// (engine.Options.Workers): 0 resolves to GOMAXPROCS, 1 forces the
+	// serial oracle path.  E16 sweeps its own worker counts on top.
+	Workers int
 }
 
 // engine builds the evaluation engine for one generated database.
@@ -43,7 +49,7 @@ func (h Harness) engine(d *table.Database) *engine.Engine { return engine.New(d)
 
 // opts is the engine options for a mode under the harness's settings.
 func (h Harness) opts(m engine.Mode) engine.Options {
-	return engine.Options{Mode: m, Planner: h.Planner}
+	return engine.Options{Mode: m, Planner: h.Planner, Workers: h.Workers}
 }
 
 // mustRel unwraps an engine evaluation that cannot fail in a healthy
@@ -676,7 +682,10 @@ func (h Harness) E13EngineBatch(queries int, workerCounts []int) Result {
 		Title:  "Engine batch throughput: snapshot-isolated worker pool (engine facade)",
 		Header: []string{"workers", "queries", "seconds", "qps", "speedup", "agree"},
 		Notes: "All sweeps serve one consistent snapshot while a writer commits to the live database;\n" +
-			"agree checks every answer against the workers=1 sweep of the same snapshot.",
+			"agree checks every answer against the workers=1 sweep of the same snapshot.\n" +
+			fmt.Sprintf("Speedup is bounded by the scheduler: this run had GOMAXPROCS=%d (NumCPU=%d), so the\n"+
+				"attainable ceiling is min(workers, %d)x — on a single-CPU host every sweep is ~1x.",
+				runtime.GOMAXPROCS(0), runtime.NumCPU(), runtime.GOMAXPROCS(0)),
 	}
 	if len(workerCounts) == 0 || workerCounts[0] != 1 {
 		workerCounts = append([]int{1}, workerCounts...)
@@ -1054,6 +1063,140 @@ func (h Harness) E15VersionHistory(commits, batch int, checkpoints []int, asofQu
 			fmt.Sprintf("%.0f", float64(asofQueries)/asofSecs),
 			dtoa(mergeDur), itoa(len(mres.Conflicts)), fmt.Sprintf("%v", agree),
 		})
+	}
+	return res
+}
+
+// E16ParallelScaling measures the engine's intra-query worker knob
+// (engine.Options.Workers): the E1-style unpaid-orders difference and the
+// E5-style join-project UCQ evaluated morsel-parallel at growing worker
+// counts, plus an E13-style batch sweep for comparison with inter-query
+// parallelism.  Every row's answer is checked bit-identical against the
+// workers=1 sweep (the serial differential oracle), so the speedup column
+// is the only thing that may vary between hosts: it is bounded by
+// GOMAXPROCS, and on a single-CPU host every sweep hovers around 1x — the
+// notes record the bound so archived JSON runs stay interpretable.
+func (h Harness) E16ParallelScaling(rows int, workerCounts []int) Result {
+	res := Result{
+		ID:     "E16",
+		Title:  "Intra-query parallel scaling: morsel-driven evaluation vs worker count",
+		Header: []string{"workload", "workers", "seconds", "speedup", "agree"},
+		Notes: fmt.Sprintf("Workers is the intra-query budget (engine.Options.Workers); agree pins every sweep\n"+
+			"bit-identical to workers=1.  Speedup is bounded by GOMAXPROCS=%d (NumCPU=%d): the\n"+
+			"headline scaling needs a multi-core host, on one CPU every row is ~1x by design.",
+			runtime.GOMAXPROCS(0), runtime.NumCPU()),
+	}
+	if len(workerCounts) == 0 || workerCounts[0] != 1 {
+		workerCounts = append([]int{1}, workerCounts...)
+	}
+
+	ordersDB, _ := workload.Orders(workload.OrdersConfig{Orders: rows, PaidFraction: 0.7, NullRate: 0.1, Seed: 16})
+	unpaidRA := ra.Diff{
+		Left:  ra.Rename{Input: ra.Project{Input: ra.Base("Order"), Attrs: []string{"o_id"}}, As: "O", Attrs: []string{"id"}},
+		Right: ra.Rename{Input: ra.Project{Input: ra.Base("Pay"), Attrs: []string{"order"}}, As: "P", Attrs: []string{"id"}},
+	}
+	joinDB := workload.Random(workload.RandomConfig{
+		Relations:         map[string]int{"R": 2, "S": 2},
+		TuplesPerRelation: rows,
+		DomainSize:        rows/8 + 4,
+		Nulls:             3,
+		NullRate:          0.02,
+		Seed:              16,
+	})
+	ucq := ra.Project{
+		Input: ra.Join{
+			Left:  ra.Rename{Input: ra.Base("R"), As: "R1", Attrs: []string{"a", "b"}},
+			Right: ra.Rename{Input: ra.Base("S"), As: "S1", Attrs: []string{"b", "c"}},
+		},
+		Attrs: []string{"a", "c"},
+	}
+
+	type sweep struct {
+		name string
+		run  func(workers int) (string, error) // returns an answer fingerprint
+	}
+	ordersEng := h.engine(ordersDB)
+	joinEng := h.engine(joinDB)
+	batchReqs := make([]engine.Request, 64)
+	for i := range batchReqs {
+		batchReqs[i] = engine.Request{Query: unpaidRA, Opts: h.opts(engine.ModeCertain)}
+	}
+	batchSnap := ordersEng.Snapshot()
+	sweeps := []sweep{
+		{"diff-certain", func(workers int) (string, error) {
+			opts := h.opts(engine.ModeCertain)
+			opts.Workers = workers
+			rel, err := ordersEng.Eval(unpaidRA, opts)
+			if err != nil {
+				return "", err
+			}
+			return rel.CanonicalKey(), nil
+		}},
+		{"join-certain", func(workers int) (string, error) {
+			opts := h.opts(engine.ModeCertain)
+			opts.Workers = workers
+			rel, err := joinEng.Eval(ucq, opts)
+			if err != nil {
+				return "", err
+			}
+			return rel.CanonicalKey(), nil
+		}},
+		{"batch-serve", func(workers int) (string, error) {
+			var b strings.Builder
+			for _, resp := range batchSnap.Serve(batchReqs, workers) {
+				if resp.Err != nil {
+					return "", resp.Err
+				}
+				b.WriteString(resp.Rel.CanonicalKey())
+				b.WriteByte('\n')
+			}
+			return b.String(), nil
+		}},
+	}
+
+	for _, sw := range sweeps {
+		// Warm the plan caches and derived indexes so the workers=1 baseline
+		// is not charged for one-time compilation.
+		if _, err := sw.run(1); err != nil {
+			res.Rows = append(res.Rows, []string{sw.name, "-", "-", "-", "error"})
+			continue
+		}
+		var baseFP string
+		var baseSecs float64
+		for _, workers := range workerCounts {
+			// Best of three runs: the individual sweeps are fast enough that a
+			// single shot is dominated by scheduler and GC noise.
+			var fp string
+			var err error
+			elapsed := 0.0
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				fp, err = sw.run(workers)
+				if err != nil {
+					break
+				}
+				if secs := time.Since(start).Seconds(); rep == 0 || secs < elapsed {
+					elapsed = secs
+				}
+			}
+			if err != nil {
+				res.Rows = append(res.Rows, []string{sw.name, itoa(workers), "-", "-", "error"})
+				continue
+			}
+			agree := true
+			speedup := "-"
+			if workers == 1 {
+				baseFP, baseSecs = fp, elapsed
+			} else {
+				agree = fp == baseFP
+				if elapsed > 0 && baseSecs > 0 {
+					speedup = fmt.Sprintf("%.2fx", baseSecs/elapsed)
+				}
+			}
+			res.Rows = append(res.Rows, []string{
+				sw.name, itoa(workers), fmt.Sprintf("%.4f", elapsed), speedup, fmt.Sprintf("%v", agree),
+			})
+		}
 	}
 	return res
 }

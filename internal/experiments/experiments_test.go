@@ -181,10 +181,11 @@ func TestConfigsAndAll(t *testing.T) {
 		E13Queries: 16, E13Workers: []int{1, 2},
 		E14Orders: []int{30}, E14Updates: 20,
 		E15Commits: 6, E15Batch: 2, E15Checkpoints: []int{2}, E15AsOf: 10,
+		E16Rows: 200, E16Workers: []int{1, 2},
 	}
 	results := All(tiny)
-	if len(results) != 15 {
-		t.Fatalf("All should run 15 experiments, got %d", len(results))
+	if len(results) != 16 {
+		t.Fatalf("All should run 16 experiments, got %d", len(results))
 	}
 	ids := map[string]bool{}
 	for _, r := range results {
@@ -196,7 +197,7 @@ func TestConfigsAndAll(t *testing.T) {
 			t.Errorf("String of %s malformed", r.ID)
 		}
 	}
-	for i := 1; i <= 15; i++ {
+	for i := 1; i <= 16; i++ {
 		if !ids["E"+strconv.Itoa(i)] {
 			t.Errorf("missing experiment E%d", i)
 		}

@@ -52,6 +52,10 @@ type Config struct {
 	// experiments run (the incbench -planner flag).
 	Planner engine.PlannerSetting
 
+	// Workers is the intra-query worker budget every evaluation runs under
+	// (the incbench -workers flag); 0 resolves to GOMAXPROCS.
+	Workers int
+
 	E1Sizes        []int
 	E1NullRates    []float64
 	E2Sizes        []int
@@ -76,6 +80,8 @@ type Config struct {
 	E15Batch       int
 	E15Checkpoints []int
 	E15AsOf        int
+	E16Rows        int
+	E16Workers     []int
 }
 
 // QuickConfig keeps every experiment under a few seconds; it is the default
@@ -106,6 +112,8 @@ func QuickConfig() Config {
 		E15Batch:       4,
 		E15Checkpoints: []int{1, 8, 32},
 		E15AsOf:        150,
+		E16Rows:        4000,
+		E16Workers:     []int{1, 2, 4, 8},
 	}
 }
 
@@ -137,6 +145,8 @@ func FullConfig() Config {
 		E15Batch:       5,
 		E15Checkpoints: []int{1, 16, 64},
 		E15AsOf:        1000,
+		E16Rows:        20000,
+		E16Workers:     []int{1, 2, 4, 8},
 	}
 }
 
@@ -148,7 +158,7 @@ func All(cfg Config) []Result { return Run(cfg, nil) }
 // order through a Harness with the config's evaluation settings, stamping
 // each result with its wall-clock duration.
 func Run(cfg Config, ids map[string]bool) []Result {
-	h := Harness{Planner: cfg.Planner}
+	h := Harness{Planner: cfg.Planner, Workers: cfg.Workers}
 	runs := []struct {
 		id  string
 		run func() Result
@@ -170,6 +180,7 @@ func Run(cfg Config, ids map[string]bool) []Result {
 		{"E15", func() Result {
 			return h.E15VersionHistory(cfg.E15Commits, cfg.E15Batch, cfg.E15Checkpoints, cfg.E15AsOf)
 		}},
+		{"E16", func() Result { return h.E16ParallelScaling(cfg.E16Rows, cfg.E16Workers) }},
 	}
 	var out []Result
 	for _, r := range runs {

@@ -16,10 +16,24 @@ import (
 // must.  Emitted tuples are immutable and may be adopted by the consumer.
 
 // pctx carries the database view and a reusable key scratch buffer for one
-// evaluation.
+// evaluation.  On the parallel path (parallel.go) each worker owns one pctx
+// holding its morsel assignment and the evaluation-wide shared state; on
+// the serial path the extra fields stay zero and every operator behaves
+// exactly as before.
 type pctx struct {
 	db     ra.DB
 	keyBuf []byte
+
+	shared     *sharedEval   // prepare-phase materializations shared by workers
+	morselFor  *pscan        // scan whose tuples come from morsel, not the relation
+	morsel     []table.Tuple // the worker's current morsel of morselFor
+	partIdxFor *pjoin        // join probing a per-partition build index
+	partIdx    *table.Index  // the partition's index, matching the worker's morsel
+}
+
+// relationErr is the shared unknown-relation error.
+func relationErr(name string) error {
+	return fmt.Errorf("ra: unknown relation %q", name)
 }
 
 // appendPosKey appends the key of t restricted to positions into the
@@ -44,21 +58,24 @@ type pnode interface {
 
 // materialize evaluates a node into a relation with set semantics.  Base
 // relation scans are returned as-is (never mutated by the planner), so
-// their cached hash indexes survive across evaluations.
+// their cached hash indexes survive across evaluations.  On the parallel
+// path, pipeline breakers materialized during the prepare phase are served
+// from the shared cache instead of being recomputed per worker.
 func materialize(n pnode, c *pctx) (*table.Relation, error) {
 	if sc, ok := n.(*pscan); ok {
 		rel := c.db.Relation(sc.name)
 		if rel == nil {
-			return nil, fmt.Errorf("ra: unknown relation %q", sc.name)
+			return nil, relationErr(sc.name)
 		}
 		return rel, nil
 	}
+	if c.shared != nil {
+		if rel, ok := c.shared.mats[n]; ok {
+			return rel, nil
+		}
+	}
 	out := table.NewRelation(n.out())
-	err := n.stream(c, func(t table.Tuple) bool {
-		out.MustAdd(t)
-		return true
-	})
-	if err != nil {
+	if err := materializeInto(n, c, false, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -73,9 +90,17 @@ type pscan struct {
 func (n *pscan) out() schema.Relation { return n.rs }
 
 func (n *pscan) stream(c *pctx, emit func(table.Tuple) bool) error {
+	if c.morselFor == n {
+		for _, t := range c.morsel {
+			if !emit(t) {
+				return nil
+			}
+		}
+		return nil
+	}
 	rel := c.db.Relation(n.name)
 	if rel == nil {
-		return fmt.Errorf("ra: unknown relation %q", n.name)
+		return relationErr(n.name)
 	}
 	rel.Each(emit)
 	return nil
@@ -180,12 +205,26 @@ type pjoin struct {
 
 func (n *pjoin) out() schema.Relation { return n.rs }
 
-func (n *pjoin) stream(c *pctx, emit func(table.Tuple) bool) error {
+// buildIndex returns the hash index this join probes: on the partitioned
+// parallel path the worker's per-partition index (matching its morsel of
+// the probe side), otherwise the index over the whole materialized build
+// side (cached on the relation when the build side is a base scan).
+func (n *pjoin) buildIndex(c *pctx) (*table.Index, error) {
+	if c.partIdxFor == n {
+		return c.partIdx, nil
+	}
 	rrel, err := materialize(n.r, c)
+	if err != nil {
+		return nil, err
+	}
+	return rrel.Index(n.rpos), nil
+}
+
+func (n *pjoin) stream(c *pctx, emit func(table.Tuple) bool) error {
+	ix, err := n.buildIndex(c)
 	if err != nil {
 		return err
 	}
-	ix := rrel.Index(n.rpos)
 	return n.l.stream(c, func(lt table.Tuple) bool {
 		key := c.appendPosKey(lt, n.lpos)
 		for i := ix.Lookup(key); i != 0; {
@@ -258,50 +297,62 @@ func sideKey(buf []byte, t table.Tuple, proj []int) []byte {
 
 func (n *pdiff) out() schema.Relation { return n.rs }
 
-func (n *pdiff) stream(c *pctx, emit func(table.Tuple) bool) error {
-	var contains func(key []byte) bool
+// containsFn builds (or, on the parallel path, fetches the prepare phase's
+// shared copy of) the right-side membership probe.  The returned function
+// only reads immutable state and is safe for concurrent probes.
+func (n *pdiff) containsFn(c *pctx) (func(key []byte) bool, error) {
+	if c.shared != nil {
+		if f, ok := c.shared.contains[n]; ok {
+			return f, nil
+		}
+	}
 	if sc, ok := n.r.(*pscan); ok && n.rpred == nil {
 		rrel := c.db.Relation(sc.name)
 		if rrel == nil {
-			return fmt.Errorf("ra: unknown relation %q", sc.name)
+			return nil, relationErr(sc.name)
 		}
 		if n.rproj == nil {
 			// Whole-tuple comparison: the relation's own hash map is the
 			// key set.
-			contains = rrel.ContainsKey
-		} else {
-			// Projected comparison: the relation's cached hash index on the
-			// projected columns is the key set — built once, reused across
-			// evaluations.
-			ix := rrel.Index(n.rproj)
-			contains = func(key []byte) bool { return ix.Lookup(key) != 0 }
+			return rrel.ContainsKey, nil
 		}
-	} else {
-		sizeHint := 16
-		if sc, ok := n.r.(*pscan); ok {
-			if rrel := c.db.Relation(sc.name); rrel != nil {
-				sizeHint = rrel.Len()
-			}
+		// Projected comparison: the relation's cached hash index on the
+		// projected columns is the key set — built once, reused across
+		// evaluations.
+		ix := rrel.Index(n.rproj)
+		return func(key []byte) bool { return ix.Lookup(key) != 0 }, nil
+	}
+	sizeHint := 16
+	if sc, ok := n.r.(*pscan); ok {
+		if rrel := c.db.Relation(sc.name); rrel != nil {
+			sizeHint = rrel.Len()
 		}
-		keys := make(map[string]struct{}, sizeHint)
-		err := n.r.stream(c, func(t table.Tuple) bool {
-			if n.rpred != nil && !n.rpred(t) {
-				return true
-			}
-			k := sideKey(c.keyBuf[:0], t, n.rproj)
-			c.keyBuf = k
-			if _, ok := keys[string(k)]; !ok {
-				keys[string(k)] = struct{}{}
-			}
+	}
+	keys := make(map[string]struct{}, sizeHint)
+	err := n.r.stream(c, func(t table.Tuple) bool {
+		if n.rpred != nil && !n.rpred(t) {
 			return true
-		})
-		if err != nil {
-			return err
 		}
-		contains = func(key []byte) bool {
-			_, ok := keys[string(key)]
-			return ok
+		k := sideKey(c.keyBuf[:0], t, n.rproj)
+		c.keyBuf = k
+		if _, ok := keys[string(k)]; !ok {
+			keys[string(k)] = struct{}{}
 		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return func(key []byte) bool {
+		_, ok := keys[string(key)]
+		return ok
+	}, nil
+}
+
+func (n *pdiff) stream(c *pctx, emit func(table.Tuple) bool) error {
+	contains, err := n.containsFn(c)
+	if err != nil {
+		return err
 	}
 	return n.l.stream(c, func(t table.Tuple) bool {
 		if n.lpred != nil && !n.lpred(t) {

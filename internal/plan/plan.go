@@ -79,13 +79,7 @@ func (p *Plan) Eval(db ra.DB) (*table.Relation, error) {
 func (p *Plan) EvalCertain(db ra.DB) (*table.Relation, error) {
 	c := &pctx{db: db}
 	out := table.NewRelation(p.out)
-	err := p.root.stream(c, func(t table.Tuple) bool {
-		if t.IsComplete() {
-			out.MustAdd(t)
-		}
-		return true
-	})
-	if err != nil {
+	if err := materializeInto(p.root, c, true, out); err != nil {
 		return nil, err
 	}
 	return out, nil

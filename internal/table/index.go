@@ -103,11 +103,13 @@ func (r *Relation) buildIndex(positions []int) *Index {
 	return ix
 }
 
-// invalidateIndexes drops cached indexes; every mutation path calls it.
-func (r *Relation) invalidateIndexes() {
+// invalidateDerived drops all cached derived structures (hash indexes and
+// partitionings); every mutation path calls it.
+func (r *Relation) invalidateDerived() {
 	if r.indexes.Load() != nil {
 		r.indexes.Store(nil)
 	}
+	r.invalidatePartitionings()
 }
 
 func samePositions(a, b []int) bool {

@@ -22,13 +22,14 @@ import (
 // tuple passed to Add is adopted by the relation and must not be mutated by
 // the caller afterwards.
 type Relation struct {
-	schema  schema.Relation
-	tuples  map[string]Tuple         // keyed by Tuple.Key
-	shared  atomic.Bool              // tuple map shared with another Relation
-	indexes atomic.Pointer[[]*Index] // lazily built hash indexes (see index.go)
-	version uint64                   // bumped on every mutation (plan-cache validation)
-	gen     uint64                   // storage generation, see Stamp
-	rec     *recorder                // delta capture hook, nil unless tracked (see delta.go)
+	schema     schema.Relation
+	tuples     map[string]Tuple                // keyed by Tuple.Key
+	shared     atomic.Bool                     // tuple map shared with another Relation
+	indexes    atomic.Pointer[[]*Index]        // lazily built hash indexes (see index.go)
+	partitions atomic.Pointer[[]*Partitioning] // lazily built hash partitionings (see partition.go)
+	version    uint64                          // bumped on every mutation (plan-cache validation)
+	gen        uint64                          // storage generation, see Stamp
+	rec        *recorder                       // delta capture hook, nil unless tracked (see delta.go)
 }
 
 // storageGen issues a process-unique generation id for every tuple map a
@@ -115,7 +116,7 @@ func (r *Relation) Stamp() Stamp {
 // their keys, which are immutable).
 func (r *Relation) mutable() {
 	r.version++
-	r.invalidateIndexes()
+	r.invalidateDerived()
 	if r.tuples == nil {
 		r.tuples = make(map[string]Tuple)
 		r.gen = nextGen()
@@ -161,6 +162,41 @@ func (r *Relation) Add(t Tuple) error {
 // MustAdd is Add that panics on arity mismatch.
 func (r *Relation) MustAdd(t Tuple) {
 	if err := r.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// AddBatch inserts a batch of tuples with a single mutation step: one
+// version bump, one copy-on-write check and one derived-cache invalidation
+// for the whole batch, instead of one per tuple.  The chunked executor
+// (internal/plan) materializes operator output through it.  Like Add, the
+// relation adopts the tuples; duplicates are ignored.
+func (r *Relation) AddBatch(ts []Tuple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	arity := r.schema.Arity()
+	for _, t := range ts {
+		if len(t) != arity {
+			return fmt.Errorf("table: tuple %v has arity %d, relation %s has arity %d",
+				t, len(t), r.schema.Name, arity)
+		}
+	}
+	r.mutable()
+	var buf [keyBufSize]byte
+	for _, t := range ts {
+		k := t.AppendKey(buf[:0])
+		if _, ok := r.tuples[string(k)]; !ok {
+			r.tuples[string(k)] = t
+			r.noteInsert(string(k), t)
+		}
+	}
+	return nil
+}
+
+// MustAddBatch is AddBatch that panics on arity mismatch.
+func (r *Relation) MustAddBatch(ts []Tuple) {
+	if err := r.AddBatch(ts); err != nil {
 		panic(err)
 	}
 }
@@ -426,7 +462,7 @@ func (r *Relation) FillMapped(src *Relation, f func(value.Value) value.Value) {
 func (r *Relation) Reset(rs schema.Relation) {
 	r.schema = rs
 	r.version++
-	r.invalidateIndexes()
+	r.invalidateDerived()
 	r.noteDeleteAll()
 	if r.tuples == nil || r.shared.Load() {
 		r.tuples = make(map[string]Tuple)
