@@ -1,0 +1,105 @@
+// Command benchguard compares a current incbench -json report against an
+// archived baseline (BENCH_*.json) and fails when an experiment got
+// slower than an allowed factor — the bench-regression smoke CI runs
+// after the quick suite.
+//
+// Experiment IDs absent from the baseline are skipped with a note (older
+// baselines predate newer experiments); IDs absent from the current run
+// are an error, since a silently vanished experiment would make the guard
+// vacuous.  The threshold is deliberately generous (default 2x): shared
+// CI hosts are noisy, and the guard exists to catch order-of-magnitude
+// regressions, not single-digit percentages.
+//
+// Usage:
+//
+//	incbench -json > current.json
+//	benchguard -current current.json -baseline BENCH_baseline.json -ids E1,E5
+//	benchguard -current current.json -baseline BENCH_pr7.json -ids E16 -threshold 2.5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// benchReport is the subset of the incbench -json document the guard
+// reads; unknown fields are ignored, so it loads every BENCH_*.json
+// generation.
+type benchReport struct {
+	Experiments []struct {
+		ID      string  `json:"ID"`
+		Seconds float64 `json:"seconds"`
+	} `json:"experiments"`
+}
+
+func loadReport(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(rep.Experiments))
+	for _, e := range rep.Experiments {
+		out[e.ID] = e.Seconds
+	}
+	return out, nil
+}
+
+func main() {
+	current := flag.String("current", "", "current incbench -json report (required)")
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json report (required)")
+	ids := flag.String("ids", "", "comma-separated experiment ids to compare (required, e.g. E1,E5,E16)")
+	threshold := flag.Float64("threshold", 2.0, "fail when current seconds exceed baseline seconds times this factor")
+	flag.Parse()
+
+	if *current == "" || *baseline == "" || *ids == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current, -baseline and -ids are required")
+		os.Exit(2)
+	}
+	cur, err := loadReport(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	base, err := loadReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, id := range strings.Split(*ids, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if id == "" {
+			continue
+		}
+		baseS, ok := base[id]
+		if !ok {
+			fmt.Printf("benchguard: %-4s skipped (not in baseline %s)\n", id, *baseline)
+			continue
+		}
+		curS, ok := cur[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %-4s missing from current report %s\n", id, *current)
+			failed = true
+			continue
+		}
+		limit := baseS * *threshold
+		status := "ok"
+		if baseS > 0 && curS > limit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("benchguard: %-4s current %.4fs  baseline %.4fs  limit %.4fs (%.1fx)  %s\n",
+			id, curS, baseS, limit, *threshold, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

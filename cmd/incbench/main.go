@@ -9,10 +9,13 @@
 // hoisting), "off" (the naïve-evaluation oracle, the seed path), or
 // "both", which runs the suite twice and reports per-experiment timings
 // for each — the planner-on vs planner-off comparison archived in
-// BENCH_*.json.  E13 exercises the engine's snapshot-isolated concurrent
-// batch path and reports its parallel speedup; E14 exercises maintained
-// views and reports the incremental-refresh vs full-recompute speedup on
-// an update stream; E16 sweeps the intra-query worker budget
+// BENCH_*.json.  The -columnar flag selects the execution layout of
+// planned evaluation the same way: "on" (vectorized columnar kernels),
+// "off" (the per-tuple row path, the differential oracle), or "both".
+// E13 exercises the engine's snapshot-isolated concurrent batch path and
+// reports its parallel speedup; E14 exercises maintained views and
+// reports the incremental-refresh vs full-recompute speedup on an update
+// stream; E16 sweeps the intra-query worker budget
 // (engine.Options.Workers, the -workers flag) over morsel-parallel
 // evaluation.  With -json the report records GOMAXPROCS, the CPU count and
 // the -workers setting, so archived speedups stay interpretable across
@@ -25,6 +28,7 @@
 //	incbench -only E1,E8
 //	incbench -json            # machine-readable output for perf tracking
 //	incbench -json -planner both
+//	incbench -json -columnar both > BENCH_pr7.json
 //	incbench -json -planner off > BENCH_baseline.json
 package main
 
@@ -41,8 +45,8 @@ import (
 	"incdata/internal/experiments"
 )
 
-// plannerTimings summarizes one full suite run under a fixed planner
-// setting.
+// plannerTimings summarizes one full suite run under a fixed evaluation
+// setting (a planner or columnar selection).
 type plannerTimings struct {
 	Seconds     float64            `json:"seconds"`
 	Experiments map[string]float64 `json:"experiment_seconds"`
@@ -64,6 +68,7 @@ type environment struct {
 type report struct {
 	Config      string               `json:"config"`
 	Planner     string               `json:"planner"`
+	Columnar    string               `json:"columnar"`
 	Env         environment          `json:"env"`
 	Experiments []experiments.Result `json:"experiments"`
 	Ran         int                  `json:"ran"`
@@ -73,14 +78,24 @@ type report struct {
 	// results (the two paths are differentially tested to be identical).
 	PlannerOn  *plannerTimings `json:"planner_on,omitempty"`
 	PlannerOff *plannerTimings `json:"planner_off,omitempty"`
+	// ColumnarOn/ColumnarOff carry the vectorized vs row-path comparison
+	// when -columnar both is selected; the Experiments above are the
+	// columnar-on results (the two paths compute bit-identical answers).
+	ColumnarOn  *plannerTimings `json:"columnar_on,omitempty"`
+	ColumnarOff *plannerTimings `json:"columnar_off,omitempty"`
 }
 
 // runSuite executes the experiment suite through the engine under the
-// given planner setting and returns the kept results plus timing summary.
-func runSuite(cfg experiments.Config, filter map[string]bool, plannerOn bool) ([]experiments.Result, plannerTimings) {
+// given planner and columnar settings and returns the kept results plus
+// timing summary.
+func runSuite(cfg experiments.Config, filter map[string]bool, plannerOn, columnarOn bool) ([]experiments.Result, plannerTimings) {
 	cfg.Planner = engine.PlannerOn
 	if !plannerOn {
 		cfg.Planner = engine.PlannerOff
+	}
+	cfg.Columnar = engine.ColumnarOn
+	if !columnarOn {
+		cfg.Columnar = engine.ColumnarOff
 	}
 	start := time.Now()
 	kept := experiments.Run(cfg, filter)
@@ -92,11 +107,28 @@ func runSuite(cfg experiments.Config, filter map[string]bool, plannerOn bool) ([
 	return kept, timings
 }
 
+// printComparison renders an on-vs-off timing table for one setting.
+func printComparison(name string, kept []experiments.Result, on, off *plannerTimings) {
+	fmt.Printf("== %s-on vs %s-off (seconds per experiment) ==\n", name, name)
+	fmt.Printf("%-6s  %12s  %12s  %8s\n", "exp", name+"-on", name+"-off", "speedup")
+	for _, res := range kept {
+		onS := on.Experiments[res.ID]
+		offS := off.Experiments[res.ID]
+		speedup := "-"
+		if onS > 0 {
+			speedup = fmt.Sprintf("%.2fx", offS/onS)
+		}
+		fmt.Printf("%-6s  %12.4f  %12.4f  %8s\n", res.ID, onS, offS, speedup)
+	}
+	fmt.Printf("total   %12.4f  %12.4f\n", on.Seconds, off.Seconds)
+}
+
 func main() {
 	full := flag.Bool("full", false, "run the larger sweeps")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E8)")
 	asJSON := flag.Bool("json", false, "emit one JSON document instead of text tables")
 	planner := flag.String("planner", "on", "evaluation path: on, off, or both (runs twice and compares timings)")
+	columnar := flag.String("columnar", "on", "execution layout of planned evaluation: on (vectorized), off (row oracle), or both")
 	workers := flag.Int("workers", 0, "intra-query worker budget for every evaluation (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
@@ -117,23 +149,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "incbench: -planner must be on, off or both (got %q)\n", *planner)
 		os.Exit(2)
 	}
+	if *columnar != "on" && *columnar != "off" && *columnar != "both" {
+		fmt.Fprintf(os.Stderr, "incbench: -columnar must be on, off or both (got %q)\n", *columnar)
+		os.Exit(2)
+	}
 
-	primaryOn := *planner != "off"
-	kept, primary := runSuite(cfg, filter, primaryOn)
+	primaryPlannerOn := *planner != "off"
+	primaryColumnarOn := *columnar != "off"
+	kept, primary := runSuite(cfg, filter, primaryPlannerOn, primaryColumnarOn)
 	if len(kept) == 0 {
 		fmt.Fprintln(os.Stderr, "incbench: no experiment matched the -only filter")
 		os.Exit(1)
 	}
-	var secondary *plannerTimings
+	var plannerSecondary *plannerTimings
 	if *planner == "both" {
-		_, off := runSuite(cfg, filter, false)
-		secondary = &off
+		_, off := runSuite(cfg, filter, false, primaryColumnarOn)
+		plannerSecondary = &off
+	}
+	var columnarSecondary *plannerTimings
+	if *columnar == "both" {
+		_, off := runSuite(cfg, filter, primaryPlannerOn, false)
+		columnarSecondary = &off
 	}
 
 	if *asJSON {
 		rep := report{
-			Config:  cfgName,
-			Planner: *planner,
+			Config:   cfgName,
+			Planner:  *planner,
+			Columnar: *columnar,
 			Env: environment{
 				GOMAXPROCS: runtime.GOMAXPROCS(0),
 				NumCPU:     runtime.NumCPU(),
@@ -146,7 +189,12 @@ func main() {
 		if *planner == "both" {
 			p := primary
 			rep.PlannerOn = &p
-			rep.PlannerOff = secondary
+			rep.PlannerOff = plannerSecondary
+		}
+		if *columnar == "both" {
+			p := primary
+			rep.ColumnarOn = &p
+			rep.ColumnarOff = columnarSecondary
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -161,19 +209,11 @@ func main() {
 		fmt.Println(res.String())
 	}
 	if *planner == "both" {
-		fmt.Println("== planner-on vs planner-off (seconds per experiment) ==")
-		fmt.Printf("%-6s  %12s  %12s  %8s\n", "exp", "planner-on", "planner-off", "speedup")
-		for _, res := range kept {
-			on := primary.Experiments[res.ID]
-			off := secondary.Experiments[res.ID]
-			speedup := "-"
-			if on > 0 {
-				speedup = fmt.Sprintf("%.2fx", off/on)
-			}
-			fmt.Printf("%-6s  %12.4f  %12.4f  %8s\n", res.ID, on, off, speedup)
-		}
-		fmt.Printf("total   %12.4f  %12.4f\n", primary.Seconds, secondary.Seconds)
+		printComparison("planner", kept, &primary, plannerSecondary)
 	}
-	fmt.Printf("ran %d experiments in %s (planner %s)\n",
-		len(kept), time.Duration(primary.Seconds*float64(time.Second)).Round(time.Millisecond), *planner)
+	if *columnar == "both" {
+		printComparison("columnar", kept, &primary, columnarSecondary)
+	}
+	fmt.Printf("ran %d experiments in %s (planner %s, columnar %s)\n",
+		len(kept), time.Duration(primary.Seconds*float64(time.Second)).Round(time.Millisecond), *planner, *columnar)
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"incdata/internal/order"
+	"incdata/internal/plan"
 	"incdata/internal/ra"
 	"incdata/internal/table"
 )
@@ -99,23 +100,42 @@ func (ev *Evaluator) Naive(q ra.Expr, d *table.Database) (*table.Relation, error
 // hash joins, see plan.EvalCertainWorkers), producing a result bit-identical
 // to Naive's.  workers <= 1 and the oracle path are exactly Naive.
 func (ev *Evaluator) NaiveWorkers(q ra.Expr, d *table.Database, workers int) (*table.Relation, error) {
-	if ev.planner && workers > 1 {
+	return ev.NaiveWith(q, d, plan.EvalConfig{Workers: workers, Columnar: true})
+}
+
+// NaiveWith is Naive with an explicit plan execution configuration
+// (worker budget and columnar/row path selection).  With the planner on
+// the compiled plan evaluates under cfg; the oracle path ignores cfg.
+// The result is bit-identical to Naive's for every configuration.
+func (ev *Evaluator) NaiveWith(q ra.Expr, d *table.Database, cfg plan.EvalConfig) (*table.Relation, error) {
+	if ev.planner {
 		if p, err := ev.cachedCompile(q, d.Schema()); err == nil {
-			return p.EvalCertainWorkers(d, workers)
+			return p.EvalCertainWith(d, cfg)
 		}
 	}
-	return ev.Naive(q, d)
+	r, err := ra.Eval(q, d)
+	if err != nil {
+		return nil, err
+	}
+	return ra.StripNulls(r), nil
 }
 
 // NaiveRawWorkers is NaiveRaw with a worker budget, the raw (nulls kept)
 // counterpart of NaiveWorkers; the result is bit-identical to NaiveRaw's.
 func (ev *Evaluator) NaiveRawWorkers(q ra.Expr, d *table.Database, workers int) (*table.Relation, error) {
-	if ev.planner && workers > 1 {
+	return ev.NaiveRawWith(q, d, plan.EvalConfig{Workers: workers, Columnar: true})
+}
+
+// NaiveRawWith is NaiveRaw with an explicit plan execution configuration,
+// the raw (nulls kept) counterpart of NaiveWith; the result is
+// bit-identical to NaiveRaw's for every configuration.
+func (ev *Evaluator) NaiveRawWith(q ra.Expr, d *table.Database, cfg plan.EvalConfig) (*table.Relation, error) {
+	if ev.planner {
 		if p, err := ev.cachedCompile(q, d.Schema()); err == nil {
-			return p.EvalWorkers(d, workers)
+			return p.EvalWith(d, cfg)
 		}
 	}
-	return ev.NaiveRaw(q, d)
+	return ra.Eval(q, d)
 }
 
 // evalMaybePlanned evaluates through the query planner when it is enabled

@@ -195,9 +195,9 @@ func (s *Snapshot) Eval(q ra.Expr, opts Options) (*table.Relation, error) {
 func evalMode(ev *certain.Evaluator, q ra.Expr, db *table.Database, opts Options) (*table.Relation, error) {
 	switch opts.Mode {
 	case ModeCertain:
-		return ev.NaiveWorkers(q, db, opts.resolvedWorkers())
+		return ev.NaiveWith(q, db, opts.evalConfig())
 	case ModeNaive:
-		return ev.NaiveRawWorkers(q, db, opts.resolvedWorkers())
+		return ev.NaiveRawWith(q, db, opts.evalConfig())
 	case ModeCertainCWA:
 		return ev.ByWorldsCWA(q, db, opts.certainOptions())
 	case ModeCertainOWA:

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"incdata/internal/certain"
+	"incdata/internal/plan"
 	"incdata/internal/value"
 )
 
@@ -90,6 +91,36 @@ func ParsePlanner(s string) (PlannerSetting, error) {
 	}
 }
 
+// ColumnarSetting selects the plan execution layout: the vectorized
+// columnar path (column chunks, selection vectors, columnar kernels) or
+// the per-tuple row path, which computes bit-identical results and is
+// kept as the differential oracle of the columnar one.
+type ColumnarSetting uint8
+
+const (
+	// ColumnarAuto is the zero value and defaults to columnar being on.
+	ColumnarAuto ColumnarSetting = iota
+	// ColumnarOn selects the vectorized columnar path.
+	ColumnarOn
+	// ColumnarOff selects the per-tuple row path (the oracle).
+	ColumnarOff
+)
+
+// ParseColumnar converts "on" or "off" (or "", meaning the default) into
+// a ColumnarSetting.
+func ParseColumnar(s string) (ColumnarSetting, error) {
+	switch s {
+	case "", "auto":
+		return ColumnarAuto, nil
+	case "on":
+		return ColumnarOn, nil
+	case "off":
+		return ColumnarOff, nil
+	default:
+		return 0, fmt.Errorf("engine: columnar must be on or off (got %q)", s)
+	}
+}
+
 // Options is the unified evaluation-options struct of the engine facade,
 // replacing the per-package option structs the entry points used to take.
 // The zero value asks for certain answers via null stripping with the
@@ -101,6 +132,12 @@ type Options struct {
 	// Planner selects the planned fast paths or the oracle; PlannerAuto
 	// (the zero value) means on.
 	Planner PlannerSetting
+
+	// Columnar selects the vectorized columnar execution path or the
+	// per-tuple row path of planned evaluation; ColumnarAuto (the zero
+	// value) means on.  Only the planned naive/certain modes read it —
+	// the world-enumeration modes and the oracle path are row-based.
+	Columnar ColumnarSetting
 
 	// ExtraFresh is the number of fresh constants (outside adom and the
 	// query constants) added to the world-enumeration domain; 0 defaults
@@ -140,6 +177,20 @@ func (o Options) resolvedWorkers() int {
 		return 1
 	}
 	return o.Workers
+}
+
+// resolvedColumnar resolves the Columnar knob: anything but an explicit
+// off means the vectorized path.
+func (o Options) resolvedColumnar() bool {
+	return o.Columnar != ColumnarOff
+}
+
+// evalConfig bundles the resolved execution knobs for package plan.
+func (o Options) evalConfig() plan.EvalConfig {
+	return plan.EvalConfig{
+		Workers:  o.resolvedWorkers(),
+		Columnar: o.resolvedColumnar(),
+	}
 }
 
 // certainOptions converts the world-enumeration knobs for package certain.

@@ -42,6 +42,11 @@ type Harness struct {
 	// (engine.Options.Workers): 0 resolves to GOMAXPROCS, 1 forces the
 	// serial oracle path.  E16 sweeps its own worker counts on top.
 	Workers int
+
+	// Columnar selects the vectorized columnar execution path or the
+	// per-tuple row oracle for every planned evaluation
+	// (engine.Options.Columnar).
+	Columnar engine.ColumnarSetting
 }
 
 // engine builds the evaluation engine for one generated database.
@@ -49,7 +54,7 @@ func (h Harness) engine(d *table.Database) *engine.Engine { return engine.New(d)
 
 // opts is the engine options for a mode under the harness's settings.
 func (h Harness) opts(m engine.Mode) engine.Options {
-	return engine.Options{Mode: m, Planner: h.Planner, Workers: h.Workers}
+	return engine.Options{Mode: m, Planner: h.Planner, Workers: h.Workers, Columnar: h.Columnar}
 }
 
 // mustRel unwraps an engine evaluation that cannot fail in a healthy

@@ -56,6 +56,10 @@ type Config struct {
 	// (the incbench -workers flag); 0 resolves to GOMAXPROCS.
 	Workers int
 
+	// Columnar selects the vectorized columnar path or the per-tuple row
+	// oracle for every planned evaluation (the incbench -columnar flag).
+	Columnar engine.ColumnarSetting
+
 	E1Sizes        []int
 	E1NullRates    []float64
 	E2Sizes        []int
@@ -158,7 +162,7 @@ func All(cfg Config) []Result { return Run(cfg, nil) }
 // order through a Harness with the config's evaluation settings, stamping
 // each result with its wall-clock duration.
 func Run(cfg Config, ids map[string]bool) []Result {
-	h := Harness{Planner: cfg.Planner, Workers: cfg.Workers}
+	h := Harness{Planner: cfg.Planner, Workers: cfg.Workers, Columnar: cfg.Columnar}
 	runs := []struct {
 		id  string
 		run func() Result

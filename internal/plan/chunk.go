@@ -264,7 +264,22 @@ func (n *pdiff) streamChunks(c *pctx, emit func([]table.Tuple) bool) error {
 
 // materializeInto streams n in chunks into out, optionally keeping only
 // null-free tuples (the fused null-stripping of certain-answer extraction).
+// Union branches split at the root so each branch picks its own execution
+// model: under a columnar context, branches whose subtree builds fresh
+// output tuples (colEligible) run on the vectorized path (colexec.go),
+// everything else on the row-chunk path below.
 func materializeInto(n pnode, c *pctx, certainOnly bool, out *table.Relation) error {
+	if c.columnar {
+		if u, ok := n.(*punion); ok {
+			if err := materializeInto(u.l, c, certainOnly, out); err != nil {
+				return err
+			}
+			return materializeInto(u.r, c, certainOnly, out)
+		}
+		if colEligible(n) {
+			return materializeIntoCol(n, c, certainOnly, out)
+		}
+	}
 	if !certainOnly {
 		return streamChunks(n, c, func(ts []table.Tuple) bool {
 			out.MustAddBatch(ts)

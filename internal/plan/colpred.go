@@ -1,0 +1,318 @@
+package plan
+
+import (
+	"fmt"
+
+	"incdata/internal/col"
+	"incdata/internal/ra"
+	"incdata/internal/schema"
+	"incdata/internal/value"
+)
+
+// Vectorized predicate compilation.  A vpred is the columnar counterpart
+// of cpred: instead of a closure invoked once per tuple, it is invoked
+// once per chunk and narrows a selection vector with tight per-column
+// loops — comparisons run directly over the contiguous value slices of a
+// col.Chunk, so the per-row cost is a struct compare, not a function
+// call.
+//
+// Selection-vector contract: sel lists the live row indexes of the chunk
+// in ascending order, with nil meaning "all rows".  A vpred always
+// returns a buffer obtained from the pctx selection pool — never its
+// input — and the caller releases it with putSel.  Combinators preserve
+// ascending order (∧ narrows, ∨ merges sorted results, ¬ complements),
+// so the columnar path visits surviving rows in exactly the input order.
+
+// vpred narrows a selection vector over a chunk; nil means constant true.
+type vpred func(c *pctx, ch *col.Chunk, sel []int32) []int32
+
+// compileVPred resolves a predicate against the input schema into its
+// vectorized form.  It accepts exactly the predicates compilePred
+// accepts, so every compiled row predicate has a columnar twin.
+func compileVPred(p ra.Predicate, rs schema.Relation) (vpred, error) {
+	switch pp := p.(type) {
+	case ra.True:
+		return nil, nil
+	case ra.False:
+		return vconstPred(false), nil
+	case ra.Cmp:
+		return compileVCmp(pp, rs)
+	case ra.And:
+		kids := make([]vpred, 0, len(pp.Preds))
+		for _, q := range pp.Preds {
+			vq, err := compileVPred(q, rs)
+			if err != nil {
+				return nil, err
+			}
+			if vq != nil {
+				kids = append(kids, vq)
+			}
+		}
+		switch len(kids) {
+		case 0:
+			return nil, nil
+		case 1:
+			return kids[0], nil
+		}
+		return func(c *pctx, ch *col.Chunk, sel []int32) []int32 {
+			cur := kids[0](c, ch, sel)
+			for _, k := range kids[1:] {
+				if len(cur) == 0 {
+					return cur
+				}
+				next := k(c, ch, cur)
+				c.putSel(cur)
+				cur = next
+			}
+			return cur
+		}, nil
+	case ra.Or:
+		kids := make([]vpred, len(pp.Preds))
+		for i, q := range pp.Preds {
+			vq, err := compileVPred(q, rs)
+			if err != nil {
+				return nil, err
+			}
+			if vq == nil {
+				return nil, nil // a true disjunct makes the whole ∨ true
+			}
+			kids[i] = vq
+		}
+		if len(kids) == 0 {
+			return vconstPred(false), nil
+		}
+		if len(kids) == 1 {
+			return kids[0], nil
+		}
+		return func(c *pctx, ch *col.Chunk, sel []int32) []int32 {
+			acc := kids[0](c, ch, sel)
+			for _, k := range kids[1:] {
+				ks := k(c, ch, sel)
+				merged := unionSorted(c.getSel()[:0], acc, ks)
+				c.putSel(acc)
+				c.putSel(ks)
+				acc = merged
+			}
+			return acc
+		}, nil
+	case ra.Not:
+		inner, err := compileVPred(pp.Pred, rs)
+		if err != nil {
+			return nil, err
+		}
+		if inner == nil {
+			return vconstPred(false), nil
+		}
+		return func(c *pctx, ch *col.Chunk, sel []int32) []int32 {
+			in := inner(c, ch, sel)
+			out := complementSorted(c.getSel()[:0], ch.Rows, sel, in)
+			c.putSel(in)
+			return out
+		}, nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported predicate %T", p)
+	}
+}
+
+// vconstPred is the constant predicate: true copies the selection, false
+// empties it.
+func vconstPred(holds bool) vpred {
+	return func(c *pctx, ch *col.Chunk, sel []int32) []int32 {
+		out := c.getSel()[:0]
+		if !holds {
+			return out
+		}
+		if sel == nil {
+			for i := 0; i < ch.Rows; i++ {
+				out = append(out, int32(i))
+			}
+			return out
+		}
+		return append(out, sel...)
+	}
+}
+
+// unionSorted merges two ascending selection vectors into dst (set
+// union, ascending).
+func unionSorted(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// complementSorted appends to dst the rows of the base selection (sel,
+// nil = all rows of the chunk) that are absent from the ascending vector
+// drop.
+func complementSorted(dst []int32, rows int, sel, drop []int32) []int32 {
+	j := 0
+	if sel == nil {
+		for i := int32(0); int(i) < rows; i++ {
+			if j < len(drop) && drop[j] == i {
+				j++
+				continue
+			}
+			dst = append(dst, i)
+		}
+		return dst
+	}
+	for _, i := range sel {
+		for j < len(drop) && drop[j] < i {
+			j++
+		}
+		if j < len(drop) && drop[j] == i {
+			j++
+			continue
+		}
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// compileVCmp builds the vectorized comparison kernels: = and ≠ as
+// direct struct compares against a constant or a second column, the
+// order comparisons via value.Compare — all as straight loops with no
+// per-row calls into compiled closures.
+func compileVCmp(cm ra.Cmp, rs schema.Relation) (vpred, error) {
+	resolve := func(o ra.Operand) (int, value.Value, error) {
+		if !o.IsAttr {
+			return -1, o.Const, nil
+		}
+		pos := rs.AttrIndex(o.Attr)
+		if pos < 0 {
+			return 0, value.Value{}, fmt.Errorf("ra: unknown attribute %q in %s", o.Attr, rs)
+		}
+		return pos, value.Value{}, nil
+	}
+	li, lc, err := resolve(cm.Left)
+	if err != nil {
+		return nil, err
+	}
+	ri, rc, err := resolve(cm.Right)
+	if err != nil {
+		return nil, err
+	}
+	switch cm.Op {
+	case ra.EQ, ra.NEQ:
+		neq := cm.Op == ra.NEQ
+		switch {
+		case li >= 0 && ri >= 0:
+			return vcmpEqCols(li, ri, neq), nil
+		case li >= 0:
+			return vcmpEqConst(li, rc, neq), nil
+		case ri >= 0:
+			return vcmpEqConst(ri, lc, neq), nil
+		default:
+			return vconstPred((lc == rc) != neq), nil
+		}
+	case ra.LT, ra.LEQ, ra.GT, ra.GEQ:
+		return vcmpOrder(cm.Op, li, lc, ri, rc), nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported comparison operator %v", cm.Op)
+	}
+}
+
+// vcmpEqConst keeps rows whose column equals (or, with neq, differs
+// from) a constant.
+func vcmpEqConst(pos int, con value.Value, neq bool) vpred {
+	return func(c *pctx, ch *col.Chunk, sel []int32) []int32 {
+		column := ch.Cols[pos]
+		out := c.getSel()[:0]
+		if sel == nil {
+			for i, v := range column {
+				if (v == con) != neq {
+					out = append(out, int32(i))
+				}
+			}
+			return out
+		}
+		for _, i := range sel {
+			if (column[i] == con) != neq {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+// vcmpEqCols keeps rows where two columns agree (or, with neq, differ).
+func vcmpEqCols(lpos, rpos int, neq bool) vpred {
+	return func(c *pctx, ch *col.Chunk, sel []int32) []int32 {
+		lcol, rcol := ch.Cols[lpos], ch.Cols[rpos]
+		out := c.getSel()[:0]
+		if sel == nil {
+			for i := range lcol {
+				if (lcol[i] == rcol[i]) != neq {
+					out = append(out, int32(i))
+				}
+			}
+			return out
+		}
+		for _, i := range sel {
+			if (lcol[i] == rcol[i]) != neq {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+// vcmpOrder is the generic order-comparison kernel over value.Compare;
+// negative positions select the constant operand.
+func vcmpOrder(op ra.CmpOp, li int, lc value.Value, ri int, rc value.Value) vpred {
+	keep := func(cmp int) bool {
+		switch op {
+		case ra.LT:
+			return cmp < 0
+		case ra.LEQ:
+			return cmp <= 0
+		case ra.GT:
+			return cmp > 0
+		default: // ra.GEQ
+			return cmp >= 0
+		}
+	}
+	return func(c *pctx, ch *col.Chunk, sel []int32) []int32 {
+		var lcol, rcol []value.Value
+		if li >= 0 {
+			lcol = ch.Cols[li]
+		}
+		if ri >= 0 {
+			rcol = ch.Cols[ri]
+		}
+		at := func(colv []value.Value, con value.Value, i int32) value.Value {
+			if colv == nil {
+				return con
+			}
+			return colv[i]
+		}
+		out := c.getSel()[:0]
+		if sel == nil {
+			for i := int32(0); int(i) < ch.Rows; i++ {
+				if keep(value.Compare(at(lcol, lc, i), at(rcol, rc, i))) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		for _, i := range sel {
+			if keep(value.Compare(at(lcol, lc, i), at(rcol, rc, i))) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}

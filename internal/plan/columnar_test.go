@@ -1,0 +1,190 @@
+package plan
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"incdata/internal/ra"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// mustSameColumnar asserts the columnar path is bit-identical to the row
+// path for raw and certain evaluation under the given worker budget.
+func mustSameColumnar(t *testing.T, q ra.Expr, d *table.Database, workers int, label string) {
+	t.Helper()
+	p, err := Compile(q, d.Schema())
+	if err != nil {
+		return // compile rejections are covered by the serial differential
+	}
+	row := EvalConfig{Workers: workers, Columnar: false}
+	colCfg := EvalConfig{Workers: workers, Columnar: true}
+	want, rerr := p.EvalWith(d, row)
+	got, cerr := p.EvalWith(d, colCfg)
+	if (rerr == nil) != (cerr == nil) {
+		t.Fatalf("%s: error mismatch for %s (workers=%d): row %v, columnar %v", label, q, workers, rerr, cerr)
+	}
+	if rerr == nil && got.CanonicalKey() != want.CanonicalKey() {
+		t.Fatalf("%s: EvalWith columnar differs for %s (workers=%d)\ncolumnar: %s\nrow:      %s\nplan:\n%s",
+			label, q, workers, got, want, p.Describe())
+	}
+	wantC, rerr := p.EvalCertainWith(d, row)
+	gotC, cerr := p.EvalCertainWith(d, colCfg)
+	if (rerr == nil) != (cerr == nil) {
+		t.Fatalf("%s: certain error mismatch for %s (workers=%d): row %v, columnar %v", label, q, workers, rerr, cerr)
+	}
+	if rerr == nil && gotC.CanonicalKey() != wantC.CanonicalKey() {
+		t.Fatalf("%s: EvalCertainWith columnar differs for %s (workers=%d)\ncolumnar: %s\nrow:      %s\nplan:\n%s",
+			label, q, workers, gotC, wantC, p.Describe())
+	}
+}
+
+// TestColumnarMatchesRowFuzz pins the vectorized columnar path
+// bit-identical to the per-tuple row path (its differential oracle)
+// across the full random operator corpus, crossed with serial and
+// parallel evaluation — the cutoff is lowered so every plan with a
+// driving scan also exercises the columnar morsel path.
+func TestColumnarMatchesRowFuzz(t *testing.T) {
+	withParallelCutoff(t, 1)
+	trials := 400
+	if testing.Short() {
+		trials = 60
+	}
+	s := fuzzSchema()
+	for i := 0; i < trials; i++ {
+		g := &exprGen{rnd: rand.New(rand.NewSource(int64(1000 + i))), s: s}
+		q := g.expr(3)
+		d := fuzzDB(int64(i % 7))
+		for _, workers := range []int{1, 2, 4} {
+			mustSameColumnar(t, q, d, workers, "fuzz")
+		}
+	}
+}
+
+// TestColumnarLargeJoin exercises the columnar kernels at the production
+// cutoff on relations big enough to fill many chunks: partitioned joins,
+// fused select-joins, diffs, and a union mixing an eligible branch with a
+// row-path branch.
+func TestColumnarLargeJoin(t *testing.T) {
+	d := largeDB(1500, 11)
+	queries := map[string]ra.Expr{
+		"join": ra.Project{
+			Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")},
+			Attrs: []string{"a", "c"},
+		},
+		"select-join": ra.Select{
+			Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")},
+			Pred:  ra.Neq(ra.Attr("a"), ra.Attr("c")),
+		},
+		"project-diff": ra.Diff{
+			Left:  ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}},
+			Right: ra.Project{Input: ra.Base("T"), Attrs: []string{"a"}},
+		},
+		"union-mixed": ra.Union{
+			Left:  ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a"}},
+			Right: ra.Project{Input: ra.Base("T"), Attrs: []string{"a"}},
+		},
+	}
+	for name, q := range queries {
+		for _, workers := range []int{1, 2, 4, 8} {
+			mustSameColumnar(t, q, d, workers, name)
+		}
+	}
+}
+
+// TestColEligible pins the eligibility gate: plans that only adopt
+// existing tuples (bare scans, filters, whole-tuple diffs) stay on the
+// row path, plans that build fresh output tuples (π, ⋈, projected diffs)
+// take the columnar one.
+func TestColEligible(t *testing.T) {
+	d := fuzzDB(1)
+	cases := []struct {
+		q    ra.Expr
+		want bool
+	}{
+		{ra.Base("R"), false},
+		{ra.Select{Input: ra.Base("R"), Pred: ra.Neq(ra.Attr("a"), ra.LitInt(0))}, false},
+		{ra.Diff{Left: ra.Base("R"), Right: ra.Base("T")}, false},
+		{ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}}, true},
+		{ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, true},
+		{ra.Diff{
+			Left:  ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}},
+			Right: ra.Project{Input: ra.Base("T"), Attrs: []string{"a"}},
+		}, true},
+	}
+	for _, tc := range cases {
+		p, err := Compile(tc.q, d.Schema())
+		if err != nil {
+			t.Fatalf("compile %s: %v", tc.q, err)
+		}
+		if got := colEligible(p.root); got != tc.want {
+			t.Errorf("colEligible(%s) = %v, want %v\nplan:\n%s", tc.q, got, tc.want, p.Describe())
+		}
+	}
+}
+
+// TestColumnarScratchLifetime audits the producer-owned scratch contract
+// of the columnar chunk pool: tuples a consumer adopts out of an
+// evaluation result must stay valid after the chunks they were gathered
+// from are recycled and refilled by later (including concurrent)
+// evaluations.  Run under -race in CI, this also catches any write to a
+// recycled buffer that still aliases adopted state.
+func TestColumnarScratchLifetime(t *testing.T) {
+	d := largeDB(800, 21)
+	q := ra.Project{
+		Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")},
+		Attrs: []string{"a", "c"},
+	}
+	p, err := Compile(q, d.Schema())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if !colEligible(p.root) {
+		t.Fatalf("test query must take the columnar path")
+	}
+	res, err := p.EvalWith(d, EvalConfig{Columnar: true})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+
+	// Adopt the result's tuples and deep-copy their values.
+	var adopted []table.Tuple
+	var copies [][]value.Value
+	res.Each(func(tp table.Tuple) bool {
+		adopted = append(adopted, tp)
+		cp := make([]value.Value, len(tp))
+		copy(cp, tp)
+		copies = append(copies, cp)
+		return true
+	})
+	if len(adopted) == 0 {
+		t.Fatalf("test query produced no tuples; corpus is wrong")
+	}
+
+	// Churn the chunk and selection pools hard: many more evaluations, on
+	// multiple goroutines, reusing the same process-wide pools.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			d2 := largeDB(400, seed)
+			for i := 0; i < 8; i++ {
+				if _, err := p.EvalWith(d2, EvalConfig{Workers: 1 + int(seed)%3, Columnar: true}); err != nil {
+					t.Errorf("churn eval: %v", err)
+					return
+				}
+			}
+		}(int64(30 + g))
+	}
+	wg.Wait()
+
+	for i, tp := range adopted {
+		for j := range tp {
+			if tp[j] != copies[i][j] {
+				t.Fatalf("adopted tuple %d mutated after pool churn: %v != %v", i, tp, copies[i])
+			}
+		}
+	}
+}

@@ -24,11 +24,34 @@ type pctx struct {
 	db     ra.DB
 	keyBuf []byte
 
+	columnar bool      // use the vectorized path where eligible (colexec.go)
+	selPool  [][]int32 // recycled selection vectors for vectorized kernels
+
 	shared     *sharedEval   // prepare-phase materializations shared by workers
 	morselFor  *pscan        // scan whose tuples come from morsel, not the relation
 	morsel     []table.Tuple // the worker's current morsel of morselFor
 	partIdxFor *pjoin        // join probing a per-partition build index
 	partIdx    *table.Index  // the partition's index, matching the worker's morsel
+}
+
+// getSel hands out a selection-vector buffer from the context pool,
+// allocating one chunk's worth of capacity on a cold pool.
+func (c *pctx) getSel() []int32 {
+	if n := len(c.selPool); n > 0 {
+		s := c.selPool[n-1]
+		c.selPool = c.selPool[:n-1]
+		return s[:0]
+	}
+	return make([]int32, 0, chunkSize)
+}
+
+// putSel returns a selection vector to the pool; nil (the "all rows"
+// selection) is ignored so callers can release unconditionally.
+func (c *pctx) putSel(s []int32) {
+	if s == nil {
+		return
+	}
+	c.selPool = append(c.selPool, s)
 }
 
 // relationErr is the shared unknown-relation error.
@@ -112,10 +135,13 @@ type pempty struct{ rs schema.Relation }
 func (n *pempty) out() schema.Relation                       { return n.rs }
 func (n *pempty) stream(*pctx, func(table.Tuple) bool) error { return nil }
 
-// pfilter applies a compiled predicate.
+// pfilter applies a compiled predicate.  vpred is the vectorized twin of
+// pred, used by the columnar path (colexec.go); nil when the predicate
+// has no vectorized form.
 type pfilter struct {
-	in   pnode
-	pred cpred
+	in    pnode
+	pred  cpred
+	vpred vpred
 }
 
 func (n *pfilter) out() schema.Relation { return n.in.out() }
@@ -130,12 +156,15 @@ func (n *pfilter) stream(c *pctx, emit func(table.Tuple) bool) error {
 }
 
 // pproject projects onto fixed positions, with an optional fused
-// pre-projection filter (σ directly below π never materializes).
+// pre-projection filter (σ directly below π never materializes).  vpred
+// is the vectorized twin of pred for the columnar path; nil when pred is
+// nil or has no vectorized form.
 type pproject struct {
-	in   pnode
-	pred cpred // may be nil
-	idx  []int
-	rs   schema.Relation
+	in    pnode
+	pred  cpred // may be nil
+	vpred vpred
+	idx   []int
+	rs    schema.Relation
 }
 
 func (n *pproject) out() schema.Relation { return n.rs }
@@ -276,6 +305,7 @@ type pdiff struct {
 	l      pnode
 	lproj  []int // nil: compare l's tuples whole
 	lpred  cpred // optional filter fused from a projected selection
+	lvpred vpred // vectorized twin of lpred for the columnar path
 	r      pnode
 	rproj  []int
 	rpred  cpred
@@ -373,20 +403,20 @@ func (n *pdiff) stream(c *pctx, emit func(table.Tuple) bool) error {
 
 // fusedDiff builds a pdiff, fusing projections below both sides.
 func fusedDiff(l, r pnode, negate bool, rs schema.Relation) *pdiff {
-	lsrc, lproj, lpred := fuseDiffSide(l)
-	rsrc, rproj, rpred := fuseDiffSide(r)
+	lsrc, lproj, lpred, lvpred := fuseDiffSide(l)
+	rsrc, rproj, rpred, _ := fuseDiffSide(r)
 	return &pdiff{
-		l: lsrc, lproj: lproj, lpred: lpred,
+		l: lsrc, lproj: lproj, lpred: lpred, lvpred: lvpred,
 		r: rsrc, rproj: rproj, rpred: rpred,
 		negate: negate, rs: rs,
 	}
 }
 
 // fuseDiffSide peels renames and a pure projection (with its fused
-// pre-filter) off a diff/intersect input so pdiff can compare keys without
-// materializing the projected tuples.  Renames do not change tuples, so
-// they vanish entirely.
-func fuseDiffSide(n pnode) (src pnode, proj []int, pred cpred) {
+// pre-filter, in both row and vectorized forms) off a diff/intersect
+// input so pdiff can compare keys without materializing the projected
+// tuples.  Renames do not change tuples, so they vanish entirely.
+func fuseDiffSide(n pnode) (src pnode, proj []int, pred cpred, vp vpred) {
 	for {
 		if ps, ok := n.(*pschema); ok {
 			n = ps.in
@@ -395,9 +425,9 @@ func fuseDiffSide(n pnode) (src pnode, proj []int, pred cpred) {
 		break
 	}
 	if pp, ok := n.(*pproject); ok {
-		return pp.in, pp.idx, pp.pred
+		return pp.in, pp.idx, pp.pred, pp.vpred
 	}
-	return n, nil, nil
+	return n, nil, nil, nil
 }
 
 // pdivision is relational division over materialized inputs (a pipeline

@@ -55,33 +55,20 @@ type sharedEval struct {
 	contains map[*pdiff]func([]byte) bool
 }
 
-// EvalWorkers evaluates the plan on a pool of workers and returns a result
-// bit-identical to Eval's.  workers <= 1, plans without a parallelizable
-// shape (no driving scan: division or Δ roots), and driving relations
-// smaller than the parallel cutoff all fall back to the serial path.
+// EvalWorkers evaluates the plan on a pool of workers (on the columnar
+// path) and returns a result bit-identical to Eval's.  workers <= 1,
+// plans without a parallelizable shape (no driving scan: division or Δ
+// roots), and driving relations smaller than the parallel cutoff all
+// fall back to the serial path.
 func (p *Plan) EvalWorkers(db ra.DB, workers int) (*table.Relation, error) {
-	if workers <= 1 || !parallelizable(p.root, db) {
-		return p.Eval(db)
-	}
-	out := table.NewRelation(p.out)
-	if err := runParallel(p.root, db, workers, false, out); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return p.EvalWith(db, EvalConfig{Workers: workers, Columnar: true})
 }
 
 // EvalCertainWorkers is EvalWorkers with the null-stripping of
 // certain-answer extraction fused into each worker's materialization; the
 // result is bit-identical to EvalCertain's.
 func (p *Plan) EvalCertainWorkers(db ra.DB, workers int) (*table.Relation, error) {
-	if workers <= 1 || !parallelizable(p.root, db) {
-		return p.EvalCertain(db)
-	}
-	out := table.NewRelation(p.out)
-	if err := runParallel(p.root, db, workers, true, out); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return p.EvalCertainWith(db, EvalConfig{Workers: workers, Columnar: true})
 }
 
 // parallelizable reports whether any union branch of the plan has a
@@ -142,12 +129,12 @@ func drivingChain(root pnode) (scan *pscan, partJoin *pjoin) {
 // are evaluated one after the other (each internally parallel when its
 // driving relation is big enough, serially otherwise), all sharing one
 // prepare phase.
-func runParallel(root pnode, db ra.DB, workers int, certainOnly bool, out *table.Relation) error {
+func runParallel(root pnode, db ra.DB, cfg EvalConfig, certainOnly bool, out *table.Relation) error {
 	shared := &sharedEval{
 		mats:     make(map[pnode]*table.Relation),
 		contains: make(map[*pdiff]func([]byte) bool),
 	}
-	c0 := &pctx{db: db, shared: shared}
+	c0 := &pctx{db: db, columnar: cfg.Columnar, shared: shared}
 
 	branches := unionBranches(root, nil)
 	type branchRun struct {
@@ -181,7 +168,7 @@ func runParallel(root pnode, db ra.DB, workers int, certainOnly bool, out *table
 			}
 			continue
 		}
-		if err := runBranch(br.root, br.scan, br.join, br.rel, db, shared, workers, certainOnly, out); err != nil {
+		if err := runBranch(br.root, br.scan, br.join, br.rel, db, shared, cfg, certainOnly, out); err != nil {
 			return err
 		}
 	}
@@ -274,7 +261,8 @@ func shareMat(n pnode, c *pctx) (*table.Relation, error) {
 // Workers pull partitions from an atomic counter (morsel stealing) and
 // collect into private relations, merged into out afterwards.
 func runBranch(root pnode, scan *pscan, join *pjoin, rel *table.Relation, db ra.DB,
-	shared *sharedEval, workers int, certainOnly bool, out *table.Relation) error {
+	shared *sharedEval, cfg EvalConfig, certainOnly bool, out *table.Relation) error {
+	workers := cfg.Workers
 	parts := workers * morselFanout
 	var lp, rp *table.Partitioning
 	if join != nil {
@@ -298,7 +286,7 @@ func runBranch(root pnode, scan *pscan, join *pjoin, rel *table.Relation, db ra.
 			defer wg.Done()
 			local := table.NewRelation(root.out())
 			locals[w] = local
-			c := &pctx{db: db, shared: shared, morselFor: scan}
+			c := &pctx{db: db, columnar: cfg.Columnar, shared: shared, morselFor: scan}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= parts {

@@ -58,10 +58,37 @@ func Compile(q ra.Expr, s *schema.Schema) (*Plan, error) {
 // OutSchema returns the plan's output schema (the original expression's).
 func (p *Plan) OutSchema() schema.Relation { return p.out }
 
-// Eval evaluates the plan.  Like ra.EvalDB, the result never aliases
-// mutable state of the database.
+// EvalConfig selects the execution strategy of one evaluation: the
+// worker-pool size of the morsel-parallel path (Workers <= 1 is serial)
+// and whether eligible subtrees run on the vectorized columnar path
+// (colexec.go) instead of the per-tuple row path.  Every combination
+// produces bit-identical results; the row path is kept as the
+// differential oracle of the columnar one.
+type EvalConfig struct {
+	// Workers is the worker-pool size; <= 1 evaluates serially.
+	Workers int
+	// Columnar enables the vectorized columnar path where eligible.
+	Columnar bool
+}
+
+// Eval evaluates the plan serially on the columnar path.  Like
+// ra.EvalDB, the result never aliases mutable state of the database.
 func (p *Plan) Eval(db ra.DB) (*table.Relation, error) {
-	c := &pctx{db: db}
+	return p.EvalWith(db, EvalConfig{Columnar: true})
+}
+
+// EvalWith evaluates the plan with the given execution configuration.
+// The result is bit-identical across all configurations and never
+// aliases mutable state of the database.
+func (p *Plan) EvalWith(db ra.DB, cfg EvalConfig) (*table.Relation, error) {
+	if cfg.Workers > 1 && parallelizable(p.root, db) {
+		out := table.NewRelation(p.out)
+		if err := runParallel(p.root, db, cfg, false, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	c := &pctx{db: db, columnar: cfg.Columnar}
 	rel, err := materialize(p.root, c)
 	if err != nil {
 		return nil, err
@@ -72,12 +99,26 @@ func (p *Plan) Eval(db ra.DB) (*table.Relation, error) {
 	return rel.WithSchema(p.out), nil
 }
 
-// EvalCertain evaluates the plan and keeps only null-free tuples — the
-// null-stripping step of certain-answer extraction (equation (4)), fused
-// into materialization so the unstripped answer is never stored.  The
-// result equals StripNulls(Eval(db)).
+// EvalCertain evaluates the plan serially on the columnar path and keeps
+// only null-free tuples — the null-stripping step of certain-answer
+// extraction (equation (4)), fused into materialization so the
+// unstripped answer is never stored.  The result equals
+// StripNulls(Eval(db)).
 func (p *Plan) EvalCertain(db ra.DB) (*table.Relation, error) {
-	c := &pctx{db: db}
+	return p.EvalCertainWith(db, EvalConfig{Columnar: true})
+}
+
+// EvalCertainWith is EvalWith with the null-stripping of certain-answer
+// extraction fused into materialization.
+func (p *Plan) EvalCertainWith(db ra.DB, cfg EvalConfig) (*table.Relation, error) {
+	if cfg.Workers > 1 && parallelizable(p.root, db) {
+		out := table.NewRelation(p.out)
+		if err := runParallel(p.root, db, cfg, true, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	c := &pctx{db: db, columnar: cfg.Columnar}
 	out := table.NewRelation(p.out)
 	if err := materializeInto(p.root, c, true, out); err != nil {
 		return nil, err
@@ -184,8 +225,13 @@ func compileNode(e ra.Expr, s *schema.Schema) (pnode, error) {
 		}
 		rs := in.out()
 		var cp cpred
+		var vp vpred
 		if pred != nil {
 			cp, err = compilePred(pred, rs)
+			if err != nil {
+				return nil, err
+			}
+			vp, err = compileVPred(pred, rs)
 			if err != nil {
 				return nil, err
 			}
@@ -194,7 +240,7 @@ func compileNode(e ra.Expr, s *schema.Schema) (pnode, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &pproject{in: in, pred: cp, idx: idx,
+		return &pproject{in: in, pred: cp, vpred: vp, idx: idx,
 			rs: schema.NewRelation("π("+rs.Name+")", ex.Attrs...)}, nil
 
 	case ra.Rename:
@@ -471,7 +517,11 @@ func wrapFilters(in pnode, preds []ra.Predicate, rs schema.Relation) (pnode, err
 		if cp == nil {
 			continue // constant true
 		}
-		node = &pfilter{in: node, pred: cp}
+		vp, err := compileVPred(preds[i], rs)
+		if err != nil {
+			return nil, err
+		}
+		node = &pfilter{in: node, pred: cp, vpred: vp}
 	}
 	return node, nil
 }
