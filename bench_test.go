@@ -436,3 +436,45 @@ func BenchmarkE16ParallelScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE17CodedStrings measures the dictionary-coded execution tier
+// on the string-heavy catalog workload: a projected item/tag join with
+// the coded tier off (the columnar path over value.Value chunks, binary
+// string keys in the join) and on (monomorphic u64 kernels over
+// dictionary codes).  allocs/op is the headline together with ns/op: the
+// coded probe hashes raw codes and the gather dedups on code tuples
+// before decoding, so both must drop when coded is on.  Run serial and
+// on the full worker pool; the CI bench smoke covers both.
+func BenchmarkE17CodedStrings(b *testing.B) {
+	d := workload.Catalog(workload.CatalogConfig{
+		Items: 4000, Categories: 24, Tags: 40, Nulls: 3, NullRate: 0.02, Seed: 17,
+	})
+	q := ra.Project{
+		Input: ra.Join{
+			Left:  ra.Rename{Input: ra.Base("Item"), As: "I", Attrs: []string{"sku", "category"}},
+			Right: ra.Rename{Input: ra.Base("Tagged"), As: "T", Attrs: []string{"sku", "tag"}},
+		},
+		Attrs: []string{"category", "tag"},
+	}
+	eng := engine.New(d)
+	for _, tc := range []struct {
+		name    string
+		workers int
+		coded   engine.CodedSetting
+	}{
+		{"serial-off", 1, engine.CodedOff},
+		{"serial-on", 1, engine.CodedOn},
+		{"parallel-off", 0, engine.CodedOff},
+		{"parallel-on", 0, engine.CodedOn},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			opts := engine.Options{Mode: engine.ModeCertain, Workers: tc.workers, Coded: tc.coded}
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Eval(q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,7 +1,7 @@
-// Command benchguard compares a current incbench -json report against an
-// archived baseline (BENCH_*.json) and fails when an experiment got
-// slower than an allowed factor — the bench-regression smoke CI runs
-// after the quick suite.
+// Command benchguard compares a current incbench -json report against one
+// or more archived baselines (BENCH_*.json, comma-separated) and fails
+// when an experiment got slower than an allowed factor against any of
+// them — the bench-regression smoke CI runs after the quick suite.
 //
 // Experiment IDs absent from the baseline are skipped with a note (older
 // baselines predate newer experiments); IDs absent from the current run
@@ -14,7 +14,7 @@
 //
 //	incbench -json > current.json
 //	benchguard -current current.json -baseline BENCH_baseline.json -ids E1,E5
-//	benchguard -current current.json -baseline BENCH_pr7.json -ids E16 -threshold 2.5
+//	benchguard -current current.json -baseline BENCH_pr7.json,BENCH_pr8.json -ids E16,E17 -threshold 2.5
 package main
 
 import (
@@ -53,7 +53,7 @@ func loadReport(path string) (map[string]float64, error) {
 
 func main() {
 	current := flag.String("current", "", "current incbench -json report (required)")
-	baseline := flag.String("baseline", "", "baseline BENCH_*.json report (required)")
+	baseline := flag.String("baseline", "", "comma-separated baseline BENCH_*.json reports (required)")
 	ids := flag.String("ids", "", "comma-separated experiment ids to compare (required, e.g. E1,E5,E16)")
 	threshold := flag.Float64("threshold", 2.0, "fail when current seconds exceed baseline seconds times this factor")
 	flag.Parse()
@@ -67,37 +67,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(2)
 	}
-	base, err := loadReport(*baseline)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
-		os.Exit(2)
-	}
 
 	failed := false
-	for _, id := range strings.Split(*ids, ",") {
-		id = strings.TrimSpace(strings.ToUpper(id))
-		if id == "" {
+	for _, basePath := range strings.Split(*baseline, ",") {
+		basePath = strings.TrimSpace(basePath)
+		if basePath == "" {
 			continue
 		}
-		baseS, ok := base[id]
-		if !ok {
-			fmt.Printf("benchguard: %-4s skipped (not in baseline %s)\n", id, *baseline)
-			continue
+		base, err := loadReport(basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
 		}
-		curS, ok := cur[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchguard: %-4s missing from current report %s\n", id, *current)
-			failed = true
-			continue
+		for _, id := range strings.Split(*ids, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if id == "" {
+				continue
+			}
+			baseS, ok := base[id]
+			if !ok {
+				fmt.Printf("benchguard: %-4s skipped (not in baseline %s)\n", id, basePath)
+				continue
+			}
+			curS, ok := cur[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchguard: %-4s missing from current report %s\n", id, *current)
+				failed = true
+				continue
+			}
+			limit := baseS * *threshold
+			status := "ok"
+			if baseS > 0 && curS > limit {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("benchguard: %-4s vs %s: current %.4fs  baseline %.4fs  limit %.4fs (%.1fx)  %s\n",
+				id, basePath, curS, baseS, limit, *threshold, status)
 		}
-		limit := baseS * *threshold
-		status := "ok"
-		if baseS > 0 && curS > limit {
-			status = "REGRESSION"
-			failed = true
-		}
-		fmt.Printf("benchguard: %-4s current %.4fs  baseline %.4fs  limit %.4fs (%.1fx)  %s\n",
-			id, curS, baseS, limit, *threshold, status)
 	}
 	if failed {
 		os.Exit(1)

@@ -1,4 +1,4 @@
-// Command incbench runs the reproduction experiments E1–E16 (see the
+// Command incbench runs the reproduction experiments E1–E17 (see the
 // "Experiments" section of README.md) through the engine facade and prints
 // one text table per experiment, or a single machine-readable JSON
 // document with -json so that successive runs can be archived
@@ -12,12 +12,17 @@
 // BENCH_*.json.  The -columnar flag selects the execution layout of
 // planned evaluation the same way: "on" (vectorized columnar kernels),
 // "off" (the per-tuple row path, the differential oracle), or "both".
+// The -coded flag selects the dictionary-coded execution tier of planned
+// evaluation the same way: "on" (monomorphic u64 kernels over the value
+// dictionary), "off" (the columnar path, the coded tier's differential
+// oracle), or "both".
 // E13 exercises the engine's snapshot-isolated concurrent batch path and
 // reports its parallel speedup; E14 exercises maintained views and
 // reports the incremental-refresh vs full-recompute speedup on an update
 // stream; E16 sweeps the intra-query worker budget
 // (engine.Options.Workers, the -workers flag) over morsel-parallel
-// evaluation.  With -json the report records GOMAXPROCS, the CPU count and
+// evaluation; E17 measures the coded tier against the columnar path on a
+// string-heavy workload.  With -json the report records GOMAXPROCS, the CPU count and
 // the -workers setting, so archived speedups stay interpretable across
 // hosts.
 //
@@ -29,6 +34,7 @@
 //	incbench -json            # machine-readable output for perf tracking
 //	incbench -json -planner both
 //	incbench -json -columnar both > BENCH_pr7.json
+//	incbench -json -coded both > BENCH_pr8.json
 //	incbench -json -planner off > BENCH_baseline.json
 package main
 
@@ -69,6 +75,7 @@ type report struct {
 	Config      string               `json:"config"`
 	Planner     string               `json:"planner"`
 	Columnar    string               `json:"columnar"`
+	Coded       string               `json:"coded"`
 	Env         environment          `json:"env"`
 	Experiments []experiments.Result `json:"experiments"`
 	Ran         int                  `json:"ran"`
@@ -83,12 +90,17 @@ type report struct {
 	// columnar-on results (the two paths compute bit-identical answers).
 	ColumnarOn  *plannerTimings `json:"columnar_on,omitempty"`
 	ColumnarOff *plannerTimings `json:"columnar_off,omitempty"`
+	// CodedOn/CodedOff carry the coded vs columnar comparison when -coded
+	// both is selected; the Experiments above are the coded-on results
+	// (the two tiers compute bit-identical answers).
+	CodedOn  *plannerTimings `json:"coded_on,omitempty"`
+	CodedOff *plannerTimings `json:"coded_off,omitempty"`
 }
 
 // runSuite executes the experiment suite through the engine under the
-// given planner and columnar settings and returns the kept results plus
-// timing summary.
-func runSuite(cfg experiments.Config, filter map[string]bool, plannerOn, columnarOn bool) ([]experiments.Result, plannerTimings) {
+// given planner, columnar and coded settings and returns the kept
+// results plus timing summary.
+func runSuite(cfg experiments.Config, filter map[string]bool, plannerOn, columnarOn, codedOn bool) ([]experiments.Result, plannerTimings) {
 	cfg.Planner = engine.PlannerOn
 	if !plannerOn {
 		cfg.Planner = engine.PlannerOff
@@ -96,6 +108,10 @@ func runSuite(cfg experiments.Config, filter map[string]bool, plannerOn, columna
 	cfg.Columnar = engine.ColumnarOn
 	if !columnarOn {
 		cfg.Columnar = engine.ColumnarOff
+	}
+	cfg.Coded = engine.CodedOn
+	if !codedOn {
+		cfg.Coded = engine.CodedOff
 	}
 	start := time.Now()
 	kept := experiments.Run(cfg, filter)
@@ -129,6 +145,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit one JSON document instead of text tables")
 	planner := flag.String("planner", "on", "evaluation path: on, off, or both (runs twice and compares timings)")
 	columnar := flag.String("columnar", "on", "execution layout of planned evaluation: on (vectorized), off (row oracle), or both")
+	coded := flag.String("coded", "on", "dictionary-coded tier of planned evaluation: on, off (columnar oracle), or both")
 	workers := flag.Int("workers", 0, "intra-query worker budget for every evaluation (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
@@ -153,23 +170,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "incbench: -columnar must be on, off or both (got %q)\n", *columnar)
 		os.Exit(2)
 	}
+	if *coded != "on" && *coded != "off" && *coded != "both" {
+		fmt.Fprintf(os.Stderr, "incbench: -coded must be on, off or both (got %q)\n", *coded)
+		os.Exit(2)
+	}
 
 	primaryPlannerOn := *planner != "off"
 	primaryColumnarOn := *columnar != "off"
-	kept, primary := runSuite(cfg, filter, primaryPlannerOn, primaryColumnarOn)
+	primaryCodedOn := *coded != "off"
+	kept, primary := runSuite(cfg, filter, primaryPlannerOn, primaryColumnarOn, primaryCodedOn)
 	if len(kept) == 0 {
 		fmt.Fprintln(os.Stderr, "incbench: no experiment matched the -only filter")
 		os.Exit(1)
 	}
 	var plannerSecondary *plannerTimings
 	if *planner == "both" {
-		_, off := runSuite(cfg, filter, false, primaryColumnarOn)
+		_, off := runSuite(cfg, filter, false, primaryColumnarOn, primaryCodedOn)
 		plannerSecondary = &off
 	}
 	var columnarSecondary *plannerTimings
 	if *columnar == "both" {
-		_, off := runSuite(cfg, filter, primaryPlannerOn, false)
+		_, off := runSuite(cfg, filter, primaryPlannerOn, false, primaryCodedOn)
 		columnarSecondary = &off
+	}
+	var codedSecondary *plannerTimings
+	if *coded == "both" {
+		_, off := runSuite(cfg, filter, primaryPlannerOn, primaryColumnarOn, false)
+		codedSecondary = &off
 	}
 
 	if *asJSON {
@@ -177,6 +204,7 @@ func main() {
 			Config:   cfgName,
 			Planner:  *planner,
 			Columnar: *columnar,
+			Coded:    *coded,
 			Env: environment{
 				GOMAXPROCS: runtime.GOMAXPROCS(0),
 				NumCPU:     runtime.NumCPU(),
@@ -196,6 +224,11 @@ func main() {
 			rep.ColumnarOn = &p
 			rep.ColumnarOff = columnarSecondary
 		}
+		if *coded == "both" {
+			p := primary
+			rep.CodedOn = &p
+			rep.CodedOff = codedSecondary
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -214,6 +247,9 @@ func main() {
 	if *columnar == "both" {
 		printComparison("columnar", kept, &primary, columnarSecondary)
 	}
-	fmt.Printf("ran %d experiments in %s (planner %s, columnar %s)\n",
-		len(kept), time.Duration(primary.Seconds*float64(time.Second)).Round(time.Millisecond), *planner, *columnar)
+	if *coded == "both" {
+		printComparison("coded", kept, &primary, codedSecondary)
+	}
+	fmt.Printf("ran %d experiments in %s (planner %s, columnar %s, coded %s)\n",
+		len(kept), time.Duration(primary.Seconds*float64(time.Second)).Round(time.Millisecond), *planner, *columnar, *coded)
 }

@@ -100,7 +100,7 @@ func (ev *Evaluator) Naive(q ra.Expr, d *table.Database) (*table.Relation, error
 // hash joins, see plan.EvalCertainWorkers), producing a result bit-identical
 // to Naive's.  workers <= 1 and the oracle path are exactly Naive.
 func (ev *Evaluator) NaiveWorkers(q ra.Expr, d *table.Database, workers int) (*table.Relation, error) {
-	return ev.NaiveWith(q, d, plan.EvalConfig{Workers: workers, Columnar: true})
+	return ev.NaiveWith(q, d, plan.EvalConfig{Workers: workers, Columnar: true, Coded: true})
 }
 
 // NaiveWith is Naive with an explicit plan execution configuration
@@ -123,7 +123,7 @@ func (ev *Evaluator) NaiveWith(q ra.Expr, d *table.Database, cfg plan.EvalConfig
 // NaiveRawWorkers is NaiveRaw with a worker budget, the raw (nulls kept)
 // counterpart of NaiveWorkers; the result is bit-identical to NaiveRaw's.
 func (ev *Evaluator) NaiveRawWorkers(q ra.Expr, d *table.Database, workers int) (*table.Relation, error) {
-	return ev.NaiveRawWith(q, d, plan.EvalConfig{Workers: workers, Columnar: true})
+	return ev.NaiveRawWith(q, d, plan.EvalConfig{Workers: workers, Columnar: true, Coded: true})
 }
 
 // NaiveRawWith is NaiveRaw with an explicit plan execution configuration,

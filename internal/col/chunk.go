@@ -47,9 +47,13 @@ func New(arity, capacity int) *Chunk {
 }
 
 // Reset truncates the chunk to zero rows with the given arity, keeping
-// column capacity for reuse.  The sidecar resets to all-constant.
+// column capacity for reuse.  The sidecar resets to all-constant.  Both
+// backing arrays are checked independently: Cols and Const are always
+// allocated together, but guarding each keeps a pooled chunk whose
+// slices ever diverge (e.g. a manually assembled Chunk) from slicing
+// Const out of range when the arity grows back.
 func (c *Chunk) Reset(arity int) {
-	if cap(c.Cols) < arity {
+	if cap(c.Cols) < arity || cap(c.Const) < arity {
 		c.Cols = make([][]value.Value, arity)
 		c.Const = make([]bool, arity)
 	}

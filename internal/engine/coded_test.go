@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incdata/internal/ra"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// codedTestDB is parallelTestDB with string-dominated columns, so the
+// engine-level differential exercises the value dictionary rather than
+// only the directly coded int space.
+func codedTestDB(tuples, domain, nullIDs int, seed int64) *table.Database {
+	rnd := rand.New(rand.NewSource(seed))
+	d := table.NewDatabase(testSchema())
+	for _, name := range []string{"R", "S", "T"} {
+		for i := 0; i < tuples; i++ {
+			t := make(table.Tuple, 2)
+			for j := range t {
+				switch {
+				case nullIDs > 0 && rnd.Intn(60) == 0:
+					t[j] = value.Null(uint64(rnd.Intn(nullIDs) + 1))
+				case rnd.Intn(3) == 0:
+					t[j] = value.Int(int64(rnd.Intn(domain)))
+				default:
+					t[j] = value.String(fmt.Sprintf("v%02d", rnd.Intn(domain)))
+				}
+			}
+			d.MustAdd(name, t)
+		}
+	}
+	return d
+}
+
+// TestEngineCodedBitIdentical crosses the coded knob with every other
+// evaluation dimension at the engine level: for each query, mode
+// certain/naive, planner on/off, columnar on/off and worker budget
+// 1/2/4, the dictionary-coded tier must produce exactly the fingerprint
+// the uncoded paths do.
+func TestEngineCodedBitIdentical(t *testing.T) {
+	eng := New(codedTestDB(1200, 40, 3, 11))
+	queries := map[string]ra.Expr{
+		"base":   ra.Base("R"),
+		"select": ra.Select{Input: ra.Base("R"), Pred: ra.Neq(ra.Attr("a"), ra.Attr("b"))},
+		"join":   ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a", "c"}},
+		"select-join": ra.Select{
+			Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")},
+			Pred:  ra.Neq(ra.Attr("a"), ra.Attr("c")),
+		},
+		"diff": ra.Diff{Left: ra.Base("R"), Right: ra.Base("T")},
+		"project-diff": ra.Diff{
+			Left:  ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}},
+			Right: ra.Project{Input: ra.Base("T"), Attrs: []string{"a"}},
+		},
+		"union": ra.Union{
+			Left:  ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a"}},
+			Right: ra.Project{Input: ra.Base("T"), Attrs: []string{"a"}},
+		},
+	}
+	for name, q := range queries {
+		for _, mode := range []Mode{ModeCertain, ModeNaive} {
+			for _, planner := range []PlannerSetting{PlannerOn, PlannerOff} {
+				for _, columnar := range []ColumnarSetting{ColumnarOn, ColumnarOff} {
+					for _, workers := range []int{1, 2, 4} {
+						opts := Options{
+							Mode: mode, Planner: planner, Columnar: columnar,
+							Workers: workers, Coded: CodedOff,
+						}
+						want, err := eng.Eval(q, opts)
+						if err != nil {
+							t.Fatalf("%s/%v/planner=%v/columnar=%d/workers=%d uncoded: %v",
+								name, mode, planner, columnar, workers, err)
+						}
+						opts.Coded = CodedOn
+						got, err := eng.Eval(q, opts)
+						if err != nil {
+							t.Fatalf("%s/%v/planner=%v/columnar=%d/workers=%d coded: %v",
+								name, mode, planner, columnar, workers, err)
+						}
+						if fp(got) != fp(want) {
+							t.Fatalf("%s/%v/planner=%v/columnar=%d/workers=%d: coded answer differs from uncoded path",
+								name, mode, planner, columnar, workers)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParseCoded pins the textual knob accepted by the CLIs.
+func TestParseCoded(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CodedSetting
+		ok   bool
+	}{
+		{"", CodedAuto, true},
+		{"auto", CodedAuto, true},
+		{"on", CodedOn, true},
+		{"off", CodedOff, true},
+		{"banana", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseCoded(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("ParseCoded(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseCoded(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -46,6 +46,11 @@ type Engine struct {
 	mu   sync.Mutex
 	db   *table.Database
 	snap *table.Database // cached snapshot of db; nil after a write
+	// lastSnap is the most recent snapshot ever taken, kept across writes:
+	// rebuilding the snapshot after a commit reuses its headers for
+	// relations the commit didn't touch (table.SnapshotReusing), so their
+	// derived caches — indexes, partitionings, coded sidecars — survive.
+	lastSnap *table.Database
 
 	planned *certain.Evaluator
 	oracle  *certain.Evaluator
@@ -120,7 +125,8 @@ func (e *Engine) Snapshot() *Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.snap == nil {
-		e.snap = e.db.Snapshot()
+		e.snap = e.db.SnapshotReusing(e.lastSnap)
+		e.lastSnap = e.snap
 	}
 	return &Snapshot{eng: e, db: e.snap}
 }

@@ -121,6 +121,42 @@ func ParseColumnar(s string) (ColumnarSetting, error) {
 	}
 }
 
+// CodedSetting selects whether planned evaluation may run on the
+// dictionary-coded execution tier: monomorphic []uint64 code-vector
+// kernels over the database's value dictionary.  The coded path computes
+// bit-identical results to the columnar and row paths; eligibility is
+// resolved per query subtree (every base relation read must encode
+// cleanly), so "on" and the auto default are always safe and silently
+// fall back where coding does not apply.
+type CodedSetting uint8
+
+const (
+	// CodedAuto is the zero value and defaults to coded being on: the
+	// coded path is used whenever the read relations' dictionaries are
+	// available, and falls back to the columnar path otherwise.
+	CodedAuto CodedSetting = iota
+	// CodedOn selects the coded path where eligible.
+	CodedOn
+	// CodedOff disables the coded tier, keeping the columnar path as the
+	// differential oracle.
+	CodedOff
+)
+
+// ParseCoded converts "on" or "off" (or "", meaning the default) into a
+// CodedSetting.
+func ParseCoded(s string) (CodedSetting, error) {
+	switch s {
+	case "", "auto":
+		return CodedAuto, nil
+	case "on":
+		return CodedOn, nil
+	case "off":
+		return CodedOff, nil
+	default:
+		return 0, fmt.Errorf("engine: coded must be on or off (got %q)", s)
+	}
+}
+
 // Options is the unified evaluation-options struct of the engine facade,
 // replacing the per-package option structs the entry points used to take.
 // The zero value asks for certain answers via null stripping with the
@@ -138,6 +174,11 @@ type Options struct {
 	// value) means on.  Only the planned naive/certain modes read it —
 	// the world-enumeration modes and the oracle path are row-based.
 	Columnar ColumnarSetting
+
+	// Coded selects the dictionary-coded execution tier of planned
+	// evaluation; CodedAuto (the zero value) means on where eligible.
+	// Like Columnar, only the planned naive/certain modes read it.
+	Coded CodedSetting
 
 	// ExtraFresh is the number of fresh constants (outside adom and the
 	// query constants) added to the world-enumeration domain; 0 defaults
@@ -185,11 +226,19 @@ func (o Options) resolvedColumnar() bool {
 	return o.Columnar != ColumnarOff
 }
 
+// resolvedCoded resolves the Coded knob: anything but an explicit off
+// means the coded tier is offered (per-subtree eligibility still
+// decides whether it actually runs).
+func (o Options) resolvedCoded() bool {
+	return o.Coded != CodedOff
+}
+
 // evalConfig bundles the resolved execution knobs for package plan.
 func (o Options) evalConfig() plan.EvalConfig {
 	return plan.EvalConfig{
 		Workers:  o.resolvedWorkers(),
 		Columnar: o.resolvedColumnar(),
+		Coded:    o.resolvedCoded(),
 	}
 }
 

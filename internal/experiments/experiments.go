@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiments E1–E16
+// Package experiments implements the reproduction experiments E1–E17
 // indexed in the "Experiments" section of README.md.  The paper (a theory keynote) has no numbered
 // tables or figures; each experiment regenerates one of its worked examples
 // or checkable claims, at parameterised scale, and prints the rows recorded
@@ -47,6 +47,10 @@ type Harness struct {
 	// per-tuple row oracle for every planned evaluation
 	// (engine.Options.Columnar).
 	Columnar engine.ColumnarSetting
+
+	// Coded selects the dictionary-coded execution tier of planned
+	// evaluation (engine.Options.Coded).
+	Coded engine.CodedSetting
 }
 
 // engine builds the evaluation engine for one generated database.
@@ -54,7 +58,7 @@ func (h Harness) engine(d *table.Database) *engine.Engine { return engine.New(d)
 
 // opts is the engine options for a mode under the harness's settings.
 func (h Harness) opts(m engine.Mode) engine.Options {
-	return engine.Options{Mode: m, Planner: h.Planner, Workers: h.Workers, Columnar: h.Columnar}
+	return engine.Options{Mode: m, Planner: h.Planner, Workers: h.Workers, Columnar: h.Columnar, Coded: h.Coded}
 }
 
 // mustRel unwraps an engine evaluation that cannot fail in a healthy
@@ -1200,6 +1204,113 @@ func (h Harness) E16ParallelScaling(rows int, workerCounts []int) Result {
 			}
 			res.Rows = append(res.Rows, []string{
 				sw.name, itoa(workers), fmt.Sprintf("%.4f", elapsed), speedup, fmt.Sprintf("%v", agree),
+			})
+		}
+	}
+	return res
+}
+
+// E17CodedStrings measures the dictionary-coded execution tier on the
+// string-heavy catalog workload (workload.Catalog): a projected
+// item/tag join and a category difference, each evaluated with the coded
+// tier off (the PR-7 columnar path) and on, across worker counts.  Codes
+// turn string equality into u64 equality — the hash-join build and probe
+// hash raw codes instead of encoding binary string keys, and the final
+// gather deduplicates on code tuples before any value is decoded — so
+// the on/off ratio is the headline number.  Every coded answer is pinned
+// bit-identical to its uncoded twin (agree column).
+func (h Harness) E17CodedStrings(items int, workerCounts []int) Result {
+	res := Result{
+		ID:     "E17",
+		Title:  "Coded columns: dictionary-coded kernels vs columnar on string-heavy joins",
+		Header: []string{"workload", "workers", "coded-off", "coded-on", "ratio", "agree"},
+		Notes: "coded-off/coded-on are best-of-three seconds for the same query with\n" +
+			"engine.Options.Coded off and on (everything else identical); ratio is off/on, so\n" +
+			"> 1x means the coded tier wins.  agree pins the coded answer bit-identical to the\n" +
+			"columnar one.",
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1}
+	}
+
+	db := workload.Catalog(workload.CatalogConfig{
+		Items:      items,
+		Categories: 24,
+		Tags:       40,
+		Nulls:      3,
+		NullRate:   0.02,
+		Seed:       17,
+	})
+	eng := h.engine(db)
+
+	// Projected join: which (category, tag) combinations exist — the
+	// dedup-heavy set-semantics shape.
+	catTags := ra.Project{
+		Input: ra.Join{
+			Left:  ra.Rename{Input: ra.Base("Item"), As: "I", Attrs: []string{"sku", "category"}},
+			Right: ra.Rename{Input: ra.Base("Tagged"), As: "T", Attrs: []string{"sku", "tag"}},
+		},
+		Attrs: []string{"category", "tag"},
+	}
+	// Difference: SKUs that are items but never tagged.
+	untagged := ra.Diff{
+		Left:  ra.Rename{Input: ra.Project{Input: ra.Base("Item"), Attrs: []string{"sku"}}, As: "A", Attrs: []string{"sku"}},
+		Right: ra.Rename{Input: ra.Project{Input: ra.Base("Tagged"), Attrs: []string{"sku"}}, As: "B", Attrs: []string{"sku"}},
+	}
+
+	run := func(q ra.Expr, workers int, coded engine.CodedSetting) (string, float64, error) {
+		opts := h.opts(engine.ModeCertain)
+		opts.Workers = workers
+		opts.Coded = coded
+		var fp string
+		elapsed := 0.0
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			rel, err := eng.Eval(q, opts)
+			if err != nil {
+				return "", 0, err
+			}
+			if secs := time.Since(start).Seconds(); rep == 0 || secs < elapsed {
+				elapsed = secs
+			}
+			fp = rel.CanonicalKey()
+		}
+		return fp, elapsed, nil
+	}
+
+	for _, w := range []struct {
+		name string
+		q    ra.Expr
+	}{{"cat-tag-join", catTags}, {"untagged-diff", untagged}} {
+		// Warm plan caches, partitionings and encodings so neither setting
+		// is charged for one-time builds.
+		if _, _, err := run(w.q, 1, engine.CodedOff); err != nil {
+			res.Rows = append(res.Rows, []string{w.name, "-", "-", "-", "-", "error"})
+			continue
+		}
+		if _, _, err := run(w.q, 1, engine.CodedOn); err != nil {
+			res.Rows = append(res.Rows, []string{w.name, "-", "-", "-", "-", "error"})
+			continue
+		}
+		for _, workers := range workerCounts {
+			offFP, offSecs, err := run(w.q, workers, engine.CodedOff)
+			if err != nil {
+				res.Rows = append(res.Rows, []string{w.name, itoa(workers), "-", "-", "-", "error"})
+				continue
+			}
+			onFP, onSecs, err := run(w.q, workers, engine.CodedOn)
+			if err != nil {
+				res.Rows = append(res.Rows, []string{w.name, itoa(workers), "-", "-", "-", "error"})
+				continue
+			}
+			ratio := "-"
+			if onSecs > 0 {
+				ratio = fmt.Sprintf("%.2fx", offSecs/onSecs)
+			}
+			res.Rows = append(res.Rows, []string{
+				w.name, itoa(workers),
+				fmt.Sprintf("%.4f", offSecs), fmt.Sprintf("%.4f", onSecs),
+				ratio, fmt.Sprintf("%v", onFP == offFP),
 			})
 		}
 	}

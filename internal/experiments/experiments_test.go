@@ -182,10 +182,11 @@ func TestConfigsAndAll(t *testing.T) {
 		E14Orders: []int{30}, E14Updates: 20,
 		E15Commits: 6, E15Batch: 2, E15Checkpoints: []int{2}, E15AsOf: 10,
 		E16Rows: 200, E16Workers: []int{1, 2},
+		E17Items: 200, E17Workers: []int{1, 2},
 	}
 	results := All(tiny)
-	if len(results) != 16 {
-		t.Fatalf("All should run 16 experiments, got %d", len(results))
+	if len(results) != 17 {
+		t.Fatalf("All should run 17 experiments, got %d", len(results))
 	}
 	ids := map[string]bool{}
 	for _, r := range results {
@@ -197,7 +198,7 @@ func TestConfigsAndAll(t *testing.T) {
 			t.Errorf("String of %s malformed", r.ID)
 		}
 	}
-	for i := 1; i <= 16; i++ {
+	for i := 1; i <= 17; i++ {
 		if !ids["E"+strconv.Itoa(i)] {
 			t.Errorf("missing experiment E%d", i)
 		}

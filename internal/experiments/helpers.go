@@ -60,6 +60,10 @@ type Config struct {
 	// oracle for every planned evaluation (the incbench -columnar flag).
 	Columnar engine.ColumnarSetting
 
+	// Coded selects the dictionary-coded execution tier or the columnar
+	// oracle for every planned evaluation (the incbench -coded flag).
+	Coded engine.CodedSetting
+
 	E1Sizes        []int
 	E1NullRates    []float64
 	E2Sizes        []int
@@ -86,6 +90,8 @@ type Config struct {
 	E15AsOf        int
 	E16Rows        int
 	E16Workers     []int
+	E17Items       int
+	E17Workers     []int
 }
 
 // QuickConfig keeps every experiment under a few seconds; it is the default
@@ -118,6 +124,8 @@ func QuickConfig() Config {
 		E15AsOf:        150,
 		E16Rows:        4000,
 		E16Workers:     []int{1, 2, 4, 8},
+		E17Items:       4000,
+		E17Workers:     []int{1, 2, 4},
 	}
 }
 
@@ -151,6 +159,8 @@ func FullConfig() Config {
 		E15AsOf:        1000,
 		E16Rows:        20000,
 		E16Workers:     []int{1, 2, 4, 8},
+		E17Items:       20000,
+		E17Workers:     []int{1, 2, 4, 8},
 	}
 }
 
@@ -162,7 +172,7 @@ func All(cfg Config) []Result { return Run(cfg, nil) }
 // order through a Harness with the config's evaluation settings, stamping
 // each result with its wall-clock duration.
 func Run(cfg Config, ids map[string]bool) []Result {
-	h := Harness{Planner: cfg.Planner, Workers: cfg.Workers, Columnar: cfg.Columnar}
+	h := Harness{Planner: cfg.Planner, Workers: cfg.Workers, Columnar: cfg.Columnar, Coded: cfg.Coded}
 	runs := []struct {
 		id  string
 		run func() Result
@@ -185,6 +195,7 @@ func Run(cfg Config, ids map[string]bool) []Result {
 			return h.E15VersionHistory(cfg.E15Commits, cfg.E15Batch, cfg.E15Checkpoints, cfg.E15AsOf)
 		}},
 		{"E16", func() Result { return h.E16ParallelScaling(cfg.E16Rows, cfg.E16Workers) }},
+		{"E17", func() Result { return h.E17CodedStrings(cfg.E17Items, cfg.E17Workers) }},
 	}
 	var out []Result
 	for _, r := range runs {

@@ -1,0 +1,246 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incdata/internal/ra"
+	"incdata/internal/table"
+	"incdata/internal/value"
+)
+
+// mustSameCoded asserts the coded path is bit-identical to both of its
+// oracles — the columnar path and the per-tuple row path — for raw and
+// certain evaluation under the given worker budget.
+func mustSameCoded(t *testing.T, q ra.Expr, d *table.Database, workers int, label string) {
+	t.Helper()
+	p, err := Compile(q, d.Schema())
+	if err != nil {
+		return // compile rejections are covered by the serial differential
+	}
+	configs := []struct {
+		name string
+		cfg  EvalConfig
+	}{
+		{"row", EvalConfig{Workers: workers}},
+		{"columnar", EvalConfig{Workers: workers, Columnar: true}},
+		{"coded", EvalConfig{Workers: workers, Columnar: true, Coded: true}},
+	}
+	type outcome struct {
+		key string
+		str string
+		err error
+	}
+	raw := make([]outcome, len(configs))
+	cert := make([]outcome, len(configs))
+	for i, c := range configs {
+		if r, err := p.EvalWith(d, c.cfg); err != nil {
+			raw[i] = outcome{err: err}
+		} else {
+			raw[i] = outcome{key: r.CanonicalKey(), str: r.String()}
+		}
+		if r, err := p.EvalCertainWith(d, c.cfg); err != nil {
+			cert[i] = outcome{err: err}
+		} else {
+			cert[i] = outcome{key: r.CanonicalKey(), str: r.String()}
+		}
+	}
+	for i := 1; i < len(configs); i++ {
+		if (raw[0].err == nil) != (raw[i].err == nil) {
+			t.Fatalf("%s: error mismatch for %s (workers=%d): row %v, %s %v",
+				label, q, workers, raw[0].err, configs[i].name, raw[i].err)
+		}
+		if raw[0].err == nil && raw[i].key != raw[0].key {
+			t.Fatalf("%s: EvalWith %s differs for %s (workers=%d)\n%s: %s\nrow: %s\nplan:\n%s",
+				label, configs[i].name, q, workers, configs[i].name, raw[i].str, raw[0].str, p.Describe())
+		}
+		if (cert[0].err == nil) != (cert[i].err == nil) {
+			t.Fatalf("%s: certain error mismatch for %s (workers=%d): row %v, %s %v",
+				label, q, workers, cert[0].err, configs[i].name, cert[i].err)
+		}
+		if cert[0].err == nil && cert[i].key != cert[0].key {
+			t.Fatalf("%s: EvalCertainWith %s differs for %s (workers=%d)\n%s: %s\nrow: %s\nplan:\n%s",
+				label, configs[i].name, q, workers, configs[i].name, cert[i].str, cert[0].str, p.Describe())
+		}
+	}
+}
+
+// codedFuzzDB builds a small random incomplete database mixing the three
+// value kinds — dictionary-coded strings alongside directly coded ints
+// and tagged nulls — so the fuzz corpus crosses kind boundaries inside
+// single columns.
+func codedFuzzDB(seed int64) *table.Database {
+	rnd := rand.New(rand.NewSource(seed))
+	d := table.NewDatabase(fuzzSchema())
+	for _, name := range []string{"R", "S", "T"} {
+		for i := 0; i < 8; i++ {
+			t := make(table.Tuple, 2)
+			for j := range t {
+				switch rnd.Intn(5) {
+				case 0:
+					t[j] = value.Null(uint64(rnd.Intn(3) + 1))
+				case 1, 2:
+					t[j] = value.String(fmt.Sprintf("s%d", rnd.Intn(4)))
+				default:
+					t[j] = value.Int(int64(rnd.Intn(4)))
+				}
+			}
+			d.MustAdd(name, t)
+		}
+	}
+	return d
+}
+
+// hugeNullDB is fuzzDB with one null outside the code space (id ≥ 2^62)
+// planted in every relation, so every coded subtree must detect the
+// unencodable relation and fall back — while still answering correctly.
+func hugeNullDB(seed int64) *table.Database {
+	d := fuzzDB(seed)
+	for _, name := range []string{"R", "S", "T"} {
+		d.MustAdd(name, table.NewTuple(value.Null(uint64(1)<<62), value.Int(1)))
+	}
+	return d
+}
+
+// TestCodedMatchesRowFuzz pins the coded path bit-identical to the
+// columnar and row paths across the full random operator corpus, crossed
+// with serial and parallel evaluation and with databases of pure-int,
+// mixed-kind, and unencodable (huge null id) values — the last forcing
+// the eligibility fallback on every plan.
+func TestCodedMatchesRowFuzz(t *testing.T) {
+	withParallelCutoff(t, 1)
+	trials := 400
+	if testing.Short() {
+		trials = 60
+	}
+	s := fuzzSchema()
+	for i := 0; i < trials; i++ {
+		g := &exprGen{rnd: rand.New(rand.NewSource(int64(5000 + i))), s: s}
+		q := g.expr(3)
+		var d *table.Database
+		switch i % 3 {
+		case 0:
+			d = fuzzDB(int64(i % 7))
+		case 1:
+			d = codedFuzzDB(int64(i % 7))
+		default:
+			d = hugeNullDB(int64(i % 7))
+		}
+		for _, workers := range []int{1, 2, 4} {
+			mustSameCoded(t, q, d, workers, "fuzz")
+		}
+	}
+}
+
+// largeStringDB is largeDB with string-dominated columns: the workload
+// the coded tier exists for, where the row and columnar paths pay for
+// per-value string hashing and key encoding.
+func largeStringDB(tuples int, seed int64) *table.Database {
+	rnd := rand.New(rand.NewSource(seed))
+	d := table.NewDatabase(fuzzSchema())
+	for _, name := range []string{"R", "S", "T"} {
+		for i := 0; i < tuples; i++ {
+			t := make(table.Tuple, 2)
+			for j := range t {
+				if rnd.Intn(50) == 0 {
+					t[j] = value.Null(uint64(rnd.Intn(3) + 1))
+				} else {
+					t[j] = value.String(fmt.Sprintf("key-%03d", rnd.Intn(40)))
+				}
+			}
+			d.MustAdd(name, t)
+		}
+	}
+	return d
+}
+
+// TestCodedLargeJoin exercises the coded kernels at the production
+// cutoff on string-heavy relations big enough to fill many chunks and
+// take the partitioned-join path: coded partition indexes, coded
+// select-joins over dictionary codes, coded diffs, and a union mixing an
+// eligible branch with a row-path branch.
+func TestCodedLargeJoin(t *testing.T) {
+	d := largeStringDB(1500, 17)
+	queries := map[string]ra.Expr{
+		"join": ra.Project{
+			Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")},
+			Attrs: []string{"a", "c"},
+		},
+		"select-join": ra.Select{
+			Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")},
+			Pred:  ra.Neq(ra.Attr("a"), ra.Attr("c")),
+		},
+		"project-diff": ra.Diff{
+			Left:  ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}},
+			Right: ra.Project{Input: ra.Base("T"), Attrs: []string{"a"}},
+		},
+		"union-mixed": ra.Union{
+			Left:  ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a"}},
+			Right: ra.Project{Input: ra.Base("T"), Attrs: []string{"a"}},
+		},
+	}
+	for name, q := range queries {
+		for _, workers := range []int{1, 2, 4, 8} {
+			mustSameCoded(t, q, d, workers, name)
+		}
+	}
+}
+
+// TestCodedEligible pins the coded eligibility gate: the structural
+// colEligible shape is required, and beyond it every base relation the
+// subtree reads must encode cleanly — a single value outside the code
+// space (a null with id ≥ 2^62) disqualifies the subtree.
+func TestCodedEligible(t *testing.T) {
+	join := ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}
+	proj := ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}}
+
+	check := func(d *table.Database, q ra.Expr, want bool, label string) {
+		t.Helper()
+		p, err := Compile(q, d.Schema())
+		if err != nil {
+			t.Fatalf("%s: compile %s: %v", label, q, err)
+		}
+		c := newPctx(d, EvalConfig{Columnar: true, Coded: true}, nil)
+		if got := codedEligible(p.root, c); got != want {
+			t.Errorf("%s: codedEligible(%s) = %v, want %v\nplan:\n%s", label, q, got, want, p.Describe())
+		}
+	}
+
+	clean := codedFuzzDB(1)
+	check(clean, ra.Base("R"), false, "clean") // not colEligible: adoption is free on the row path
+	check(clean, proj, true, "clean")
+	check(clean, join, true, "clean")
+
+	huge := hugeNullDB(1)
+	check(huge, proj, false, "huge-null")
+	check(huge, join, false, "huge-null")
+
+	// The gate is per-relation: a subtree reading only clean relations
+	// stays eligible even when another relation of the database does not
+	// encode.
+	partial := codedFuzzDB(2)
+	partial.MustAdd("T", table.NewTuple(value.Null(uint64(1)<<62), value.Int(1)))
+	check(partial, join, true, "partial")
+	check(partial, ra.Project{Input: ra.Base("T"), Attrs: []string{"a"}}, false, "partial")
+}
+
+// TestCodedFallbackMidDictionary pins correctness when predicate
+// constants miss the dictionary: a filter comparing against a string the
+// database never mentions must keep nothing on =, everything on ≠, on
+// every path.
+func TestCodedFallbackMidDictionary(t *testing.T) {
+	d := largeStringDB(600, 23)
+	absent := ra.Select{
+		Input: ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}},
+		Pred:  ra.Eq(ra.Attr("a"), ra.LitString("never-in-db")),
+	}
+	absentNeq := ra.Select{
+		Input: ra.Project{Input: ra.Base("R"), Attrs: []string{"a"}},
+		Pred:  ra.Neq(ra.Attr("a"), ra.LitString("never-in-db")),
+	}
+	for _, workers := range []int{1, 4} {
+		mustSameCoded(t, absent, d, workers, "absent-eq")
+		mustSameCoded(t, absentNeq, d, workers, "absent-neq")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"incdata/internal/ra"
 	"incdata/internal/schema"
 	"incdata/internal/table"
+	"incdata/internal/value"
 )
 
 // Physical operators.  A pnode streams its result tuples to a consumer
@@ -27,11 +28,16 @@ type pctx struct {
 	columnar bool      // use the vectorized path where eligible (colexec.go)
 	selPool  [][]int32 // recycled selection vectors for vectorized kernels
 
-	shared     *sharedEval   // prepare-phase materializations shared by workers
-	morselFor  *pscan        // scan whose tuples come from morsel, not the relation
-	morsel     []table.Tuple // the worker's current morsel of morselFor
-	partIdxFor *pjoin        // join probing a per-partition build index
-	partIdx    *table.Index  // the partition's index, matching the worker's morsel
+	coded    bool          // use the coded path where eligible (codedexec.go)
+	dict     *table.Dict   // the database's value dictionary; nil disables coded
+	dictVals []value.Value // lock-free decode snapshot, refreshed on demand
+
+	shared     *sharedEval       // prepare-phase materializations shared by workers
+	morselFor  *pscan            // scan whose tuples come from morsel, not the relation
+	morsel     []table.Tuple     // the worker's current morsel of morselFor
+	partIdxFor *pjoin            // join probing a per-partition build index
+	partIdx    *table.Index      // the partition's index, matching the worker's morsel
+	partCoded  *table.CodedIndex // coded twin of partIdx; nil → the coded join bridges
 }
 
 // getSel hands out a selection-vector buffer from the context pool,
@@ -98,7 +104,7 @@ func materialize(n pnode, c *pctx) (*table.Relation, error) {
 		}
 	}
 	out := table.NewRelation(n.out())
-	if err := materializeInto(n, c, false, out); err != nil {
+	if err := materializeIntoAdopt(n, c, false, true, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -136,12 +142,13 @@ func (n *pempty) out() schema.Relation                       { return n.rs }
 func (n *pempty) stream(*pctx, func(table.Tuple) bool) error { return nil }
 
 // pfilter applies a compiled predicate.  vpred is the vectorized twin of
-// pred, used by the columnar path (colexec.go); nil when the predicate
-// has no vectorized form.
+// pred, used by the columnar path (colexec.go), and kpred the coded twin
+// (codedexec.go); each is nil when the predicate has no such form.
 type pfilter struct {
 	in    pnode
 	pred  cpred
 	vpred vpred
+	kpred kpred
 }
 
 func (n *pfilter) out() schema.Relation { return n.in.out() }
@@ -163,6 +170,7 @@ type pproject struct {
 	in    pnode
 	pred  cpred // may be nil
 	vpred vpred
+	kpred kpred
 	idx   []int
 	rs    schema.Relation
 }
@@ -306,6 +314,7 @@ type pdiff struct {
 	lproj  []int // nil: compare l's tuples whole
 	lpred  cpred // optional filter fused from a projected selection
 	lvpred vpred // vectorized twin of lpred for the columnar path
+	lkpred kpred // coded twin of lpred for the coded path
 	r      pnode
 	rproj  []int
 	rpred  cpred
@@ -403,20 +412,20 @@ func (n *pdiff) stream(c *pctx, emit func(table.Tuple) bool) error {
 
 // fusedDiff builds a pdiff, fusing projections below both sides.
 func fusedDiff(l, r pnode, negate bool, rs schema.Relation) *pdiff {
-	lsrc, lproj, lpred, lvpred := fuseDiffSide(l)
-	rsrc, rproj, rpred, _ := fuseDiffSide(r)
+	lsrc, lproj, lpred, lvpred, lkpred := fuseDiffSide(l)
+	rsrc, rproj, rpred, _, _ := fuseDiffSide(r)
 	return &pdiff{
-		l: lsrc, lproj: lproj, lpred: lpred, lvpred: lvpred,
+		l: lsrc, lproj: lproj, lpred: lpred, lvpred: lvpred, lkpred: lkpred,
 		r: rsrc, rproj: rproj, rpred: rpred,
 		negate: negate, rs: rs,
 	}
 }
 
 // fuseDiffSide peels renames and a pure projection (with its fused
-// pre-filter, in both row and vectorized forms) off a diff/intersect
+// pre-filter, in row, vectorized and coded forms) off a diff/intersect
 // input so pdiff can compare keys without materializing the projected
 // tuples.  Renames do not change tuples, so they vanish entirely.
-func fuseDiffSide(n pnode) (src pnode, proj []int, pred cpred, vp vpred) {
+func fuseDiffSide(n pnode) (src pnode, proj []int, pred cpred, vp vpred, kp kpred) {
 	for {
 		if ps, ok := n.(*pschema); ok {
 			n = ps.in
@@ -425,9 +434,9 @@ func fuseDiffSide(n pnode) (src pnode, proj []int, pred cpred, vp vpred) {
 		break
 	}
 	if pp, ok := n.(*pproject); ok {
-		return pp.in, pp.idx, pp.pred, pp.vpred
+		return pp.in, pp.idx, pp.pred, pp.vpred, pp.kpred
 	}
-	return n, nil, nil, nil
+	return n, nil, nil, nil, nil
 }
 
 // pdivision is relational division over materialized inputs (a pipeline

@@ -53,6 +53,9 @@ const morselFanout = 4
 type sharedEval struct {
 	mats     map[pnode]*table.Relation
 	contains map[*pdiff]func([]byte) bool
+	// codedContains holds the coded twins of contains, built during
+	// prepare for diffs whose right side has a coded form.
+	codedContains map[*pdiff]codedContains
 }
 
 // EvalWorkers evaluates the plan on a pool of workers (on the columnar
@@ -61,14 +64,14 @@ type sharedEval struct {
 // roots), and driving relations smaller than the parallel cutoff all
 // fall back to the serial path.
 func (p *Plan) EvalWorkers(db ra.DB, workers int) (*table.Relation, error) {
-	return p.EvalWith(db, EvalConfig{Workers: workers, Columnar: true})
+	return p.EvalWith(db, EvalConfig{Workers: workers, Columnar: true, Coded: true})
 }
 
 // EvalCertainWorkers is EvalWorkers with the null-stripping of
 // certain-answer extraction fused into each worker's materialization; the
 // result is bit-identical to EvalCertain's.
 func (p *Plan) EvalCertainWorkers(db ra.DB, workers int) (*table.Relation, error) {
-	return p.EvalCertainWith(db, EvalConfig{Workers: workers, Columnar: true})
+	return p.EvalCertainWith(db, EvalConfig{Workers: workers, Columnar: true, Coded: true})
 }
 
 // parallelizable reports whether any union branch of the plan has a
@@ -131,10 +134,11 @@ func drivingChain(root pnode) (scan *pscan, partJoin *pjoin) {
 // prepare phase.
 func runParallel(root pnode, db ra.DB, cfg EvalConfig, certainOnly bool, out *table.Relation) error {
 	shared := &sharedEval{
-		mats:     make(map[pnode]*table.Relation),
-		contains: make(map[*pdiff]func([]byte) bool),
+		mats:          make(map[pnode]*table.Relation),
+		contains:      make(map[*pdiff]func([]byte) bool),
+		codedContains: make(map[*pdiff]codedContains),
 	}
-	c0 := &pctx{db: db, columnar: cfg.Columnar, shared: shared}
+	c0 := newPctx(db, cfg, shared)
 
 	branches := unionBranches(root, nil)
 	type branchRun struct {
@@ -191,6 +195,15 @@ func unionBranches(n pnode, acc []pnode) []pnode {
 // key-set probes, and division inputs.
 func prepareShared(n pnode, c *pctx, partJoin *pjoin) error {
 	switch x := n.(type) {
+	case *pscan:
+		if c.coded {
+			// Build (and cache) the scan's encoding once, single-threaded,
+			// instead of racing duplicate builds across workers.
+			if rel := c.db.Relation(x.name); rel != nil {
+				rel.Encoding(c.dict)
+			}
+		}
+		return nil
 	case *pfilter:
 		return prepareShared(x.in, c, partJoin)
 	case *pproject:
@@ -212,6 +225,11 @@ func prepareShared(n pnode, c *pctx, partJoin *pjoin) error {
 		}
 		if x != partJoin {
 			rel.Index(x.rpos) // built once here, probed by every worker
+			if c.coded {
+				if enc := rel.Encoding(c.dict); enc.Ok() {
+					enc.Index(x.rpos)
+				}
+			}
 		}
 		return nil
 	case *pproduct:
@@ -229,6 +247,15 @@ func prepareShared(n pnode, c *pctx, partJoin *pjoin) error {
 			return err
 		}
 		c.shared.contains[x] = f
+		if c.coded {
+			cf, err := x.codedContainsFn(c)
+			if err != nil {
+				return err
+			}
+			if cf != nil {
+				c.shared.codedContains[x] = cf
+			}
+		}
 		return nil
 	case *pdivision:
 		if _, err := shareMat(x.l, c); err != nil {
@@ -276,6 +303,14 @@ func runBranch(root pnode, scan *pscan, join *pjoin, rel *table.Relation, db ra.
 		lp = rel.Partition(nil, parts)
 	}
 
+	// Resolve the branch's coded eligibility once: per-partition coded
+	// indexes are only worth building when the branch will run coded.
+	codedBranch := false
+	if join != nil {
+		probe := newPctx(db, cfg, shared)
+		codedBranch = codedEligible(root, probe)
+	}
+
 	locals := make([]*table.Relation, workers)
 	errs := make([]error, workers)
 	var next atomic.Int64
@@ -286,7 +321,8 @@ func runBranch(root pnode, scan *pscan, join *pjoin, rel *table.Relation, db ra.
 			defer wg.Done()
 			local := table.NewRelation(root.out())
 			locals[w] = local
-			c := &pctx{db: db, columnar: cfg.Columnar, shared: shared, morselFor: scan}
+			c := newPctx(db, cfg, shared)
+			c.morselFor = scan
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= parts {
@@ -298,6 +334,9 @@ func runBranch(root pnode, scan *pscan, join *pjoin, rel *table.Relation, db ra.
 				}
 				if join != nil {
 					c.partIdxFor, c.partIdx = join, rp.Index(i)
+					if codedBranch {
+						c.partCoded = rp.CodedIndex(i, c.dict)
+					}
 				}
 				if err := materializeInto(root, c, certainOnly, local); err != nil {
 					errs[w] = err

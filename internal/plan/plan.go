@@ -61,20 +61,48 @@ func (p *Plan) OutSchema() schema.Relation { return p.out }
 // EvalConfig selects the execution strategy of one evaluation: the
 // worker-pool size of the morsel-parallel path (Workers <= 1 is serial)
 // and whether eligible subtrees run on the vectorized columnar path
-// (colexec.go) instead of the per-tuple row path.  Every combination
-// produces bit-identical results; the row path is kept as the
-// differential oracle of the columnar one.
+// (colexec.go) or the coded path (codedexec.go) instead of the per-tuple
+// row path.  Every combination produces bit-identical results; the row
+// path is kept as the differential oracle of the columnar one, and the
+// columnar path as the oracle of the coded one.
 type EvalConfig struct {
 	// Workers is the worker-pool size; <= 1 evaluates serially.
 	Workers int
 	// Columnar enables the vectorized columnar path where eligible.
 	Columnar bool
+	// Coded enables the dictionary-coded path where eligible.  It only
+	// takes effect when the database exposes a value dictionary
+	// (table.Database does) and every base relation a subtree reads
+	// encodes cleanly; otherwise evaluation silently falls back to the
+	// columnar (or row) path, so enabling it is always safe.
+	Coded bool
 }
 
-// Eval evaluates the plan serially on the columnar path.  Like
+// dictProvider is implemented by databases carrying a value dictionary
+// (table.Database); the coded path keys its encodings against it.
+type dictProvider interface {
+	Dict() *table.Dict
+}
+
+// newPctx builds the evaluation context for one serial or worker run,
+// resolving the coded tier against the database's dictionary.
+func newPctx(db ra.DB, cfg EvalConfig, shared *sharedEval) *pctx {
+	c := &pctx{db: db, columnar: cfg.Columnar, shared: shared}
+	if cfg.Coded {
+		if dp, ok := db.(dictProvider); ok {
+			if d := dp.Dict(); d != nil {
+				c.coded = true
+				c.dict = d
+			}
+		}
+	}
+	return c
+}
+
+// Eval evaluates the plan serially on the coded/columnar path.  Like
 // ra.EvalDB, the result never aliases mutable state of the database.
 func (p *Plan) Eval(db ra.DB) (*table.Relation, error) {
-	return p.EvalWith(db, EvalConfig{Columnar: true})
+	return p.EvalWith(db, EvalConfig{Columnar: true, Coded: true})
 }
 
 // EvalWith evaluates the plan with the given execution configuration.
@@ -88,7 +116,7 @@ func (p *Plan) EvalWith(db ra.DB, cfg EvalConfig) (*table.Relation, error) {
 		}
 		return out, nil
 	}
-	c := &pctx{db: db, columnar: cfg.Columnar}
+	c := newPctx(db, cfg, nil)
 	rel, err := materialize(p.root, c)
 	if err != nil {
 		return nil, err
@@ -105,7 +133,7 @@ func (p *Plan) EvalWith(db ra.DB, cfg EvalConfig) (*table.Relation, error) {
 // unstripped answer is never stored.  The result equals
 // StripNulls(Eval(db)).
 func (p *Plan) EvalCertain(db ra.DB) (*table.Relation, error) {
-	return p.EvalCertainWith(db, EvalConfig{Columnar: true})
+	return p.EvalCertainWith(db, EvalConfig{Columnar: true, Coded: true})
 }
 
 // EvalCertainWith is EvalWith with the null-stripping of certain-answer
@@ -118,7 +146,7 @@ func (p *Plan) EvalCertainWith(db ra.DB, cfg EvalConfig) (*table.Relation, error
 		}
 		return out, nil
 	}
-	c := &pctx{db: db, columnar: cfg.Columnar}
+	c := newPctx(db, cfg, nil)
 	out := table.NewRelation(p.out)
 	if err := materializeInto(p.root, c, true, out); err != nil {
 		return nil, err
@@ -226,6 +254,7 @@ func compileNode(e ra.Expr, s *schema.Schema) (pnode, error) {
 		rs := in.out()
 		var cp cpred
 		var vp vpred
+		var kp kpred
 		if pred != nil {
 			cp, err = compilePred(pred, rs)
 			if err != nil {
@@ -235,12 +264,16 @@ func compileNode(e ra.Expr, s *schema.Schema) (pnode, error) {
 			if err != nil {
 				return nil, err
 			}
+			kp, err = compileKPred(pred, rs)
+			if err != nil {
+				return nil, err
+			}
 		}
 		idx, err := projectPositions(ex.Attrs, rs)
 		if err != nil {
 			return nil, err
 		}
-		return &pproject{in: in, pred: cp, vpred: vp, idx: idx,
+		return &pproject{in: in, pred: cp, vpred: vp, kpred: kp, idx: idx,
 			rs: schema.NewRelation("π("+rs.Name+")", ex.Attrs...)}, nil
 
 	case ra.Rename:
@@ -251,6 +284,17 @@ func compileNode(e ra.Expr, s *schema.Schema) (pnode, error) {
 		rs, err := ex.OutSchemaFromInput(in.out())
 		if err != nil {
 			return nil, err
+		}
+		// A rename only relabels.  Folding it into a base scan lets
+		// materialize return the base relation itself, so join build
+		// sides that are renamed scans keep the relation's cached
+		// indexes and coded sidecar instead of copying tuples per
+		// evaluation; folding into another pschema keeps chains flat.
+		switch x := in.(type) {
+		case *pscan:
+			return &pscan{name: x.name, rs: rs}, nil
+		case *pschema:
+			return &pschema{in: x.in, rs: rs}, nil
 		}
 		return &pschema{in: in, rs: rs}, nil
 
@@ -521,7 +565,11 @@ func wrapFilters(in pnode, preds []ra.Predicate, rs schema.Relation) (pnode, err
 		if err != nil {
 			return nil, err
 		}
-		node = &pfilter{in: node, pred: cp, vpred: vp}
+		kp, err := compileKPred(preds[i], rs)
+		if err != nil {
+			return nil, err
+		}
+		node = &pfilter{in: node, pred: cp, vpred: vp, kpred: kp}
 	}
 	return node, nil
 }

@@ -17,16 +17,31 @@ import (
 type Database struct {
 	schema *schema.Schema
 	rels   map[string]*Relation
+	// dict is the value dictionary of this database lineage: snapshots,
+	// clones and derived databases all share it, so coded-column codes
+	// stay comparable across them (see encode.go).
+	dict *Dict
 }
 
 // NewDatabase creates an empty database over the given schema.  Every
 // relation of the schema is initialised to the empty relation.
 func NewDatabase(s *schema.Schema) *Database {
-	d := &Database{schema: s, rels: make(map[string]*Relation, s.Len())}
+	d := &Database{schema: s, rels: make(map[string]*Relation, s.Len()), dict: NewDict()}
 	for _, rs := range s.Relations() {
 		d.rels[rs.Name] = NewRelation(rs)
 	}
 	return d
+}
+
+// Dict returns the database's value dictionary, shared across snapshots
+// and clones of the same lineage.  The coded execution tier keys its
+// per-relation encodings against it; a nil dictionary (possible only on
+// a zero-value Database) disables coded execution.
+func (d *Database) Dict() *Dict {
+	if d == nil {
+		return nil
+	}
+	return d.dict
 }
 
 // Schema returns the database schema.
@@ -123,7 +138,7 @@ func (d *Database) TotalTuples() int {
 
 // Clone returns a deep copy of the database.
 func (d *Database) Clone() *Database {
-	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels))}
+	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels)), dict: d.dict}
 	for n, r := range d.rels {
 		out.rels[n] = r.Clone()
 	}
@@ -143,8 +158,27 @@ func (d *Database) Clone() *Database {
 // view, not a fork: mutating it violates the isolation contract — use
 // Clone for a mutable copy.
 func (d *Database) Snapshot() *Database {
-	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels))}
+	return d.SnapshotReusing(nil)
+}
+
+// SnapshotReusing is Snapshot, except that relations whose content stamp
+// is unchanged since prev (a snapshot of an earlier state of the same
+// database) reuse prev's relation headers instead of fresh shares.
+// Headers own the lazily built derived caches — hash indexes,
+// partitionings, the coded sidecar — so with reuse a commit costs only
+// the mutated relations their caches instead of dropping every
+// relation's.  Safe because snapshots are read-only and stamps identify
+// content: an equal stamp means the header describes exactly the frozen
+// storage the new snapshot reads.  prev may be nil (plain Snapshot).
+func (d *Database) SnapshotReusing(prev *Database) *Database {
+	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels)), dict: d.dict}
 	for n, r := range d.rels {
+		if prev != nil {
+			if p, ok := prev.rels[n]; ok && p.Stamp() == r.Stamp() {
+				out.rels[n] = p
+				continue
+			}
+		}
 		out.rels[n] = r.share()
 	}
 	return out
@@ -239,7 +273,7 @@ func (d *Database) SortedConsts() []value.Value {
 
 // Map applies f to every value of every tuple in every relation.
 func (d *Database) Map(f func(value.Value) value.Value) *Database {
-	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels))}
+	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels)), dict: d.dict}
 	for n, r := range d.rels {
 		out.rels[n] = r.Map(f)
 	}
@@ -248,7 +282,7 @@ func (d *Database) Map(f func(value.Value) value.Value) *Database {
 
 // CompletePart returns the database keeping only null-free tuples.
 func (d *Database) CompletePart() *Database {
-	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels))}
+	out := &Database{schema: d.schema, rels: make(map[string]*Relation, len(d.rels)), dict: d.dict}
 	for n, r := range d.rels {
 		out.rels[n] = r.CompletePart()
 	}

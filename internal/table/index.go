@@ -115,13 +115,14 @@ func (r *Relation) buildIndex(positions []int) *Index {
 	return ix
 }
 
-// invalidateDerived drops all cached derived structures (hash indexes and
-// partitionings); every mutation path calls it.
+// invalidateDerived drops all cached derived structures (hash indexes,
+// partitionings and the coded sidecar); every mutation path calls it.
 func (r *Relation) invalidateDerived() {
 	if r.indexes.Load() != nil {
 		r.indexes.Store(nil)
 	}
 	r.invalidatePartitionings()
+	r.invalidateEncoding()
 }
 
 func samePositions(a, b []int) bool {

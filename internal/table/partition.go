@@ -26,7 +26,8 @@ type Partitioning struct {
 	positions []int // nil: round-robin morsel split, no key semantics
 	parts     int
 	buckets   [][]Tuple
-	indexes   []atomic.Pointer[Index] // per-bucket, built on first use
+	indexes   []atomic.Pointer[Index]       // per-bucket, built on first use
+	coded     []atomic.Pointer[codedBucket] // per-bucket coded indexes (see encode.go)
 }
 
 // Parts returns the number of buckets.
@@ -115,6 +116,7 @@ func (r *Relation) buildPartitioning(positions []int, parts int) *Partitioning {
 		parts:   parts,
 		buckets: make([][]Tuple, parts),
 		indexes: make([]atomic.Pointer[Index], parts),
+		coded:   make([]atomic.Pointer[codedBucket], parts),
 	}
 	if positions != nil {
 		p.positions = append([]int(nil), positions...)

@@ -27,6 +27,9 @@ type Relation struct {
 	shared     atomic.Bool                     // tuple map shared with another Relation
 	indexes    atomic.Pointer[[]*Index]        // lazily built hash indexes (see index.go)
 	partitions atomic.Pointer[[]*Partitioning] // lazily built hash partitionings (see partition.go)
+	encoding   atomic.Pointer[Encoding]        // lazily built coded sidecar (see encode.go)
+	encChurn   atomic.Uint32                   // encodings invalidated before any reuse (see encode.go)
+	encProbe   atomic.Uint32                   // declined-encoding request counter (see encode.go)
 	version    uint64                          // bumped on every mutation (plan-cache validation)
 	gen        uint64                          // storage generation, see Stamp
 	rec        *recorder                       // delta capture hook, nil unless tracked (see delta.go)
@@ -139,6 +142,12 @@ func (r *Relation) share() *Relation {
 	r.shared.Store(true)
 	out := &Relation{schema: r.schema, tuples: r.tuples, version: r.version, gen: r.gen}
 	out.shared.Store(true)
+	// The share reads the same frozen storage at the same stamp, so the
+	// coded sidecar — stamp- and dictionary-validated on every use —
+	// stays valid; carry it (and the churn score that rations its
+	// rebuilds) instead of re-interning the relation on the other side.
+	out.encoding.Store(r.encoding.Load())
+	out.encChurn.Store(r.encChurn.Load())
 	return out
 }
 

@@ -1,0 +1,101 @@
+// Code space: a dense uint64 encoding of values used by the coded
+// (monomorphic) execution tier.  Certain-answer semantics never depends
+// on the *type* of a constant — only on constant-vs-null identity and
+// equality — so kernels may trade the 32-byte Value struct for one
+// machine word as long as code equality coincides with Value equality.
+//
+// Layout (two tag bits at the top):
+//
+//	00 / 01  in-range integer i ∈ [-2^62, 2^62), biased: code = i + 2^62.
+//	         The top bit is 0 exactly for these codes, and the bias is
+//	         order-preserving, so two integer codes compare like the
+//	         integers themselves.
+//	10       dictionary entry: the low 62 bits index a per-database
+//	         dictionary (strings, and the astronomically rare integers
+//	         outside the direct range).
+//	11       marked null ⊥id with id < 2^62: code = nullTag | id.
+//
+// The dictionary (internal/table.Dict) interns each distinct value at
+// most once, so within one database lineage code equality ⟺ Value
+// equality across every relation sharing the dictionary.  Nulls are
+// never interned — CodeIsNull is a pure tag test.
+package value
+
+// Code-space tags and limits.  codePayloadBits is the width of the
+// payload under the two tag bits.
+const (
+	codePayloadBits = 62
+	// CodePayloadLimit bounds dictionary indexes and directly
+	// encodable null ids: payloads are < 2^62.
+	CodePayloadLimit = uint64(1) << codePayloadBits
+	codePayloadMask  = CodePayloadLimit - 1
+	codeIntBias      = int64(1) << codePayloadBits // maps [-2^62, 2^62) onto [0, 2^63)
+	codeDictTag      = uint64(2) << codePayloadBits
+	codeNullTag      = uint64(3) << codePayloadBits
+)
+
+// EncodeDirect encodes the values that need no dictionary: integers in
+// [-2^62, 2^62) and nulls with id < 2^62.  It reports false for strings,
+// out-of-range integers (both of which the dictionary handles) and for
+// null ids at or above 2^62 (which make the whole relation uncodable —
+// nulls must never enter the dictionary or CodeIsNull would lie).
+func EncodeDirect(v Value) (uint64, bool) {
+	switch v.kind {
+	case KindInt:
+		if v.i >= -codeIntBias && v.i < codeIntBias {
+			return uint64(v.i + codeIntBias), true
+		}
+	case KindNull:
+		if uint64(v.i) < CodePayloadLimit {
+			return codeNullTag | uint64(v.i), true
+		}
+	}
+	return 0, false
+}
+
+// DecodeDirect inverts EncodeDirect for integer and null codes; it
+// reports false for dictionary codes, whose payload only the dictionary
+// can resolve.
+func DecodeDirect(code uint64) (Value, bool) {
+	switch {
+	case code < codeDictTag: // top bit 0: biased integer
+		return Int(int64(code) - codeIntBias), true
+	case code >= codeNullTag:
+		return Null(code & codePayloadMask), true
+	default:
+		return Value{}, false
+	}
+}
+
+// CodeIsNull reports whether code encodes a null.  It is exact: nulls
+// are never interned in a dictionary, so the tag test suffices.
+func CodeIsNull(code uint64) bool { return code >= codeNullTag }
+
+// CodeIsInt reports whether code is a directly encoded integer, in
+// which case two such codes compare like the integers they encode.
+func CodeIsInt(code uint64) bool { return code < codeDictTag }
+
+// DictCode tags a dictionary index as a code.  The index must be below
+// CodePayloadLimit.
+func DictCode(index uint64) uint64 { return codeDictTag | index }
+
+// DictIndex extracts the dictionary index from a dictionary code.
+func DictIndex(code uint64) uint64 { return code & codePayloadMask }
+
+// HashCode folds one code into a running 64-bit hash h (seed
+// CodeHashSeed): a splitmix-style mix of the code, then an FNV step.
+// The coded join build and probe sides and the coded dedup sets must
+// all use exactly this function so their hashes agree.
+func HashCode(h, code uint64) uint64 {
+	code *= 0x9E3779B97F4A7C15
+	code ^= code >> 29
+	code *= 0xBF58476D1CE4E5B9
+	code ^= code >> 32
+	h ^= code
+	h *= 1099511628211
+	return h
+}
+
+// CodeHashSeed is the initial hash value for HashCode chains (the
+// FNV-1a offset basis, matching the binary-key hash of the partitioner).
+const CodeHashSeed = uint64(14695981039346656037)

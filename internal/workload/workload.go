@@ -129,6 +129,58 @@ func Random(cfg RandomConfig) *table.Database {
 	return d
 }
 
+// CatalogConfig parameterises the string-heavy catalog generator: every
+// attribute is a string drawn from a skewed label pool (with occasional
+// marked nulls), the workload shape the dictionary-coded execution tier
+// targets — the int-dominated Random generator never exercises the
+// dictionary, since in-range integers embed directly in the code space.
+type CatalogConfig struct {
+	// Items is the number of Item tuples; Tagged gets 2×Items tuples.
+	Items int
+	// Categories is the number of distinct category labels.
+	Categories int
+	// Tags is the number of distinct tag labels.
+	Tags int
+	// Nulls is the number of distinct marked nulls; 0 disables nulls.
+	Nulls int
+	// NullRate is the probability that a category or tag is a null.
+	NullRate float64
+	// Seed makes the instance reproducible.
+	Seed int64
+}
+
+// CatalogSchema returns Item(sku, category) and Tagged(sku, tag).
+func CatalogSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.NewRelation("Item", "sku", "category"),
+		schema.NewRelation("Tagged", "sku", "tag"),
+	)
+}
+
+// Catalog generates a string-heavy item/tag database.  SKUs repeat across
+// Item and Tagged (join keys), and categories and tags are drawn from
+// small label pools, so projected joins deduplicate heavily — the
+// set-semantics shape the coded gather path is optimised for.
+func Catalog(cfg CatalogConfig) *table.Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := table.NewDatabase(CatalogSchema())
+	pick := func(kind string, n int) value.Value {
+		if cfg.Nulls > 0 && rng.Float64() < cfg.NullRate {
+			return value.Null(uint64(1 + rng.Intn(cfg.Nulls)))
+		}
+		return value.String(fmt.Sprintf("%s-%d", kind, rng.Intn(n)))
+	}
+	for i := 0; i < cfg.Items; i++ {
+		sku := value.String(fmt.Sprintf("sku-%06d", i))
+		d.MustAdd("Item", table.NewTuple(sku, pick("cat", cfg.Categories)))
+	}
+	for i := 0; i < 2*cfg.Items; i++ {
+		sku := value.String(fmt.Sprintf("sku-%06d", rng.Intn(cfg.Items)))
+		d.MustAdd("Tagged", table.NewTuple(sku, pick("tag", cfg.Tags)))
+	}
+	return d
+}
+
 // EnrollConfig parameterises the enrolment generator used by the division
 // experiments (E9).
 type EnrollConfig struct {
