@@ -1,5 +1,5 @@
 // Package incdata's root-level benchmarks: one Benchmark per reproduction
-// experiment (E1–E16, see the "Experiments" section of README.md).  Each benchmark
+// experiment (E1–E18, see the "Experiments" section of README.md).  Each benchmark
 // re-runs the corresponding experiment's workload at a representative
 // parameter point; cmd/incbench prints the full sweeps as tables.
 package incdata_test
@@ -476,5 +476,25 @@ func BenchmarkE17CodedStrings(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkE18ServerThroughput measures the network server end to end at
+// one representative point: two concurrent client sessions firing the
+// E18 mixed request stream (queries, updates with commits, ASOF
+// time-travel) at a server over real TCP with a subscriber attached.
+// The benchmark fails if the remote head answer stops being
+// bit-identical to in-process evaluation — throughput that drifts from
+// the oracle is not throughput.
+func BenchmarkE18ServerThroughput(b *testing.B) {
+	h := experiments.Harness{}
+	for i := 0; i < b.N; i++ {
+		res := h.E18ServerThroughput(800, []int{2}, 100)
+		if len(res.Rows) != 1 {
+			b.Fatalf("rows: %v", res.Rows)
+		}
+		if agree := res.Rows[0][len(res.Rows[0])-1]; agree != "true" {
+			b.Fatalf("remote answer diverged from in-process evaluation: %v", res.Rows[0])
+		}
 	}
 }

@@ -1,4 +1,4 @@
-// Command incbench runs the reproduction experiments E1–E17 (see the
+// Command incbench runs the reproduction experiments E1–E18 (see the
 // "Experiments" section of README.md) through the engine facade and prints
 // one text table per experiment, or a single machine-readable JSON
 // document with -json so that successive runs can be archived
@@ -22,7 +22,10 @@
 // stream; E16 sweeps the intra-query worker budget
 // (engine.Options.Workers, the -workers flag) over morsel-parallel
 // evaluation; E17 measures the coded tier against the columnar path on a
-// string-heavy workload.  With -json the report records GOMAXPROCS, the CPU count and
+// string-heavy workload; E18 measures the multi-session network server
+// (internal/server) end to end — concurrent client fleets over real TCP,
+// with remote answers pinned bit-identical to in-process evaluation.
+// With -json the report records GOMAXPROCS, the CPU count and
 // the -workers setting, so archived speedups stay interpretable across
 // hosts.
 //

@@ -27,10 +27,21 @@
 //
 // Commits are referenced by id, unique id prefix, or directory name.
 //
+// # Remote mode
+//
+// With -connect the query is evaluated by a running incserver instead of
+// local data: the CLI becomes one session of the multi-session server,
+// and -as-of pins that session to a historical commit of the server's
+// history before evaluating.  -data, -log and -diff do not apply:
+//
+//	incq -connect 127.0.0.1:7070 -mode certain 'project(Order; o_id)'
+//	incq -connect 127.0.0.1:7070 -as-of v2 'project(Order; o_id)'
+//
 // Exit codes distinguish failure classes: 2 for parse errors (bad flags,
-// unknown mode, malformed query, malformed -diff spec), 1 for data and
-// evaluation errors (including unknown commit references and history flags
-// on an unversioned directory).
+// unknown mode, malformed query, malformed -diff spec — locally or as
+// classified by the server), 1 for data and evaluation errors (including
+// unknown commit references, history flags on an unversioned directory,
+// and server-side evaluation or admission failures).
 //
 // Example:
 //
@@ -43,16 +54,15 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"runtime"
-	"slices"
-	"sort"
 	"strings"
 
-	"incdata/internal/csvio"
+	"incdata/internal/dataload"
 	"incdata/internal/engine"
 	"incdata/internal/queryparse"
 	"incdata/internal/ra"
+	"incdata/internal/server/client"
+	"incdata/internal/server/wire"
 	"incdata/internal/table"
 	"incdata/internal/version"
 )
@@ -80,78 +90,6 @@ func main() {
 	}
 }
 
-// versionDirs returns the subdirectories of dir that contain CSV files, in
-// sorted (commit) order; an empty result means the directory is a plain
-// single-state layout.  A directory with top-level CSV files is always
-// treated as a plain layout — a stray CSV-bearing subdirectory (a backup,
-// say) must not silently hijack an existing flat data directory.
-func versionDirs(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var out []string
-	for _, e := range entries {
-		if !e.IsDir() {
-			if strings.HasSuffix(e.Name(), ".csv") {
-				return nil, nil
-			}
-			continue
-		}
-		sub, err := os.ReadDir(filepath.Join(dir, e.Name()))
-		if err != nil {
-			return nil, err
-		}
-		for _, f := range sub {
-			if !f.IsDir() && strings.HasSuffix(f.Name(), ".csv") {
-				out = append(out, e.Name())
-				break
-			}
-		}
-	}
-	sort.Strings(out)
-	return out, nil
-}
-
-// loadVersioned builds an engine whose history holds one commit per state
-// subdirectory: the first state is the root, every later one commits its
-// net tuple diff under the directory's name.
-func loadVersioned(dir string, vers []string) (*engine.Engine, error) {
-	db, err := csvio.ReadDatabaseDir(filepath.Join(dir, vers[0]))
-	if err != nil {
-		return nil, fmt.Errorf("state %s: %w", vers[0], err)
-	}
-	eng := engine.New(db)
-	if _, err := eng.EnableHistory(engine.HistoryOptions{Message: vers[0]}); err != nil {
-		return nil, err
-	}
-	names := db.RelationNames()
-	for _, v := range vers[1:] {
-		next, err := csvio.ReadDatabaseDir(filepath.Join(dir, v))
-		if err != nil {
-			return nil, fmt.Errorf("state %s: %w", v, err)
-		}
-		if !slices.Equal(next.RelationNames(), names) {
-			return nil, fmt.Errorf("state %s: relations %v, want %v (every state must cover the same relations)",
-				v, next.RelationNames(), names)
-		}
-		if err := eng.Update(func(live *table.Database) error {
-			for _, name := range names {
-				if err := live.SetRelation(name, next.Relation(name)); err != nil {
-					return err
-				}
-			}
-			return nil
-		}); err != nil {
-			return nil, fmt.Errorf("state %s: %w", v, err)
-		}
-		if _, err := eng.Commit(v); err != nil {
-			return nil, fmt.Errorf("state %s: %w", v, err)
-		}
-	}
-	return eng, nil
-}
-
 func run(args []string) error {
 	fs := flag.NewFlagSet("incq", flag.ContinueOnError)
 	fs.SetOutput(io.Discard) // errors are reported (and classified) by main
@@ -162,6 +100,7 @@ func run(args []string) error {
 	maxWorlds := fs.Int("max-worlds", 1<<20, "abort world enumeration when more valuations would be needed")
 	workers := fs.Int("workers", 0, "intra-query worker budget: morsel-parallel evaluation and world enumeration (0 = GOMAXPROCS, 1 = serial)")
 	parallel := fs.Bool("parallel", false, "use all CPUs (same as the -workers default; overrides an explicit -workers)")
+	connect := fs.String("connect", "", "evaluate on a running incserver at host:port instead of local data")
 	asOf := fs.String("as-of", "", "evaluate at a historical commit (id, unique prefix, or state-directory name)")
 	showLog := fs.Bool("log", false, "print the commit log of a versioned data directory")
 	diffSpec := fs.String("diff", "", "print the net change between two commits, as <a>..<b>")
@@ -204,27 +143,27 @@ func run(args []string) error {
 		}
 	}
 
-	vers, err := versionDirs(*dataDir)
+	if *connect != "" {
+		if *showLog || *diffSpec != "" {
+			return fmt.Errorf("%w: -log and -diff are not available with -connect", errParse)
+		}
+		if expr == nil {
+			return fmt.Errorf("%w: -connect needs a query", errParse)
+		}
+		w := *workers
+		if *parallel {
+			w = runtime.GOMAXPROCS(0)
+		}
+		return runRemote(*connect, *asOf, fs.Arg(0), *mode, *planner, w, expr)
+	}
+
+	eng, versioned, err := dataload.Load(*dataDir)
 	if err != nil {
 		return err
 	}
 	historyWanted := *asOf != "" || *showLog || *diffSpec != ""
-	if historyWanted && len(vers) == 0 {
+	if historyWanted && !versioned {
 		return fmt.Errorf("history flags need a versioned data directory (state subdirectories of CSV files); %s has none", *dataDir)
-	}
-
-	var eng *engine.Engine
-	if len(vers) > 0 {
-		eng, err = loadVersioned(*dataDir, vers)
-	} else {
-		var db *table.Database
-		db, err = csvio.ReadDatabaseDir(*dataDir)
-		if err == nil {
-			eng = engine.New(db)
-		}
-	}
-	if err != nil {
-		return err
 	}
 
 	if *showLog {
@@ -281,6 +220,52 @@ func run(args []string) error {
 	}
 	fmt.Println(rel.String())
 	return nil
+}
+
+// runRemote evaluates the query as one session of a running incserver,
+// pinning the session to the -as-of commit first when one is given.
+// Server-side parse classifications keep the local exit-code convention.
+func runRemote(addr, asOf, query, mode, planner string, workers int, expr ra.Expr) error {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		return remoteErr(err)
+	}
+	defer cl.Close()
+
+	fmt.Printf("query: %s\n", expr)
+	fmt.Printf("fragment: %s\n", ra.Classify(expr))
+	fmt.Printf("server: %s\n", cl.Banner)
+
+	if asOf != "" {
+		id, err := cl.AsOf(asOf)
+		if err != nil {
+			return remoteErr(err)
+		}
+		fmt.Printf("as of: %s\n", id)
+	}
+	resp, err := cl.Query(query, mode, planner, workers)
+	if err != nil {
+		return remoteErr(err)
+	}
+	rows := make([]string, len(resp.Rows))
+	for i, row := range resp.Rows {
+		rows[i] = "(" + strings.Join(row, ", ") + ")"
+	}
+	fmt.Printf("columns: %s\n", strings.Join(resp.Columns, ", "))
+	fmt.Println("answer{" + strings.Join(rows, ", ") + "}")
+	cl.Quit()
+	return nil
+}
+
+// remoteErr maps a server error reply onto the CLI's exit-code classes:
+// the server's parse and protocol codes mean the request itself was
+// malformed (exit 2), everything else is an evaluation failure (exit 1).
+func remoteErr(err error) error {
+	var re *client.RemoteError
+	if errors.As(err, &re) && (re.Code == wire.CodeParse || re.Code == wire.CodeProto) {
+		return fmt.Errorf("%w: %s", errParse, re.Msg)
+	}
+	return err
 }
 
 // evalMaybeAsOf evaluates at the head, or at the -as-of commit when given.

@@ -1,0 +1,113 @@
+// Package dataload builds engines from CSV data directories, in either of
+// the two on-disk layouts the CLIs accept: a flat directory of
+// <Relation>.csv files (one database state, no history), or a versioned
+// directory whose subdirectories each hold one full CSV state — loaded as
+// a commit history with one commit per state, in sorted name order, each
+// tagged with its directory name.  It exists so cmd/incq and cmd/incserver
+// load data identically: a directory served over the network answers
+// exactly as it does when queried locally.
+package dataload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+
+	"incdata/internal/csvio"
+	"incdata/internal/engine"
+	"incdata/internal/table"
+)
+
+// VersionDirs returns the subdirectories of dir that contain CSV files, in
+// sorted (commit) order; an empty result means the directory is a plain
+// single-state layout.  A directory with top-level CSV files is always
+// treated as a plain layout — a stray CSV-bearing subdirectory (a backup,
+// say) must not silently hijack an existing flat data directory.
+func VersionDirs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			if strings.HasSuffix(e.Name(), ".csv") {
+				return nil, nil
+			}
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range sub {
+			if !f.IsDir() && strings.HasSuffix(f.Name(), ".csv") {
+				out = append(out, e.Name())
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LoadVersioned builds an engine whose history holds one commit per state
+// subdirectory: the first state is the root, every later one commits its
+// net tuple diff under the directory's name.
+func LoadVersioned(dir string, vers []string) (*engine.Engine, error) {
+	db, err := csvio.ReadDatabaseDir(filepath.Join(dir, vers[0]))
+	if err != nil {
+		return nil, fmt.Errorf("state %s: %w", vers[0], err)
+	}
+	eng := engine.New(db)
+	if _, err := eng.EnableHistory(engine.HistoryOptions{Message: vers[0]}); err != nil {
+		return nil, err
+	}
+	names := db.RelationNames()
+	for _, v := range vers[1:] {
+		next, err := csvio.ReadDatabaseDir(filepath.Join(dir, v))
+		if err != nil {
+			return nil, fmt.Errorf("state %s: %w", v, err)
+		}
+		if !slices.Equal(next.RelationNames(), names) {
+			return nil, fmt.Errorf("state %s: relations %v, want %v (every state must cover the same relations)",
+				v, next.RelationNames(), names)
+		}
+		if err := eng.Update(func(live *table.Database) error {
+			for _, name := range names {
+				if err := live.SetRelation(name, next.Relation(name)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("state %s: %w", v, err)
+		}
+		if _, err := eng.Commit(v); err != nil {
+			return nil, fmt.Errorf("state %s: %w", v, err)
+		}
+	}
+	return eng, nil
+}
+
+// Load builds an engine from dir in whichever layout it uses, reporting
+// whether the directory was versioned (and the engine therefore already
+// has a commit history).
+func Load(dir string) (eng *engine.Engine, versioned bool, err error) {
+	vers, err := VersionDirs(dir)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(vers) > 0 {
+		eng, err = LoadVersioned(dir, vers)
+		return eng, true, err
+	}
+	db, err := csvio.ReadDatabaseDir(dir)
+	if err != nil {
+		return nil, false, err
+	}
+	return engine.New(db), false, nil
+}

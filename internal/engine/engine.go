@@ -131,9 +131,24 @@ func (e *Engine) Snapshot() *Snapshot {
 	return &Snapshot{eng: e, db: e.snap}
 }
 
-// Stats reports plan-cache traffic for both evaluation paths.
+// Stats reports plan-cache traffic for both evaluation paths plus the
+// refresh counters of every registered view, all captured in one critical
+// section so the report is a coherent point-in-time snapshot even while
+// writers commit and views refresh concurrently.  (A serving STATS
+// endpoint calls this on every request; assembling the same report from
+// Views/ViewStats would take the engine lock once per view and could
+// interleave with a concurrent Unregister.)
 func (e *Engine) Stats() Stats {
-	return Stats{Planned: e.planned.Stats(), Oracle: e.oracle.Stats()}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{Planned: e.planned.Stats(), Oracle: e.oracle.Stats()}
+	if len(e.views) > 0 {
+		st.Views = make(map[string]inc.Stats, len(e.views))
+		for name, v := range e.views {
+			st.Views[name] = v.Stats()
+		}
+	}
+	return st
 }
 
 // Stats is the engine's cache-statistics report.
@@ -143,6 +158,10 @@ type Stats struct {
 	// plans — but is reported for symmetry).
 	Planned certain.CacheStats
 	Oracle  certain.CacheStats
+	// Views maps each registered view name to its refresh counters, as of
+	// the same instant the cache counters were read; nil when no views are
+	// registered.
+	Views map[string]inc.Stats
 }
 
 // evaluator picks the evaluator for the options' planner setting.

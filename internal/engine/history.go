@@ -93,6 +93,48 @@ func (e *Engine) Commit(message string) (version.CommitID, error) {
 	return id, nil
 }
 
+// CommitWithDeltas is Commit plus, in the same critical section, the
+// drained answer deltas of every registered view (inc.View.TakeDelta):
+// the net change each view's maintained answer underwent since the
+// previous drain.  Because the drain happens under the engine lock that
+// also serializes Update, the returned deltas cover exactly the updates
+// bundled into the returned commit — no concurrent writer can slip an
+// update between the commit and the drain.  This is the push signal of
+// the network server's SUBSCRIBE streams: applying each commit's deltas
+// in commit order to the answer at subscription time reproduces the
+// maintained answer at every commit.  Views whose answers did not change
+// are omitted from the map.
+func (e *Engine) CommitWithDeltas(message string) (version.CommitID, map[string]*table.Delta, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	hist, err := e.historyLocked()
+	if err != nil {
+		return "", nil, err
+	}
+	id, err := hist.Head(e.branch)
+	if !e.pending.Empty() {
+		id, err = hist.Commit(e.branch, message, e.pending, e.db)
+		if err == nil {
+			e.pending = table.NewChangeSet()
+		}
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	var deltas map[string]*table.Delta
+	for _, name := range e.viewNamesLocked() {
+		d := e.views[name].TakeDelta()
+		if d.Empty() {
+			continue
+		}
+		if deltas == nil {
+			deltas = map[string]*table.Delta{}
+		}
+		deltas[name] = d
+	}
+	return id, deltas, nil
+}
+
 // Head returns the checked-out branch name and its head commit.
 func (e *Engine) Head() (string, version.CommitID, error) {
 	e.mu.Lock()

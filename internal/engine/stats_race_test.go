@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"incdata/internal/ra"
+	"incdata/internal/schema"
+	"incdata/internal/table"
+)
+
+// TestStatsCoherentUnderConcurrency is the stress test for the serving
+// layer's hot read path: many goroutines hammer Stats, Answers, ViewStats
+// and Views while a writer keeps updating, committing (with delta drains,
+// as the server's COMMIT does) and re-registering views.  Run under -race
+// it audits the counters and the per-view stats gathering for data races;
+// in any mode it checks that Stats' view map is coherent — a view present
+// in the report was genuinely registered, with monotonic counters.
+func TestStatsCoherentUnderConcurrency(t *testing.T) {
+	s := schema.MustNew(
+		schema.NewRelation("R", "a", "b"),
+		schema.NewRelation("S", "b", "c"),
+	)
+	d := table.NewDatabase(s)
+	d.MustAddRow("R", "1", "2")
+	d.MustAddRow("S", "2", "3")
+	eng := New(d)
+	if _, err := eng.EnableHistory(HistoryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	view := ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a", "c"}}
+	if err := eng.Register("V", view, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writes  = 40
+		readers = 4
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < writes; i++ {
+			if err := eng.Update(func(db *table.Database) error {
+				return db.Add("R", table.MustParseTuple(fmt.Sprint(100+i), "2"))
+			}); err != nil {
+				errs <- err
+				return
+			}
+			if _, _, err := eng.CommitWithDeltas(fmt.Sprintf("w%d", i)); err != nil {
+				errs <- err
+				return
+			}
+			// Churn the registration set so Stats races a disappearing and
+			// reappearing view, not just counter increments.
+			if i%10 == 9 {
+				eng.Unregister("V2")
+				if err := eng.Register("V2", ra.Base("R"), Options{}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastUpdates uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := eng.Stats()
+				vs, ok := st.Views["V"]
+				if !ok {
+					errs <- fmt.Errorf("reader %d: registered view V missing from Stats", r)
+					return
+				}
+				if vs.Updates < lastUpdates {
+					errs <- fmt.Errorf("reader %d: view update counter went backwards: %d -> %d", r, lastUpdates, vs.Updates)
+					return
+				}
+				lastUpdates = vs.Updates
+				if _, err := eng.Answers("V"); err != nil {
+					errs <- fmt.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if _, err := eng.ViewStats("V"); err != nil {
+					errs <- fmt.Errorf("reader %d: %v", r, err)
+					return
+				}
+				eng.Views()
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -183,10 +183,11 @@ func TestConfigsAndAll(t *testing.T) {
 		E15Commits: 6, E15Batch: 2, E15Checkpoints: []int{2}, E15AsOf: 10,
 		E16Rows: 200, E16Workers: []int{1, 2},
 		E17Items: 200, E17Workers: []int{1, 2},
+		E18Orders: 40, E18Clients: []int{2}, E18Requests: 20,
 	}
 	results := All(tiny)
-	if len(results) != 17 {
-		t.Fatalf("All should run 17 experiments, got %d", len(results))
+	if len(results) != 18 {
+		t.Fatalf("All should run 18 experiments, got %d", len(results))
 	}
 	ids := map[string]bool{}
 	for _, r := range results {
@@ -198,7 +199,7 @@ func TestConfigsAndAll(t *testing.T) {
 			t.Errorf("String of %s malformed", r.ID)
 		}
 	}
-	for i := 1; i <= 17; i++ {
+	for i := 1; i <= 18; i++ {
 		if !ids["E"+strconv.Itoa(i)] {
 			t.Errorf("missing experiment E%d", i)
 		}

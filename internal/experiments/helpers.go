@@ -92,6 +92,9 @@ type Config struct {
 	E16Workers     []int
 	E17Items       int
 	E17Workers     []int
+	E18Orders      int
+	E18Clients     []int
+	E18Requests    int
 }
 
 // QuickConfig keeps every experiment under a few seconds; it is the default
@@ -126,6 +129,9 @@ func QuickConfig() Config {
 		E16Workers:     []int{1, 2, 4, 8},
 		E17Items:       4000,
 		E17Workers:     []int{1, 2, 4},
+		E18Orders:      800,
+		E18Clients:     []int{1, 2, 4},
+		E18Requests:    300,
 	}
 }
 
@@ -161,6 +167,9 @@ func FullConfig() Config {
 		E16Workers:     []int{1, 2, 4, 8},
 		E17Items:       20000,
 		E17Workers:     []int{1, 2, 4, 8},
+		E18Orders:      4000,
+		E18Clients:     []int{1, 2, 4, 8},
+		E18Requests:    2000,
 	}
 }
 
@@ -196,6 +205,7 @@ func Run(cfg Config, ids map[string]bool) []Result {
 		}},
 		{"E16", func() Result { return h.E16ParallelScaling(cfg.E16Rows, cfg.E16Workers) }},
 		{"E17", func() Result { return h.E17CodedStrings(cfg.E17Items, cfg.E17Workers) }},
+		{"E18", func() Result { return h.E18ServerThroughput(cfg.E18Orders, cfg.E18Clients, cfg.E18Requests) }},
 	}
 	var out []Result
 	for _, r := range runs {

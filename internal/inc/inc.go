@@ -104,6 +104,11 @@ type View struct {
 	out          *table.Relation
 	stale        error // non-nil after a failed refresh, until one succeeds
 	stats        Stats
+	// acc accumulates the net change of the maintained answer since the
+	// last TakeDelta (nil while nothing changed).  It is what lets a
+	// serving layer push exactly the changed answer tuples to subscribers
+	// instead of re-sending (or re-diffing) the whole materialization.
+	acc *table.Delta
 }
 
 // New compiles and materializes a view over the database's current state.
@@ -165,6 +170,9 @@ func New(name string, q ra.Expr, db *table.Database, cfg Config) (*View, error) 
 		base[dep] = chs
 	}
 	v.applyNetwork(base)
+	// The initial materialization is the baseline subscribers start from,
+	// not a change against anything: deltas accumulate only from here on.
+	v.acc = nil
 	return v, nil
 }
 
@@ -219,7 +227,22 @@ func (v *View) Apply(cs *table.ChangeSet, db *table.Database) error {
 			return fmt.Errorf("inc: view %q: %w", v.name, err)
 		}
 		v.stale = nil
+		old := v.out
 		v.out = out.Clone()
+		// Recomputation replaces the answer wholesale; recover the net
+		// change by diffing so TakeDelta stays exact on this path too.
+		v.out.EachKeyed(func(k string, t table.Tuple) bool {
+			if !old.ContainsKeyString(k) {
+				v.noteAnswer(k, t, true)
+			}
+			return true
+		})
+		old.EachKeyed(func(k string, t table.Tuple) bool {
+			if !v.out.ContainsKeyString(k) {
+				v.noteAnswer(k, t, false)
+			}
+			return true
+		})
 		return nil
 	}
 	v.stats.Incremental++
@@ -252,13 +275,55 @@ func (v *View) applyNetwork(base map[string][]change) uint64 {
 			continue
 		}
 		if c.add {
+			if v.out.Contains(c.t) {
+				continue
+			}
 			v.out.MustAdd(c.t)
-		} else {
-			v.out.Remove(c.t)
+		} else if !v.out.Remove(c.t) {
+			continue
 		}
+		v.noteAnswer(c.key, c.t, c.add)
 		changed++
 	}
 	return changed
+}
+
+// noteAnswer records one net answer change in the accumulated delta, with
+// the same cancellation the capture layer applies: re-adding a tuple whose
+// deletion is pending (or vice versa) cancels instead of double-counting.
+func (v *View) noteAnswer(key string, t table.Tuple, add bool) {
+	if v.acc == nil {
+		v.acc = table.NewDelta()
+	}
+	if add {
+		if _, ok := v.acc.Deleted[key]; ok {
+			delete(v.acc.Deleted, key)
+			return
+		}
+		v.acc.Inserted[key] = t
+	} else {
+		if _, ok := v.acc.Inserted[key]; ok {
+			delete(v.acc.Inserted, key)
+			return
+		}
+		v.acc.Deleted[key] = t
+	}
+}
+
+// TakeDelta returns the net change of the maintained answer accumulated
+// since the last TakeDelta (or since registration) and resets the
+// accumulator.  Applying every taken delta, in take order, to a clone of
+// the answer at registration reproduces the current answer exactly — the
+// contract the server's subscriber streams are built on.  Like every View
+// method, the caller must serialize TakeDelta with Apply (the engine's
+// lock does).
+func (v *View) TakeDelta() *table.Delta {
+	d := v.acc
+	v.acc = nil
+	if d == nil {
+		d = table.NewDelta()
+	}
+	return d
 }
 
 // relevant reports whether the update's net delta can affect the view.

@@ -248,6 +248,13 @@ func GLBRelationsOWA(rels []*table.Relation) (*table.Relation, error) {
 	if len(rels) == 0 {
 		return nil, fmt.Errorf("order: GLB of an empty set is undefined")
 	}
+	// The GLB is order-independent up to null renaming, but the direct
+	// product assigns combination-null ids by first encounter, so the
+	// concrete representative depends on the input order.  Parallel world
+	// collection hands the answers over in scheduling order; sort them
+	// canonically so the same answer set always yields the same nulls.
+	rels = append([]*table.Relation(nil), rels...)
+	sort.Slice(rels, func(i, j int) bool { return rels[i].CanonicalKey() < rels[j].CanonicalKey() })
 	dbs := make([]*table.Database, len(rels))
 	for i, r := range rels {
 		d, err := singletonDB(r)

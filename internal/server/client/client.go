@@ -1,0 +1,208 @@
+// Package client is the Go client for the incserver wire protocol
+// (internal/server/wire), shared by the incq CLI's -connect remote mode,
+// the end-to-end tests, and the server-throughput experiment.
+//
+// A Client owns one connection — one server session — and is not safe for
+// concurrent use: the protocol is one request, one reply, in order, so
+// concurrent callers must use one Client each (which also gives each its
+// own snapshot pinning).  Subscription pushes the server interleaves
+// between replies are buffered by Call and consumed with NextDelta.
+package client
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"incdata/internal/server/wire"
+)
+
+// RemoteError is a typed error reply from the server.
+type RemoteError struct {
+	// Code is the wire error code (wire.CodeParse etc.).
+	Code string
+	// Msg is the server's failure message.
+	Msg string
+}
+
+// Error formats the failure with its code.
+func (e *RemoteError) Error() string { return fmt.Sprintf("%s (%s)", e.Msg, e.Code) }
+
+// Client is one session against an incserver.
+type Client struct {
+	nc     net.Conn
+	nextID uint64
+	// pushes buffers KindDelta frames read while waiting for replies.
+	pushes []wire.Response
+	// Banner and Head are the server identification and head commit from
+	// the HELLO exchange at dial time.
+	Banner string
+	Head   string
+}
+
+// Dial connects to an incserver, performs the HELLO exchange, and returns
+// the session.  A BUSY error reply (session limit) is returned as a
+// RemoteError.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{nc: nc}
+	resp, err := c.Call(wire.Request{Op: wire.OpHello, Client: "incdata-go/1"})
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c.Banner = resp.Server
+	c.Head = resp.Commit
+	return c, nil
+}
+
+// Close closes the session's connection without the QUIT handshake.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Quit performs the QUIT handshake and closes the connection.
+func (c *Client) Quit() error {
+	_, err := c.Call(wire.Request{Op: wire.OpQuit})
+	cerr := c.nc.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Call sends one request and returns its reply.  Error replies come back
+// as *RemoteError; delta pushes read while waiting are buffered for
+// NextDelta.
+func (c *Client) Call(req wire.Request) (wire.Response, error) {
+	c.nextID++
+	req.ID = c.nextID
+	if err := wire.WriteFrame(c.nc, req); err != nil {
+		return wire.Response{}, err
+	}
+	for {
+		resp, err := wire.ReadResponse(c.nc)
+		if err != nil {
+			return wire.Response{}, err
+		}
+		if resp.ID == 0 && resp.Kind == wire.KindDelta {
+			c.pushes = append(c.pushes, resp)
+			continue
+		}
+		if resp.ID == 0 && resp.Kind == wire.KindError {
+			// Connection-level failure (e.g. the session limit at accept
+			// time): it answers no particular request.
+			return resp, &RemoteError{Code: resp.Code, Msg: resp.Error}
+		}
+		if resp.ID != req.ID {
+			return wire.Response{}, fmt.Errorf("client: reply id %d for request %d", resp.ID, req.ID)
+		}
+		if resp.Kind == wire.KindError {
+			return resp, &RemoteError{Code: resp.Code, Msg: resp.Error}
+		}
+		return resp, nil
+	}
+}
+
+// NextDelta returns the next subscription push, waiting up to timeout for
+// one to arrive if none is buffered.  It must not race a concurrent Call
+// (Clients are single-goroutine).
+func (c *Client) NextDelta(timeout time.Duration) (wire.Response, error) {
+	if len(c.pushes) > 0 {
+		p := c.pushes[0]
+		c.pushes = c.pushes[1:]
+		return p, nil
+	}
+	if err := c.nc.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return wire.Response{}, err
+	}
+	defer c.nc.SetReadDeadline(time.Time{})
+	resp, err := wire.ReadResponse(c.nc)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if resp.ID != 0 || resp.Kind != wire.KindDelta {
+		return wire.Response{}, fmt.Errorf("client: expected delta push, got kind %q id %d", resp.Kind, resp.ID)
+	}
+	return resp, nil
+}
+
+// Query evaluates a query on the session's pinned snapshot.
+func (c *Client) Query(query, mode, planner string, workers int) (wire.Response, error) {
+	return c.Call(wire.Request{Op: wire.OpQuery, Query: query, Mode: mode, Planner: planner, Workers: workers})
+}
+
+// Update applies mutations to the live database.
+func (c *Client) Update(ops ...wire.UpdateOp) (wire.Response, error) {
+	return c.Call(wire.Request{Op: wire.OpUpdate, Ops: ops})
+}
+
+// Add is shorthand for a single-tuple insert.
+func Add(rel string, row ...string) wire.UpdateOp {
+	return wire.UpdateOp{Op: "add", Rel: rel, Row: row}
+}
+
+// Delete is shorthand for a single-tuple delete.
+func Delete(rel string, row ...string) wire.UpdateOp {
+	return wire.UpdateOp{Op: "delete", Rel: rel, Row: row}
+}
+
+// Commit commits the pending updates and returns the new commit id.
+func (c *Client) Commit(message string) (string, error) {
+	resp, err := c.Call(wire.Request{Op: wire.OpCommit, Message: message})
+	if err != nil {
+		return "", err
+	}
+	return resp.Commit, nil
+}
+
+// AsOf pins the session's reads to a historical commit and returns the
+// resolved commit id.
+func (c *Client) AsOf(ref string) (string, error) {
+	resp, err := c.Call(wire.Request{Op: wire.OpAsOf, Ref: ref})
+	if err != nil {
+		return "", err
+	}
+	return resp.Commit, nil
+}
+
+// Refresh re-pins the session to the live head and returns the head
+// commit id.
+func (c *Client) Refresh() (string, error) {
+	resp, err := c.Call(wire.Request{Op: wire.OpRefresh})
+	if err != nil {
+		return "", err
+	}
+	return resp.Commit, nil
+}
+
+// Register creates a server-side maintained view.
+func (c *Client) Register(name, query, mode, planner string) error {
+	_, err := c.Call(wire.Request{Op: wire.OpRegister, Name: name, Query: query, Mode: mode, Planner: planner})
+	return err
+}
+
+// Subscribe subscribes the session to a registered view and returns the
+// view's current answer (the baseline its delta stream starts from).
+func (c *Client) Subscribe(name string) (wire.Response, error) {
+	return c.Call(wire.Request{Op: wire.OpSubscribe, Name: name})
+}
+
+// Unsubscribe drops the session's subscription to a view.
+func (c *Client) Unsubscribe(name string) error {
+	_, err := c.Call(wire.Request{Op: wire.OpUnsubscribe, Name: name})
+	return err
+}
+
+// Stats fetches the server's statistics report.
+func (c *Client) Stats() (*wire.Stats, error) {
+	resp, err := c.Call(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("client: stats reply without payload")
+	}
+	return resp.Stats, nil
+}

@@ -1,0 +1,160 @@
+package server
+
+// Protocol-robustness tests: hostile and malformed byte streams against a
+// live server.  The invariants: the server never panics, never hangs, and
+// classifies failures with typed error codes — garbage JSON inside an
+// intact frame keeps the connection usable, framing violations close it.
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"incdata/internal/server/client"
+	"incdata/internal/server/wire"
+)
+
+// rawDial opens a plain TCP connection to the server, bypassing the
+// client's protocol discipline.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	return nc
+}
+
+// TestGarbageJSONKeepsConnection pins that a frame whose payload is not a
+// Request gets a typed proto error and the stream stays usable: a valid
+// request on the same connection still answers.
+func TestGarbageJSONKeepsConnection(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	nc := rawDial(t, addr)
+
+	for _, garbage := range []string{"not json at all", `{"op": 42}`, `[]`, `{"op":"QUERY","ops":"x"}`} {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(garbage)))
+		if _, err := nc.Write(append(hdr[:], garbage...)); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wire.ReadResponse(nc)
+		if err != nil {
+			t.Fatalf("%q: %v", garbage, err)
+		}
+		if resp.Kind != wire.KindError || resp.Code != wire.CodeProto {
+			t.Fatalf("%q: kind=%s code=%s, want proto error", garbage, resp.Kind, resp.Code)
+		}
+	}
+
+	// The stream survived: a well-formed request still works.
+	if err := wire.WriteFrame(nc, wire.Request{ID: 9, Op: wire.OpHello}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ReadResponse(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 9 || resp.Kind != wire.KindHello {
+		t.Fatalf("after garbage: %+v, want hello reply", resp)
+	}
+}
+
+// TestOversizedPrefixClosesConnection pins that a length prefix above the
+// cap gets a proto error and then a hangup — the stream position cannot
+// be trusted after a framing violation.
+func TestOversizedPrefixClosesConnection(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	nc := rawDial(t, addr)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], wire.MaxFrame+1)
+	if _, err := nc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ReadResponse(nc)
+	if err != nil {
+		t.Fatalf("expected a proto error before the hangup: %v", err)
+	}
+	if resp.Kind != wire.KindError || resp.Code != wire.CodeProto {
+		t.Fatalf("kind=%s code=%s, want proto error", resp.Kind, resp.Code)
+	}
+	if _, err := wire.ReadResponse(nc); err == nil {
+		t.Fatal("connection must be closed after a framing violation")
+	}
+}
+
+// TestTruncatedFrameDisconnectsWithoutHanging pins that a client dying
+// mid-frame neither hangs a handler goroutine nor leaks the session: the
+// server just closes its side.
+func TestTruncatedFrameDisconnectsWithoutHanging(t *testing.T) {
+	srv, _, addr := startServer(t, Config{})
+	nc := rawDial(t, addr)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := nc.Write(append(hdr[:], "only part"...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	// The server sees an unexpected EOF and tears the session down; our
+	// read unblocks with EOF rather than timing out.
+	if _, err := io.ReadAll(nc); err != nil {
+		t.Fatalf("read after truncated frame: %v", err)
+	}
+	// The session slot is released: Close does not wait on a leaked
+	// handler (it would time the test out if it did).
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypedErrorCodes pins the error classification across the request
+// surface: unknown ops and malformed inputs are parse errors, well-formed
+// requests failing against the data are eval errors.
+func TestTypedErrorCodes(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	cl := dial(t, addr)
+
+	cases := []struct {
+		name string
+		req  wire.Request
+		code string
+	}{
+		{"unknown op", wire.Request{Op: "EXPLODE"}, wire.CodeParse},
+		{"empty op", wire.Request{}, wire.CodeParse},
+		{"malformed query", wire.Request{Op: wire.OpQuery, Query: "project(R"}, wire.CodeParse},
+		{"bad mode", wire.Request{Op: wire.OpQuery, Query: "R", Mode: "bogus"}, wire.CodeParse},
+		{"bad planner", wire.Request{Op: wire.OpQuery, Query: "R", Planner: "maybe"}, wire.CodeParse},
+		{"unknown relation", wire.Request{Op: wire.OpQuery, Query: "Nope"}, wire.CodeEval},
+		{"update without ops", wire.Request{Op: wire.OpUpdate}, wire.CodeParse},
+		{"update bad op kind", wire.Request{Op: wire.OpUpdate, Ops: []wire.UpdateOp{{Op: "upsert", Rel: "R", Row: []string{"1", "2"}}}}, wire.CodeParse},
+		{"update unknown relation", wire.Request{Op: wire.OpUpdate, Ops: []wire.UpdateOp{{Op: "add", Rel: "Nope", Row: []string{"1"}}}}, wire.CodeEval},
+		{"update arity mismatch", wire.Request{Op: wire.OpUpdate, Ops: []wire.UpdateOp{{Op: "add", Rel: "R", Row: []string{"1"}}}}, wire.CodeEval},
+		{"asof unknown commit", wire.Request{Op: wire.OpAsOf, Ref: "nope"}, wire.CodeEval},
+		{"register without name", wire.Request{Op: wire.OpRegister, Query: "R"}, wire.CodeParse},
+		{"subscribe unknown view", wire.Request{Op: wire.OpSubscribe, Name: "ghost"}, wire.CodeEval},
+		{"unsubscribe without name", wire.Request{Op: wire.OpUnsubscribe}, wire.CodeParse},
+	}
+	for _, c := range cases {
+		_, err := cl.Call(c.req)
+		var re *client.RemoteError
+		if !errors.As(err, &re) {
+			t.Errorf("%s: err = %v, want RemoteError", c.name, err)
+			continue
+		}
+		if re.Code != c.code {
+			t.Errorf("%s: code = %s, want %s (%s)", c.name, re.Code, c.code, re.Msg)
+		}
+	}
+
+	// After all those failures the session still works.
+	if _, err := cl.Query("R", "certain", "on", 0); err != nil {
+		t.Fatalf("session unusable after error replies: %v", err)
+	}
+}

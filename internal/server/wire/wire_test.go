@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFrameRoundTrip pins the framing format: WriteFrame then ReadFrame
+// returns the exact JSON payload, and ReadResponse decodes it.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Response{ID: 7, Kind: KindResult, Columns: []string{"a"}, Rows: [][]string{{"1"}, {"⊥1"}}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Kind != in.Kind || len(out.Rows) != 2 || out.Rows[1][0] != "⊥1" {
+		t.Fatalf("round trip mangled the response: %+v", out)
+	}
+}
+
+// TestReadFrameTruncated pins that frames cut short — in the header or
+// the payload — fail with io.ErrUnexpectedEOF rather than hanging or
+// succeeding, and a clean EOF before any byte is io.EOF.
+func TestReadFrameTruncated(t *testing.T) {
+	if _, err := ReadFrame(strings.NewReader("")); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	if _, err := ReadFrame(strings.NewReader("\x00\x00")); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("short header: err = %v, want unexpected EOF", err)
+	}
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("only ten b")
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("short payload: err = %v, want unexpected EOF", err)
+	}
+}
+
+// TestReadFrameOversized pins the hard cap: a length prefix above
+// MaxFrame is rejected as ErrFrameTooLarge without the payload being
+// read, so a hostile prefix can neither allocate gigabytes nor block
+// waiting for bytes that never come.
+func TestReadFrameOversized(t *testing.T) {
+	for _, n := range []uint32{MaxFrame + 1, 1 << 30, 0xFFFFFFFF} {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], n)
+		r := bytes.NewReader(hdr[:])
+		if _, err := ReadFrame(r); !errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("prefix %d: err = %v, want ErrFrameTooLarge", n, err)
+		}
+		if r.Len() != 0 {
+			t.Errorf("prefix %d: header not fully consumed", n)
+		}
+	}
+	// At exactly the cap the frame is legal.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame)
+	buf.Write(hdr[:])
+	buf.Write(bytes.Repeat([]byte{'x'}, MaxFrame))
+	payload, err := ReadFrame(&buf)
+	if err != nil || len(payload) != MaxFrame {
+		t.Errorf("frame at cap: len=%d err=%v", len(payload), err)
+	}
+}
+
+// TestWriteFrameOversized pins that the writer applies the same cap.
+func TestWriteFrameOversized(t *testing.T) {
+	big := Response{Error: strings.Repeat("x", MaxFrame)}
+	if err := WriteFrame(io.Discard, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// FuzzReadFrame throws arbitrary byte streams at the frame decoder.  The
+// decoder must never panic, never allocate beyond the cap, and on success
+// must have consumed exactly header+payload so framing stays in sync.
+func FuzzReadFrame(f *testing.F) {
+	var ok bytes.Buffer
+	WriteFrame(&ok, Request{Op: OpQuery, Query: "project(R; a)"})
+	f.Add(ok.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'})
+	f.Add([]byte{0, 0, 0, 5, 'h', 'i'})
+	f.Add(append([]byte{0, 0, 0, 2}, []byte("{}extra")...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		payload, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxFrame {
+			t.Fatalf("payload of %d bytes exceeds the cap", len(payload))
+		}
+		if want := len(data) - 4 - len(payload); r.Len() != want {
+			t.Fatalf("consumed %d trailing bytes too many", want-r.Len())
+		}
+	})
+}
