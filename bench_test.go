@@ -1,5 +1,5 @@
 // Package incdata's root-level benchmarks: one Benchmark per reproduction
-// experiment (E1–E18, see the "Experiments" section of README.md).  Each benchmark
+// experiment (E1–E19, see the "Experiments" section of README.md).  Each benchmark
 // re-runs the corresponding experiment's workload at a representative
 // parameter point; cmd/incbench prints the full sweeps as tables.
 package incdata_test
@@ -495,6 +495,26 @@ func BenchmarkE18ServerThroughput(b *testing.B) {
 		}
 		if agree := res.Rows[0][len(res.Rows[0])-1]; agree != "true" {
 			b.Fatalf("remote answer diverged from in-process evaluation: %v", res.Rows[0])
+		}
+	}
+}
+
+// BenchmarkE19DurableStore measures the durable storage subsystem at one
+// representative point: a 30-commit durable stream (checkpoint every 8),
+// a cold open recovering the history, a 50-query AsOf sweep over the
+// recovered DAG, and a spill join under a 16 KiB build budget.  The
+// benchmark fails if the recovered history or the spill join stops being
+// bit-identical to the in-memory writing engine.
+func BenchmarkE19DurableStore(b *testing.B) {
+	h := experiments.Harness{}
+	for i := 0; i < b.N; i++ {
+		res := h.E19DurableStore(30, 4, []int{8}, 50, 16<<10)
+		if len(res.Rows) != 1 {
+			b.Fatalf("rows: %v", res.Rows)
+		}
+		row := res.Rows[0]
+		if agree, spill := row[len(row)-2], row[len(row)-1]; agree != "true" || spill != "true" {
+			b.Fatalf("durable recovery or spill join diverged: %v", row)
 		}
 	}
 }

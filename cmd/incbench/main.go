@@ -1,4 +1,4 @@
-// Command incbench runs the reproduction experiments E1–E18 (see the
+// Command incbench runs the reproduction experiments E1–E19 (see the
 // "Experiments" section of README.md) through the engine facade and prints
 // one text table per experiment, or a single machine-readable JSON
 // document with -json so that successive runs can be archived
@@ -24,7 +24,11 @@
 // evaluation; E17 measures the coded tier against the columnar path on a
 // string-heavy workload; E18 measures the multi-session network server
 // (internal/server) end to end — concurrent client fleets over real TCP,
-// with remote answers pinned bit-identical to in-process evaluation.
+// with remote answers pinned bit-identical to in-process evaluation; E19
+// measures the durable storage subsystem (internal/store) — commit-log
+// throughput, cold-open recovery, time travel over the recovered history,
+// and the spill-to-disk join under a constrained memory budget, all
+// pinned bit-identical to in-memory evaluation.
 // With -json the report records GOMAXPROCS, the CPU count and
 // the -workers setting, so archived speedups stay interpretable across
 // hosts.

@@ -27,6 +27,16 @@
 //
 // Commits are referenced by id, unique id prefix, or directory name.
 //
+// # Durable stores
+//
+// -persist converts a data directory into a durable store (internal/
+// store): content-addressed chunks plus an append-only commit log holding
+// the full history.  A -data pointing at such a store opens it directly —
+// -log, -diff and -as-of work against the recovered history:
+//
+//	incq -data ./versioned -persist ./store
+//	incq -data ./store -as-of v2 'project(Order; o_id)'
+//
 // # Remote mode
 //
 // With -connect the query is evaluated by a running incserver instead of
@@ -104,6 +114,7 @@ func run(args []string) error {
 	asOf := fs.String("as-of", "", "evaluate at a historical commit (id, unique prefix, or state-directory name)")
 	showLog := fs.Bool("log", false, "print the commit log of a versioned data directory")
 	diffSpec := fs.String("diff", "", "print the net change between two commits, as <a>..<b>")
+	persist := fs.String("persist", "", "write the loaded data and its history into a fresh durable store directory")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(os.Stderr)
@@ -112,9 +123,9 @@ func run(args []string) error {
 		}
 		return fmt.Errorf("%w: %v", errParse, err)
 	}
-	// -log and -diff are reports and need no query; everything else wants
-	// exactly one.
-	queryOptional := *showLog || *diffSpec != ""
+	// -log, -diff and -persist are reports/conversions and need no query;
+	// everything else wants exactly one.
+	queryOptional := *showLog || *diffSpec != "" || *persist != ""
 	if fs.NArg() != 1 && !(fs.NArg() == 0 && queryOptional) {
 		return fmt.Errorf("%w: expected exactly one query argument, got %d", errParse, fs.NArg())
 	}
@@ -144,8 +155,8 @@ func run(args []string) error {
 	}
 
 	if *connect != "" {
-		if *showLog || *diffSpec != "" {
-			return fmt.Errorf("%w: -log and -diff are not available with -connect", errParse)
+		if *showLog || *diffSpec != "" || *persist != "" {
+			return fmt.Errorf("%w: -log, -diff and -persist are not available with -connect", errParse)
 		}
 		if expr == nil {
 			return fmt.Errorf("%w: -connect needs a query", errParse)
@@ -161,9 +172,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer eng.Close() // release the durable store's log handle, if attached
 	historyWanted := *asOf != "" || *showLog || *diffSpec != ""
 	if historyWanted && !versioned {
 		return fmt.Errorf("history flags need a versioned data directory (state subdirectories of CSV files); %s has none", *dataDir)
+	}
+
+	if *persist != "" {
+		if eng.Durable() {
+			return fmt.Errorf("%s is already a durable store", *dataDir)
+		}
+		if err := eng.Persist(*persist); err != nil {
+			return err
+		}
+		fmt.Printf("persisted %s to %s\n", *dataDir, *persist)
 	}
 
 	if *showLog {

@@ -121,6 +121,47 @@ func TestRunHistoryFlags(t *testing.T) {
 	}
 }
 
+// TestRunPersistAndDurableStore covers the durable-store layout: -persist
+// converts a versioned directory into a store, and a -data pointing at
+// the store serves the same history — -log, -diff, -as-of and head
+// evaluation all work against the recovered commit DAG.
+func TestRunPersistAndDurableStore(t *testing.T) {
+	vdir := writeVersionedData(t)
+	store := filepath.Join(t.TempDir(), "store")
+	if err := run([]string{"-data", vdir, "-persist", store}); err != nil {
+		t.Fatalf("persist: %v", err)
+	}
+	query := "project(Order; o_id)"
+	for _, args := range [][]string{
+		{"-data", store, "-log"},
+		{"-data", store, "-diff", "v1..v3"},
+		{"-data", store, "-as-of", "v1", query},
+		{"-data", store, "-as-of", "v2", "-mode", "certain-cwa", query},
+		{"-data", store, query}, // head evaluation of the recovered history
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	// -persist combines with a query: convert and evaluate in one call.
+	store2 := filepath.Join(t.TempDir(), "store2")
+	if err := run([]string{"-data", vdir, "-persist", store2, query}); err != nil {
+		t.Errorf("persist with query: %v", err)
+	}
+	// Re-persisting a store is refused (it already is one), as is
+	// persisting into an existing store directory.
+	if err := run([]string{"-data", store, "-persist", filepath.Join(t.TempDir(), "s3")}); err == nil || exitCode(err) != 1 {
+		t.Errorf("persisting a store must exit 1, got %v", err)
+	}
+	if err := run([]string{"-data", vdir, "-persist", store}); err == nil || exitCode(err) != 1 {
+		t.Errorf("persisting into an existing store must exit 1, got %v", err)
+	}
+	// -persist is a local conversion; with -connect it is a usage error.
+	if err := run([]string{"-connect", "127.0.0.1:1", "-persist", store, query}); err == nil || exitCode(err) != 2 {
+		t.Errorf("-persist with -connect must exit 2, got %v", err)
+	}
+}
+
 // TestExitCodes pins the failure classification: parse errors (bad flags,
 // unknown modes, malformed queries, malformed -diff specs) exit with 2,
 // data and evaluation errors (including unknown commits and history flags

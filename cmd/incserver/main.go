@@ -4,11 +4,13 @@
 // isolation, version history (ASOF time travel), server-side maintained
 // views with subscription delta pushes, and admission control.
 //
-// The data directory uses either layout cmd/incq accepts: flat CSV files
-// (history starts empty at the loaded state) or versioned state
+// The data directory uses any layout cmd/incq accepts: flat CSV files
+// (history starts empty at the loaded state), versioned state
 // subdirectories (the loaded history's commits are ASOF-addressable by
-// directory name).  Clients connect with `incq -connect`, or any program
-// speaking the wire protocol:
+// directory name), or a durable store directory as written by
+// `incq -persist` — commits made over the wire then append to its log
+// and survive server restarts.  Clients connect with `incq -connect`, or
+// any program speaking the wire protocol:
 //
 //	incserver -data ./testdata -addr 127.0.0.1:7070
 //	incq -connect 127.0.0.1:7070 -mode certain 'project(Order; o_id)'
@@ -44,17 +46,20 @@ func run(args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "concurrent request cap across sessions (0 = default)")
 	timeout := fs.Duration("timeout", 0, "how long a request may wait for an execution slot before BUSY (0 = default)")
 	workers := fs.Int("workers", 0, "default intra-query worker budget for requests that set none")
+	maxFrame := fs.Int("max-frame", 0, "wire frame payload cap in bytes; clients must dial with the same cap (0 = default 1 MiB)")
 	fs.Parse(args)
 
 	eng, versioned, err := dataload.Load(*dataDir)
 	if err != nil {
 		return err
 	}
+	defer eng.Close() // release the durable store's log handle, if attached
 	srv, err := server.New(eng, server.Config{
 		MaxSessions:    *maxSessions,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
 		Workers:        *workers,
+		MaxFrame:       *maxFrame,
 	})
 	if err != nil {
 		return err
@@ -66,6 +71,9 @@ func run(args []string) error {
 	layout := "flat"
 	if versioned {
 		layout = "versioned"
+	}
+	if eng.Durable() {
+		layout = "durable"
 	}
 	fmt.Printf("incserver: serving %s (%s) on %s\n", *dataDir, layout, bound)
 

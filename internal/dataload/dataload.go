@@ -1,11 +1,13 @@
-// Package dataload builds engines from CSV data directories, in either of
-// the two on-disk layouts the CLIs accept: a flat directory of
-// <Relation>.csv files (one database state, no history), or a versioned
+// Package dataload builds engines from data directories, in any of the
+// three on-disk layouts the CLIs accept: a flat directory of
+// <Relation>.csv files (one database state, no history), a versioned
 // directory whose subdirectories each hold one full CSV state — loaded as
 // a commit history with one commit per state, in sorted name order, each
-// tagged with its directory name.  It exists so cmd/incq and cmd/incserver
-// load data identically: a directory served over the network answers
-// exactly as it does when queried locally.
+// tagged with its directory name — or a durable store directory
+// (internal/store), opened attached so commits keep appending to its log.
+// It exists so cmd/incq and cmd/incserver load data identically: a
+// directory served over the network answers exactly as it does when
+// queried locally.
 package dataload
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"incdata/internal/csvio"
 	"incdata/internal/engine"
+	"incdata/internal/store"
 	"incdata/internal/table"
 )
 
@@ -95,8 +98,15 @@ func LoadVersioned(dir string, vers []string) (*engine.Engine, error) {
 
 // Load builds an engine from dir in whichever layout it uses, reporting
 // whether the directory was versioned (and the engine therefore already
-// has a commit history).
+// has a commit history).  A durable store directory (internal/store, as
+// written by engine.Persist or `incq -persist`) opens attached: its
+// history is recovered from the commit log and later commits append to
+// it, so they survive restarts.
 func Load(dir string) (eng *engine.Engine, versioned bool, err error) {
+	if store.IsStore(dir) {
+		eng, err = engine.Open(dir)
+		return eng, true, err
+	}
 	vers, err := VersionDirs(dir)
 	if err != nil {
 		return nil, false, err

@@ -1,0 +1,495 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"incdata/internal/ra"
+	"incdata/internal/table"
+	"incdata/internal/value"
+	"incdata/internal/version"
+)
+
+// commitSteps applies a mutation stream in random-sized batches, one
+// commit per batch, and returns the commit ids.
+func commitSteps(t *testing.T, eng *Engine, stream []histStep, rng *rand.Rand, label string) []version.CommitID {
+	t.Helper()
+	var ids []version.CommitID
+	i := 0
+	for i < len(stream) {
+		n := 1 + rng.Intn(4)
+		if i+n > len(stream) {
+			n = len(stream) - i
+		}
+		batch := stream[i : i+n]
+		if err := eng.Update(func(db *table.Database) error {
+			for _, s := range batch {
+				if s.add {
+					db.MustAdd(s.rel, s.t)
+				} else {
+					db.Relation(s.rel).Remove(s.t)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		id, err := eng.Commit(fmt.Sprintf("%s-%d", label, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		i += n
+	}
+	return ids
+}
+
+// TestDurablePersistOpenDifferential is the acceptance pin of the durable
+// subsystem: a database written with Persist (historical backfill) plus
+// live durable commits, branches and a merge, reopened with Open, yields
+// bit-identical AsOf states at every commit and bit-identical certain
+// answers at the head across modes × planner settings × worker counts.
+func TestDurablePersistOpenDifferential(t *testing.T) {
+	for _, checkpointEvery := range []int{-1, 2, 16} {
+		checkpointEvery := checkpointEvery
+		t.Run(fmt.Sprintf("ckpt=%d", checkpointEvery), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(11 + checkpointEvery)))
+			eng := New(table.NewDatabase(testSchema()))
+			if _, err := eng.EnableHistory(HistoryOptions{CheckpointEvery: checkpointEvery}); err != nil {
+				t.Fatal(err)
+			}
+			// Pre-Persist history: exercised as backfill.
+			ids := commitSteps(t, eng, randomHistStream(rng, 24), rng, "pre")
+			dir := t.TempDir()
+			if err := eng.Persist(dir); err != nil {
+				t.Fatalf("Persist: %v", err)
+			}
+			if !eng.Durable() {
+				t.Fatalf("Durable() = false after Persist")
+			}
+			// Post-Persist history: exercised as live durable appends.
+			ids = append(ids, commitSteps(t, eng, randomHistStream(rng, 16), rng, "post")...)
+			// Branch, diverge, and merge back.
+			if err := eng.Branch("dev"); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Checkout("dev"); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, commitSteps(t, eng, randomHistStream(rng, 6), rng, "dev")...)
+			if err := eng.Checkout("main"); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, commitSteps(t, eng, randomHistStream(rng, 6), rng, "div")...)
+			res, err := eng.Merge("dev", "merge dev")
+			if err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+			ids = append(ids, res.Commit)
+
+			wantBranches, err := eng.Branches()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			re, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer re.Close()
+
+			gotBranches, err := re.Branches()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotBranches) != len(wantBranches) {
+				t.Fatalf("branches differ: %v vs %v", gotBranches, wantBranches)
+			}
+			for name, id := range wantBranches {
+				if gotBranches[name] != id {
+					t.Fatalf("branch %s: %s vs %s", name, gotBranches[name], id)
+				}
+			}
+			wb, wid, err := eng.Head()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, gid, err := re.Head()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gb != wb || gid != wid {
+				t.Fatalf("head differs: %s@%s vs %s@%s", gb, gid, wb, wid)
+			}
+
+			// Every commit's reconstructed state must be bit-identical.
+			for _, id := range ids {
+				want, err := eng.AsOf(id)
+				if err != nil {
+					t.Fatalf("original AsOf(%s): %v", id, err)
+				}
+				got, err := re.AsOf(id)
+				if err != nil {
+					t.Fatalf("reopened AsOf(%s): %v", id, err)
+				}
+				if got.Database().CanonicalKey() != want.Database().CanonicalKey() {
+					t.Fatalf("ckpt=%d: AsOf(%s) state differs after reopen", checkpointEvery, id)
+				}
+			}
+
+			// Head query differential: modes × planner × workers.
+			for qname, q := range testQueries() {
+				for _, mode := range []Mode{ModeCertain, ModeNaive} {
+					for _, planner := range []PlannerSetting{PlannerOn, PlannerOff} {
+						for _, workers := range []int{1, 2, 4} {
+							opts := Options{Mode: mode, Planner: planner, Workers: workers}
+							want, werr := eng.Eval(q, opts)
+							got, gerr := re.Eval(q, opts)
+							if (gerr == nil) != (werr == nil) {
+								t.Fatalf("%s mode=%v planner=%v workers=%d: err %v vs %v",
+									qname, mode, planner, workers, gerr, werr)
+							}
+							if gerr == nil && fp(got) != fp(want) {
+								t.Fatalf("%s mode=%v planner=%v workers=%d: answers differ after reopen",
+									qname, mode, planner, workers)
+							}
+						}
+					}
+				}
+				// World enumeration spot check (exponential: small queries only).
+				if qname == "base" || qname == "select" {
+					opts := Options{Mode: ModeCertainCWA, ExtraFresh: 1, MaxWorlds: 1 << 13}
+					want, werr := eng.Eval(q, opts)
+					got, gerr := re.Eval(q, opts)
+					if (gerr == nil) != (werr == nil) || (gerr == nil && fp(got) != fp(want)) {
+						t.Fatalf("%s certain-cwa differs after reopen (%v / %v)", qname, gerr, werr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// frameOffsets returns the byte offset of every frame start in a log.
+func frameOffsets(t *testing.T, data []byte) []int {
+	t.Helper()
+	var offs []int
+	for off := 0; off+8 <= len(data); {
+		offs = append(offs, off)
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		off += 8 + int(n)
+		if off > len(data) {
+			t.Fatalf("log ends inside a frame (offset %d of %d)", off, len(data))
+		}
+	}
+	return offs
+}
+
+func copyStoreDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy store dir: %v", err)
+	}
+}
+
+// TestDurableCrashRecoveryTornLog simulates a crash mid-commit at every
+// byte offset of the final log record: Open must truncate the torn tail
+// and recover to the previous commit, for every checkpoint policy, and
+// the recovered store must accept new commits.
+func TestDurableCrashRecoveryTornLog(t *testing.T) {
+	for _, checkpointEvery := range []int{-1, 1, 2, 16} {
+		checkpointEvery := checkpointEvery
+		t.Run(fmt.Sprintf("ckpt=%d", checkpointEvery), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(31 + checkpointEvery)))
+			eng := New(table.NewDatabase(testSchema()))
+			if _, err := eng.EnableHistory(HistoryOptions{CheckpointEvery: checkpointEvery}); err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			if err := eng.Persist(dir); err != nil {
+				t.Fatalf("Persist: %v", err)
+			}
+			ids := commitSteps(t, eng, randomHistStream(rng, 15), rng, "c")
+			if len(ids) < 2 {
+				t.Fatalf("need at least 2 commits, got %d", len(ids))
+			}
+			prev := ids[len(ids)-2]
+			prevState, err := eng.AsOf(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prevKey := prevState.Database().CanonicalKey()
+			if err := eng.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			data, err := os.ReadFile(filepath.Join(dir, "log.bin"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			offs := frameOffsets(t, data)
+			lastStart := offs[len(offs)-1]
+			// Every truncation point inside the final record, including
+			// dropping it whole.
+			for cut := lastStart; cut < len(data); cut++ {
+				cdir := filepath.Join(t.TempDir(), "crashed")
+				copyStoreDir(t, dir, cdir)
+				if err := os.Truncate(filepath.Join(cdir, "log.bin"), int64(cut)); err != nil {
+					t.Fatal(err)
+				}
+				re, err := Open(cdir)
+				if err != nil {
+					t.Fatalf("cut %d: Open: %v", cut, err)
+				}
+				_, head, err := re.Head()
+				if err != nil {
+					re.Close()
+					t.Fatalf("cut %d: Head: %v", cut, err)
+				}
+				if head != prev {
+					re.Close()
+					t.Fatalf("cut %d: recovered head %s, want previous commit %s", cut, head, prev)
+				}
+				re.Close()
+			}
+
+			// One full recovery check: previous state is bit-identical and
+			// the store accepts a new durable commit.
+			cdir := filepath.Join(t.TempDir(), "crashed-full")
+			copyStoreDir(t, dir, cdir)
+			if err := os.Truncate(filepath.Join(cdir, "log.bin"), int64(lastStart+3)); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Open(cdir)
+			if err != nil {
+				t.Fatalf("Open after torn tail: %v", err)
+			}
+			defer re.Close()
+			snap, err := re.AsOf(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Database().CanonicalKey() != prevKey {
+				t.Fatalf("recovered AsOf(%s) differs from pre-crash state", prev)
+			}
+			if err := re.Update(func(db *table.Database) error {
+				db.MustAdd("R", table.NewTuple(value.Int(99), value.Int(99)))
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			id, err := re.Commit("after recovery")
+			if err != nil {
+				t.Fatalf("commit after recovery: %v", err)
+			}
+			if err := re.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re2, err := Open(cdir)
+			if err != nil {
+				t.Fatalf("reopen after recovery commit: %v", err)
+			}
+			defer re2.Close()
+			_, head, err := re2.Head()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if head != id {
+				t.Fatalf("post-recovery commit not durable: head %s, want %s", head, id)
+			}
+		})
+	}
+}
+
+// TestDurableFlush checks Flush: with checkpoints off (root only), a
+// flushed head reopens without replaying the whole chain from the root —
+// and, observably, the checkpoint makes reopen state bit-identical.
+func TestDurableFlush(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	eng := New(table.NewDatabase(testSchema()))
+	if _, err := eng.EnableHistory(HistoryOptions{CheckpointEvery: -1}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := eng.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	commitSteps(t, eng, randomHistStream(rng, 12), rng, "c")
+	if err := eng.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	headKey := eng.Snapshot().Database().CanonicalKey()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer re.Close()
+	if got := re.Snapshot().Database().CanonicalKey(); got != headKey {
+		t.Fatalf("flushed head state differs after reopen")
+	}
+}
+
+// TestPersistWithoutHistory: Persist on a plain engine enables history
+// implicitly and the state survives a reopen.
+func TestPersistWithoutHistory(t *testing.T) {
+	eng := New(testDB(5))
+	dir := t.TempDir()
+	if err := eng.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	key := eng.Snapshot().Database().CanonicalKey()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Snapshot().Database().CanonicalKey(); got != key {
+		t.Fatalf("state differs after reopen")
+	}
+	if !re.HistoryEnabled() {
+		t.Fatalf("history not enabled after Open")
+	}
+}
+
+// TestPersistTwiceFails: a second Persist (or onto an existing store) is
+// an error, not silent corruption.
+func TestPersistTwiceFails(t *testing.T) {
+	eng := New(testDB(6))
+	dir := t.TempDir()
+	if err := eng.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Persist(t.TempDir()); err == nil {
+		t.Fatalf("second Persist succeeded")
+	}
+	eng2 := New(testDB(7))
+	if err := eng2.Persist(dir); err == nil {
+		t.Fatalf("Persist onto an existing store succeeded")
+	}
+	eng.Close()
+}
+
+// TestEngineMemBudgetBitIdentical pins the facade's MemBudget knob: a
+// join evaluated under a budget far smaller than its build side (forcing
+// the Grace spill path) returns bit-identical answers to the unbounded
+// configuration, in both certain and naive modes.
+func TestEngineMemBudgetBitIdentical(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	eng := New(table.NewDatabase(testSchema()))
+	if err := eng.Update(func(db *table.Database) error {
+		for i := 0; i < 400; i++ {
+			db.MustAdd("R", table.NewTuple(value.Int(int64(i%50)), value.Int(int64(rnd.Intn(40)))))
+			db.MustAdd("S", table.NewTuple(value.Int(int64(rnd.Intn(40))), value.String(fmt.Sprintf("v%d", i%90))))
+			if i%9 == 0 {
+				db.MustAdd("S", table.NewTuple(value.Null(uint64(i%4+1)), value.String("n")))
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a", "c"}}
+	for _, mode := range []Mode{ModeCertain, ModeNaive} {
+		want, err := eng.Eval(q, Options{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Eval(q, Options{Mode: mode, MemBudget: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp(got) != fp(want) {
+			t.Fatalf("mode %v: budgeted answer differs: %d vs %d tuples", mode, got.Len(), want.Len())
+		}
+	}
+}
+
+// TestStatsEncodingChurnGuard is the satellite regression test of the
+// dictionary churn-guard surface: Stats must expose sidecar builds, and
+// a mutate/encode thrash pattern must surface declines with the guard
+// reported as declining.
+func TestStatsEncodingChurnGuard(t *testing.T) {
+	eng := New(testDB(9))
+	// A bare scan materializes the relation as-is; a projected join is
+	// coded-eligible and builds the sidecars of the relations it reads.
+	q := ra.Project{Input: ra.Join{Left: ra.Base("R"), Right: ra.Base("S")}, Attrs: []string{"a", "c"}}
+	opts := Options{Mode: ModeCertain, Coded: CodedOn, Workers: 1}
+	if _, err := eng.Eval(q, opts); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	es, ok := st.Encoding["R"]
+	if !ok {
+		t.Fatalf("Stats().Encoding has no entry for R after a coded eval: %+v", st.Encoding)
+	}
+	if es.Builds == 0 {
+		t.Fatalf("no sidecar builds recorded: %+v", es)
+	}
+	if es.Declined {
+		t.Fatalf("guard declining after a single build: %+v", es)
+	}
+	// Thrash: mutate + re-encode until the churn guard starts declining.
+	declined := false
+	for i := 0; i < 40 && !declined; i++ {
+		if err := eng.Update(func(db *table.Database) error {
+			db.MustAdd("R", table.NewTuple(value.Int(int64(100+i)), value.Int(int64(i))))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Eval(q, opts); err != nil {
+			t.Fatal(err)
+		}
+		declined = eng.Stats().Encoding["R"].Declined
+	}
+	// One more mutation + coded request while the guard is declining: the
+	// rebuild attempt is turned away and recorded as a decline.
+	if err := eng.Update(func(db *table.Database) error {
+		db.MustAdd("R", table.NewTuple(value.Int(999), value.Int(999)))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Eval(q, opts); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	es = st.Encoding["R"]
+	if !es.Declined || es.Declines == 0 {
+		t.Fatalf("churn guard never started declining under thrash: %+v", es)
+	}
+	if es.Builds < 2 {
+		t.Fatalf("expected rebuilds before the guard kicked in: %+v", es)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"incdata/internal/inc"
 	"incdata/internal/ra"
 	"incdata/internal/sqlx"
+	"incdata/internal/store"
 	"incdata/internal/table"
 	"incdata/internal/version"
 )
@@ -65,6 +66,12 @@ type Engine struct {
 	hist    *version.History
 	branch  string           // checked-out branch
 	pending *table.ChangeSet // net uncommitted changes since the last commit
+
+	// Durable store (see durable.go): nil unless Persist/Open attached
+	// one.  While attached, commits append log records and checkpoint
+	// manifests under the engine lock.
+	st              *store.Store
+	checkpointEvery int // durable checkpoint interval (mirrors the history's)
 }
 
 // New creates an engine over db.  The engine adopts the database: all
@@ -148,6 +155,14 @@ func (e *Engine) Stats() Stats {
 			st.Views[name] = v.Stats()
 		}
 	}
+	for _, name := range e.db.RelationNames() {
+		if es := e.db.Relation(name).EncodingStats(); es.Active() {
+			if st.Encoding == nil {
+				st.Encoding = map[string]table.EncodingStats{}
+			}
+			st.Encoding[name] = es
+		}
+	}
 	return st
 }
 
@@ -162,6 +177,12 @@ type Stats struct {
 	// the same instant the cache counters were read; nil when no views are
 	// registered.
 	Views map[string]inc.Stats
+	// Encoding maps each live relation with coded-sidecar history to its
+	// churn-guard state: sidecars built, Encoding requests declined, and
+	// whether the guard is currently declining (the relation mutates
+	// faster than the coded tier pays off).  Relations with no coded
+	// activity are omitted; nil when none have any.
+	Encoding map[string]table.EncodingStats
 }
 
 // evaluator picks the evaluator for the options' planner setting.

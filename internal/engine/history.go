@@ -16,6 +16,7 @@ package engine
 import (
 	"fmt"
 
+	"incdata/internal/store"
 	"incdata/internal/table"
 	"incdata/internal/version"
 )
@@ -90,7 +91,7 @@ func (e *Engine) Commit(message string) (version.CommitID, error) {
 		return "", err
 	}
 	e.pending = table.NewChangeSet()
-	return id, nil
+	return id, persistErr(id, e.persistCommitLocked(id))
 }
 
 // CommitWithDeltas is Commit plus, in the same critical section, the
@@ -116,6 +117,7 @@ func (e *Engine) CommitWithDeltas(message string) (version.CommitID, map[string]
 		id, err = hist.Commit(e.branch, message, e.pending, e.db)
 		if err == nil {
 			e.pending = table.NewChangeSet()
+			err = persistErr(id, e.persistCommitLocked(id))
 		}
 	}
 	if err != nil {
@@ -160,7 +162,13 @@ func (e *Engine) Branch(name string) error {
 	if err != nil {
 		return err
 	}
-	return hist.Branch(name, head)
+	if err := hist.Branch(name, head); err != nil {
+		return err
+	}
+	if e.st != nil {
+		return e.st.Append(&store.Record{Type: store.RecBranch, Branch: name, ID: string(head)})
+	}
+	return nil
 }
 
 // Branches returns the branch refs.
@@ -200,6 +208,11 @@ func (e *Engine) Checkout(branch string) error {
 	e.db = state.Clone()
 	e.snap = nil
 	e.branch = branch
+	if e.st != nil {
+		if err := e.st.Append(&store.Record{Type: store.RecHead, Branch: branch}); err != nil {
+			return err
+		}
+	}
 	return e.rebuildViewsLocked()
 }
 
@@ -289,6 +302,18 @@ func (e *Engine) Merge(other, message string) (*version.MergeResult, error) {
 	}
 	e.db = res.State.Clone()
 	e.snap = nil
+	if e.st != nil {
+		if res.FastForward {
+			// No new commit: the checked-out branch's ref moved to an
+			// existing one.
+			err = e.st.Append(&store.Record{Type: store.RecRef, Branch: e.branch, ID: string(res.Commit)})
+		} else {
+			err = e.persistCommitLocked(res.Commit)
+		}
+		if err != nil {
+			return res, persistErr(res.Commit, err)
+		}
+	}
 	if err := e.rebuildViewsLocked(); err != nil {
 		return res, err
 	}

@@ -206,6 +206,16 @@ type Options struct {
 	// MaxWorlds aborts world enumeration when more valuations would be
 	// needed (0 means no bound).
 	MaxWorlds int
+
+	// MemBudget, when positive, bounds (approximately, in bytes) the
+	// memory a hash join may pin for its build side: a build side over
+	// budget is Grace-partitioned to disk and joined partition by
+	// partition, so certain-answer queries run against databases larger
+	// than RAM.  Answers are bit-identical to the unbounded path.  A
+	// budgeted evaluation runs on the serial row engine (Workers,
+	// Columnar and Coded are overridden): the budget is a hard cap, and
+	// the parallel/vectorized tiers assume resident build sides.
+	MemBudget int64
 }
 
 // resolvedWorkers resolves the Workers knob: 0 (the zero value) means
@@ -236,9 +246,10 @@ func (o Options) resolvedCoded() bool {
 // evalConfig bundles the resolved execution knobs for package plan.
 func (o Options) evalConfig() plan.EvalConfig {
 	return plan.EvalConfig{
-		Workers:  o.resolvedWorkers(),
-		Columnar: o.resolvedColumnar(),
-		Coded:    o.resolvedCoded(),
+		Workers:   o.resolvedWorkers(),
+		Columnar:  o.resolvedColumnar(),
+		Coded:     o.resolvedCoded(),
+		MemBudget: o.MemBudget,
 	}
 }
 

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiments E1–E18
+// Package experiments implements the reproduction experiments E1–E19
 // indexed in the "Experiments" section of README.md.  The paper (a theory keynote) has no numbered
 // tables or figures; each experiment regenerates one of its worked examples
 // or checkable claims, at parameterised scale, and prints the rows recorded

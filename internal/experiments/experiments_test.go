@@ -184,10 +184,11 @@ func TestConfigsAndAll(t *testing.T) {
 		E16Rows: 200, E16Workers: []int{1, 2},
 		E17Items: 200, E17Workers: []int{1, 2},
 		E18Orders: 40, E18Clients: []int{2}, E18Requests: 20,
+		E19Commits: 6, E19Batch: 2, E19Checkpoints: []int{2}, E19AsOf: 10, E19Budget: 1 << 10,
 	}
 	results := All(tiny)
-	if len(results) != 18 {
-		t.Fatalf("All should run 18 experiments, got %d", len(results))
+	if len(results) != 19 {
+		t.Fatalf("All should run 19 experiments, got %d", len(results))
 	}
 	ids := map[string]bool{}
 	for _, r := range results {
@@ -199,9 +200,27 @@ func TestConfigsAndAll(t *testing.T) {
 			t.Errorf("String of %s malformed", r.ID)
 		}
 	}
-	for i := 1; i <= 18; i++ {
+	for i := 1; i <= 19; i++ {
 		if !ids["E"+strconv.Itoa(i)] {
 			t.Errorf("missing experiment E%d", i)
+		}
+	}
+}
+
+// TestE19DurableSmoke pins the durable-store experiment end to end: every
+// checkpoint interval must recover bit-identically (agree) and the spill
+// join must match the resident path (spill).
+func TestE19DurableSmoke(t *testing.T) {
+	r := Harness{}.E19DurableStore(8, 2, []int{1, 4}, 10, 1<<10)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i := range r.Rows {
+		if got := cell(t, r, i, "agree"); got != "true" {
+			t.Errorf("row %d: recovered history disagreed with the writing engine", i)
+		}
+		if got := cell(t, r, i, "spill"); got != "true" {
+			t.Errorf("row %d: spill join disagreed with the resident join", i)
 		}
 	}
 }

@@ -95,6 +95,11 @@ type Config struct {
 	E18Orders      int
 	E18Clients     []int
 	E18Requests    int
+	E19Commits     int
+	E19Batch       int
+	E19Checkpoints []int
+	E19AsOf        int
+	E19Budget      int64
 }
 
 // QuickConfig keeps every experiment under a few seconds; it is the default
@@ -132,6 +137,11 @@ func QuickConfig() Config {
 		E18Orders:      800,
 		E18Clients:     []int{1, 2, 4},
 		E18Requests:    300,
+		E19Commits:     60,
+		E19Batch:       4,
+		E19Checkpoints: []int{1, 8, 32},
+		E19AsOf:        100,
+		E19Budget:      16 << 10,
 	}
 }
 
@@ -170,6 +180,11 @@ func FullConfig() Config {
 		E18Orders:      4000,
 		E18Clients:     []int{1, 2, 4, 8},
 		E18Requests:    2000,
+		E19Commits:     400,
+		E19Batch:       5,
+		E19Checkpoints: []int{1, 16, 64},
+		E19AsOf:        500,
+		E19Budget:      16 << 10,
 	}
 }
 
@@ -206,6 +221,9 @@ func Run(cfg Config, ids map[string]bool) []Result {
 		{"E16", func() Result { return h.E16ParallelScaling(cfg.E16Rows, cfg.E16Workers) }},
 		{"E17", func() Result { return h.E17CodedStrings(cfg.E17Items, cfg.E17Workers) }},
 		{"E18", func() Result { return h.E18ServerThroughput(cfg.E18Orders, cfg.E18Clients, cfg.E18Requests) }},
+		{"E19", func() Result {
+			return h.E19DurableStore(cfg.E19Commits, cfg.E19Batch, cfg.E19Checkpoints, cfg.E19AsOf, cfg.E19Budget)
+		}},
 	}
 	var out []Result
 	for _, r := range runs {

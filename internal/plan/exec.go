@@ -32,6 +32,8 @@ type pctx struct {
 	dict     *table.Dict   // the database's value dictionary; nil disables coded
 	dictVals []value.Value // lock-free decode snapshot, refreshed on demand
 
+	budget int64 // join build-side memory budget in bytes; 0 = unbounded (spill.go)
+
 	shared     *sharedEval       // prepare-phase materializations shared by workers
 	morselFor  *pscan            // scan whose tuples come from morsel, not the relation
 	morsel     []table.Tuple     // the worker's current morsel of morselFor
@@ -258,26 +260,42 @@ func (n *pjoin) buildIndex(c *pctx) (*table.Index, error) {
 }
 
 func (n *pjoin) stream(c *pctx, emit func(table.Tuple) bool) error {
+	if c.budget > 0 && c.partIdxFor != n {
+		return n.spillStream(c, emit)
+	}
 	ix, err := n.buildIndex(c)
 	if err != nil {
 		return err
 	}
+	return n.probeWith(c, ix, emit)
+}
+
+// probeWith streams the probe (left) side against a build-side index,
+// emitting the joined output tuples.  Shared by the resident path and the
+// under-budget case of the spill path.
+func (n *pjoin) probeWith(c *pctx, ix *table.Index, emit func(table.Tuple) bool) error {
 	return n.l.stream(c, func(lt table.Tuple) bool {
 		key := c.appendPosKey(lt, n.lpos)
 		for i := ix.Lookup(key); i != 0; {
 			var rt table.Tuple
 			rt, i = ix.At(i)
-			combined := make(table.Tuple, len(lt), len(lt)+len(n.extraIdx))
-			copy(combined, lt)
-			for _, ri := range n.extraIdx {
-				combined = append(combined, rt[ri])
-			}
-			if !emit(combined) {
+			if !n.emitJoined(lt, rt, emit) {
 				return false
 			}
 		}
 		return true
 	})
+}
+
+// emitJoined emits the join output of one matching tuple pair: the left
+// tuple followed by the right columns in extraIdx.
+func (n *pjoin) emitJoined(lt, rt table.Tuple, emit func(table.Tuple) bool) bool {
+	combined := make(table.Tuple, len(lt), len(lt)+len(n.extraIdx))
+	copy(combined, lt)
+	for _, ri := range n.extraIdx {
+		combined = append(combined, rt[ri])
+	}
+	return emit(combined)
 }
 
 // punion streams both sides; duplicates collapse at materialization.

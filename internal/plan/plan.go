@@ -76,6 +76,25 @@ type EvalConfig struct {
 	// encodes cleanly; otherwise evaluation silently falls back to the
 	// columnar (or row) path, so enabling it is always safe.
 	Coded bool
+	// MemBudget, when positive, bounds (approximately, in bytes) the
+	// memory a hash join may pin for its build side: a build side over
+	// budget is Grace-partitioned to temporary spill files and joined
+	// partition by partition (spill.go), so evaluation handles build
+	// sides larger than RAM.  Answers are bit-identical to the unbounded
+	// path.  A budgeted evaluation runs on the serial row engine —
+	// Workers, Columnar and Coded are overridden, since the parallel and
+	// vectorized tiers assume resident build sides.
+	MemBudget int64
+}
+
+// normalized resolves the config's internal contradictions: a memory
+// budget forces the serial row engine, since the morsel-parallel,
+// columnar and coded tiers all assume resident build sides.
+func (cfg EvalConfig) normalized() EvalConfig {
+	if cfg.MemBudget > 0 {
+		cfg.Workers, cfg.Columnar, cfg.Coded = 1, false, false
+	}
+	return cfg
 }
 
 // dictProvider is implemented by databases carrying a value dictionary
@@ -87,7 +106,7 @@ type dictProvider interface {
 // newPctx builds the evaluation context for one serial or worker run,
 // resolving the coded tier against the database's dictionary.
 func newPctx(db ra.DB, cfg EvalConfig, shared *sharedEval) *pctx {
-	c := &pctx{db: db, columnar: cfg.Columnar, shared: shared}
+	c := &pctx{db: db, columnar: cfg.Columnar, shared: shared, budget: cfg.MemBudget}
 	if cfg.Coded {
 		if dp, ok := db.(dictProvider); ok {
 			if d := dp.Dict(); d != nil {
@@ -109,6 +128,7 @@ func (p *Plan) Eval(db ra.DB) (*table.Relation, error) {
 // The result is bit-identical across all configurations and never
 // aliases mutable state of the database.
 func (p *Plan) EvalWith(db ra.DB, cfg EvalConfig) (*table.Relation, error) {
+	cfg = cfg.normalized()
 	if cfg.Workers > 1 && parallelizable(p.root, db) {
 		out := table.NewRelation(p.out)
 		if err := runParallel(p.root, db, cfg, false, out); err != nil {
@@ -139,6 +159,7 @@ func (p *Plan) EvalCertain(db ra.DB) (*table.Relation, error) {
 // EvalCertainWith is EvalWith with the null-stripping of certain-answer
 // extraction fused into materialization.
 func (p *Plan) EvalCertainWith(db ra.DB, cfg EvalConfig) (*table.Relation, error) {
+	cfg = cfg.normalized()
 	if cfg.Workers > 1 && parallelizable(p.root, db) {
 		out := table.NewRelation(p.out)
 		if err := runParallel(p.root, db, cfg, true, out); err != nil {

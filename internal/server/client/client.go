@@ -32,6 +32,9 @@ func (e *RemoteError) Error() string { return fmt.Sprintf("%s (%s)", e.Msg, e.Co
 type Client struct {
 	nc     net.Conn
 	nextID uint64
+	// maxFrame is the frame payload cap agreed with the server; 0 means
+	// wire.MaxFrame.
+	maxFrame int
 	// pushes buffers KindDelta frames read while waiting for replies.
 	pushes []wire.Response
 	// Banner and Head are the server identification and head commit from
@@ -43,12 +46,17 @@ type Client struct {
 // Dial connects to an incserver, performs the HELLO exchange, and returns
 // the session.  A BUSY error reply (session limit) is returned as a
 // RemoteError.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string) (*Client, error) { return DialMaxFrame(addr, 0) }
+
+// DialMaxFrame is Dial against a server configured with a non-default
+// frame payload cap (server.Config.MaxFrame); maxFrame <= 0 means the
+// protocol default wire.MaxFrame.  Both sides must agree on the cap.
+func DialMaxFrame(addr string, maxFrame int) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{nc: nc}
+	c := &Client{nc: nc, maxFrame: maxFrame}
 	resp, err := c.Call(wire.Request{Op: wire.OpHello, Client: "incdata-go/1"})
 	if err != nil {
 		nc.Close()
@@ -78,11 +86,11 @@ func (c *Client) Quit() error {
 func (c *Client) Call(req wire.Request) (wire.Response, error) {
 	c.nextID++
 	req.ID = c.nextID
-	if err := wire.WriteFrame(c.nc, req); err != nil {
+	if err := wire.WriteFrameLimit(c.nc, req, c.maxFrame); err != nil {
 		return wire.Response{}, err
 	}
 	for {
-		resp, err := wire.ReadResponse(c.nc)
+		resp, err := wire.ReadResponseLimit(c.nc, c.maxFrame)
 		if err != nil {
 			return wire.Response{}, err
 		}
@@ -118,7 +126,7 @@ func (c *Client) NextDelta(timeout time.Duration) (wire.Response, error) {
 		return wire.Response{}, err
 	}
 	defer c.nc.SetReadDeadline(time.Time{})
-	resp, err := wire.ReadResponse(c.nc)
+	resp, err := wire.ReadResponseLimit(c.nc, c.maxFrame)
 	if err != nil {
 		return wire.Response{}, err
 	}

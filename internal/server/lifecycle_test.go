@@ -7,13 +7,82 @@ package server
 
 import (
 	"errors"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
+	"incdata/internal/engine"
 	"incdata/internal/server/client"
 	"incdata/internal/server/wire"
 )
+
+// TestCommitsSurviveServerRestart pins the durable deployment: a server
+// over a store-attached engine makes every wire COMMIT durable, so a new
+// server process over the same directory serves the committed state.
+func TestCommitsSurviveServerRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	eng := testEngine(t)
+	if err := eng.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := dial(t, addr.String())
+	if _, err := cl.Update(client.Add("R", "7", "8")); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.Commit("wire-commit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh engine over the same directory, a fresh server.
+	eng2, err := engine.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	srv2, err := New(eng2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := srv2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	cl2 := dial(t, addr2.String())
+	if cl2.Head != id {
+		t.Fatalf("recovered head %s, want the wire commit %s", cl2.Head, id)
+	}
+	resp, err := cl2.Query("R", "certain", "on", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range resp.Rows {
+		if len(row) == 2 && row[0] == "7" && row[1] == "8" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("the committed row did not survive the restart: %v", resp.Rows)
+	}
+}
 
 // TestSnapshotPinning pins the session-isolation contract: a session's
 // first QUERY pins the state it sees, commits by other sessions stay

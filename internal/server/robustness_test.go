@@ -10,6 +10,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -112,6 +113,81 @@ func TestTruncatedFrameDisconnectsWithoutHanging(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestConfigMaxFrame pins the configurable frame cap end to end.  A
+// server with a tiny cap treats a frame the protocol default would accept
+// as a framing violation (typed proto error, then hangup); a server with
+// a raised cap serves an update whose frame exceeds the default 1 MiB,
+// provided the client dialed with the matching cap — a default-cap client
+// refuses to even write that frame, with the typed error.
+func TestConfigMaxFrame(t *testing.T) {
+	t.Run("small cap refuses", func(t *testing.T) {
+		_, _, addr := startServer(t, Config{MaxFrame: 256})
+		nc := rawDial(t, addr)
+		// 300 bytes of query is legal by the protocol default but over
+		// this server's cap.  Write it uncapped to get it on the wire.
+		req := wire.Request{ID: 1, Op: wire.OpQuery, Query: strings.Repeat("R", 300)}
+		if err := wire.WriteFrameLimit(nc, req, wire.MaxFrame); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wire.ReadResponse(nc)
+		if err != nil {
+			t.Fatalf("expected a proto error before the hangup: %v", err)
+		}
+		if resp.Kind != wire.KindError || resp.Code != wire.CodeProto {
+			t.Fatalf("kind=%s code=%s, want proto error", resp.Kind, resp.Code)
+		}
+		if _, err := wire.ReadResponse(nc); err == nil {
+			t.Fatal("connection must be closed after exceeding the configured cap")
+		}
+	})
+
+	t.Run("raised cap serves oversized frames", func(t *testing.T) {
+		const frameCap = 4 * wire.MaxFrame
+		_, _, addr := startServer(t, Config{MaxFrame: frameCap})
+		cl, err := client.DialMaxFrame(addr, frameCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		// One update frame of ~2 MiB: over the protocol default, under
+		// this deployment's cap.
+		bigRow := strings.Repeat("x", 2*wire.MaxFrame)
+		resp, err := cl.Update(client.Add("R", "9", bigRow))
+		if err != nil {
+			t.Fatalf("oversized update under a raised cap: %v", err)
+		}
+		if resp.Applied != 1 {
+			t.Fatalf("applied = %d, want 1", resp.Applied)
+		}
+		// Reading the wide row back crosses the cap in the reply
+		// direction too.
+		qr, err := cl.Query("R", "certain", "on", 0)
+		if err != nil {
+			t.Fatalf("query returning the wide row: %v", err)
+		}
+		found := false
+		for _, row := range qr.Rows {
+			if len(row) == 2 && row[1] == bigRow {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("the 2 MiB cell did not round-trip through the raised cap")
+		}
+
+		// A default-cap client against the same server cannot even write
+		// that frame: the typed error surfaces client-side.
+		def := dial(t, addr)
+		if _, err := def.Update(client.Add("R", "10", bigRow)); !errors.Is(err, wire.ErrFrameTooLarge) {
+			t.Fatalf("default-cap write: err = %v, want ErrFrameTooLarge", err)
+		}
+		var fe *wire.FrameTooLargeError
+		if _, err := def.Update(client.Add("R", "11", bigRow)); !errors.As(err, &fe) || fe.Limit != wire.MaxFrame {
+			t.Fatalf("default-cap write: err = %v, want FrameTooLargeError{%d}", err, wire.MaxFrame)
+		}
+	})
 }
 
 // TestTypedErrorCodes pins the error classification across the request

@@ -80,6 +80,10 @@ type Config struct {
 	// MaxWorlds bounds world enumeration for the world-modes served over
 	// the wire.  Default 1<<20.
 	MaxWorlds int
+	// MaxFrame caps a wire frame payload in bytes, both directions.
+	// Clients must dial with the same cap (client.DialMaxFrame).  Default
+	// wire.MaxFrame (1 MiB).
+	MaxFrame int
 }
 
 // withDefaults fills unset knobs.
@@ -101,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWorlds <= 0 {
 		c.MaxWorlds = 1 << 20
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.MaxFrame
 	}
 	return c
 }
@@ -222,9 +229,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 func (s *Server) refuse(nc net.Conn) {
 	defer nc.Close()
 	nc.SetDeadline(time.Now().Add(time.Second))
-	wire.ReadFrame(nc)
-	wire.WriteFrame(nc, wire.Response{Kind: wire.KindError, Code: wire.CodeBusy,
-		Error: fmt.Sprintf("server: session limit (%d) reached", s.cfg.MaxSessions)})
+	wire.ReadFrameLimit(nc, s.cfg.MaxFrame)
+	wire.WriteFrameLimit(nc, wire.Response{Kind: wire.KindError, Code: wire.CodeBusy,
+		Error: fmt.Sprintf("server: session limit (%d) reached", s.cfg.MaxSessions)}, s.cfg.MaxFrame)
 }
 
 // Addr returns the bound address, or nil before Listen.
@@ -355,7 +362,7 @@ func (c *conn) writeLoop() {
 		if werr != nil {
 			continue
 		}
-		werr = wire.WriteFrame(c.nc, resp)
+		werr = wire.WriteFrameLimit(c.nc, resp, c.srv.cfg.MaxFrame)
 	}
 	c.nc.Close()
 }
@@ -370,7 +377,7 @@ func (c *conn) readLoop() {
 		s.wg.Done()
 	}()
 	for {
-		payload, err := wire.ReadFrame(c.nc)
+		payload, err := wire.ReadFrameLimit(c.nc, s.cfg.MaxFrame)
 		if err != nil {
 			if errors.Is(err, wire.ErrFrameTooLarge) {
 				// The stream position is untrustworthy after a bad

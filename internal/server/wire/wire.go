@@ -21,9 +21,12 @@ import (
 	"io"
 )
 
-// MaxFrame is the hard cap on a frame payload, applied by both reader and
-// writer.  A length prefix above it is a protocol error, not an
-// allocation.
+// MaxFrame is the default cap on a frame payload, applied by both reader
+// and writer.  A length prefix above the cap is a protocol error, not an
+// allocation.  Deployments that ship bulk updates or very wide answers
+// can raise the cap per endpoint with the …Limit frame functions
+// (server.Config.MaxFrame and client.DialMaxFrame wire them through); the
+// two sides must agree.
 const MaxFrame = 1 << 20
 
 // Request operations.  Every request names one op; unknown ops get a
@@ -215,18 +218,53 @@ type ViewCounters struct {
 	Failed      uint64 `json:"failed"`
 }
 
-// ErrFrameTooLarge reports a length prefix above MaxFrame.  After it the
-// stream position is untrustworthy; the connection must be closed.
-var ErrFrameTooLarge = fmt.Errorf("wire: frame exceeds %d bytes", MaxFrame)
+// FrameTooLargeError reports a frame payload above the endpoint's cap.
+// After reading one the stream position is untrustworthy (the oversized
+// payload was never consumed); the connection must be closed.
+type FrameTooLargeError struct {
+	// Limit is the cap the frame exceeded, in bytes.
+	Limit int
+}
 
-// WriteFrame marshals v and writes it as one length-prefixed frame.
-func WriteFrame(w io.Writer, v any) error {
+// Error formats the violation with the endpoint's cap.
+func (e *FrameTooLargeError) Error() string {
+	return fmt.Sprintf("wire: frame exceeds %d bytes", e.Limit)
+}
+
+// Is makes every FrameTooLargeError match ErrFrameTooLarge under
+// errors.Is, regardless of the configured limit.
+func (e *FrameTooLargeError) Is(target error) bool {
+	_, ok := target.(*FrameTooLargeError)
+	return ok
+}
+
+// ErrFrameTooLarge is the sentinel for errors.Is checks; frame functions
+// return a *FrameTooLargeError carrying the actual limit.
+var ErrFrameTooLarge error = &FrameTooLargeError{Limit: MaxFrame}
+
+// frameLimit resolves a caller-supplied cap: zero or negative means the
+// protocol default MaxFrame.
+func frameLimit(limit int) int {
+	if limit <= 0 {
+		return MaxFrame
+	}
+	return limit
+}
+
+// WriteFrame marshals v and writes it as one length-prefixed frame,
+// capped at MaxFrame.
+func WriteFrame(w io.Writer, v any) error { return WriteFrameLimit(w, v, 0) }
+
+// WriteFrameLimit is WriteFrame under an explicit payload cap; limit <= 0
+// means MaxFrame.  Both sides of a connection must agree on the cap, or a
+// frame one side writes may be a framing violation to the other.
+func WriteFrameLimit(w io.Writer, v any, limit int) error {
 	payload, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("wire: marshal: %w", err)
 	}
-	if len(payload) > MaxFrame {
-		return ErrFrameTooLarge
+	if max := frameLimit(limit); len(payload) > max {
+		return &FrameTooLargeError{Limit: max}
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -237,18 +275,22 @@ func WriteFrame(w io.Writer, v any) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame payload.  A clean EOF before
-// any header byte returns io.EOF; a header or payload cut short returns
-// io.ErrUnexpectedEOF; a length above MaxFrame returns ErrFrameTooLarge
-// without reading (or allocating) the payload.
-func ReadFrame(r io.Reader) ([]byte, error) {
+// ReadFrame reads one length-prefixed frame payload, capped at MaxFrame.
+// A clean EOF before any header byte returns io.EOF; a header or payload
+// cut short returns io.ErrUnexpectedEOF; a length above the cap returns a
+// *FrameTooLargeError without reading (or allocating) the payload.
+func ReadFrame(r io.Reader) ([]byte, error) { return ReadFrameLimit(r, 0) }
+
+// ReadFrameLimit is ReadFrame under an explicit payload cap; limit <= 0
+// means MaxFrame.
+func ReadFrameLimit(r io.Reader, limit int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, ErrFrameTooLarge
+	if max := frameLimit(limit); uint64(n) > uint64(max) {
+		return nil, &FrameTooLargeError{Limit: max}
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -260,9 +302,13 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// ReadResponse reads and decodes one Response frame.
-func ReadResponse(r io.Reader) (Response, error) {
-	payload, err := ReadFrame(r)
+// ReadResponse reads and decodes one Response frame, capped at MaxFrame.
+func ReadResponse(r io.Reader) (Response, error) { return ReadResponseLimit(r, 0) }
+
+// ReadResponseLimit is ReadResponse under an explicit payload cap;
+// limit <= 0 means MaxFrame.
+func ReadResponseLimit(r io.Reader, limit int) (Response, error) {
+	payload, err := ReadFrameLimit(r, limit)
 	if err != nil {
 		return Response{}, err
 	}

@@ -82,6 +82,47 @@ func TestWriteFrameOversized(t *testing.T) {
 	}
 }
 
+// TestFrameTooLargeErrorTyped pins the typed form of the cap violation:
+// errors.As extracts the configured limit from both the reader and writer
+// side, and every instance matches the ErrFrameTooLarge sentinel under
+// errors.Is regardless of its limit.
+func TestFrameTooLargeErrorTyped(t *testing.T) {
+	err := WriteFrameLimit(io.Discard, Response{Error: strings.Repeat("x", 100)}, 16)
+	var fe *FrameTooLargeError
+	if !errors.As(err, &fe) || fe.Limit != 16 {
+		t.Fatalf("write err = %v, want *FrameTooLargeError{Limit: 16}", err)
+	}
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatal("a limit-16 violation must match the ErrFrameTooLarge sentinel")
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 17)
+	_, err = ReadFrameLimit(bytes.NewReader(hdr[:]), 16)
+	if !errors.As(err, &fe) || fe.Limit != 16 {
+		t.Fatalf("read err = %v, want *FrameTooLargeError{Limit: 16}", err)
+	}
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatal("the reader-side violation must match the sentinel too")
+	}
+}
+
+// TestFrameLimitVariants pins the configurable cap: a raised cap admits a
+// frame the default rejects, and limit <= 0 means the default MaxFrame.
+func TestFrameLimitVariants(t *testing.T) {
+	big := Response{ID: 3, Kind: KindError, Error: strings.Repeat("x", MaxFrame)}
+	var buf bytes.Buffer
+	if err := WriteFrameLimit(&buf, big, 4*MaxFrame); err != nil {
+		t.Fatalf("write under a raised cap: %v", err)
+	}
+	if _, err := ReadFrameLimit(bytes.NewReader(buf.Bytes()), 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("default-cap read of the oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+	resp, err := ReadResponseLimit(bytes.NewReader(buf.Bytes()), 4*MaxFrame)
+	if err != nil || resp.ID != 3 || len(resp.Error) != MaxFrame {
+		t.Fatalf("raised-cap read: err=%v id=%d len=%d", err, resp.ID, len(resp.Error))
+	}
+}
+
 // FuzzReadFrame throws arbitrary byte streams at the frame decoder.  The
 // decoder must never panic, never allocate beyond the cap, and on success
 // must have consumed exactly header+payload so framing stays in sync.

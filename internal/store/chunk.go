@@ -1,0 +1,110 @@
+// Package store is the durable persistence subsystem: a content-addressed
+// chunk store for database state plus an append-only, CRC-framed commit
+// log whose records are the version DAG's own change sets — the delta
+// algebra of package table doubles as the write-ahead-log format.
+//
+// Layout of a store directory:
+//
+//	<dir>/chunks/ab/abcdef…   content-addressed blobs (sha256 hex)
+//	<dir>/log.bin             the commit log, CRC-framed records
+//
+// Chunks hold tuple blocks, dictionary sidecars, and JSON manifests (a
+// manifest names the chunks of one full database state).  Every chunk is
+// written temp-file-then-rename, so a chunk either exists in full or not
+// at all, and identical relation states across snapshots, branches and
+// restarts share storage bytes — verifying a chunk is a hash check.  The
+// log is the only mutable file; recovery truncates a torn final record
+// and replays the rest (see record.go and store.go).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// chunkStore is the content-addressed blob half of a store: blobs keyed
+// by the hex sha256 of their contents, fanned out over 256 subdirectories.
+type chunkStore struct {
+	dir string
+}
+
+func newChunkStore(dir string) (*chunkStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create chunk dir: %w", err)
+	}
+	return &chunkStore{dir: dir}, nil
+}
+
+// hashOf returns the content address of a blob.
+func hashOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func (cs *chunkStore) path(hash string) string {
+	return filepath.Join(cs.dir, hash[:2], hash)
+}
+
+// Put stores a blob and returns its content address.  An existing chunk
+// with the same address is left untouched (identical content, by
+// construction); a new one is written to a temp file, synced, and
+// renamed into place, so a crash never leaves a partial chunk visible.
+func (cs *chunkStore) Put(data []byte) (string, error) {
+	hash := hashOf(data)
+	p := cs.path(hash)
+	if _, err := os.Stat(p); err == nil {
+		return hash, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return "", fmt.Errorf("store: create chunk fanout: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-"+hash[:8]+"-*")
+	if err != nil {
+		return "", fmt.Errorf("store: create chunk temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", fmt.Errorf("store: write chunk: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("store: close chunk temp: %w", err)
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("store: publish chunk: %w", err)
+	}
+	return hash, nil
+}
+
+// Get returns the blob at the given content address, verifying that the
+// bytes still hash to it — a corrupted chunk is detected, never served.
+func (cs *chunkStore) Get(hash string) ([]byte, error) {
+	if len(hash) < 2 {
+		return nil, fmt.Errorf("store: bad chunk address %q", hash)
+	}
+	data, err := os.ReadFile(cs.path(hash))
+	if err != nil {
+		return nil, fmt.Errorf("store: read chunk %s: %w", hash, err)
+	}
+	if got := hashOf(data); got != hash {
+		return nil, fmt.Errorf("store: chunk %s corrupt (content hashes to %s)", hash, got)
+	}
+	return data, nil
+}
+
+// Has reports whether a chunk with the given address exists.
+func (cs *chunkStore) Has(hash string) bool {
+	if len(hash) < 2 {
+		return false
+	}
+	_, err := os.Stat(cs.path(hash))
+	return err == nil
+}

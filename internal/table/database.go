@@ -101,6 +101,10 @@ func (d *Database) SetRelation(rel string, r *Relation) error {
 	cp := r.Clone()
 	cp.schema = rs
 	if old := d.rels[rel]; old.tracked() {
+		// Diffing needs both tuple maps materialized; untracked replacement
+		// below keeps a lazily loading replacement lazy.
+		old.ensure()
+		cp.ensure()
 		for k, t := range old.tuples {
 			if _, ok := cp.tuples[k]; !ok {
 				old.rec.get().noteDelete(k, t)

@@ -147,21 +147,112 @@ func (e *Encoding) Dict() *Dict { return e.dict }
 // evaluations; the table layer cannot see evaluation boundaries, but a
 // single evaluation makes at most a handful of Encoding calls per
 // scanned relation (eligibility check, shared prepare, one per worker
-// stream).  So invalidating a live sidecar charges encChurnCost — set
-// well above one evaluation's worth of cache hits — while each hit
-// repays a single point: a relation mutating every evaluation or two
-// (view maintenance, update streams) accumulates churn and is declined
+// stream).  So every build charges encChurnCost — set well above one
+// evaluation's worth of cache hits — while each hit repays a single
+// point: a relation mutating every evaluation or two (view maintenance,
+// update streams) rebuilds constantly, accumulates churn and is declined
 // at encChurnLimit, while one that rebuilds at most every ~½ dozen
 // evaluations decays back to zero.  Declined relations still rebuild
 // one request in encProbeInterval, so a relation that goes quiet earns
 // its way back under the limit; encChurnCap bounds how far a
 // persistently hot relation can climb, keeping that recovery fast.
+//
+// The score lives in the lineage-shared encStats, not the relation
+// header: under the engine's snapshot pattern a sidecar is built on a
+// copy-on-write share while the mutations that doom it land on the live
+// header, and only a lineage-wide score sees that the builds are never
+// amortized.
 const (
 	encChurnCost     = 32
 	encChurnLimit    = 64
 	encChurnCap      = 128
 	encProbeInterval = 16
 )
+
+// encStats counts coded-sidecar build and decline events for one relation
+// lineage.  The pointer is shared across copy-on-write shares — like the
+// churn score it complements — so Engine.Stats sees the lineage's history
+// no matter which snapshot paid for a build.  Derived temporaries made by
+// the plan layer carry a nil encStats; the methods are nil-safe.
+type encStats struct {
+	builds   atomic.Uint64
+	declines atomic.Uint64
+	churn    atomic.Uint32 // builds not yet repaid by reuse (see above)
+	probe    atomic.Uint32 // declined-request counter driving probe rebuilds
+}
+
+// noteBuild counts one interning pass and charges the churn score for it;
+// cache hits repay the charge one point at a time (churnDecay).
+func (s *encStats) noteBuild() {
+	if s == nil {
+		return
+	}
+	s.builds.Add(1)
+	if c := s.churn.Load(); c < encChurnCap {
+		s.churn.CompareAndSwap(c, c+encChurnCost)
+	}
+}
+
+func (s *encStats) noteDecline() {
+	if s != nil {
+		s.declines.Add(1)
+	}
+}
+
+// churnDecay repays one churn point for a cache hit.
+func (s *encStats) churnDecay() {
+	if s == nil {
+		return
+	}
+	if c := s.churn.Load(); c > 0 {
+		s.churn.CompareAndSwap(c, c-1)
+	}
+}
+
+// declining reports whether the churn score is at or past the decline
+// limit; a nil encStats (plan-layer temporaries) never declines.
+func (s *encStats) declining() bool {
+	return s != nil && s.churn.Load() >= encChurnLimit
+}
+
+// probeNext advances the declined-request counter; every
+// encProbeInterval-th request rebuilds anyway so a quiet relation can
+// recover.
+func (s *encStats) probeNext() uint32 {
+	if s == nil {
+		return 0
+	}
+	return s.probe.Add(1)
+}
+
+// EncodingStats is a point-in-time snapshot of one relation's coded-
+// sidecar churn-guard state, surfaced through Engine.Stats: how many
+// interning passes the relation has paid for, how many Encoding requests
+// the churn guard turned away, and whether it is declining right now.
+type EncodingStats struct {
+	Builds   uint64 // coded sidecars built (full interning passes)
+	Declines uint64 // Encoding requests declined by the churn guard
+	Declined bool   // churn score currently at or above the decline limit
+}
+
+// Active reports whether the relation has any coded-sidecar history worth
+// reporting.
+func (s EncodingStats) Active() bool {
+	return s.Builds > 0 || s.Declines > 0 || s.Declined
+}
+
+// EncodingStats returns the relation's encode/decline counters and whether
+// the churn guard is currently declining sidecar builds for it.
+func (r *Relation) EncodingStats() EncodingStats {
+	if r == nil || r.encStats == nil {
+		return EncodingStats{}
+	}
+	return EncodingStats{
+		Builds:   r.encStats.builds.Load(),
+		Declines: r.encStats.declines.Load(),
+		Declined: r.encStats.declining(),
+	}
+}
 
 // Encoding returns the relation's coded sidecar against the given
 // dictionary, building it on first use and caching it on the relation.
@@ -178,12 +269,11 @@ func (r *Relation) Encoding(dict *Dict) *Encoding {
 	for {
 		e := r.encoding.Load()
 		if e != nil && e.dict == dict && e.stamp == r.Stamp() {
-			if c := r.encChurn.Load(); c > 0 {
-				r.encChurn.CompareAndSwap(c, c-1)
-			}
+			r.encStats.churnDecay()
 			return e
 		}
-		if r.encChurn.Load() >= encChurnLimit && r.encProbe.Add(1)%encProbeInterval != 0 {
+		if r.encStats.declining() && r.encStats.probeNext()%encProbeInterval != 0 {
+			r.encStats.noteDecline()
 			return nil
 		}
 		ne := r.buildEncoding(dict)
@@ -195,6 +285,7 @@ func (r *Relation) Encoding(dict *Dict) *Encoding {
 }
 
 func (r *Relation) buildEncoding(dict *Dict) *Encoding {
+	r.encStats.noteBuild()
 	arity := r.schema.Arity()
 	e := &Encoding{
 		dict:   dict,
@@ -262,16 +353,12 @@ func (r *Relation) AdoptEncoding(dict *Dict, cols [][]uint64) {
 }
 
 // invalidateEncoding drops the cached coded sidecar; every mutation path
-// calls it (via invalidateDerived).  Dropping a live sidecar raises the
-// relation's churn score — the build was wasted if no query reused it —
-// which Encoding uses to stop re-encoding relations that mutate faster
-// than queries read them.
+// calls it (via invalidateDerived).  The churn score is charged at build
+// time and repaid by cache hits (see encStats), so dropping the cache
+// needs no extra accounting here — a doomed build has already paid.
 func (r *Relation) invalidateEncoding() {
 	if r.encoding.Load() != nil {
 		r.encoding.Store(nil)
-		if c := r.encChurn.Load(); c < encChurnCap {
-			r.encChurn.CompareAndSwap(c, c+encChurnCost)
-		}
 	}
 }
 

@@ -192,7 +192,7 @@ func TestEncodingChurnGuard(t *testing.T) {
 			t.Fatalf("request %d after recovery missed the cached sidecar", i)
 		}
 	}
-	if c := r.encChurn.Load(); c != 0 {
+	if c := r.encStats.churn.Load(); c != 0 {
 		t.Fatalf("churn = %d after sustained reuse, want 0", c)
 	}
 }

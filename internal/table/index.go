@@ -93,6 +93,7 @@ func (r *Relation) Index(positions []int) *Index {
 }
 
 func (r *Relation) buildIndex(positions []int) *Index {
+	r.ensure()
 	ix := &Index{
 		positions: append([]int(nil), positions...),
 		heads:     make(map[string]int32, r.Len()),

@@ -28,8 +28,8 @@ type Relation struct {
 	indexes    atomic.Pointer[[]*Index]        // lazily built hash indexes (see index.go)
 	partitions atomic.Pointer[[]*Partitioning] // lazily built hash partitionings (see partition.go)
 	encoding   atomic.Pointer[Encoding]        // lazily built coded sidecar (see encode.go)
-	encChurn   atomic.Uint32                   // encodings invalidated before any reuse (see encode.go)
-	encProbe   atomic.Uint32                   // declined-encoding request counter (see encode.go)
+	encStats   *encStats                       // build/decline/churn counters, shared across shares (see encode.go)
+	lazy       atomic.Pointer[lazyLoad]        // pending on-demand load, nil once materialized (see lazy.go)
 	version    uint64                          // bumped on every mutation (plan-cache validation)
 	gen        uint64                          // storage generation, see Stamp
 	rec        *recorder                       // delta capture hook, nil unless tracked (see delta.go)
@@ -45,7 +45,7 @@ func nextGen() uint64 { return storageGen.Add(1) }
 
 // NewRelation creates an empty relation with the given schema.
 func NewRelation(rs schema.Relation) *Relation {
-	return &Relation{schema: rs, tuples: make(map[string]Tuple), gen: nextGen()}
+	return &Relation{schema: rs, tuples: make(map[string]Tuple), gen: nextGen(), encStats: &encStats{}}
 }
 
 // NewRelationArity creates an empty relation named name with auto-named
@@ -89,6 +89,7 @@ func (r *Relation) Len() int {
 	if r == nil {
 		return 0
 	}
+	r.ensure()
 	return len(r.tuples)
 }
 
@@ -118,6 +119,7 @@ func (r *Relation) Stamp() Stamp {
 // is shared with another relation (the copy shares the stored tuples and
 // their keys, which are immutable).
 func (r *Relation) mutable() {
+	r.ensure()
 	r.version++
 	r.invalidateDerived()
 	if r.tuples == nil {
@@ -140,14 +142,21 @@ func (r *Relation) mutable() {
 // sides copy the map before their next mutation.
 func (r *Relation) share() *Relation {
 	r.shared.Store(true)
-	out := &Relation{schema: r.schema, tuples: r.tuples, version: r.version, gen: r.gen}
+	// A pending lazy load is shared: whichever side touches the tuples
+	// first materializes the one shared map for the whole lineage.  The
+	// load state must be read BEFORE the tuple map: concurrent readers may
+	// ensure() r between the two reads, and reading lazy first guarantees
+	// that a nil here means the loaded map assignment is already visible
+	// (ensure publishes it with a release store on the lazy pointer).
+	ls := r.lazy.Load()
+	out := &Relation{schema: r.schema, tuples: r.tuples, version: r.version, gen: r.gen, encStats: r.encStats}
 	out.shared.Store(true)
+	out.lazy.Store(ls)
 	// The share reads the same frozen storage at the same stamp, so the
 	// coded sidecar — stamp- and dictionary-validated on every use —
 	// stays valid; carry it (and the churn score that rations its
 	// rebuilds) instead of re-interning the relation on the other side.
 	out.encoding.Store(r.encoding.Load())
-	out.encChurn.Store(r.encChurn.Load())
 	return out
 }
 
@@ -238,6 +247,7 @@ func (r *Relation) AddAll(o *Relation) error {
 
 // Remove deletes a tuple if present and reports whether it was there.
 func (r *Relation) Remove(t Tuple) bool {
+	r.ensure()
 	var buf [keyBufSize]byte
 	k := t.AppendKey(buf[:0])
 	if old, ok := r.tuples[string(k)]; ok {
@@ -254,6 +264,7 @@ func (r *Relation) Contains(t Tuple) bool {
 	if r == nil {
 		return false
 	}
+	r.ensure()
 	var buf [keyBufSize]byte
 	_, ok := r.tuples[string(t.AppendKey(buf[:0]))]
 	return ok
@@ -266,6 +277,7 @@ func (r *Relation) ContainsKey(key []byte) bool {
 	if r == nil {
 		return false
 	}
+	r.ensure()
 	_, ok := r.tuples[string(key)]
 	return ok
 }
@@ -275,6 +287,7 @@ func (r *Relation) ContainsKeyString(key string) bool {
 	if r == nil {
 		return false
 	}
+	r.ensure()
 	_, ok := r.tuples[key]
 	return ok
 }
@@ -284,6 +297,7 @@ func (r *Relation) EachKeyed(f func(key string, t Tuple) bool) {
 	if r == nil {
 		return
 	}
+	r.ensure()
 	for k, t := range r.tuples {
 		if !f(k, t) {
 			return
@@ -297,6 +311,7 @@ func (r *Relation) Tuples() []Tuple {
 	if r == nil {
 		return nil
 	}
+	r.ensure()
 	out := make([]Tuple, 0, len(r.tuples))
 	for _, t := range r.tuples {
 		out = append(out, t.Clone())
@@ -314,6 +329,7 @@ func (r *Relation) SortedTuples() []Tuple {
 	if r == nil {
 		return nil
 	}
+	r.ensure()
 	out := make([]Tuple, 0, len(r.tuples))
 	for _, t := range r.tuples {
 		out = append(out, t)
@@ -328,6 +344,7 @@ func (r *Relation) Each(f func(Tuple) bool) {
 	if r == nil {
 		return
 	}
+	r.ensure()
 	for _, t := range r.tuples {
 		if !f(t) {
 			return
@@ -374,6 +391,7 @@ func (r *Relation) Equal(o *Relation) bool {
 
 // IsComplete reports whether no tuple contains a null.
 func (r *Relation) IsComplete() bool {
+	r.ensure()
 	for _, t := range r.tuples {
 		if t.HasNull() {
 			return false
@@ -385,6 +403,7 @@ func (r *Relation) IsComplete() bool {
 // IsCodd reports whether the relation is a Codd table: every null occurs at
 // most once in the whole relation.
 func (r *Relation) IsCodd() bool {
+	r.ensure()
 	seen := map[value.Value]bool{}
 	for _, t := range r.tuples {
 		for _, v := range t {
@@ -412,6 +431,7 @@ func (r *Relation) CompletePart() *Relation {
 
 // Nulls returns the set of nulls occurring in the relation.
 func (r *Relation) Nulls() map[value.Value]bool {
+	r.ensure()
 	out := map[value.Value]bool{}
 	for _, t := range r.tuples {
 		for _, v := range t {
@@ -425,6 +445,7 @@ func (r *Relation) Nulls() map[value.Value]bool {
 
 // Consts returns the set of constants occurring in the relation.
 func (r *Relation) Consts() map[value.Value]bool {
+	r.ensure()
 	out := map[value.Value]bool{}
 	for _, t := range r.tuples {
 		for _, v := range t {
@@ -438,6 +459,7 @@ func (r *Relation) Consts() map[value.Value]bool {
 
 // ActiveDomain returns adom(r) = Consts(r) ∪ Nulls(r).
 func (r *Relation) ActiveDomain() map[value.Value]bool {
+	r.ensure()
 	out := map[value.Value]bool{}
 	for _, t := range r.tuples {
 		for _, v := range t {
@@ -451,6 +473,7 @@ func (r *Relation) ActiveDomain() map[value.Value]bool {
 // relation (useful for applying valuations and homomorphisms).  Tuples that
 // f leaves unchanged are shared together with their stored keys.
 func (r *Relation) Map(f func(value.Value) value.Value) *Relation {
+	r.ensure()
 	out := &Relation{schema: r.schema, tuples: make(map[string]Tuple, len(r.tuples)), gen: nextGen()}
 	out.fillMapped(r, f)
 	return out
@@ -472,6 +495,14 @@ func (r *Relation) Reset(rs schema.Relation) {
 	r.schema = rs
 	r.version++
 	r.invalidateDerived()
+	// A tracked reset must record the deletion of every stored tuple, so a
+	// pending lazy load has to materialize first; untracked resets throw
+	// the content away unseen, so the loader is simply dropped.
+	if r.tracked() {
+		r.ensure()
+	} else {
+		r.dropLazy()
+	}
 	r.noteDeleteAll()
 	if r.tuples == nil || r.shared.Load() {
 		r.tuples = make(map[string]Tuple)
@@ -483,6 +514,7 @@ func (r *Relation) Reset(rs schema.Relation) {
 }
 
 func (r *Relation) fillMapped(src *Relation, f func(value.Value) value.Value) {
+	src.ensure()
 	var buf [keyBufSize]byte
 	tracked := r.tracked()
 	for k, t := range src.tuples {
@@ -509,6 +541,7 @@ func (r *Relation) fillMapped(src *Relation, f func(value.Value) value.Value) {
 // Filter returns the sub-relation of tuples satisfying pred.  Tuples and
 // their stored keys are shared with r, not copied.
 func (r *Relation) Filter(pred func(Tuple) bool) *Relation {
+	r.ensure()
 	out := &Relation{schema: r.schema, tuples: make(map[string]Tuple), gen: nextGen()}
 	for k, t := range r.tuples {
 		if pred(t) {
@@ -533,6 +566,7 @@ func (r *Relation) Retain(pred func(Tuple) bool) {
 // appendCanonicalKey appends a canonical binary encoding of the relation's
 // contents (its sorted tuple keys, count-prefixed) to dst.
 func (r *Relation) appendCanonicalKey(dst []byte) []byte {
+	r.ensure()
 	keys := make([]string, 0, len(r.tuples))
 	for k := range r.tuples {
 		keys = append(keys, k)

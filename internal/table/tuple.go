@@ -181,6 +181,23 @@ func (t Tuple) Key() string {
 	return string(t.AppendKey(buf[:0]))
 }
 
+// DecodeTuple decodes one tuple of the given arity from the front of a key
+// encoding produced by AppendKey, returning it and the remaining bytes.
+// The key format is self-delimiting per value, so concatenated tuple keys
+// (the durable store's chunk payloads, the budgeted join's spill records)
+// decode unambiguously.  Corrupt input returns an error, never a panic.
+func DecodeTuple(b []byte, arity int) (Tuple, []byte, error) {
+	t := make(Tuple, arity)
+	var err error
+	for i := 0; i < arity; i++ {
+		t[i], b, err = value.DecodeKey(b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("table: decode tuple field %d: %w", i, err)
+		}
+	}
+	return t, b, nil
+}
+
 // mapChanged applies f to every field.  When f fixes every field it returns
 // the original tuple and false without allocating; otherwise it returns a
 // fresh mapped tuple and true.

@@ -76,6 +76,21 @@ func FreshNull() Value { return Null(nullCounter.Add(1)) }
 // benchmark harness should call it, to obtain reproducible null ids.
 func ResetFreshNulls() { nullCounter.Store(0) }
 
+// EnsureFreshNullsAfter raises the fresh-null counter to at least id, so
+// every later FreshNull returns an id strictly above it.  The durable
+// store calls it when opening a database whose persisted state mentions
+// null ids this process has not issued — without it a later FreshNull
+// could collide with a stored marked null and silently alias two
+// unrelated unknowns.  It is safe for concurrent use.
+func EnsureFreshNullsAfter(id uint64) {
+	for {
+		cur := nullCounter.Load()
+		if cur >= id || nullCounter.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
 // Kind reports the variant of v.
 func (v Value) Kind() Kind { return v.kind }
 
@@ -122,6 +137,40 @@ func (v Value) AppendKey(dst []byte) []byte {
 	}
 	// KindNull and KindInt both carry an integer payload.
 	return binary.AppendVarint(dst, v.i)
+}
+
+// DecodeKey decodes one value from the front of a key encoding produced
+// by AppendKey and returns it together with the remaining bytes.  It is
+// the inverse of AppendKey: the durable chunk store and the spill files of
+// the budgeted hash join persist tuples in exactly the key format, so the
+// encoding does double duty as the serialization format.  It never
+// panics; corrupt input returns an error.
+func DecodeKey(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Value{}, nil, fmt.Errorf("value: decode: empty input")
+	}
+	kind := Kind(b[0])
+	b = b[1:]
+	switch kind {
+	case KindString:
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return Value{}, nil, fmt.Errorf("value: decode: bad string length")
+		}
+		b = b[sz:]
+		if uint64(len(b)) < n {
+			return Value{}, nil, fmt.Errorf("value: decode: string payload cut short (want %d bytes, have %d)", n, len(b))
+		}
+		return String(string(b[:n])), b[n:], nil
+	case KindNull, KindInt:
+		i, sz := binary.Varint(b)
+		if sz <= 0 {
+			return Value{}, nil, fmt.Errorf("value: decode: bad varint payload")
+		}
+		return Value{kind: kind, i: i}, b[sz:], nil
+	default:
+		return Value{}, nil, fmt.Errorf("value: decode: unknown kind byte %d", kind)
+	}
 }
 
 // String renders the value: integers as decimal literals, strings verbatim

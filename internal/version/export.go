@@ -1,0 +1,154 @@
+package version
+
+// Export/Restore: the bridge between the in-memory commit DAG and the
+// durable store (internal/store).  Export walks the history into plain
+// data — commits in append order, branch refs, checkpoint ids — that the
+// store writes as log records; Restore rebuilds an equivalent History from
+// records read back, re-deriving every depth and re-verifying every
+// non-root commit id, so a corrupted or hand-edited log cannot smuggle in
+// a commit whose content does not hash to its claimed id.
+//
+// Restore deliberately does NOT verify the root id against the root
+// checkpoint state: doing so would canonicalize the full base database,
+// forcing every lazily loading relation to materialize at Open time and
+// defeating chunk-on-demand paging.  The chunk store already verifies the
+// state bytes by content hash, which is the same guarantee.
+
+import (
+	"fmt"
+
+	"incdata/internal/table"
+)
+
+// Depth returns the commit's first-parent depth from the root (the root
+// is depth 0).  Checkpoint placement is keyed on it, both in memory and
+// in the durable commit log.
+func (c *Commit) Depth() int { return c.depth }
+
+// ExportedCommit is one commit in portable form: exactly the fields that
+// contribute to the content-addressed id, in history append order.
+type ExportedCommit struct {
+	ID      CommitID
+	Parents []CommitID
+	Message string
+	Delta   *table.ChangeSet
+}
+
+// Exported is a plain-data image of a History, sufficient to rebuild it
+// given the checkpoint states (which travel separately, as chunked
+// manifests in the durable store).
+type Exported struct {
+	Opts        Options
+	Commits     []ExportedCommit // append order; Commits[0] is the root
+	Branches    map[string]CommitID
+	Checkpoints []CommitID // commits with a materialized state, root included
+}
+
+// Export returns a plain-data image of the history.  The delta pointers
+// are shared, not copied — commits are immutable once created.
+func (h *History) Export() Exported {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := Exported{
+		Opts:     h.opts,
+		Commits:  make([]ExportedCommit, 0, len(h.log)),
+		Branches: make(map[string]CommitID, len(h.branches)),
+	}
+	for _, id := range h.log {
+		c := h.commits[id]
+		out.Commits = append(out.Commits, ExportedCommit{
+			ID:      c.ID,
+			Parents: append([]CommitID(nil), c.Parents...),
+			Message: c.Message,
+			Delta:   c.Delta,
+		})
+	}
+	for n, id := range h.branches {
+		out.Branches[n] = id
+	}
+	for _, id := range h.log {
+		if _, ok := h.checkpoints[id]; ok {
+			out.Checkpoints = append(out.Checkpoints, id)
+		}
+	}
+	return out
+}
+
+// Restore rebuilds a History from exported commits (append order, root
+// first), branch refs, and the materialized states of the checkpointed
+// commits.  Every non-root commit id is re-verified against its content
+// and every depth re-derived; the root must have a state (it is the
+// terminal checkpoint every AsOf replay walks back to).  Duplicate commit
+// ids in the input collapse to the first occurrence, mirroring the
+// content-addressed dedup of Commit.
+func Restore(commits []ExportedCommit, branches map[string]CommitID, checkpoints map[CommitID]*table.Database, opts Options) (*History, error) {
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if opts.ReconCache == 0 {
+		opts.ReconCache = DefaultReconCache
+	}
+	if len(commits) == 0 {
+		return nil, fmt.Errorf("version: restore: no commits")
+	}
+	if len(commits[0].Parents) != 0 {
+		return nil, fmt.Errorf("version: restore: first commit %s is not a root", commits[0].ID)
+	}
+	h := &History{
+		opts:        opts,
+		commits:     make(map[CommitID]*Commit, len(commits)),
+		log:         make([]CommitID, 0, len(commits)),
+		branches:    make(map[string]CommitID, len(branches)),
+		checkpoints: make(map[CommitID]*table.Database, len(checkpoints)),
+	}
+	for i, ec := range commits {
+		if _, dup := h.commits[ec.ID]; dup {
+			continue
+		}
+		cs := ec.Delta
+		if cs == nil {
+			cs = table.NewChangeSet()
+		}
+		c := &Commit{ID: ec.ID, Parents: append([]CommitID(nil), ec.Parents...), Message: ec.Message, Delta: cs}
+		if i == 0 {
+			c.Parents = nil
+		} else {
+			if len(c.Parents) == 0 {
+				return nil, fmt.Errorf("version: restore: commit %s: only the first commit may be a root", ec.ID)
+			}
+			for _, p := range c.Parents {
+				if _, ok := h.commits[p]; !ok {
+					return nil, fmt.Errorf("version: restore: commit %s: unknown parent %q", ec.ID, p)
+				}
+			}
+			if want := commitID(c.Parents, c.Message, cs, nil); want != ec.ID {
+				return nil, fmt.Errorf("version: restore: commit %s: content hashes to %s", ec.ID, want)
+			}
+			c.depth = h.commits[c.Parents[0]].depth + 1
+		}
+		h.commits[c.ID] = c
+		h.log = append(h.log, c.ID)
+	}
+	for name, id := range branches {
+		if _, ok := h.commits[id]; !ok {
+			return nil, fmt.Errorf("version: restore: branch %q points at unknown commit %q", name, id)
+		}
+		h.branches[name] = id
+	}
+	if len(h.branches) == 0 {
+		return nil, fmt.Errorf("version: restore: no branches")
+	}
+	for id, db := range checkpoints {
+		if _, ok := h.commits[id]; !ok {
+			return nil, fmt.Errorf("version: restore: checkpoint at unknown commit %q", id)
+		}
+		if db == nil {
+			return nil, fmt.Errorf("version: restore: nil checkpoint state at %q", id)
+		}
+		h.checkpoints[id] = db
+	}
+	if _, ok := h.checkpoints[h.log[0]]; !ok {
+		return nil, fmt.Errorf("version: restore: root %s has no checkpoint state", h.log[0])
+	}
+	return h, nil
+}
